@@ -1,0 +1,154 @@
+//! Ablation benches for the design decisions called out in DESIGN.md:
+//!
+//! * A1 — the reduced-graph benefit as k varies (the `O(k⁵)` term grows,
+//!   the `O(k² n)` term shrinks);
+//! * A2 — top-k selection strategies: full sort vs bounded heaps vs the
+//!   threshold algorithm over sorted indexes;
+//! * A3 — logical updates on/off for the ROI population;
+//! * A4 — the 2^k heavyweight solver, sequential vs threaded.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssa_bidlang::{BidsTable, Money};
+use ssa_core::heavyweight::{solve_heavyweight, HeavyweightInstance, PatternClickModel};
+use ssa_core::prob::PurchaseModel;
+use ssa_matching::threshold::{threshold_top_k, IndexedSource, MaintainedIndex};
+use ssa_matching::{max_weight_assignment, reduced_assignment, top_k_indices, RevenueMatrix};
+use ssa_strategy::{LogicalRoiPopulation, NaiveRoiPopulation, RoiPopulation};
+use ssa_workload::{SectionVConfig, SectionVWorkload};
+
+fn random_matrix(n: usize, k: usize, seed: u64) -> RevenueMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RevenueMatrix::from_fn(n, k, |_, _| rng.gen_range(0.0..100.0))
+}
+
+/// A1: full Hungarian vs reduced graph across k.
+fn ablation_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reduction_vs_k");
+    group.sample_size(10);
+    let n = 3000;
+    for k in [2usize, 5, 10, 15, 20, 25] {
+        let matrix = random_matrix(n, k, 42 + k as u64);
+        group.bench_with_input(BenchmarkId::new("hungarian_full", k), &k, |b, _| {
+            b.iter(|| max_weight_assignment(&matrix))
+        });
+        group.bench_with_input(BenchmarkId::new("reduced", k), &k, |b, _| {
+            b.iter(|| reduced_assignment(&matrix))
+        });
+    }
+    group.finish();
+}
+
+/// A2: three ways to find the per-slot top-k.
+fn ablation_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_topk_selection");
+    group.sample_size(10);
+    let (n, k) = (20_000usize, 15usize);
+    let matrix = random_matrix(n, k, 7);
+
+    group.bench_function("full_sort_per_slot", |b| {
+        b.iter(|| {
+            (0..k)
+                .map(|j| {
+                    let mut col: Vec<(usize, f64)> =
+                        (0..n).map(|i| (i, matrix.get(i, j))).collect();
+                    col.sort_by(|a, b| b.1.total_cmp(&a.1));
+                    col.truncate(k);
+                    col
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("bounded_heaps", |b| b.iter(|| top_k_indices(&matrix, k)));
+
+    // TA over pre-sorted indexes (weight × bid, both static here).
+    let w_indexes: Vec<MaintainedIndex> = (0..k)
+        .map(|j| MaintainedIndex::new((0..n).map(|i| matrix.get(i, j)).collect()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(12);
+    let bid_index = MaintainedIndex::new((0..n).map(|_| rng.gen_range(0.0..50.0)).collect());
+    group.bench_function("threshold_algorithm", |b| {
+        b.iter(|| {
+            (0..k)
+                .map(|j| {
+                    let source = IndexedSource::new(vec![&w_indexes[j], &bid_index]);
+                    threshold_top_k(&source, &|v: &[f64]| v[0] * v[1], k).0
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+/// A3: full program evaluation vs logical updates per auction.
+fn ablation_logical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_logical_updates");
+    group.sample_size(10);
+    for n in [2000usize, 10000] {
+        let workload = SectionVWorkload::generate(SectionVConfig::paper(n, 99));
+        group.bench_with_input(BenchmarkId::new("naive_eval", n), &n, |b, _| {
+            let mut pop = NaiveRoiPopulation::new(&workload.bidders);
+            let mut t = 0usize;
+            b.iter(|| {
+                t += 1;
+                pop.begin_auction(t % 10)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("logical_updates", n), &n, |b, _| {
+            let mut pop = LogicalRoiPopulation::new(&workload.bidders);
+            let mut t = 0usize;
+            b.iter(|| {
+                t += 1;
+                pop.begin_auction(t % 10)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A4: heavyweight 2^k enumeration, sequential vs threaded, across k.
+fn ablation_heavyweight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_heavyweight");
+    group.sample_size(10);
+    let n = 60;
+    for k in [4usize, 8, 10] {
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let is_heavy: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let heavy_flags = is_heavy.clone();
+        let clicks = PatternClickModel::from_fn(n, k, |adv, slot, pattern| {
+            let base = 0.8 / (1.0 + slot as f64) / (1.0 + (adv % 7) as f64 * 0.1);
+            // Lightweights lose clicks as more heavyweights appear.
+            if heavy_flags[adv] {
+                base
+            } else {
+                base * (1.0 - 0.03 * pattern.count() as f64).max(0.1)
+            }
+        });
+        let bids: Vec<BidsTable> = (0..n)
+            .map(|_| BidsTable::single_feature(Money::from_cents(rng.gen_range(1..=50))))
+            .collect();
+        let instance = HeavyweightInstance {
+            is_heavy,
+            clicks,
+            purchases: PurchaseModel::never(n, k),
+            bids,
+        };
+        group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, _| {
+            b.iter(|| solve_heavyweight(&instance, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("threaded_8", k), &k, |b, _| {
+            b.iter(|| solve_heavyweight(&instance, 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_k,
+    ablation_topk,
+    ablation_logical,
+    ablation_heavyweight
+);
+criterion_main!(benches);

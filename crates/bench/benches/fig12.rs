@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 12: winner-determination time per auction
+//! under the four methods (LP, H, RH, RHTALU), k = 15 slots.
+//!
+//! Criterion measures single auctions; the `reproduce` binary prints the
+//! full paper-scale sweep. LP is capped at smaller n here to keep
+//! `cargo bench` runtimes reasonable — the crossover behaviour is identical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_workload::{Method, SectionVConfig, SectionVWorkload, Simulation};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_winner_determination");
+    group.sample_size(10);
+    for method in Method::ALL {
+        let counts: &[usize] = if method == Method::Lp {
+            &[500, 1000]
+        } else {
+            &[500, 1000, 2000, 4000]
+        };
+        for &n in counts {
+            let workload = SectionVWorkload::generate(SectionVConfig::paper(n, 0xBEC812));
+            group.bench_with_input(BenchmarkId::new(method.label(), n), &n, |b, _| {
+                let mut sim = Simulation::new(workload.clone(), method);
+                sim.run_timed(5);
+                b.iter(|| sim.run_auction());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 13: RH vs RHTALU at larger advertiser counts
+//! (the Section IV program-evaluation reductions at work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_workload::{Method, SectionVConfig, SectionVWorkload, Simulation};
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_program_evaluation");
+    group.sample_size(10);
+    for method in [Method::Rh, Method::Rhtalu] {
+        for n in [2000usize, 8000, 16000] {
+            let workload = SectionVWorkload::generate(SectionVConfig::paper(n, 0xBEC813));
+            group.bench_with_input(BenchmarkId::new(method.label(), n), &n, |b, _| {
+                let mut sim = Simulation::new(workload.clone(), method);
+                sim.run_timed(5);
+                b.iter(|| sim.run_auction());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Regenerates every figure of the paper's evaluation (and the
+//! illustrative tables) as text output.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [fig12|fig13|tables|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks advertiser counts and auction counts so the whole run
+//! finishes in seconds; the default mirrors the paper's scales (Figure 12:
+//! up to 5000 advertisers, 100 auctions per point; Figure 13: up to 20000
+//! advertisers, 1000 auctions per point).
+
+use ssa_bench::{format_table, measure_series};
+use ssa_bidlang::{BidsTable, Formula, Money, SlotId};
+use ssa_core::prob::ClickModel;
+use ssa_matching::{reduced_assignment, RevenueMatrix};
+use ssa_workload::Method;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    match what {
+        "fig12" => fig12(quick),
+        "fig13" => fig13(quick),
+        "tables" => tables(),
+        "all" => {
+            tables();
+            fig12(quick);
+            fig13(quick);
+        }
+        other => {
+            eprintln!("unknown target {other:?}; expected fig12|fig13|tables|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Figure 12: time per auction for LP / H / RH / RHTALU, k = 15 slots,
+/// averaged over 100 auctions, advertiser counts up to 5000.
+fn fig12(quick: bool) {
+    let counts: Vec<usize> = if quick {
+        vec![250, 500, 1000]
+    } else {
+        vec![500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000]
+    };
+    let auctions = if quick { 20 } else { 100 };
+    let methods = Method::ALL;
+    let series: Vec<_> = methods
+        .iter()
+        .map(|&m| measure_series(m, &counts, auctions, auctions / 10 + 1, 4242))
+        .collect();
+    print!(
+        "{}",
+        format_table(
+            "Figure 12 — Winner Determination Performance (ms per auction, k = 15)",
+            &methods,
+            &series,
+        )
+    );
+    println!();
+}
+
+/// Figure 13: RH vs RHTALU, averaged over 1000 auctions, up to 20000
+/// advertisers.
+fn fig13(quick: bool) {
+    let counts: Vec<usize> = if quick {
+        vec![1000, 2000, 4000]
+    } else {
+        vec![
+            2000, 4000, 6000, 8000, 10000, 12000, 14000, 16000, 18000, 20000,
+        ]
+    };
+    let auctions = if quick { 50 } else { 1000 };
+    let methods = [Method::Rh, Method::Rhtalu];
+    let series: Vec<_> = methods
+        .iter()
+        .map(|&m| measure_series(m, &counts, auctions, auctions / 10 + 1, 4243))
+        .collect();
+    print!(
+        "{}",
+        format_table(
+            "Figure 13 — Reducing Program Evaluation (ms per auction, k = 15)",
+            &methods,
+            &series,
+        )
+    );
+    println!();
+}
+
+/// Figures 1–11: the paper's illustrative tables, regenerated from the
+/// library's own data structures.
+fn tables() {
+    println!("# Figure 1 — Single-feature valuation");
+    println!("Click value: {}", Money::from_cents(3));
+    println!();
+
+    println!("# Figure 3 — Bids table");
+    print!("{}", BidsTable::figure3());
+    println!();
+
+    println!("# Figure 6 — Bids table emitted by the Equalize-ROI program");
+    let fig6 = BidsTable::new(vec![
+        (
+            Formula::click() & Formula::slot(SlotId::new(1)),
+            Money::from_cents(4),
+        ),
+        (Formula::click(), Money::ZERO),
+    ]);
+    print!("{fig6}");
+    println!();
+
+    println!("# Figure 7 — Non-separable click probabilities");
+    print_click_model(&ClickModel::figure7());
+    println!("separable: {}", ClickModel::figure7().is_separable(1e-9));
+    println!();
+
+    println!("# Figure 8 — Separable click probabilities");
+    print_click_model(&ClickModel::figure8());
+    println!("separable: {}", ClickModel::figure8().is_separable(1e-9));
+    println!();
+
+    println!("# Figures 9–11 — Revenue matrix, reduction, and matching");
+    let names = ["Nike", "Adidas", "Reebok", "Sketchers"];
+    let matrix = RevenueMatrix::from_rows(&[
+        vec![9.0, 5.0],
+        vec![8.0, 7.0],
+        vec![7.0, 6.0],
+        vec![7.0, 4.0],
+    ]);
+    print!("{matrix}");
+    let solution = reduced_assignment(&matrix);
+    let kept: Vec<&str> = solution.candidates.iter().map(|&i| names[i]).collect();
+    println!("reduced graph keeps: {}", kept.join(", "));
+    for (j, adv) in solution.assignment.slot_to_adv.iter().enumerate() {
+        if let Some(a) = adv {
+            println!("slot {} -> {}", j + 1, names[*a]);
+        }
+    }
+    println!("expected revenue: {}", solution.assignment.total_weight);
+    println!();
+}
+
+fn print_click_model(m: &ClickModel) {
+    for i in 0..m.num_advertisers() {
+        for j in 0..m.num_slots() {
+            print!("{:>6.2}", m.p_click(i, SlotId::from_index0(j)));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,98 @@
+//! # ssa-bench — the experiment harness
+//!
+//! Shared plumbing for regenerating the paper's figures: the `reproduce`
+//! binary prints the numeric series behind Figures 12 and 13 (plus the
+//! illustrative tables of Figures 1–11), and the Criterion benches measure
+//! the same code paths with statistical rigour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ssa_workload::{Method, SectionVConfig, SectionVWorkload, Simulation};
+use std::time::Duration;
+
+/// One measured point of a figure series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Number of advertisers.
+    pub n: usize,
+    /// Average time per auction in milliseconds.
+    pub ms_per_auction: f64,
+}
+
+/// Measures `method` on the Section V workload for each advertiser count,
+/// averaging over `auctions` auctions per point (after `warmup` auctions).
+pub fn measure_series(
+    method: Method,
+    advertiser_counts: &[usize],
+    auctions: usize,
+    warmup: usize,
+    seed: u64,
+) -> Vec<SeriesPoint> {
+    advertiser_counts
+        .iter()
+        .map(|&n| {
+            let workload = SectionVWorkload::generate(SectionVConfig::paper(n, seed));
+            let mut sim = Simulation::new(workload, method);
+            sim.run_timed(warmup);
+            let elapsed = sim.run_timed(auctions);
+            SeriesPoint {
+                n,
+                ms_per_auction: elapsed.as_secs_f64() * 1000.0 / auctions as f64,
+            }
+        })
+        .collect()
+}
+
+/// Formats a set of series as the aligned text table the `reproduce`
+/// binary prints.
+pub fn format_table(title: &str, methods: &[Method], series: &[Vec<SeriesPoint>]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "# {title}").expect("infallible");
+    write!(out, "{:>8}", "n").expect("infallible");
+    for m in methods {
+        write!(out, " {:>12}", m.label()).expect("infallible");
+    }
+    writeln!(out).expect("infallible");
+    let points = series.first().map(|s| s.len()).unwrap_or(0);
+    for row in 0..points {
+        write!(out, "{:>8}", series[0][row].n).expect("infallible");
+        for s in series {
+            write!(out, " {:>12.4}", s[row].ms_per_auction).expect("infallible");
+        }
+        writeln!(out).expect("infallible");
+    }
+    out
+}
+
+/// Pretty-prints a duration in ms for logging.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_measure_smoke() {
+        let pts = measure_series(Method::Rh, &[30, 60], 5, 1, 3);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.ms_per_auction > 0.0));
+        assert_eq!(pts[0].n, 30);
+    }
+
+    #[test]
+    fn table_format() {
+        let pts = vec![vec![SeriesPoint {
+            n: 100,
+            ms_per_auction: 1.5,
+        }]];
+        let t = format_table("Fig X", &[Method::Rh], &pts);
+        assert!(t.contains("Fig X"));
+        assert!(t.contains("RH"));
+        assert!(t.contains("100"));
+        assert!(t.contains("1.5000"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # ssa-bidlang — the multi-feature bidding language
+//!
+//! This crate implements Section II-A of *Toward Expressive and Scalable
+//! Sponsored Search Auctions* (Martin, Gehrke & Halpern, ICDE 2008): a bidding
+//! language in which advertisers place **OR-bids on Boolean combinations of
+//! predicates** over the auction outcome.
+//!
+//! The available predicates are:
+//!
+//! * [`Predicate::Slot`] — "my ad is shown in slot *j*",
+//! * [`Predicate::Click`] — "the user clicked on my ad",
+//! * [`Predicate::Purchase`] — "the user made a purchase via my ad",
+//! * [`Predicate::HeavyInSlot`] — "slot *j* is occupied by a *heavyweight*
+//!   advertiser" (the Section III-F extension).
+//!
+//! A bid is a [`BidsTable`]: a list of ([`Formula`], value) rows. If several
+//! formulas hold in the final outcome the advertiser pays the **sum** of the
+//! corresponding values (OR-bid semantics, Section II-A).
+//!
+//! ```
+//! use ssa_bidlang::{Formula, BidsTable, Money, SlotId, AdvertiserView};
+//!
+//! // The paper's Figure 3: pay 5¢ for a purchase, 2¢ for slot 1 or 2
+//! // (and hence 7¢ for both).
+//! let bids = BidsTable::new(vec![
+//!     (Formula::purchase(), Money::from_cents(5)),
+//!     (Formula::slot(SlotId::new(1)) | Formula::slot(SlotId::new(2)), Money::from_cents(2)),
+//! ]);
+//! let outcome = AdvertiserView {
+//!     slot: Some(SlotId::new(1)),
+//!     clicked: true,
+//!     purchased: true,
+//!     heavy_pattern: None,
+//! };
+//! assert_eq!(bids.payment(&outcome), Money::from_cents(7));
+//! ```
+//!
+//! The crate also contains:
+//!
+//! * a text [`parser`] for formulas (`"Click & Slot1 | Purchase"`),
+//! * [`dependence`] analysis implementing Definition 1 (*m*-dependent events),
+//! * the [`two_dependent`] module reproducing the Theorem 3 reduction from
+//!   maximum weighted feedback arc set, together with brute-force solvers used
+//!   to validate it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bids;
+pub mod dependence;
+pub mod formula;
+pub mod ids;
+pub mod money;
+pub mod outcome;
+pub mod parser;
+pub mod predicate;
+pub mod two_dependent;
+
+pub use bids::{BidRow, BidsTable};
+pub use dependence::{dependence_set, is_one_dependent, Dependence};
+pub use formula::Formula;
+pub use ids::{AdvertiserId, SlotId};
+pub use money::Money;
+pub use outcome::{AdvertiserView, HeavyPattern, Outcome};
+pub use parser::{parse_formula, ParseError};
+pub use predicate::Predicate;

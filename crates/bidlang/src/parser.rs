@@ -1,0 +1,355 @@
+//! A small text parser for bid formulas.
+//!
+//! Grammar (precedence low → high): `or := and ('|' and)*`,
+//! `and := unary ('&' unary)*`, `unary := '!' unary | atom`,
+//! `atom := 'Click' | 'Purchase' | 'SlotN' | 'HeavySlotN' | 'true' | 'false'
+//! | '(' or ')'`.
+//!
+//! Both ASCII (`& | !`) and the paper's mathematical connectives
+//! (`∧ ∨ ¬`) are accepted, as are the spellings `AND`/`OR`/`NOT`
+//! (case-insensitive) used by the SQL-flavoured bidding programs.
+
+use crate::formula::Formula;
+use crate::ids::SlotId;
+use std::fmt;
+
+/// Error produced when a formula string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input at which the error occurred.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+    Click,
+    Purchase,
+    Slot(u16),
+    HeavySlot(u16),
+    True,
+    False,
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize)>, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let rest = self.rest();
+        if rest.is_empty() {
+            return Ok(None);
+        }
+        // Single-char / symbol tokens first.
+        for (sym, tok) in [
+            ("∧", Token::And),
+            ("∨", Token::Or),
+            ("¬", Token::Not),
+            ("⊤", Token::True),
+            ("⊥", Token::False),
+            ("&&", Token::And),
+            ("||", Token::Or),
+            ("&", Token::And),
+            ("|", Token::Or),
+            ("!", Token::Not),
+            ("(", Token::LParen),
+            (")", Token::RParen),
+        ] {
+            if let Some(stripped) = rest.strip_prefix(sym) {
+                self.pos = self.input.len() - stripped.len();
+                return Ok(Some((tok, start)));
+            }
+        }
+        // Identifier tokens.
+        let word_len = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_alphanumeric() || *c == '_')
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        if word_len == 0 {
+            return Err(self.error(format!(
+                "unexpected character {:?}",
+                rest.chars().next().expect("nonempty")
+            )));
+        }
+        let word = &rest[..word_len];
+        self.pos += word_len;
+        let lower = word.to_ascii_lowercase();
+        let tok = match lower.as_str() {
+            "and" => Token::And,
+            "or" => Token::Or,
+            "not" => Token::Not,
+            "click" => Token::Click,
+            "purchase" => Token::Purchase,
+            "true" => Token::True,
+            "false" => Token::False,
+            _ => {
+                if let Some(num) = lower.strip_prefix("heavyslot") {
+                    Token::HeavySlot(parse_slot_number(num, start)?)
+                } else if let Some(num) = lower.strip_prefix("slot") {
+                    Token::Slot(parse_slot_number(num, start)?)
+                } else {
+                    return Err(ParseError {
+                        message: format!("unknown identifier {word:?}"),
+                        position: start,
+                    });
+                }
+            }
+        };
+        Ok(Some((tok, start)))
+    }
+}
+
+fn parse_slot_number(digits: &str, position: usize) -> Result<u16, ParseError> {
+    let n: u16 = digits.parse().map_err(|_| ParseError {
+        message: format!("invalid slot number {digits:?}"),
+        position,
+    })?;
+    if n == 0 {
+        return Err(ParseError {
+            message: "slot numbers are 1-based".to_string(),
+            position,
+        });
+    }
+    Ok(n)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    index: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.index).map(|(t, _)| t)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.index)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.index).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.index += 1;
+        }
+        t
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Token::Or) {
+            self.advance();
+            let rhs = self.parse_and()?;
+            lhs = lhs | rhs;
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek() == Some(&Token::And) {
+            self.advance();
+            let rhs = self.parse_unary()?;
+            lhs = lhs & rhs;
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        if self.peek() == Some(&Token::Not) {
+            self.advance();
+            return Ok(!self.parse_unary()?);
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Formula, ParseError> {
+        let position = self.position();
+        match self.advance() {
+            Some(Token::Click) => Ok(Formula::click()),
+            Some(Token::Purchase) => Ok(Formula::purchase()),
+            Some(Token::Slot(n)) => Ok(Formula::slot(SlotId::new(n))),
+            Some(Token::HeavySlot(n)) => Ok(Formula::heavy_in_slot(SlotId::new(n))),
+            Some(Token::True) => Ok(Formula::True),
+            Some(Token::False) => Ok(Formula::False),
+            Some(Token::LParen) => {
+                let inner = self.parse_or()?;
+                match self.advance() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(ParseError {
+                        message: "expected ')'".to_string(),
+                        position: self.position(),
+                    }),
+                }
+            }
+            other => Err(ParseError {
+                message: format!("expected a predicate, found {other:?}"),
+                position,
+            }),
+        }
+    }
+}
+
+/// Parses a formula from text.
+///
+/// ```
+/// use ssa_bidlang::{parse_formula, Formula, SlotId};
+/// let f = parse_formula("Click & Slot1 | Purchase").unwrap();
+/// assert_eq!(
+///     f,
+///     Formula::click() & Formula::slot(SlotId::new(1)) | Formula::purchase()
+/// );
+/// ```
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let mut lexer = Lexer::new(input);
+    let mut tokens = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        tokens.push(tok);
+    }
+    let mut parser = Parser {
+        tokens,
+        index: 0,
+        input_len: input.len(),
+    };
+    let formula = parser.parse_or()?;
+    if parser.index != parser.tokens.len() {
+        return Err(ParseError {
+            message: "trailing input after formula".to_string(),
+            position: parser.position(),
+        });
+    }
+    Ok(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figures() {
+        // Figure 4 / 6 formulas.
+        assert_eq!(
+            parse_formula("Click ∧ Slot1").unwrap(),
+            Formula::click() & Formula::slot(SlotId::new(1))
+        );
+        assert_eq!(parse_formula("Click").unwrap(), Formula::click());
+        // Figure 3.
+        assert_eq!(
+            parse_formula("Slot1 ∨ Slot2").unwrap(),
+            Formula::slot(SlotId::new(1)) | Formula::slot(SlotId::new(2))
+        );
+        assert_eq!(parse_formula("Purchase").unwrap(), Formula::purchase());
+    }
+
+    #[test]
+    fn ascii_and_word_operators() {
+        let expect = Formula::click() & !Formula::purchase();
+        assert_eq!(parse_formula("Click & !Purchase").unwrap(), expect);
+        assert_eq!(parse_formula("Click AND NOT Purchase").unwrap(), expect);
+        assert_eq!(parse_formula("Click && ¬Purchase").unwrap(), expect);
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        // AND binds tighter than OR.
+        assert_eq!(
+            parse_formula("Purchase | Click & Slot2").unwrap(),
+            Formula::purchase() | (Formula::click() & Formula::slot(SlotId::new(2)))
+        );
+        assert_eq!(
+            parse_formula("(Purchase | Click) & Slot2").unwrap(),
+            (Formula::purchase() | Formula::click()) & Formula::slot(SlotId::new(2))
+        );
+    }
+
+    #[test]
+    fn heavy_slots_and_constants() {
+        assert_eq!(
+            parse_formula("HeavySlot3 & true").unwrap(),
+            Formula::heavy_in_slot(SlotId::new(3)) & Formula::True
+        );
+        assert_eq!(parse_formula("false").unwrap(), Formula::False);
+    }
+
+    #[test]
+    fn case_insensitive_atoms() {
+        assert_eq!(parse_formula("click").unwrap(), Formula::click());
+        assert_eq!(
+            parse_formula("SLOT2").unwrap(),
+            Formula::slot(SlotId::new(2))
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_formula("").is_err());
+        assert!(parse_formula("Click &").is_err());
+        assert!(parse_formula("(Click").is_err());
+        assert!(parse_formula("Slot0").is_err());
+        assert!(parse_formula("Gadget").is_err());
+        assert!(parse_formula("Click Click").is_err());
+        assert!(parse_formula("Slot99999999").is_err());
+        let err = parse_formula("Click @ Purchase").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.position, 6);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for text in [
+            "Click ∧ Slot1",
+            "Purchase ∨ Click ∧ Slot2",
+            "(Purchase ∨ Click) ∧ Slot2",
+            "¬(Click ∨ Purchase)",
+            "Slot1 ∨ Slot2 ∨ Slot3",
+        ] {
+            let f = parse_formula(text).unwrap();
+            let reparsed = parse_formula(&f.to_string()).unwrap();
+            assert_eq!(f, reparsed, "roundtrip failed for {text}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The atomic predicates of the bidding language (Section II-A and III-F).
+
+use crate::ids::SlotId;
+use std::fmt;
+
+/// An atomic predicate an advertiser can bid on.
+///
+/// The first three are the Section II-A predicates; `HeavyInSlot` is the
+/// Section III-F extension that lets advertisers bid on *which slots hold
+/// heavyweight advertisers*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// The bidding advertiser is assigned slot `j` (`Slotj` in the paper).
+    Slot(SlotId),
+    /// The user clicked on the bidding advertiser's ad.
+    Click,
+    /// The user made a purchase via the bidding advertiser's ad.
+    Purchase,
+    /// Slot `j` is occupied by a *heavyweight* advertiser (Section III-F).
+    HeavyInSlot(SlotId),
+}
+
+impl Predicate {
+    /// `true` for predicates whose truth value is fully determined by the
+    /// bidding advertiser's own slot assignment plus its click/purchase
+    /// outcome — i.e. predicates that only yield 1-dependent events
+    /// (Definition 1).
+    #[inline]
+    pub fn is_own_outcome(self) -> bool {
+        !matches!(self, Predicate::HeavyInSlot(_))
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Slot(s) => write!(f, "{s}"),
+            Predicate::Click => write!(f, "Click"),
+            Predicate::Purchase => write!(f, "Purchase"),
+            Predicate::HeavyInSlot(s) => write!(f, "Heavy{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Predicate::Slot(SlotId::new(2)).to_string(), "Slot2");
+        assert_eq!(Predicate::Click.to_string(), "Click");
+        assert_eq!(Predicate::Purchase.to_string(), "Purchase");
+        assert_eq!(
+            Predicate::HeavyInSlot(SlotId::new(1)).to_string(),
+            "HeavySlot1"
+        );
+    }
+
+    #[test]
+    fn own_outcome_classification() {
+        assert!(Predicate::Click.is_own_outcome());
+        assert!(Predicate::Purchase.is_own_outcome());
+        assert!(Predicate::Slot(SlotId::new(1)).is_own_outcome());
+        assert!(!Predicate::HeavyInSlot(SlotId::new(1)).is_own_outcome());
+    }
+}

@@ -1,0 +1,337 @@
+//! The auction engine: program evaluation → winner determination → user
+//! action → pricing, per Section I-B's six-step flow.
+
+use crate::bidder::{Bidder, BidderOutcome, QueryContext};
+use crate::pricing::{gsp_prices, vcg_prices, PricingScheme};
+use crate::prob::{ClickModel, PurchaseModel};
+use crate::revenue::revenue_matrix;
+use rand::Rng;
+use ssa_bidlang::{AdvertiserView, Money, SlotId};
+use ssa_matching::{max_weight_assignment, reduced_assignment, Assignment};
+use ssa_simplex::network_simplex_assignment;
+
+/// Which winner-determination algorithm the engine runs (the four methods
+/// of Section V, minus the program-evaluation reductions which live in the
+/// workload harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WdMethod {
+    /// Method LP: the winner-determination linear program solved with the
+    /// (network) simplex method.
+    Lp,
+    /// Method H: the Hungarian algorithm on the full bipartite graph.
+    Hungarian,
+    /// Method RH: the Section III-E reduced bipartite graph.
+    Reduced,
+    /// Method RH with the Section III-E parallel tree aggregation, using
+    /// the given number of threads.
+    ReducedParallel(usize),
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Winner-determination algorithm.
+    pub method: WdMethod,
+    /// Pricing rule.
+    pub pricing: PricingScheme,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            method: WdMethod::Reduced,
+            pricing: PricingScheme::Gsp,
+        }
+    }
+}
+
+/// Everything that happened in one auction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuctionReport {
+    /// The winning allocation (`slot_to_adv`).
+    pub assignment: Assignment,
+    /// Expected revenue of the allocation (including no-slot base values).
+    pub expected_revenue: f64,
+    /// Realised clicks per slot (parallel to `assignment.slot_to_adv`).
+    pub clicked: Vec<bool>,
+    /// Realised purchases per slot.
+    pub purchased: Vec<bool>,
+    /// Realised charge per advertiser (only winners are charged under GSP /
+    /// VCG).
+    pub charges: Vec<(usize, Money)>,
+    /// Total realised revenue.
+    pub realized_revenue: Money,
+}
+
+/// The auction engine over a population of bidders.
+#[derive(Debug)]
+pub struct AuctionEngine<B: Bidder> {
+    /// The bidding programs.
+    pub bidders: Vec<B>,
+    /// Click probability model.
+    pub clicks: ClickModel,
+    /// Purchase probability model.
+    pub purchases: PurchaseModel,
+    /// Configuration.
+    pub config: EngineConfig,
+    /// Keyword universe size, surfaced to bidders.
+    pub num_keywords: usize,
+    time: u64,
+}
+
+impl<B: Bidder> AuctionEngine<B> {
+    /// Builds an engine; model dimensions must match the bidder count.
+    pub fn new(
+        bidders: Vec<B>,
+        clicks: ClickModel,
+        purchases: PurchaseModel,
+        num_keywords: usize,
+        config: EngineConfig,
+    ) -> Self {
+        assert_eq!(clicks.num_advertisers(), bidders.len());
+        assert_eq!(purchases.num_advertisers(), bidders.len());
+        AuctionEngine {
+            bidders,
+            clicks,
+            purchases,
+            config,
+            num_keywords,
+            time: 0,
+        }
+    }
+
+    /// The auction clock (number of auctions run).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Runs one complete auction for a query on `keyword`.
+    pub fn run_auction<R: Rng>(&mut self, keyword: usize, rng: &mut R) -> AuctionReport {
+        self.time += 1;
+        let ctx = QueryContext {
+            time: self.time,
+            keyword,
+            num_keywords: self.num_keywords,
+        };
+
+        // Step 3: program evaluation.
+        let bids: Vec<_> = self.bidders.iter_mut().map(|b| b.on_query(&ctx)).collect();
+
+        // Step 4: winner determination.
+        let (matrix, base) = revenue_matrix(&bids, &self.clicks, &self.purchases);
+        let assignment = match self.config.method {
+            WdMethod::Lp => network_simplex_assignment(&matrix).0,
+            WdMethod::Hungarian => max_weight_assignment(&matrix),
+            WdMethod::Reduced => reduced_assignment(&matrix).assignment,
+            WdMethod::ReducedParallel(threads) => {
+                ssa_matching::parallel::threaded_reduced_assignment(&matrix, threads).assignment
+            }
+        };
+        let expected_revenue = base.total_base + assignment.total_weight;
+
+        // Step 5: user action — sample clicks and purchases.
+        let k = matrix.num_slots();
+        let mut clicked = vec![false; k];
+        let mut purchased = vec![false; k];
+        for (j, adv) in assignment.slot_to_adv.iter().enumerate() {
+            let Some(adv) = *adv else { continue };
+            let slot = SlotId::from_index0(j);
+            clicked[j] = rng.gen::<f64>() < self.clicks.p_click(adv, slot);
+            purchased[j] = rng.gen::<f64>() < self.purchases.p_purchase(adv, slot, clicked[j]);
+        }
+
+        // Step 6: pricing.
+        let charges = self.compute_charges(&bids, &matrix, &assignment, &clicked, &purchased);
+        let realized_revenue = charges.iter().map(|(_, m)| *m).sum();
+
+        // Notify bidders.
+        let adv_to_slot = assignment.adv_to_slot(self.bidders.len());
+        for (i, bidder) in self.bidders.iter_mut().enumerate() {
+            let slot = adv_to_slot[i].map(SlotId::from_index0);
+            let (c, p) = match adv_to_slot[i] {
+                Some(j) => (clicked[j], purchased[j]),
+                None => (false, false),
+            };
+            let price = charges
+                .iter()
+                .find(|(adv, _)| *adv == i)
+                .map(|(_, m)| *m)
+                .unwrap_or(Money::ZERO);
+            bidder.on_outcome(
+                &ctx,
+                &BidderOutcome {
+                    slot,
+                    clicked: c,
+                    purchased: p,
+                    price,
+                },
+            );
+        }
+
+        AuctionReport {
+            assignment,
+            expected_revenue,
+            clicked,
+            purchased,
+            charges,
+            realized_revenue,
+        }
+    }
+
+    fn compute_charges(
+        &self,
+        bids: &[ssa_bidlang::BidsTable],
+        matrix: &ssa_matching::RevenueMatrix,
+        assignment: &Assignment,
+        clicked: &[bool],
+        purchased: &[bool],
+    ) -> Vec<(usize, Money)> {
+        match self.config.pricing {
+            PricingScheme::PayYourBid => {
+                // Everyone pays their realised OR-bid (unplaced advertisers
+                // can owe money on negated-slot formulas).
+                let adv_to_slot = assignment.adv_to_slot(bids.len());
+                bids.iter()
+                    .enumerate()
+                    .filter_map(|(i, table)| {
+                        let view = match adv_to_slot[i] {
+                            Some(j) => AdvertiserView {
+                                slot: Some(SlotId::from_index0(j)),
+                                clicked: clicked[j],
+                                purchased: purchased[j],
+                                heavy_pattern: None,
+                            },
+                            None => AdvertiserView::unplaced(),
+                        };
+                        let owed = table.payment(&view);
+                        owed.is_positive().then_some((i, owed))
+                    })
+                    .collect()
+            }
+            PricingScheme::Gsp => {
+                let clicks = &self.clicks;
+                let prices = gsp_prices(matrix, assignment, &|adv, slot| {
+                    clicks.p_click(adv, SlotId::from_index0(slot))
+                });
+                prices
+                    .into_iter()
+                    .filter(|p| clicked[p.slot])
+                    .map(|p| (p.winner, Money::from_f64_rounded(p.amount)))
+                    .filter(|(_, m)| m.is_positive())
+                    .collect()
+            }
+            PricingScheme::Vickrey => vcg_prices(matrix, assignment)
+                .into_iter()
+                .map(|p| (p.winner, Money::from_f64_rounded(p.amount)))
+                .filter(|(_, m)| m.is_positive())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bidder::TableBidder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssa_bidlang::{BidsTable, Formula};
+
+    fn basic_engine(method: WdMethod, pricing: PricingScheme) -> AuctionEngine<TableBidder> {
+        let bidders = vec![
+            TableBidder::per_click(Money::from_cents(10)),
+            TableBidder::per_click(Money::from_cents(20)),
+            TableBidder::per_click(Money::from_cents(5)),
+        ];
+        let clicks = ClickModel::from_fn(3, 2, |i, j| 0.8 / ((i + 1) as f64) / ((j + 1) as f64));
+        let purchases = PurchaseModel::never(3, 2);
+        AuctionEngine::new(
+            bidders,
+            clicks,
+            purchases,
+            1,
+            EngineConfig { method, pricing },
+        )
+    }
+
+    #[test]
+    fn all_methods_agree_on_expected_revenue() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut reference = None;
+        for method in [
+            WdMethod::Lp,
+            WdMethod::Hungarian,
+            WdMethod::Reduced,
+            WdMethod::ReducedParallel(2),
+        ] {
+            let mut engine = basic_engine(method, PricingScheme::PayYourBid);
+            let report = engine.run_auction(0, &mut rng);
+            match reference {
+                None => reference = Some(report.expected_revenue),
+                Some(r) => assert!(
+                    (report.expected_revenue - r).abs() < 1e-9,
+                    "{method:?} disagrees: {} vs {r}",
+                    report.expected_revenue
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn realized_gsp_revenue_only_on_clicks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut engine = basic_engine(WdMethod::Reduced, PricingScheme::Gsp);
+        let mut clicked_total = 0usize;
+        let mut charged_total = 0usize;
+        for _ in 0..200 {
+            let report = engine.run_auction(0, &mut rng);
+            clicked_total += report.clicked.iter().filter(|c| **c).count();
+            charged_total += report.charges.len();
+            for (_, m) in &report.charges {
+                assert!(m.is_positive());
+            }
+        }
+        assert!(charged_total <= clicked_total);
+        assert!(charged_total > 0, "some clicks must have been charged");
+    }
+
+    #[test]
+    fn time_advances_and_bidders_notified() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut engine = basic_engine(WdMethod::Hungarian, PricingScheme::Vickrey);
+        assert_eq!(engine.time(), 0);
+        engine.run_auction(0, &mut rng);
+        engine.run_auction(0, &mut rng);
+        assert_eq!(engine.time(), 2);
+    }
+
+    #[test]
+    fn pay_your_bid_charges_unplaced_negated_slot_bids() {
+        // An advertiser bidding on "not displayed" owes money when losing.
+        let brand = TableBidder::new(BidsTable::new(vec![(
+            Formula::no_slot(1),
+            Money::from_cents(3),
+        )]));
+        let strong = TableBidder::per_click(Money::from_cents(50));
+        let clicks = ClickModel::from_fn(2, 1, |_, _| 1.0);
+        let purchases = PurchaseModel::never(2, 1);
+        let mut engine = AuctionEngine::new(
+            vec![brand, strong],
+            clicks,
+            purchases,
+            1,
+            EngineConfig {
+                method: WdMethod::Hungarian,
+                pricing: PricingScheme::PayYourBid,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = engine.run_auction(0, &mut rng);
+        // Advertiser 1 wins the slot (expected 50 > 3); advertiser 0 is
+        // unplaced and owes its 3¢ "not displayed" bid.
+        assert_eq!(report.assignment.slot_to_adv, vec![Some(1)]);
+        assert!(report.charges.contains(&(0, Money::from_cents(3))));
+        assert!(report.charges.contains(&(1, Money::from_cents(50))));
+        assert!((report.expected_revenue - 53.0).abs() < 1e-9);
+    }
+}

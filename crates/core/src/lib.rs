@@ -1,0 +1,38 @@
+//! # ssa-core — the sponsored search auction engine
+//!
+//! This crate assembles the paper's full auction pipeline (Section I-B):
+//!
+//! 1. **Program evaluation** — bidders (anything implementing [`Bidder`])
+//!    are shown the query and emit multi-feature [`BidsTable`]s.
+//! 2. **Winner determination** — the bids plus the outcome-probability
+//!    models are folded into an expected-revenue matrix
+//!    ([`revenue::revenue_matrix`], the Theorem 2 construction), which any
+//!    of the four [`WdMethod`]s solves: LP (network simplex), H (full
+//!    Hungarian), RH (reduced graph), RHTALU (reduced graph over
+//!    threshold-algorithm selection with logically-updated indexes).
+//! 3. **User action** — clicks and purchases are sampled from the same
+//!    probability models.
+//! 4. **Pricing and payment** — generalised second pricing or VCG
+//!    ([`pricing`]).
+//!
+//! The Section III-F heavyweight/lightweight extension lives in
+//! [`heavyweight`].
+//!
+//! [`BidsTable`]: ssa_bidlang::BidsTable
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bidder;
+pub mod engine;
+pub mod heavyweight;
+pub mod pricing;
+pub mod prob;
+pub mod revenue;
+
+pub use bidder::{Bidder, BidderOutcome, QueryContext, TableBidder};
+pub use engine::{AuctionEngine, AuctionReport, EngineConfig, WdMethod};
+pub use heavyweight::{solve_heavyweight, HeavyweightInstance, HeavyweightSolution};
+pub use pricing::{PricingScheme, SlotPrice};
+pub use prob::{ClickModel, PurchaseModel, SeparableClickModel};
+pub use revenue::{expected_revenue, revenue_matrix, NoSlotValues};

@@ -1,0 +1,295 @@
+//! Outcome probability models (Section III-A).
+//!
+//! The paper's first-order approximation: "the probability that a given
+//! advertiser gets a click depends only on the slot allocated to him, and
+//! … the probability that he gets a purchase depends only on whether he got
+//! a click and on the slot allocated to him."
+//!
+//! [`ClickModel`] stores the full `n × k` click-probability matrix — the
+//! general (possibly non-separable, Figure 7) case. [`SeparableClickModel`]
+//! is the restricted product form (Figure 8) used by current auction
+//! platforms; it converts into a `ClickModel` and additionally supports the
+//! sort-based allocation that is only correct under separability.
+
+use ssa_bidlang::SlotId;
+
+/// Per-advertiser, per-slot click probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClickModel {
+    n: usize,
+    k: usize,
+    p: Vec<f64>, // row-major [advertiser * k + slot]
+}
+
+impl ClickModel {
+    /// Builds a model from a function of `(advertiser, slot)` indexes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn from_fn(n: usize, k: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut p = Vec::with_capacity(n * k);
+        for i in 0..n {
+            for j in 0..k {
+                let v = f(i, j);
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "p_click({i},{j}) = {v} out of range"
+                );
+                p.push(v);
+            }
+        }
+        ClickModel { n, k, p }
+    }
+
+    /// Builds a model from explicit rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        let k = rows.first().map(|r| r.len()).unwrap_or(0);
+        ClickModel::from_fn(n, k, |i, j| rows[i][j])
+    }
+
+    /// Number of advertisers.
+    pub fn num_advertisers(&self) -> usize {
+        self.n
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.k
+    }
+
+    /// P(click | advertiser `i` in slot `j`). An unplaced ad is never
+    /// clicked.
+    #[inline]
+    pub fn p_click(&self, adv: usize, slot: SlotId) -> f64 {
+        self.p[adv * self.k + slot.index0()]
+    }
+
+    /// Raw row access for hot loops.
+    #[inline]
+    pub fn row(&self, adv: usize) -> &[f64] {
+        &self.p[adv * self.k..(adv + 1) * self.k]
+    }
+
+    /// Checks the separability condition: the matrix factors into
+    /// advertiser-specific × slot-specific terms (within `tol`).
+    ///
+    /// Separability ⇔ every 2×2 minor has equal cross ratios:
+    /// `p[i][j] · p[i'][j'] = p[i][j'] · p[i'][j]`.
+    pub fn is_separable(&self, tol: f64) -> bool {
+        if self.n < 2 || self.k < 2 {
+            return true;
+        }
+        // Compare every row against row 0 (sufficient by transitivity).
+        for i in 1..self.n {
+            for j in 1..self.k {
+                let lhs = self.p[0] * self.p[i * self.k + j];
+                let rhs = self.p[j] * self.p[i * self.k];
+                if (lhs - rhs).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The paper's Figure 7 non-separable example (Nike/Adidas × 2 slots).
+    pub fn figure7() -> Self {
+        ClickModel::from_rows(&[vec![0.7, 0.4], vec![0.6, 0.3]])
+    }
+
+    /// The paper's Figure 8 separable example.
+    pub fn figure8() -> Self {
+        ClickModel::from_rows(&[vec![0.8, 0.4], vec![0.6, 0.3]])
+    }
+}
+
+/// A separable click model: `p(i, j) = advertiser_factor[i] ·
+/// slot_factor[j]` (Section III-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeparableClickModel {
+    /// Advertiser-specific factors.
+    pub advertiser_factors: Vec<f64>,
+    /// Slot-specific factors.
+    pub slot_factors: Vec<f64>,
+}
+
+impl SeparableClickModel {
+    /// Creates a model, checking that every product is a probability.
+    pub fn new(advertiser_factors: Vec<f64>, slot_factors: Vec<f64>) -> Self {
+        for (i, a) in advertiser_factors.iter().enumerate() {
+            for (j, s) in slot_factors.iter().enumerate() {
+                let p = a * s;
+                assert!((0.0..=1.0).contains(&p), "p({i},{j}) = {p} out of range");
+            }
+        }
+        SeparableClickModel {
+            advertiser_factors,
+            slot_factors,
+        }
+    }
+
+    /// Expands into the general matrix form.
+    pub fn to_click_model(&self) -> ClickModel {
+        ClickModel::from_fn(
+            self.advertiser_factors.len(),
+            self.slot_factors.len(),
+            |i, j| self.advertiser_factors[i] * self.slot_factors[j],
+        )
+    }
+
+    /// The `O(n log k)` sort-based allocation that is correct **only under
+    /// separability** (Section III-C): the advertiser with the j-th highest
+    /// `advertiser_factor × per_click_value` gets the slot with the j-th
+    /// highest slot factor.
+    ///
+    /// Returns `slot_to_adv` ordered by descending slot factor rank.
+    pub fn sort_allocation(&self, per_click_value: &[f64]) -> Vec<Option<usize>> {
+        assert_eq!(per_click_value.len(), self.advertiser_factors.len());
+        let k = self.slot_factors.len();
+        let mut advertisers: Vec<usize> = (0..self.advertiser_factors.len()).collect();
+        advertisers.sort_by(|&a, &b| {
+            let va = self.advertiser_factors[a] * per_click_value[a];
+            let vb = self.advertiser_factors[b] * per_click_value[b];
+            vb.total_cmp(&va).then(a.cmp(&b))
+        });
+        let mut slots: Vec<usize> = (0..k).collect();
+        slots.sort_by(|&a, &b| self.slot_factors[b].total_cmp(&self.slot_factors[a]));
+        let mut slot_to_adv = vec![None; k];
+        for (rank, &slot) in slots.iter().enumerate() {
+            if let Some(&adv) = advertisers.get(rank) {
+                if self.advertiser_factors[adv] * per_click_value[adv] > 0.0 {
+                    slot_to_adv[slot] = Some(adv);
+                }
+            }
+        }
+        slot_to_adv
+    }
+}
+
+/// P(purchase | click?, slot) per advertiser (Section III-A: purchase
+/// probability depends on whether the ad was clicked and on the slot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PurchaseModel {
+    n: usize,
+    k: usize,
+    given_click: Vec<f64>,    // [advertiser * k + slot]
+    given_no_click: Vec<f64>, // [advertiser * k + slot]
+}
+
+impl PurchaseModel {
+    /// A model where purchases never happen (the pure click-auction
+    /// setting).
+    pub fn never(n: usize, k: usize) -> Self {
+        PurchaseModel {
+            n,
+            k,
+            given_click: vec![0.0; n * k],
+            given_no_click: vec![0.0; n * k],
+        }
+    }
+
+    /// Builds a model from `(advertiser, slot) → (p | click, p | no click)`.
+    pub fn from_fn(n: usize, k: usize, mut f: impl FnMut(usize, usize) -> (f64, f64)) -> Self {
+        let mut given_click = Vec::with_capacity(n * k);
+        let mut given_no_click = Vec::with_capacity(n * k);
+        for i in 0..n {
+            for j in 0..k {
+                let (pc, pn) = f(i, j);
+                assert!((0.0..=1.0).contains(&pc), "p_purchase|click out of range");
+                assert!((0.0..=1.0).contains(&pn), "p_purchase|¬click out of range");
+                given_click.push(pc);
+                given_no_click.push(pn);
+            }
+        }
+        PurchaseModel {
+            n,
+            k,
+            given_click,
+            given_no_click,
+        }
+    }
+
+    /// P(purchase | advertiser `i` in slot `j`, clicked?).
+    #[inline]
+    pub fn p_purchase(&self, adv: usize, slot: SlotId, clicked: bool) -> f64 {
+        let idx = adv * self.k + slot.index0();
+        if clicked {
+            self.given_click[idx]
+        } else {
+            self.given_no_click[idx]
+        }
+    }
+
+    /// Number of advertisers.
+    pub fn num_advertisers(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_is_not_separable_figure8_is() {
+        assert!(!ClickModel::figure7().is_separable(1e-9));
+        assert!(ClickModel::figure8().is_separable(1e-9));
+    }
+
+    #[test]
+    fn separable_expansion_matches_figure8() {
+        // Figure 8 factors: advertisers 4 and 3, slots 0.2 and 0.1.
+        let s = SeparableClickModel::new(vec![4.0, 3.0], vec![0.2, 0.1]);
+        let expanded = s.to_click_model();
+        let reference = ClickModel::figure8();
+        for i in 0..2 {
+            for j in 1..=2u16 {
+                let slot = SlotId::new(j);
+                assert!((expanded.p_click(i, slot) - reference.p_click(i, slot)).abs() < 1e-12);
+            }
+        }
+        assert!(expanded.is_separable(1e-12));
+    }
+
+    #[test]
+    fn sort_allocation_orders_by_factors() {
+        let s = SeparableClickModel::new(vec![4.0, 3.0, 2.0], vec![0.1, 0.2]);
+        // Slot 2 (index 1) has the higher factor → best advertiser there.
+        let alloc = s.sort_allocation(&[1.0, 1.0, 1.0]);
+        assert_eq!(alloc, vec![Some(1), Some(0)]);
+        // Values can reorder advertisers.
+        let alloc = s.sort_allocation(&[1.0, 10.0, 1.0]);
+        assert_eq!(alloc, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn sort_allocation_skips_zero_value() {
+        let s = SeparableClickModel::new(vec![1.0, 1.0], vec![0.5, 0.4]);
+        let alloc = s.sort_allocation(&[0.0, 0.0]);
+        assert_eq!(alloc, vec![None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn click_probabilities_validated() {
+        let _ = ClickModel::from_rows(&[vec![1.5]]);
+    }
+
+    #[test]
+    fn purchase_model_lookup() {
+        let m = PurchaseModel::from_fn(1, 2, |_, j| (0.2 / (j + 1) as f64, 0.01));
+        assert_eq!(m.p_purchase(0, SlotId::new(1), true), 0.2);
+        assert_eq!(m.p_purchase(0, SlotId::new(2), true), 0.1);
+        assert_eq!(m.p_purchase(0, SlotId::new(1), false), 0.01);
+        let never = PurchaseModel::never(1, 2);
+        assert_eq!(never.p_purchase(0, SlotId::new(1), true), 0.0);
+    }
+
+    #[test]
+    fn degenerate_models_are_separable() {
+        assert!(ClickModel::from_rows(&[vec![0.5, 0.2]]).is_separable(1e-12));
+        assert!(ClickModel::from_rows(&[vec![0.5], vec![0.1]]).is_separable(1e-12));
+    }
+}

@@ -1,0 +1,228 @@
+//! Expected revenue: from multi-feature bids to a matching problem.
+//!
+//! This is the constructive half of Theorem 2. Every Boolean combination of
+//! an advertiser's own `Slotj` / `Click` / `Purchase` predicates is a
+//! 1-dependent event, so conditional on "advertiser `i` gets slot `j`" its
+//! probability is fully determined by the click and purchase models: the
+//! slot predicates become constants and only the four (click, purchase)
+//! worlds remain. Summing value × probability over the rows of the Bids
+//! table gives the edge weight `E[revenue | i in slot j]`.
+//!
+//! One subtlety the paper's proof handles with the `E ∧ (∧j ¬Slotj)` bids:
+//! a formula may also pay when the advertiser is *not* shown (e.g. a brand
+//! bid on `Slot1 ∨ ¬(Slot1 ∨ … ∨ Slotk)` — "top or nothing"). We therefore
+//! normalise: the matching works on **adjusted weights**
+//! `w(i,j) = E[rev | i in slot j] − v₀(i)` where `v₀(i)` is the revenue
+//! from leaving `i` unplaced, and the total expected revenue of an
+//! allocation is `Σᵢ v₀(i) + Σ_matched w(i,j)`. Negative adjusted weights
+//! simply mean "better left unplaced", which the matching solvers honour by
+//! leaving slots empty.
+
+use crate::prob::{ClickModel, PurchaseModel};
+use ssa_bidlang::{AdvertiserView, BidsTable, SlotId};
+use ssa_matching::RevenueMatrix;
+
+/// Expected revenue from assigning `slot` to advertiser `adv` under the
+/// click/purchase models, assuming the advertiser pays what it bids.
+pub fn expected_revenue(
+    bids: &BidsTable,
+    adv: usize,
+    slot: SlotId,
+    clicks: &ClickModel,
+    purchases: &PurchaseModel,
+) -> f64 {
+    let p_click = clicks.p_click(adv, slot);
+    let mut total = 0.0;
+    for clicked in [false, true] {
+        let p_c = if clicked { p_click } else { 1.0 - p_click };
+        if p_c == 0.0 {
+            continue;
+        }
+        let p_purchase = purchases.p_purchase(adv, slot, clicked);
+        for purchased in [false, true] {
+            let p = p_c
+                * if purchased {
+                    p_purchase
+                } else {
+                    1.0 - p_purchase
+                };
+            if p == 0.0 {
+                continue;
+            }
+            let view = AdvertiserView {
+                slot: Some(slot),
+                clicked,
+                purchased,
+                heavy_pattern: None,
+            };
+            total += p * bids.payment(&view).as_f64();
+        }
+    }
+    total
+}
+
+/// Revenue collected from an advertiser that is not displayed (its ad gets
+/// no clicks and no purchases, but negated-slot formulas may still pay).
+pub fn no_slot_revenue(bids: &BidsTable) -> f64 {
+    bids.payment(&AdvertiserView::unplaced()).as_f64()
+}
+
+/// The per-advertiser unplaced revenues plus their sum; the constant part of
+/// the winner-determination objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoSlotValues {
+    /// `base[i]` = revenue if advertiser `i` is left unplaced.
+    pub base: Vec<f64>,
+    /// Sum of `base`.
+    pub total_base: f64,
+}
+
+/// Builds the adjusted expected-revenue matrix for winner determination,
+/// together with the no-slot normalisation values.
+///
+/// Total expected revenue of an assignment =
+/// `no_slot.total_base + assignment.total_weight`.
+pub fn revenue_matrix(
+    bids: &[BidsTable],
+    clicks: &ClickModel,
+    purchases: &PurchaseModel,
+) -> (RevenueMatrix, NoSlotValues) {
+    let n = bids.len();
+    let k = clicks.num_slots();
+    assert_eq!(clicks.num_advertisers(), n, "click model size mismatch");
+    assert_eq!(
+        purchases.num_advertisers(),
+        n,
+        "purchase model size mismatch"
+    );
+    let base: Vec<f64> = bids.iter().map(no_slot_revenue).collect();
+    let matrix = RevenueMatrix::from_fn(n, k, |i, j| {
+        expected_revenue(&bids[i], i, SlotId::from_index0(j), clicks, purchases) - base[i]
+    });
+    let total_base = base.iter().sum();
+    (matrix, NoSlotValues { base, total_base })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_bidlang::{Formula, Money};
+    use ssa_matching::max_weight_assignment;
+
+    fn uniform_models(n: usize, k: usize, p: f64) -> (ClickModel, PurchaseModel) {
+        (
+            ClickModel::from_fn(n, k, |_, _| p),
+            PurchaseModel::never(n, k),
+        )
+    }
+
+    #[test]
+    fn single_feature_expected_revenue_is_p_times_bid() {
+        let bids = BidsTable::single_feature(Money::from_cents(10));
+        let clicks = ClickModel::from_rows(&[vec![0.3, 0.1]]);
+        let purchases = PurchaseModel::never(1, 2);
+        assert!(
+            (expected_revenue(&bids, 0, SlotId::new(1), &clicks, &purchases) - 3.0).abs() < 1e-12
+        );
+        assert!(
+            (expected_revenue(&bids, 0, SlotId::new(2), &clicks, &purchases) - 1.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn figure3_bids_with_purchases() {
+        // Pay 5 on Purchase, 2 on Slot1∨Slot2 (slot events are certain given
+        // the assignment).
+        let bids = BidsTable::figure3();
+        let clicks = ClickModel::from_rows(&[vec![0.5, 0.5, 0.5]]);
+        let purchases = PurchaseModel::from_fn(1, 3, |_, _| (0.4, 0.0));
+        // Slot 1: P(purchase) = 0.5·0.4 = 0.2 → 5·0.2 + 2 = 3.
+        let r1 = expected_revenue(&bids, 0, SlotId::new(1), &clicks, &purchases);
+        assert!((r1 - 3.0).abs() < 1e-12, "r1 = {r1}");
+        // Slot 3: no slot bonus → 5·0.2 = 1.
+        let r3 = expected_revenue(&bids, 0, SlotId::new(3), &clicks, &purchases);
+        assert!((r3 - 1.0).abs() < 1e-12, "r3 = {r3}");
+    }
+
+    #[test]
+    fn exhaustive_world_enumeration_agrees() {
+        // Cross-check expected_revenue against a literal enumeration of the
+        // four (click, purchase) worlds for an arbitrary formula.
+        let bids = BidsTable::new(vec![
+            (
+                Formula::click() & !Formula::purchase() & Formula::slot(SlotId::new(2)),
+                Money::from_cents(7),
+            ),
+            (Formula::purchase(), Money::from_cents(3)),
+        ]);
+        let clicks = ClickModel::from_rows(&[vec![0.25, 0.6]]);
+        let purchases = PurchaseModel::from_fn(1, 2, |_, j| (0.5 / (j + 1) as f64, 0.125));
+        for j in 1..=2u16 {
+            let slot = SlotId::new(j);
+            let pc = clicks.p_click(0, slot);
+            let mut manual = 0.0;
+            for clicked in [false, true] {
+                for purchased in [false, true] {
+                    let pp = purchases.p_purchase(0, slot, clicked);
+                    let p = (if clicked { pc } else { 1.0 - pc })
+                        * (if purchased { pp } else { 1.0 - pp });
+                    let view = AdvertiserView {
+                        slot: Some(slot),
+                        clicked,
+                        purchased,
+                        heavy_pattern: None,
+                    };
+                    manual += p * bids.payment(&view).as_f64();
+                }
+            }
+            let fast = expected_revenue(&bids, 0, slot, &clicks, &purchases);
+            assert!((fast - manual).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_or_nothing_bid_yields_negative_adjusted_weights() {
+        // "topmost slot or not displayed at all": leaving the advertiser out
+        // pays 4; slot 2 pays 0 → adjusted weight for slot 2 is −4.
+        let k = 2;
+        let bids = vec![BidsTable::new(vec![(
+            Formula::slot(SlotId::new(1)) | Formula::no_slot(k),
+            Money::from_cents(4),
+        )])];
+        let (clicks, purchases) = uniform_models(1, k as usize, 0.5);
+        let (matrix, base) = revenue_matrix(&bids, &clicks, &purchases);
+        assert_eq!(base.base, vec![4.0]);
+        assert_eq!(matrix.get(0, 0), 0.0); // 4 (slot1) − 4 (base)
+        assert_eq!(matrix.get(0, 1), -4.0); // 0 − 4
+                                            // The matching must therefore leave this advertiser unplaced rather
+                                            // than give it slot 2.
+        let a = max_weight_assignment(&matrix);
+        assert_eq!(a.slot_to_adv, vec![Some(0), None]);
+        // …and total revenue = base + weight = 4 + 0.
+        assert!((base.total_base + a.total_weight - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_dimensions_and_values() {
+        let bids = vec![
+            BidsTable::single_feature(Money::from_cents(10)),
+            BidsTable::single_feature(Money::from_cents(20)),
+        ];
+        let clicks = ClickModel::from_rows(&[vec![0.8, 0.4], vec![0.6, 0.3]]);
+        let purchases = PurchaseModel::never(2, 2);
+        let (matrix, base) = revenue_matrix(&bids, &clicks, &purchases);
+        assert_eq!(matrix.num_advertisers(), 2);
+        assert_eq!(matrix.num_slots(), 2);
+        assert_eq!(base.total_base, 0.0);
+        assert!((matrix.get(0, 0) - 8.0).abs() < 1e-12);
+        assert!((matrix.get(1, 1) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn model_size_checked() {
+        let bids = vec![BidsTable::empty()];
+        let (clicks, purchases) = uniform_models(2, 2, 0.5);
+        let _ = revenue_matrix(&bids, &clicks, &purchases);
+    }
+}

@@ -1,0 +1,104 @@
+//! Brute-force reference solvers, used to validate the fast algorithms.
+//!
+//! Section III-F notes that without structural assumptions "winners can be
+//! determined by a brute force algorithm that considers each of the possible
+//! `(n choose k) k!` assignments" — this module is that algorithm, kept
+//! deliberately simple and obviously correct.
+
+use crate::matrix::{Assignment, RevenueMatrix, EXCLUDED};
+
+/// Exhaustively searches all partial injective assignments of slots to
+/// advertisers and returns one with maximum total weight.
+///
+/// # Panics
+///
+/// Panics if the instance is too large to enumerate (`n > 10` or `k > 6`):
+/// this is a test oracle, not a production solver.
+pub fn brute_force_assignment(matrix: &RevenueMatrix) -> Assignment {
+    let n = matrix.num_advertisers();
+    let k = matrix.num_slots();
+    assert!(n <= 10 && k <= 6, "brute force limited to tiny instances");
+
+    let mut best = Assignment::empty(k);
+    let mut current: Vec<Option<usize>> = vec![None; k];
+    let mut used = vec![false; n];
+
+    fn recurse(
+        matrix: &RevenueMatrix,
+        slot: usize,
+        weight: f64,
+        current: &mut Vec<Option<usize>>,
+        used: &mut Vec<bool>,
+        best: &mut Assignment,
+    ) {
+        let k = matrix.num_slots();
+        if slot == k {
+            if weight > best.total_weight {
+                *best = Assignment {
+                    slot_to_adv: current.clone(),
+                    total_weight: weight,
+                };
+            }
+            return;
+        }
+        // Option 1: leave the slot empty.
+        current[slot] = None;
+        recurse(matrix, slot + 1, weight, current, used, best);
+        // Option 2: try each unused advertiser with a usable edge.
+        for adv in 0..matrix.num_advertisers() {
+            if used[adv] {
+                continue;
+            }
+            let w = matrix.get(adv, slot);
+            if w == EXCLUDED {
+                continue;
+            }
+            used[adv] = true;
+            current[slot] = Some(adv);
+            recurse(matrix, slot + 1, weight + w, current, used, best);
+            current[slot] = None;
+            used[adv] = false;
+        }
+    }
+
+    recurse(matrix, 0, 0.0, &mut current, &mut used, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        let m = RevenueMatrix::from_rows(&[vec![5.0]]);
+        let a = brute_force_assignment(&m);
+        assert_eq!(a.slot_to_adv, vec![Some(0)]);
+        assert_eq!(a.total_weight, 5.0);
+
+        let empty = RevenueMatrix::zeros(0, 2);
+        let a = brute_force_assignment(&empty);
+        assert_eq!(a.total_weight, 0.0);
+    }
+
+    #[test]
+    fn prefers_empty_over_negative() {
+        let m = RevenueMatrix::from_rows(&[vec![-1.0]]);
+        let a = brute_force_assignment(&m);
+        assert_eq!(a.slot_to_adv, vec![None]);
+    }
+
+    #[test]
+    fn respects_exclusions() {
+        let m = RevenueMatrix::from_rows(&[vec![EXCLUDED, 2.0]]);
+        let a = brute_force_assignment(&m);
+        assert_eq!(a.slot_to_adv, vec![None, Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tiny")]
+    fn large_instances_rejected() {
+        let m = RevenueMatrix::zeros(11, 2);
+        let _ = brute_force_assignment(&m);
+    }
+}

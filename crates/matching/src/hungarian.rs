@@ -1,0 +1,242 @@
+//! Maximum-weight bipartite matching via shortest augmenting paths.
+//!
+//! This is the paper's method **H**: the Hungarian (Kuhn–Munkres) algorithm
+//! run "in a straightforward way ... in the bipartite graph with advertisers
+//! on the left and slots on the right" (Section V). We use the
+//! Jonker–Volgenant formulation with dual potentials: one augmenting phase
+//! per slot, each phase a Dijkstra-like scan over all advertiser columns.
+//!
+//! * Rows are the `k` slots, columns are the `n` advertisers plus `k`
+//!   zero-weight *dummy* columns. Matching a slot to a dummy leaves it
+//!   empty, which makes partial matchings (negative or [`EXCLUDED`] weights)
+//!   come out naturally: a slot is filled only when doing so cannot lower
+//!   the total weight.
+//! * Complexity `O(k² (n + k))` — the full `n × k` matrix is scanned a
+//!   constant number of times per slot, which is exactly what the
+//!   reduced-graph method of Section III-E avoids.
+
+use crate::matrix::{Assignment, RevenueMatrix, EXCLUDED};
+
+/// Computes a maximum-weight (partial) assignment of slots to advertisers.
+///
+/// Every slot is matched to at most one advertiser and vice versa; slots are
+/// left empty when every available advertiser has [`EXCLUDED`] or negative
+/// weight there. Ties are resolved deterministically (lowest column index).
+///
+/// ```
+/// use ssa_matching::{max_weight_assignment, RevenueMatrix};
+/// // The paper's Figure 9 matrix (Nike, Adidas, Reebok, Sketchers × 2 slots).
+/// let m = RevenueMatrix::from_rows(&[
+///     vec![9.0, 5.0],
+///     vec![8.0, 7.0],
+///     vec![7.0, 6.0],
+///     vec![7.0, 4.0],
+/// ]);
+/// let a = max_weight_assignment(&m);
+/// assert_eq!(a.total_weight, 16.0); // Nike → slot 1, Adidas → slot 2
+/// assert_eq!(a.slot_to_adv, vec![Some(0), Some(1)]);
+/// ```
+pub fn max_weight_assignment(matrix: &RevenueMatrix) -> Assignment {
+    let n = matrix.num_advertisers();
+    let k = matrix.num_slots();
+    let cols = n + k; // advertisers + one dummy per slot
+
+    // Minimisation formulation: cost = -weight, dummies cost 0, excluded ∞.
+    let cost = |slot: usize, col: usize| -> f64 {
+        if col < n {
+            let w = matrix.get(col, slot);
+            if w == EXCLUDED {
+                f64::INFINITY
+            } else {
+                -w
+            }
+        } else {
+            0.0
+        }
+    };
+
+    // Jonker–Volgenant with 1-based sentinel index 0 (e-maxx formulation).
+    let mut u = vec![0.0f64; k + 1]; // slot potentials
+    let mut v = vec![0.0f64; cols + 1]; // column potentials
+    let mut matched_row = vec![0usize; cols + 1]; // column -> slot (1-based, 0 = free)
+    let mut way = vec![0usize; cols + 1];
+    let mut minv = vec![0.0f64; cols + 1];
+    let mut used = vec![false; cols + 1];
+
+    for slot in 1..=k {
+        matched_row[0] = slot;
+        let mut j0 = 0usize;
+        minv.iter_mut().for_each(|m| *m = f64::INFINITY);
+        used.iter_mut().for_each(|u| *u = false);
+        loop {
+            used[j0] = true;
+            let i0 = matched_row[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=cols {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            debug_assert!(
+                delta.is_finite(),
+                "augmenting phase stuck: dummy columns guarantee feasibility"
+            );
+            for j in 0..=cols {
+                if used[j] {
+                    u[matched_row[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta; // ∞ stays ∞
+                }
+            }
+            j0 = j1;
+            if matched_row[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the alternating path.
+        loop {
+            let j1 = way[j0];
+            matched_row[j0] = matched_row[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut slot_to_adv = vec![None; k];
+    let mut total_weight = 0.0;
+    #[allow(clippy::needless_range_loop)] // indexes two parallel arrays
+    for col in 1..=n {
+        let row = matched_row[col];
+        if row != 0 {
+            let adv = col - 1;
+            let slot = row - 1;
+            slot_to_adv[slot] = Some(adv);
+            total_weight += matrix.get(adv, slot);
+        }
+    }
+    Assignment {
+        slot_to_adv,
+        total_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::brute_force_assignment;
+
+    #[test]
+    fn figure9_example() {
+        let m = RevenueMatrix::from_rows(&[
+            vec![9.0, 5.0], // Nike
+            vec![8.0, 7.0], // Adidas
+            vec![7.0, 6.0], // Reebok
+            vec![7.0, 4.0], // Sketchers
+        ]);
+        let a = max_weight_assignment(&m);
+        assert_eq!(a.slot_to_adv, vec![Some(0), Some(1)]);
+        assert_eq!(a.total_weight, 16.0);
+        assert!(a.is_valid(4));
+    }
+
+    #[test]
+    fn more_slots_than_advertisers() {
+        let m = RevenueMatrix::from_rows(&[vec![3.0, 1.0, 2.0]]);
+        let a = max_weight_assignment(&m);
+        assert_eq!(a.slot_to_adv, vec![Some(0), None, None]);
+        assert_eq!(a.total_weight, 3.0);
+    }
+
+    #[test]
+    fn excluded_edges_respected() {
+        let m = RevenueMatrix::from_rows(&[vec![EXCLUDED, 5.0], vec![8.0, EXCLUDED]]);
+        let a = max_weight_assignment(&m);
+        assert_eq!(a.slot_to_adv, vec![Some(1), Some(0)]);
+        assert_eq!(a.total_weight, 13.0);
+    }
+
+    #[test]
+    fn fully_excluded_slot_left_empty() {
+        let m = RevenueMatrix::from_rows(&[vec![EXCLUDED, 5.0], vec![EXCLUDED, 4.0]]);
+        let a = max_weight_assignment(&m);
+        assert_eq!(a.slot_to_adv[0], None);
+        assert_eq!(a.slot_to_adv[1], Some(0));
+    }
+
+    #[test]
+    fn negative_weights_prefer_empty_slot() {
+        let m = RevenueMatrix::from_rows(&[vec![-2.0], vec![-5.0]]);
+        let a = max_weight_assignment(&m);
+        assert_eq!(a.slot_to_adv, vec![None]);
+        assert_eq!(a.total_weight, 0.0);
+    }
+
+    #[test]
+    fn mixed_signs_take_only_profitable() {
+        let m = RevenueMatrix::from_rows(&[vec![4.0, -1.0], vec![-3.0, -2.0]]);
+        let a = max_weight_assignment(&m);
+        assert_eq!(a.slot_to_adv, vec![Some(0), None]);
+        assert_eq!(a.total_weight, 4.0);
+    }
+
+    #[test]
+    fn empty_market() {
+        let m = RevenueMatrix::zeros(0, 3);
+        let a = max_weight_assignment(&m);
+        assert_eq!(a.slot_to_adv, vec![None, None, None]);
+        assert_eq!(a.total_weight, 0.0);
+    }
+
+    #[test]
+    fn separable_matrix_sorts_by_factors() {
+        // Figure 8: separable probabilities ⇒ the j-th best advertiser gets
+        // the j-th best slot. Values: advertiser factors 4, 3; slot factors
+        // 0.2, 0.1; identical per-click value 10.
+        let m = RevenueMatrix::from_fn(2, 2, |i, j| {
+            let adv = [4.0, 3.0][i];
+            let slot = [0.2, 0.1][j];
+            adv * slot * 10.0
+        });
+        let a = max_weight_assignment(&m);
+        assert_eq!(a.slot_to_adv, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_small_grids() {
+        // Deterministic pseudo-random matrices.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0
+        };
+        for n in 1..=6 {
+            for k in 1..=4 {
+                let m = RevenueMatrix::from_fn(n, k, |_, _| next());
+                let fast = max_weight_assignment(&m);
+                let slow = brute_force_assignment(&m);
+                assert!(
+                    (fast.total_weight - slow.total_weight).abs() < 1e-9,
+                    "n={n} k={k}: hungarian {} vs brute {}",
+                    fast.total_weight,
+                    slow.total_weight
+                );
+                assert!((fast.weight_in(&m) - fast.total_weight).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # ssa-matching — winner-determination algorithms
+//!
+//! Implements Section III (and the top-k machinery of Section IV-A) of
+//! *Toward Expressive and Scalable Sponsored Search Auctions*:
+//!
+//! * [`hungarian`] — maximum-weight bipartite matching between advertisers
+//!   and slots via shortest augmenting paths with dual potentials
+//!   (Kuhn–Munkres / Jonker–Volgenant style). This is the paper's method
+//!   **H**: it touches the full `n × k` revenue matrix.
+//! * [`reduced`] — the paper's method **RH** (Section III-E): for each slot,
+//!   keep only the advertisers with the top-k expected revenues (bounded
+//!   min-heaps, `O(n k log k)`), then run the Hungarian algorithm on the
+//!   reduced graph of at most `k²` advertisers (`O(k⁵)`).
+//! * [`parallel`] — the binary-tree aggregation networks of Section III-E:
+//!   a simulated tree network (verifies the `O(k log n)` combining depth)
+//!   and a real multi-threaded implementation.
+//! * [`threshold`] — the Fagin–Lotem–Naor threshold algorithm used in
+//!   Section IV-A to find the top-k bidders per slot without scanning all
+//!   advertisers, over incrementally-maintained sorted parameter indexes.
+//! * [`exhaustive`] — brute-force reference solvers used to validate
+//!   optimality in tests.
+//!
+//! Weights are `f64` expected revenues. The sentinel [`EXCLUDED`]
+//! (`f64::NEG_INFINITY`) marks advertiser–slot pairs that must not be
+//! matched; all other weights must be finite. Matchings are *partial*: a slot
+//! may stay empty when every remaining advertiser is excluded or when
+//! leaving it empty is optimal (all-negative columns).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exhaustive;
+pub mod hungarian;
+pub mod matrix;
+pub mod ordered;
+pub mod parallel;
+pub mod reduced;
+pub mod threshold;
+pub mod topk;
+
+pub use hungarian::max_weight_assignment;
+pub use matrix::{Assignment, RevenueMatrix, EXCLUDED};
+pub use ordered::OrderedF64;
+pub use reduced::{reduced_assignment, reduced_candidates, ReducedSolution};
+pub use threshold::{threshold_top_k, MaintainedIndex, TaInstrumentation, TaSource};
+pub use topk::{top_k_indices, TopK};

@@ -1,0 +1,86 @@
+//! A totally-ordered, finite `f64` wrapper for use as heap and B-tree keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A finite `f64` with a total order (`Ord`), usable as a key in
+/// `BinaryHeap` and `BTreeMap`.
+///
+/// # Panics
+///
+/// [`OrderedF64::new`] panics on NaN; infinities are allowed so that the
+/// [`crate::EXCLUDED`] sentinel can flow through heaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a non-NaN float.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "NaN is not an ordered value");
+        OrderedF64(v)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    fn from(v: OrderedF64) -> f64 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        let a = OrderedF64::new(1.0);
+        let b = OrderedF64::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b).get(), 2.0);
+        assert!(OrderedF64::new(f64::NEG_INFINITY) < a);
+        assert!(OrderedF64::new(f64::INFINITY) > b);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = OrderedF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn works_as_btree_key() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<OrderedF64> = [3.0, 1.0, 2.0].into_iter().map(OrderedF64::new).collect();
+        let sorted: Vec<f64> = set.into_iter().map(OrderedF64::get).collect();
+        assert_eq!(sorted, vec![1.0, 2.0, 3.0]);
+    }
+}

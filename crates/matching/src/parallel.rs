@@ -1,0 +1,253 @@
+//! Parallel top-k aggregation (Section III-E).
+//!
+//! The paper proposes `k` binary-tree networks of height `O(log n)`: leaf
+//! `i` of tree `j` holds the expected revenue of advertiser `i` in slot `j`,
+//! internal nodes merge the top-k lists of their children in `O(k)`, and the
+//! roots feed the union into the Hungarian algorithm. Total parallel time
+//! `O(k log n + k⁵)`.
+//!
+//! Two implementations are provided:
+//!
+//! * [`tree_top_k`] — a sequential *simulation* of the tree networks that
+//!   also reports the tree depth and number of combine steps, so tests can
+//!   check the `O(log n)` claim;
+//! * [`threaded_top_k`] / [`threaded_reduced_assignment`] — a real
+//!   multi-threaded version ("we can mix sequential processing with parallel
+//!   processing by running more than one program sequentially on each
+//!   machine, computing the top k bids, and then aggregating").
+
+use crate::hungarian::max_weight_assignment;
+use crate::matrix::{Assignment, RevenueMatrix};
+use crate::reduced::ReducedSolution;
+use crate::topk::TopK;
+
+/// Statistics from a simulated tree-network aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Height of the binary tree (number of merge levels).
+    pub depth: usize,
+    /// Total number of pairwise combine operations across all levels of one
+    /// tree (the work one tree performs; each level runs in parallel).
+    pub combine_steps: usize,
+}
+
+/// Merges two descending top-k lists into one, keeping the k best.
+fn merge_top_k(a: &[(usize, f64)], b: &[(usize, f64)], k: usize) -> Vec<(usize, f64)> {
+    let mut out = Vec::with_capacity(k.min(a.len() + b.len()));
+    let (mut ia, mut ib) = (0, 0);
+    while out.len() < k && (ia < a.len() || ib < b.len()) {
+        let take_a = match (a.get(ia), b.get(ib)) {
+            (Some(&(aid, aw)), Some(&(bid, bw))) => {
+                (aw, std::cmp::Reverse(aid)) >= (bw, std::cmp::Reverse(bid))
+            }
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_a {
+            out.push(a[ia]);
+            ia += 1;
+        } else {
+            out.push(b[ib]);
+            ib += 1;
+        }
+    }
+    out
+}
+
+/// Simulates the `j`-th binary-tree network for every slot `j`, returning
+/// each slot's top-k list plus tree statistics.
+///
+/// Functionally identical to [`crate::topk::top_k_indices`]; the value of
+/// this function is the faithful simulation of the paper's aggregation
+/// topology (used by tests and the ablation benches).
+pub fn tree_top_k(matrix: &RevenueMatrix, k: usize) -> (Vec<Vec<(usize, f64)>>, TreeStats) {
+    let slots = matrix.num_slots();
+    let n = matrix.num_advertisers();
+    let mut results = Vec::with_capacity(slots);
+    let mut stats = TreeStats {
+        depth: 0,
+        combine_steps: 0,
+    };
+    for slot in 0..slots {
+        // Leaves: singleton lists, excluded edges become empty lists.
+        let mut level: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|i| {
+                let w = matrix.get(i, slot);
+                if w == crate::matrix::EXCLUDED {
+                    Vec::new()
+                } else {
+                    vec![(i, w)]
+                }
+            })
+            .collect();
+        let mut depth = 0;
+        while level.len() > 1 {
+            depth += 1;
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut iter = level.chunks(2);
+            for pair in &mut iter {
+                match pair {
+                    [a, b] => {
+                        stats.combine_steps += 1;
+                        next.push(merge_top_k(a, b, k));
+                    }
+                    [a] => next.push(a.clone()),
+                    _ => unreachable!(),
+                }
+            }
+            level = next;
+        }
+        stats.depth = stats.depth.max(depth);
+        results.push(level.pop().unwrap_or_default());
+    }
+    (results, stats)
+}
+
+/// Multi-threaded top-k per slot: advertisers are split into `threads`
+/// chunks, each chunk computes local per-slot top-k heaps, and the partial
+/// results are merged. This realises the paper's mixed
+/// sequential/parallel scheme with `p` machines:
+/// `O((n/p) k log k + k log p)`.
+pub fn threaded_top_k(matrix: &RevenueMatrix, k: usize, threads: usize) -> Vec<Vec<(usize, f64)>> {
+    let n = matrix.num_advertisers();
+    let slots = matrix.num_slots();
+    let threads = threads.max(1).min(n.max(1));
+    let chunk = n.div_ceil(threads);
+
+    let partials: Vec<Vec<Vec<(usize, f64)>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            let matrix_ref = &matrix;
+            handles.push(scope.spawn(move || {
+                let mut collectors: Vec<TopK> = (0..slots).map(|_| TopK::new(k)).collect();
+                for adv in lo..hi {
+                    for (slot, &w) in matrix_ref.row(adv).iter().enumerate() {
+                        collectors[slot].offer(adv, w);
+                    }
+                }
+                collectors
+                    .into_iter()
+                    .map(TopK::into_sorted_desc)
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("top-k worker panicked"))
+            .collect()
+    });
+
+    // Root merge: fold the partial lists per slot.
+    (0..slots)
+        .map(|slot| {
+            partials
+                .iter()
+                .map(|p| p[slot].as_slice())
+                .fold(Vec::new(), |acc, list| merge_top_k(&acc, list, k))
+        })
+        .collect()
+}
+
+/// The fully parallel winner determination of Section III-E: threaded
+/// per-slot top-k, candidate union, Hungarian on the reduced graph.
+pub fn threaded_reduced_assignment(matrix: &RevenueMatrix, threads: usize) -> ReducedSolution {
+    let k = matrix.num_slots();
+    let per_slot = threaded_top_k(matrix, k, threads);
+    let mut candidates: Vec<usize> = per_slot.into_iter().flatten().map(|(id, _)| id).collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    let sub = matrix.restrict_advertisers(&candidates);
+    let sub_assignment = max_weight_assignment(&sub);
+    ReducedSolution {
+        assignment: Assignment {
+            slot_to_adv: sub_assignment
+                .slot_to_adv
+                .iter()
+                .map(|o| o.map(|local| candidates[local]))
+                .collect(),
+            total_weight: sub_assignment.total_weight,
+        },
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduced::reduced_assignment;
+    use crate::topk::top_k_indices;
+
+    fn pseudorandom_matrix(n: usize, k: usize, seed: u64) -> RevenueMatrix {
+        let mut state = seed | 1;
+        RevenueMatrix::from_fn(n, k, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as f64 / 100.0
+        })
+    }
+
+    #[test]
+    fn merge_keeps_order_and_bound() {
+        let a = vec![(0, 9.0), (2, 5.0)];
+        let b = vec![(1, 7.0), (3, 5.0)];
+        let m = merge_top_k(&a, &b, 3);
+        assert_eq!(m, vec![(0, 9.0), (1, 7.0), (2, 5.0)]);
+    }
+
+    #[test]
+    fn merge_tie_breaks_by_id() {
+        let a = vec![(5, 4.0)];
+        let b = vec![(1, 4.0)];
+        assert_eq!(merge_top_k(&a, &b, 2), vec![(1, 4.0), (5, 4.0)]);
+    }
+
+    #[test]
+    fn tree_matches_direct_top_k() {
+        let m = pseudorandom_matrix(67, 4, 42);
+        let (tree, stats) = tree_top_k(&m, 4);
+        let direct = top_k_indices(&m, 4);
+        assert_eq!(tree, direct);
+        // Height of a 67-leaf binary tree: ceil(log2 67) = 7.
+        assert_eq!(stats.depth, 7);
+        // A binary reduction performs exactly n - 1... minus skipped odd
+        // nodes; at minimum n/2 combines, at most n - 1, per slot.
+        assert!(stats.combine_steps >= 33 * 4);
+        assert!(stats.combine_steps <= 66 * 4);
+    }
+
+    #[test]
+    fn threaded_matches_direct_top_k() {
+        let m = pseudorandom_matrix(101, 3, 7);
+        for threads in [1, 2, 4, 16, 200] {
+            let got = threaded_top_k(&m, 3, threads);
+            assert_eq!(got, top_k_indices(&m, 3), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_reduced_equals_sequential_reduced() {
+        let m = pseudorandom_matrix(64, 5, 99);
+        let seq = reduced_assignment(&m);
+        let par = threaded_reduced_assignment(&m, 4);
+        assert_eq!(par.assignment.total_weight, seq.assignment.total_weight);
+        assert_eq!(par.candidates, seq.candidates);
+    }
+
+    #[test]
+    fn single_advertiser_tree() {
+        let m = pseudorandom_matrix(1, 2, 3);
+        let (tree, stats) = tree_top_k(&m, 2);
+        assert_eq!(tree[0].len(), 1);
+        assert_eq!(stats.depth, 0);
+    }
+
+    #[test]
+    fn empty_market_threaded() {
+        let m = RevenueMatrix::zeros(0, 2);
+        let got = threaded_top_k(&m, 2, 4);
+        assert_eq!(got, vec![Vec::new(), Vec::new()]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Bounded top-k selection with binary heaps.
+//!
+//! Section III-E: "for each slot, we can find the top k bidders for that
+//! slot in time O(k + n log k) by maintaining a priority heap of size at
+//! most k". [`TopK`] is that heap; [`top_k_indices`] applies it to every
+//! column of a revenue matrix.
+
+use crate::matrix::{RevenueMatrix, EXCLUDED};
+use crate::ordered::OrderedF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A fixed-capacity collector retaining the `k` largest `(weight, id)`
+/// entries seen so far. Ties are broken towards smaller ids (deterministic).
+#[derive(Debug, Clone)]
+pub struct TopK {
+    capacity: usize,
+    // Min-heap of the current top entries; `Reverse` flips `BinaryHeap`'s
+    // max-heap order. Keyed on (weight, Reverse(id)) so that among equal
+    // weights the *larger* id is evicted first.
+    heap: BinaryHeap<Reverse<(OrderedF64, Reverse<usize>)>>,
+}
+
+impl TopK {
+    /// Creates a collector for the `k` largest entries.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            capacity: k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers an entry. [`EXCLUDED`] weights are ignored.
+    ///
+    /// `O(log k)` when the entry is admitted, `O(1)` when it is rejected.
+    pub fn offer(&mut self, id: usize, weight: f64) {
+        if self.capacity == 0 || weight == EXCLUDED {
+            return;
+        }
+        let key = Reverse((OrderedF64::new(weight), Reverse(id)));
+        if self.heap.len() < self.capacity {
+            self.heap.push(key);
+        } else if let Some(&Reverse(min)) = self.heap.peek() {
+            if (OrderedF64::new(weight), Reverse(id)) > min {
+                self.heap.pop();
+                self.heap.push(key);
+            }
+        }
+    }
+
+    /// The smallest retained weight, if the collector is full.
+    pub fn current_floor(&self) -> Option<f64> {
+        if self.heap.len() < self.capacity {
+            None
+        } else {
+            self.heap.peek().map(|Reverse((w, _))| w.get())
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the collector, returning `(id, weight)` pairs sorted by
+    /// descending weight (ties: ascending id).
+    pub fn into_sorted_desc(self) -> Vec<(usize, f64)> {
+        let mut entries: Vec<(usize, f64)> = self
+            .heap
+            .into_iter()
+            .map(|Reverse((w, Reverse(id)))| (id, w.get()))
+            .collect();
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries
+    }
+}
+
+/// For each slot (column), the ids of the advertisers with the top-k weights
+/// in that column, sorted by descending weight. `k` defaults to the number
+/// of slots, which is what the reduced-graph method needs.
+pub fn top_k_indices(matrix: &RevenueMatrix, k: usize) -> Vec<Vec<(usize, f64)>> {
+    let slots = matrix.num_slots();
+    let mut collectors: Vec<TopK> = (0..slots).map(|_| TopK::new(k)).collect();
+    for adv in 0..matrix.num_advertisers() {
+        let row = matrix.row(adv);
+        for (slot, &w) in row.iter().enumerate() {
+            collectors[slot].offer(adv, w);
+        }
+    }
+    collectors.into_iter().map(TopK::into_sorted_desc).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_largest() {
+        let mut t = TopK::new(2);
+        for (id, w) in [(0, 1.0), (1, 5.0), (2, 3.0), (3, 4.0)] {
+            t.offer(id, w);
+        }
+        assert_eq!(t.into_sorted_desc(), vec![(1, 5.0), (3, 4.0)]);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_ids() {
+        let mut t = TopK::new(2);
+        for id in 0..5 {
+            t.offer(id, 7.0);
+        }
+        assert_eq!(t.into_sorted_desc(), vec![(0, 7.0), (1, 7.0)]);
+    }
+
+    #[test]
+    fn ignores_excluded_and_zero_capacity() {
+        let mut t = TopK::new(2);
+        t.offer(0, EXCLUDED);
+        assert!(t.is_empty());
+        let mut z = TopK::new(0);
+        z.offer(0, 1.0);
+        assert_eq!(z.len(), 0);
+    }
+
+    #[test]
+    fn floor_only_when_full() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.current_floor(), None);
+        t.offer(0, 3.0);
+        assert_eq!(t.current_floor(), None);
+        t.offer(1, 5.0);
+        assert_eq!(t.current_floor(), Some(3.0));
+        t.offer(2, 4.0);
+        assert_eq!(t.current_floor(), Some(4.0));
+    }
+
+    #[test]
+    fn per_slot_selection_matches_figure10() {
+        // Figure 9/10: top-2 for slot 1 are Nike(0) and Adidas(1); for
+        // slot 2, Adidas(1) and Reebok(2).
+        let m = RevenueMatrix::from_rows(&[
+            vec![9.0, 5.0],
+            vec![8.0, 7.0],
+            vec![7.0, 6.0],
+            vec![7.0, 4.0],
+        ]);
+        let tops = top_k_indices(&m, 2);
+        let ids: Vec<Vec<usize>> = tops
+            .iter()
+            .map(|l| l.iter().map(|(id, _)| *id).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn fewer_advertisers_than_k() {
+        let m = RevenueMatrix::from_rows(&[vec![2.0], vec![1.0]]);
+        let tops = top_k_indices(&m, 5);
+        assert_eq!(tops[0].len(), 2);
+    }
+
+    #[test]
+    fn negative_weights_still_ranked() {
+        let m = RevenueMatrix::from_rows(&[vec![-1.0], vec![-3.0], vec![2.0]]);
+        let tops = top_k_indices(&m, 2);
+        assert_eq!(tops[0], vec![(2, 2.0), (0, -1.0)]);
+    }
+}

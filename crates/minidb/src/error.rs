@@ -1,0 +1,79 @@
+//! Error types for the relational engine.
+
+use std::fmt;
+
+/// Any error from lexing, parsing, or executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Lexical error (bad character, unterminated string, malformed number).
+    Lex {
+        /// What went wrong.
+        message: String,
+        /// Byte offset in the input.
+        position: usize,
+    },
+    /// Syntax error.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Byte offset in the input.
+        position: usize,
+    },
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Unknown column (possibly qualified).
+    NoSuchColumn(String),
+    /// Unknown scalar variable.
+    NoSuchVariable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A trigger with this name already exists.
+    TriggerExists(String),
+    /// Type error during evaluation.
+    Type(String),
+    /// Division by zero.
+    DivisionByZero,
+    /// A scalar subquery returned more than one row/column.
+    NonScalarSubquery,
+    /// Wrong number of values in an INSERT.
+    Arity {
+        /// Columns expected.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// Trigger recursion exceeded the depth limit.
+    TriggerDepthExceeded,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Lex { message, position } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            DbError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::NoSuchVariable(v) => write!(f, "no such variable: {v}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::TriggerExists(t) => write!(f, "trigger already exists: {t}"),
+            DbError::Type(msg) => write!(f, "type error: {msg}"),
+            DbError::DivisionByZero => write!(f, "division by zero"),
+            DbError::NonScalarSubquery => {
+                write!(f, "scalar subquery returned more than one value")
+            }
+            DbError::Arity { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            DbError::TriggerDepthExceeded => write!(f, "trigger recursion too deep"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience result alias.
+pub type DbResult<T> = Result<T, DbError>;

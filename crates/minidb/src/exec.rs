@@ -1,0 +1,931 @@
+//! The statement interpreter.
+//!
+//! Semantics notes (all deliberate, see crate docs):
+//!
+//! * `UPDATE`/`DELETE` use **snapshot semantics**: predicates and SET
+//!   expressions are evaluated against the pre-statement state, then all
+//!   mutations are applied. This matches SQL and matters for the paper's
+//!   Figure 5 program, whose `WHERE roi = (SELECT MAX(K.roi) FROM Keywords
+//!   K)` subquery scans the very table being updated.
+//! * Predicates use three-valued logic; a NULL predicate does not match.
+//! * `AFTER INSERT` triggers fire once per inserted row batch, with a depth
+//!   limit to keep programs non-recursive (Section II-B requires bidding
+//!   programs to be "simple SQL updates without recursion").
+
+use crate::ast::{AggFunc, CmpOp, ColumnRef, Expr, Select, SelectItem, Statement};
+use crate::error::{DbError, DbResult};
+use crate::parser::parse_script;
+use crate::table::{Row, Schema, Table};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maximum depth of trigger-initiated statement nesting.
+const MAX_TRIGGER_DEPTH: usize = 16;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// `CREATE TABLE` / `CREATE TRIGGER` succeeded.
+    Created,
+    /// `DROP TABLE` succeeded.
+    Dropped,
+    /// Number of rows inserted.
+    Inserted(usize),
+    /// Number of rows updated.
+    Updated(usize),
+    /// Number of rows deleted.
+    Deleted(usize),
+    /// Rows returned by a `SELECT`.
+    Rows(Vec<Row>),
+    /// A control statement (`IF`, `SET`) completed.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct TriggerDef {
+    name_lower: String,
+    table_lower: String,
+    body: Arc<Vec<Statement>>,
+}
+
+/// An in-memory database: tables, triggers, and host scalar variables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, (String, Table)>, // lowercase name → (display, table)
+    triggers: Vec<TriggerDef>,
+    vars: HashMap<String, Value>, // lowercase name
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Parses and executes a script; returns one outcome per statement.
+    pub fn run(&mut self, sql: &str) -> DbResult<Vec<ExecOutcome>> {
+        let statements = parse_script(sql)?;
+        let mut outcomes = Vec::with_capacity(statements.len());
+        for stmt in &statements {
+            outcomes.push(self.execute(stmt)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Runs a single-`SELECT` script and returns its rows.
+    pub fn query(&mut self, sql: &str) -> DbResult<Vec<Row>> {
+        let mut outcomes = self.run(sql)?;
+        match (outcomes.len(), outcomes.pop()) {
+            (1, Some(ExecOutcome::Rows(rows))) => Ok(rows),
+            _ => Err(DbError::Parse {
+                message: "query expects exactly one SELECT statement".to_string(),
+                position: 0,
+            }),
+        }
+    }
+
+    /// Executes one pre-parsed statement.
+    pub fn execute(&mut self, stmt: &Statement) -> DbResult<ExecOutcome> {
+        self.execute_at_depth(stmt, 0)
+    }
+
+    /// Sets a host scalar variable (e.g. `amtSpent`, `time`).
+    pub fn set_var(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_ascii_lowercase(), value);
+    }
+
+    /// Reads a host scalar variable.
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.vars.get(&name.to_ascii_lowercase())
+    }
+
+    /// Host access to a table.
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map(|(_, t)| t)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Host-side table creation.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> DbResult<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        self.tables
+            .insert(key, (name.to_string(), Table::new(schema)));
+        Ok(())
+    }
+
+    /// Host-side insert; fires `AFTER INSERT` triggers like SQL inserts do.
+    pub fn insert(&mut self, table: &str, row: Row) -> DbResult<()> {
+        let key = table.to_ascii_lowercase();
+        let (_, t) = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        t.insert(row)?;
+        self.fire_triggers(&key, 0)
+    }
+
+    /// Names of all tables (display form), sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.values().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    // ---- execution internals ----------------------------------------------
+
+    fn execute_at_depth(&mut self, stmt: &Statement, depth: usize) -> DbResult<ExecOutcome> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(columns.iter().cloned());
+                self.create_table(name, schema)?;
+                Ok(ExecOutcome::Created)
+            }
+            Statement::DropTable { name } => {
+                let key = name.to_ascii_lowercase();
+                if self.tables.remove(&key).is_none() {
+                    return Err(DbError::NoSuchTable(name.clone()));
+                }
+                self.triggers.retain(|t| t.table_lower != key);
+                Ok(ExecOutcome::Dropped)
+            }
+            Statement::CreateTrigger { name, table, body } => {
+                let name_lower = name.to_ascii_lowercase();
+                if self.triggers.iter().any(|t| t.name_lower == name_lower) {
+                    return Err(DbError::TriggerExists(name.clone()));
+                }
+                let table_lower = table.to_ascii_lowercase();
+                if !self.tables.contains_key(&table_lower) {
+                    return Err(DbError::NoSuchTable(table.clone()));
+                }
+                self.triggers.push(TriggerDef {
+                    name_lower,
+                    table_lower,
+                    body: Arc::new(body.clone()),
+                });
+                Ok(ExecOutcome::Created)
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let inserted = self.exec_insert(table, columns.as_deref(), rows, depth)?;
+                Ok(ExecOutcome::Inserted(inserted))
+            }
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                let updated = self.exec_update(table, sets, where_clause.as_ref())?;
+                Ok(ExecOutcome::Updated(updated))
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                let deleted = self.exec_delete(table, where_clause.as_ref())?;
+                Ok(ExecOutcome::Deleted(deleted))
+            }
+            Statement::Select(select) => {
+                let rows = Evaluator::global(self).run_select(select)?;
+                Ok(ExecOutcome::Rows(rows))
+            }
+            Statement::If { arms, else_block } => {
+                for (cond, block) in arms {
+                    if Evaluator::global(self).eval_predicate(cond)? {
+                        return self.exec_block(block, depth);
+                    }
+                }
+                if let Some(block) = else_block {
+                    return self.exec_block(block, depth);
+                }
+                Ok(ExecOutcome::Done)
+            }
+            Statement::SetVar { name, value } => {
+                let v = Evaluator::global(self).eval(value)?;
+                self.set_var(name, v);
+                Ok(ExecOutcome::Done)
+            }
+        }
+    }
+
+    fn exec_block(&mut self, block: &[Statement], depth: usize) -> DbResult<ExecOutcome> {
+        for stmt in block {
+            self.execute_at_depth(stmt, depth)?;
+        }
+        Ok(ExecOutcome::Done)
+    }
+
+    fn exec_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<Expr>],
+        depth: usize,
+    ) -> DbResult<usize> {
+        let key = table.to_ascii_lowercase();
+        // Evaluate before mutating (expressions may read other tables).
+        let mut materialised: Vec<Row> = Vec::with_capacity(rows.len());
+        {
+            let evaluator = Evaluator::global(self);
+            let (_, t) = self
+                .tables
+                .get(&key)
+                .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+            let schema = t.schema();
+            for exprs in rows {
+                let mut values = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    values.push(evaluator.eval(e)?);
+                }
+                let row = match columns {
+                    None => values,
+                    Some(cols) => {
+                        if cols.len() != values.len() {
+                            return Err(DbError::Arity {
+                                expected: cols.len(),
+                                got: values.len(),
+                            });
+                        }
+                        let mut full = vec![Value::Null; schema.len()];
+                        for (col, v) in cols.iter().zip(values) {
+                            let idx = schema
+                                .index_of(col)
+                                .ok_or_else(|| DbError::NoSuchColumn(col.clone()))?;
+                            full[idx] = v;
+                        }
+                        full
+                    }
+                };
+                materialised.push(row);
+            }
+        }
+        let count = materialised.len();
+        let (_, t) = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        for row in materialised {
+            t.insert(row)?;
+        }
+        self.fire_triggers(&key, depth)?;
+        Ok(count)
+    }
+
+    fn fire_triggers(&mut self, table_lower: &str, depth: usize) -> DbResult<()> {
+        if depth >= MAX_TRIGGER_DEPTH {
+            return Err(DbError::TriggerDepthExceeded);
+        }
+        let bodies: Vec<Arc<Vec<Statement>>> = self
+            .triggers
+            .iter()
+            .filter(|t| t.table_lower == table_lower)
+            .map(|t| Arc::clone(&t.body))
+            .collect();
+        for body in bodies {
+            for stmt in body.iter() {
+                self.execute_at_depth(stmt, depth + 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_update(
+        &mut self,
+        table: &str,
+        sets: &[crate::ast::SetClause],
+        where_clause: Option<&Expr>,
+    ) -> DbResult<usize> {
+        let key = table.to_ascii_lowercase();
+        // Phase 1 (immutable): find matching rows, compute new values
+        // against the snapshot.
+        let mut planned: Vec<(usize, Vec<(usize, Value)>)> = Vec::new();
+        {
+            let (display, t) = self
+                .tables
+                .get(&key)
+                .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+            let schema = t.schema();
+            let set_indices: Vec<usize> = sets
+                .iter()
+                .map(|s| {
+                    schema
+                        .index_of(&s.column)
+                        .ok_or_else(|| DbError::NoSuchColumn(s.column.clone()))
+                })
+                .collect::<DbResult<_>>()?;
+            for (ridx, row) in t.rows().iter().enumerate() {
+                let evaluator = Evaluator::with_row(self, display, None, schema, row);
+                let matches = match where_clause {
+                    None => true,
+                    Some(p) => evaluator.eval_predicate(p)?,
+                };
+                if !matches {
+                    continue;
+                }
+                let mut assignments = Vec::with_capacity(sets.len());
+                for (set, &cidx) in sets.iter().zip(&set_indices) {
+                    assignments.push((cidx, evaluator.eval(&set.value)?));
+                }
+                planned.push((ridx, assignments));
+            }
+        }
+        // Phase 2 (mutable): apply.
+        let count = planned.len();
+        let (_, t) = self.tables.get_mut(&key).expect("checked in phase 1");
+        for (ridx, assignments) in planned {
+            for (cidx, value) in assignments {
+                t.set_cell(ridx, cidx, value)?;
+            }
+        }
+        Ok(count)
+    }
+
+    fn exec_delete(&mut self, table: &str, where_clause: Option<&Expr>) -> DbResult<usize> {
+        let key = table.to_ascii_lowercase();
+        let mut doomed: Vec<usize> = Vec::new();
+        {
+            let (display, t) = self
+                .tables
+                .get(&key)
+                .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+            for (ridx, row) in t.rows().iter().enumerate() {
+                let evaluator = Evaluator::with_row(self, display, None, t.schema(), row);
+                let matches = match where_clause {
+                    None => true,
+                    Some(p) => evaluator.eval_predicate(p)?,
+                };
+                if matches {
+                    doomed.push(ridx);
+                }
+            }
+        }
+        let count = doomed.len();
+        let (_, t) = self.tables.get_mut(&key).expect("checked in phase 1");
+        t.delete_rows(&doomed);
+        Ok(count)
+    }
+}
+
+/// One table-row scope for name resolution.
+struct RowScope<'a> {
+    name: &'a str,
+    alias: Option<&'a str>,
+    schema: &'a Schema,
+    row: &'a [Value],
+}
+
+/// Expression evaluator over a database plus a stack of row scopes
+/// (outermost first).
+struct Evaluator<'a> {
+    db: &'a Database,
+    scopes: Vec<RowScope<'a>>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn global(db: &'a Database) -> Self {
+        Evaluator {
+            db,
+            scopes: Vec::new(),
+        }
+    }
+
+    fn with_row(
+        db: &'a Database,
+        name: &'a str,
+        alias: Option<&'a str>,
+        schema: &'a Schema,
+        row: &'a [Value],
+    ) -> Self {
+        Evaluator {
+            db,
+            scopes: vec![RowScope {
+                name,
+                alias,
+                schema,
+                row,
+            }],
+        }
+    }
+
+    fn resolve_column(&self, cref: &ColumnRef) -> DbResult<Value> {
+        match &cref.qualifier {
+            Some(q) => {
+                for scope in self.scopes.iter().rev() {
+                    // SQL scoping: an alias *replaces* the table name — a
+                    // scope with `FROM Keywords K` answers to `K` only, so
+                    // that an outer `Keywords.x` reference skips past it
+                    // (needed by self-join-style correlated subqueries).
+                    let matches = match scope.alias {
+                        Some(a) => a.eq_ignore_ascii_case(q),
+                        None => scope.name.eq_ignore_ascii_case(q),
+                    };
+                    if matches {
+                        let idx = scope
+                            .schema
+                            .index_of(&cref.column)
+                            .ok_or_else(|| DbError::NoSuchColumn(format!("{q}.{}", cref.column)))?;
+                        return Ok(scope.row[idx].clone());
+                    }
+                }
+                Err(DbError::NoSuchColumn(format!("{q}.{}", cref.column)))
+            }
+            None => {
+                for scope in self.scopes.iter().rev() {
+                    if let Some(idx) = scope.schema.index_of(&cref.column) {
+                        return Ok(scope.row[idx].clone());
+                    }
+                }
+                self.db
+                    .vars
+                    .get(&cref.column.to_ascii_lowercase())
+                    .cloned()
+                    .ok_or_else(|| DbError::NoSuchColumn(cref.column.clone()))
+            }
+        }
+    }
+
+    fn eval(&self, expr: &Expr) -> DbResult<Value> {
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column(cref) => self.resolve_column(cref),
+            Expr::Arith(a, op, b) => self.eval(a)?.arith(*op, &self.eval(b)?),
+            Expr::Neg(inner) => match self.eval(inner)? {
+                Value::Int(v) => Ok(Value::Int(-v)),
+                Value::Float(v) => Ok(Value::Float(-v)),
+                Value::Null => Ok(Value::Null),
+                other => Err(DbError::Type(format!("cannot negate {other}"))),
+            },
+            Expr::Cmp(a, op, b) => {
+                let left = self.eval(a)?;
+                let right = self.eval(b)?;
+                match left.compare(&right)? {
+                    None => Ok(Value::Null),
+                    Some(ord) => {
+                        let result = match op {
+                            CmpOp::Eq => ord.is_eq(),
+                            CmpOp::Neq => ord.is_ne(),
+                            CmpOp::Lt => ord.is_lt(),
+                            CmpOp::Le => ord.is_le(),
+                            CmpOp::Gt => ord.is_gt(),
+                            CmpOp::Ge => ord.is_ge(),
+                        };
+                        Ok(Value::Bool(result))
+                    }
+                }
+            }
+            Expr::And(a, b) => {
+                let left = self.eval_truth(a)?;
+                let right = self.eval_truth(b)?;
+                // Kleene AND.
+                Ok(match (left, right) {
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                })
+            }
+            Expr::Or(a, b) => {
+                let left = self.eval_truth(a)?;
+                let right = self.eval_truth(b)?;
+                Ok(match (left, right) {
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                })
+            }
+            Expr::Not(inner) => Ok(match self.eval_truth(inner)? {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            }),
+            Expr::Subquery(select) => self.eval_scalar_subquery(select),
+        }
+    }
+
+    fn eval_truth(&self, expr: &Expr) -> DbResult<Option<bool>> {
+        match self.eval(expr)? {
+            Value::Bool(b) => Ok(Some(b)),
+            Value::Null => Ok(None),
+            other => Err(DbError::Type(format!("expected a condition, got {other}"))),
+        }
+    }
+
+    /// Predicate position: NULL is not a match.
+    fn eval_predicate(&self, expr: &Expr) -> DbResult<bool> {
+        Ok(self.eval_truth(expr)?.unwrap_or(false))
+    }
+
+    fn eval_scalar_subquery(&self, select: &Select) -> DbResult<Value> {
+        let mut rows = self.run_select(select)?;
+        match rows.len() {
+            0 => Ok(Value::Null),
+            1 => {
+                let row = rows.pop().expect("checked length");
+                if row.len() != 1 {
+                    Err(DbError::NonScalarSubquery)
+                } else {
+                    Ok(row.into_iter().next().expect("checked length"))
+                }
+            }
+            _ => Err(DbError::NonScalarSubquery),
+        }
+    }
+
+    fn run_select(&self, select: &Select) -> DbResult<Vec<Row>> {
+        let key = select.from.to_ascii_lowercase();
+        let (display, table) = self
+            .db
+            .tables
+            .get(&key)
+            .ok_or_else(|| DbError::NoSuchTable(select.from.clone()))?;
+        let schema = table.schema();
+
+        let has_agg = select
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg(..)));
+        if has_agg
+            && select
+                .items
+                .iter()
+                .any(|i| !matches!(i, SelectItem::Agg(..)))
+        {
+            return Err(DbError::Type(
+                "cannot mix aggregates with plain columns (no GROUP BY)".to_string(),
+            ));
+        }
+
+        let mut matched: Vec<&[Value]> = Vec::new();
+        for row in table.rows() {
+            let inner = self.child_scope(display, select.alias.as_deref(), schema, row);
+            let ok = match &select.where_clause {
+                None => true,
+                Some(p) => inner.eval_predicate(p)?,
+            };
+            if ok {
+                matched.push(row);
+            }
+        }
+
+        if has_agg {
+            let mut out = Vec::with_capacity(select.items.len());
+            for item in &select.items {
+                let SelectItem::Agg(func, inner_expr) = item else {
+                    unreachable!("checked homogeneous aggregates");
+                };
+                out.push(self.eval_aggregate(
+                    *func,
+                    inner_expr.as_ref(),
+                    display,
+                    select.alias.as_deref(),
+                    schema,
+                    &matched,
+                )?);
+            }
+            return Ok(vec![out]);
+        }
+
+        let mut rows_out = Vec::with_capacity(matched.len());
+        for row in matched {
+            let inner = self.child_scope(display, select.alias.as_deref(), schema, row);
+            let mut out = Vec::new();
+            for item in &select.items {
+                match item {
+                    SelectItem::Star => out.extend(row.iter().cloned()),
+                    SelectItem::Expr(e) => out.push(inner.eval(e)?),
+                    SelectItem::Agg(..) => unreachable!("handled above"),
+                }
+            }
+            rows_out.push(out);
+        }
+        Ok(rows_out)
+    }
+
+    fn child_scope(
+        &self,
+        name: &'a str,
+        alias: Option<&'a str>,
+        schema: &'a Schema,
+        row: &'a [Value],
+    ) -> Evaluator<'a>
+    where
+        'a: 'a,
+    {
+        let mut scopes: Vec<RowScope<'a>> = Vec::with_capacity(self.scopes.len() + 1);
+        for s in &self.scopes {
+            scopes.push(RowScope {
+                name: s.name,
+                alias: s.alias,
+                schema: s.schema,
+                row: s.row,
+            });
+        }
+        scopes.push(RowScope {
+            name,
+            alias,
+            schema,
+            row,
+        });
+        Evaluator {
+            db: self.db,
+            scopes,
+        }
+    }
+
+    fn eval_aggregate(
+        &self,
+        func: AggFunc,
+        inner: Option<&Expr>,
+        name: &'a str,
+        alias: Option<&'a str>,
+        schema: &'a Schema,
+        rows: &[&'a [Value]],
+    ) -> DbResult<Value> {
+        // COUNT(*) counts rows without evaluating anything.
+        if func == AggFunc::Count && inner.is_none() {
+            return Ok(Value::Int(rows.len() as i64));
+        }
+        let expr = inner
+            .ok_or_else(|| DbError::Type("only COUNT accepts '*' as its argument".to_string()))?;
+        let mut values = Vec::with_capacity(rows.len());
+        for row in rows {
+            let scope = self.child_scope(name, alias, schema, row);
+            let v = scope.eval(expr)?;
+            if !v.is_null() {
+                values.push(v);
+            }
+        }
+        match func {
+            AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+            AggFunc::Sum => {
+                // Paper Figure 6 semantics: empty SUM is 0.
+                let mut acc = Value::Int(0);
+                for v in &values {
+                    acc = acc.arith(crate::value::ArithOp::Add, v)?;
+                }
+                Ok(acc)
+            }
+            AggFunc::Avg => {
+                if values.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let mut sum = 0.0;
+                for v in &values {
+                    sum += v.as_f64()?;
+                }
+                Ok(Value::Float(sum / values.len() as f64))
+            }
+            AggFunc::Max | AggFunc::Min => {
+                let mut best: Option<Value> = None;
+                for v in values {
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let ord = v.compare(&b)?.ok_or_else(|| {
+                                DbError::Type("NULL slipped into aggregate".to_string())
+                            })?;
+                            let take_new = if func == AggFunc::Max {
+                                ord.is_gt()
+                            } else {
+                                ord.is_lt()
+                            };
+                            if take_new {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                Ok(best.unwrap_or(Value::Null))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_keywords() -> Database {
+        let mut db = Database::new();
+        db.run(
+            "CREATE TABLE Keywords (\
+               text TEXT, formula TEXT, maxbid INT, roi FLOAT, bid INT, relevance FLOAT)",
+        )
+        .unwrap();
+        // The paper's Figure 4.
+        db.run(
+            "INSERT INTO Keywords VALUES \
+               ('boot', 'Click AND Slot1', 5, 2.0, 4, 0.8), \
+               ('shoe', 'Click', 6, 1.0, 8, 0.2)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_where_and_projection() {
+        let mut db = db_with_keywords();
+        let rows = db
+            .query("SELECT text, bid FROM Keywords WHERE relevance > 0.5")
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Text("boot".into()), Value::Int(4)]]);
+        let star = db.query("SELECT * FROM Keywords").unwrap();
+        assert_eq!(star.len(), 2);
+        assert_eq!(star[0].len(), 6);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut db = db_with_keywords();
+        let rows = db
+            .query("SELECT MAX(roi), MIN(bid), SUM(bid), COUNT(*), AVG(maxbid) FROM Keywords")
+            .unwrap();
+        assert_eq!(
+            rows[0],
+            vec![
+                Value::Float(2.0),
+                Value::Int(4),
+                Value::Int(12),
+                Value::Int(2),
+                Value::Float(5.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_aggregates_follow_paper_semantics() {
+        let mut db = db_with_keywords();
+        let rows = db
+            .query("SELECT SUM(bid), COUNT(*), MAX(bid) FROM Keywords WHERE bid > 100")
+            .unwrap();
+        assert_eq!(rows[0], vec![Value::Int(0), Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn update_with_correlated_subquery() {
+        let mut db = db_with_keywords();
+        db.run("CREATE TABLE Bids (formula TEXT, value INT)")
+            .unwrap();
+        db.run("INSERT INTO Bids VALUES ('Click AND Slot1', 0), ('Click', 99)")
+            .unwrap();
+        // Figure 5 lines 22–27.
+        db.run(
+            "UPDATE Bids SET value = \
+               ( SELECT SUM( K.bid ) FROM Keywords K \
+                 WHERE K.relevance > 0.7 AND K.formula = Bids.formula )",
+        )
+        .unwrap();
+        let rows = db.query("SELECT value FROM Bids").unwrap();
+        // Figure 6: Click∧Slot1 → 4; Click → 0 (empty SUM).
+        assert_eq!(rows, vec![vec![Value::Int(4)], vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn update_snapshot_semantics() {
+        // WHERE roi = (SELECT MAX(roi) …) over the table being updated must
+        // see the pre-update state for every row.
+        let mut db = db_with_keywords();
+        db.run(
+            "UPDATE Keywords SET bid = bid + 1 \
+             WHERE roi = ( SELECT MAX( K.roi ) FROM Keywords K ) \
+               AND relevance > 0 AND bid < maxbid",
+        )
+        .unwrap();
+        let rows = db.query("SELECT text, bid FROM Keywords").unwrap();
+        assert_eq!(rows[0], vec![Value::Text("boot".into()), Value::Int(5)]);
+        assert_eq!(rows[1], vec![Value::Text("shoe".into()), Value::Int(8)]);
+    }
+
+    #[test]
+    fn if_elseif_with_host_vars() {
+        let mut db = db_with_keywords();
+        db.set_var("amtSpent", Value::Int(10));
+        db.set_var("time", Value::Int(5));
+        db.set_var("targetSpendRate", Value::Int(3));
+        // 10/5 = 2 < 3 → underspending branch.
+        db.run(
+            "IF amtSpent / time < targetSpendRate THEN \
+               UPDATE Keywords SET bid = bid + 1 WHERE relevance > 0; \
+             ELSEIF amtSpent / time > targetSpendRate THEN \
+               UPDATE Keywords SET bid = bid - 1 WHERE relevance > 0; \
+             ENDIF",
+        )
+        .unwrap();
+        let rows = db.query("SELECT bid FROM Keywords").unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(5)], vec![Value::Int(9)]]);
+    }
+
+    #[test]
+    fn triggers_fire_on_insert() {
+        let mut db = Database::new();
+        db.run("CREATE TABLE Query (text TEXT)").unwrap();
+        db.run("CREATE TABLE Log (n INT)").unwrap();
+        db.run("INSERT INTO Log VALUES (0)").unwrap();
+        db.run("CREATE TRIGGER t AFTER INSERT ON Query { UPDATE Log SET n = n + 1; }")
+            .unwrap();
+        db.run("INSERT INTO Query VALUES ('boots')").unwrap();
+        db.run("INSERT INTO Query VALUES ('shoes')").unwrap();
+        let rows = db.query("SELECT n FROM Log").unwrap();
+        assert_eq!(rows[0][0], Value::Int(2));
+        // Host-side insert also fires.
+        db.insert("Query", vec!["sneaker".into()]).unwrap();
+        assert_eq!(db.query("SELECT n FROM Log").unwrap()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn trigger_recursion_capped() {
+        let mut db = Database::new();
+        db.run("CREATE TABLE a (n INT)").unwrap();
+        db.run("CREATE TRIGGER loopy AFTER INSERT ON a { INSERT INTO a VALUES (1); }")
+            .unwrap();
+        let err = db.run("INSERT INTO a VALUES (0)").unwrap_err();
+        assert_eq!(err, DbError::TriggerDepthExceeded);
+    }
+
+    #[test]
+    fn delete_and_drop() {
+        let mut db = db_with_keywords();
+        db.run("DELETE FROM Keywords WHERE relevance < 0.5")
+            .unwrap();
+        assert_eq!(db.table("Keywords").unwrap().len(), 1);
+        db.run("DROP TABLE Keywords").unwrap();
+        assert!(matches!(
+            db.run("SELECT * FROM Keywords"),
+            Err(DbError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut db = Database::new();
+        db.run("CREATE TABLE t (a INT, b TEXT, c FLOAT)").unwrap();
+        db.run("INSERT INTO t (c, a) VALUES (1.5, 7)").unwrap();
+        let rows = db.query("SELECT * FROM t").unwrap();
+        assert_eq!(rows[0], vec![Value::Int(7), Value::Null, Value::Float(1.5)]);
+    }
+
+    #[test]
+    fn three_valued_logic_in_predicates() {
+        let mut db = Database::new();
+        db.run("CREATE TABLE t (a INT)").unwrap();
+        db.run("INSERT INTO t VALUES (1), (NULL)").unwrap();
+        // NULL comparison does not match, NOT(NULL) does not match.
+        assert_eq!(db.query("SELECT a FROM t WHERE a > 0").unwrap().len(), 1);
+        assert_eq!(
+            db.query("SELECT a FROM t WHERE NOT (a > 0)").unwrap().len(),
+            0
+        );
+        // OR with a definite true side matches despite NULL.
+        assert_eq!(
+            db.query("SELECT a FROM t WHERE a > 0 OR 1 = 1")
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.run("SELECT * FROM missing"),
+            Err(DbError::NoSuchTable(_))
+        ));
+        db.run("CREATE TABLE t (a INT)").unwrap();
+        assert!(db.run("SELECT b FROM t").is_ok());
+        db.run("INSERT INTO t VALUES (1)").unwrap();
+        assert!(matches!(
+            db.run("SELECT b FROM t"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            db.run("CREATE TABLE t (a INT)"),
+            Err(DbError::TableExists(_))
+        ));
+        assert!(matches!(
+            db.run("INSERT INTO t VALUES (1, 2)"),
+            Err(DbError::Arity { .. })
+        ));
+        assert!(matches!(
+            db.run("SELECT SUM(a), a FROM t"),
+            Err(DbError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn vars_are_case_insensitive() {
+        let mut db = Database::new();
+        db.set_var("AmtSpent", Value::Int(5));
+        assert_eq!(db.var("amtspent"), Some(&Value::Int(5)));
+        db.run("SET amtSpent = amtSpent + 1").unwrap();
+        assert_eq!(db.var("AMTSPENT"), Some(&Value::Int(6)));
+    }
+}

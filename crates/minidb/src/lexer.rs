@@ -1,0 +1,328 @@
+//! Tokenizer for the SQL dialect.
+
+use crate::error::{DbError, DbResult};
+
+/// A lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub position: usize,
+}
+
+/// Token kinds. Keywords are recognised case-insensitively and carried as
+/// `Keyword`; all other words are `Ident`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword such as `SELECT` (uppercased).
+    Keyword(String),
+    /// An identifier (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (contents, quotes stripped).
+    Str(String),
+    /// One of `( ) { } , ; . * + - / %`.
+    Symbol(char),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+const KEYWORDS: &[&str] = &[
+    "CREATE", "TABLE", "TRIGGER", "AFTER", "INSERT", "ON", "INTO", "VALUES", "UPDATE", "SET",
+    "WHERE", "SELECT", "FROM", "DELETE", "IF", "THEN", "ELSEIF", "ELSE", "ENDIF", "AND", "OR",
+    "NOT", "NULL", "TRUE", "FALSE", "MAX", "MIN", "SUM", "COUNT", "AVG", "INT", "FLOAT", "TEXT",
+    "BOOL", "AS", "INTEGER", "REAL", "VARCHAR", "BOOLEAN", "DROP",
+];
+
+/// Tokenizes an input string.
+pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let c = bytes[pos] as char;
+        if c.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        // Line comments: `--` to end of line.
+        if c == '-' && bytes.get(pos + 1) == Some(&b'-') {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        let start = pos;
+        match c {
+            '(' | ')' | '{' | '}' | ',' | ';' | '.' | '*' | '+' | '-' | '/' | '%' => {
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(c),
+                    position: start,
+                });
+                pos += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    position: start,
+                });
+                pos += 1;
+            }
+            '<' => {
+                pos += 1;
+                let kind = match bytes.get(pos) {
+                    Some(b'=') => {
+                        pos += 1;
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        pos += 1;
+                        TokenKind::Neq
+                    }
+                    _ => TokenKind::Lt,
+                };
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
+            }
+            '>' => {
+                pos += 1;
+                let kind = if bytes.get(pos) == Some(&b'=') {
+                    pos += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                };
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
+            }
+            '!' => {
+                pos += 1;
+                if bytes.get(pos) == Some(&b'=') {
+                    pos += 1;
+                    tokens.push(Token {
+                        kind: TokenKind::Neq,
+                        position: start,
+                    });
+                } else {
+                    return Err(DbError::Lex {
+                        message: "expected '=' after '!'".to_string(),
+                        position: start,
+                    });
+                }
+            }
+            '\'' => {
+                pos += 1;
+                let mut text = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        None => {
+                            return Err(DbError::Lex {
+                                message: "unterminated string literal".to_string(),
+                                position: start,
+                            })
+                        }
+                        Some(b'\'') => {
+                            // '' escapes a quote.
+                            if bytes.get(pos + 1) == Some(&b'\'') {
+                                text.push('\'');
+                                pos += 2;
+                            } else {
+                                pos += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            text.push(b as char);
+                            pos += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(text),
+                    position: start,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let mut end = pos;
+                let mut is_float = false;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_digit() {
+                        end += 1;
+                    } else if b == '.'
+                        && !is_float
+                        && bytes
+                            .get(end + 1)
+                            .map(|n| n.is_ascii_digit())
+                            .unwrap_or(false)
+                    {
+                        is_float = true;
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[pos..end];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| DbError::Lex {
+                        message: format!("bad float literal {text:?}"),
+                        position: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| DbError::Lex {
+                        message: format!("bad int literal {text:?}"),
+                        position: start,
+                    })?)
+                };
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
+                pos = end;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = pos;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[pos..end];
+                let upper = word.to_ascii_uppercase();
+                // Keywords keep their original spelling: some ("TEXT",
+                // "MAX", …) may be re-used as identifiers by the parser.
+                let kind = if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(word.to_string())
+                } else {
+                    TokenKind::Ident(word.to_string())
+                };
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
+                pos = end;
+            }
+            other => {
+                return Err(DbError::Lex {
+                    message: format!("unexpected character {other:?}"),
+                    position: start,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("SELECT bid FROM Keywords"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Ident("bid".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Ident("Keywords".into()),
+            ]
+        );
+        // Keywords are recognised case-insensitively but keep their
+        // spelling (the parser may re-use soft keywords as identifiers).
+        assert_eq!(kinds("select")[0], TokenKind::Keyword("select".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 0.7 3.25"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(0.7),
+                TokenKind::Float(3.25),
+            ]
+        );
+        // `1.` is Int then symbol (qualified-name dots must survive).
+        assert_eq!(
+            kinds("K.roi"),
+            vec![
+                TokenKind::Ident("K".into()),
+                TokenKind::Symbol('.'),
+                TokenKind::Ident("roi".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'boot' 'it''s'"),
+            vec![TokenKind::Str("boot".into()), TokenKind::Str("it's".into()),]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Neq,
+                TokenKind::Neq,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("bid -- the tentative bid\n + 1"),
+            vec![
+                TokenKind::Ident("bid".into()),
+                TokenKind::Symbol('+'),
+                TokenKind::Int(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(matches!(err, DbError::Lex { position: 2, .. }));
+    }
+}

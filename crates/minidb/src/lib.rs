@@ -1,0 +1,53 @@
+//! # ssa-minidb — a small relational engine for bidding programs
+//!
+//! Section II-B of the paper lets advertisers submit *bidding programs*:
+//! "programs can … be written using simple SQL updates without recursion and
+//! side-effects. SQL triggers can be used to activate programs when an
+//! auction begins". This crate is the from-scratch substrate that executes
+//! those programs: an in-memory relational engine with
+//!
+//! * typed [`Value`]s (integers, floats, text, booleans, NULL),
+//! * [`Table`]s with named, typed columns,
+//! * a SQL-dialect [`parser`] covering `CREATE TABLE`, `CREATE TRIGGER …
+//!   AFTER INSERT ON … { … }`, `INSERT`, `UPDATE … SET … WHERE`, `DELETE`,
+//!   `SELECT` with aggregates (`MAX`/`MIN`/`SUM`/`COUNT`/`AVG`), scalar
+//!   subqueries (correlated on the row being updated), and
+//!   `IF/ELSEIF/ELSE/ENDIF` blocks,
+//! * an [`exec`] interpreter with snapshot semantics for updates and
+//!   `AFTER INSERT` trigger firing,
+//! * host-visible scalar variables (`amtSpent`, `time`,
+//!   `targetSpendRate`, …) that the auction engine sets before each run.
+//!
+//! The paper's Figure 5 "Equalize ROI" program runs unmodified (up to the
+//! obvious typo on its line 11 — see `tests/figure5.rs`).
+//!
+//! ```
+//! use ssa_minidb::Database;
+//!
+//! let mut db = Database::new();
+//! db.run("CREATE TABLE Keywords (text TEXT, bid INT)").unwrap();
+//! db.run("INSERT INTO Keywords VALUES ('boot', 4)").unwrap();
+//! db.run("UPDATE Keywords SET bid = bid + 1 WHERE text = 'boot'").unwrap();
+//! let rows = db.query("SELECT bid FROM Keywords").unwrap();
+//! assert_eq!(rows[0][0].as_int().unwrap(), 5);
+//! ```
+//!
+//! Deviation from ISO SQL, chosen to match the paper's Figure 6 expectation:
+//! `SUM` over an empty set is `0` (not NULL); `COUNT` is `0`; `MAX`, `MIN`
+//! and `AVG` over an empty set are NULL.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod table;
+pub mod value;
+
+pub use error::{DbError, DbResult};
+pub use exec::{Database, ExecOutcome};
+pub use table::{Column, Row, Schema, Table};
+pub use value::{Value, ValueType};

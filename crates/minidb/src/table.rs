@@ -1,0 +1,233 @@
+//! Tables, schemas, and rows.
+
+use crate::error::{DbError, DbResult};
+use crate::value::{Value, ValueType};
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (matched case-insensitively).
+    pub name: String,
+    /// Column type.
+    pub ty: ValueType,
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+/// One row of values, aligned with a [`Schema`].
+pub type Row = Vec<Value>;
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate column names (case-insensitive).
+    pub fn new<I: IntoIterator<Item = (String, ValueType)>>(cols: I) -> Self {
+        let columns: Vec<Column> = cols
+            .into_iter()
+            .map(|(name, ty)| Column { name, ty })
+            .collect();
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert!(
+                    !a.name.eq_ignore_ascii_case(&b.name),
+                    "duplicate column {}",
+                    a.name
+                );
+            }
+        }
+        Schema { columns }
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// An in-memory table: a schema plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row after checking arity and types.
+    pub fn insert(&mut self, row: Row) -> DbResult<()> {
+        if row.len() != self.schema.len() {
+            return Err(DbError::Arity {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
+        }
+        let mut coerced = row;
+        for (value, col) in coerced.iter_mut().zip(self.schema.columns()) {
+            if !value.conforms_to(col.ty) {
+                return Err(DbError::Type(format!(
+                    "value {value} does not fit column {} ({})",
+                    col.name, col.ty
+                )));
+            }
+            // Widen INT into FLOAT columns eagerly so later reads are uniform.
+            if col.ty == ValueType::Float {
+                if let Value::Int(i) = value {
+                    *value = Value::Float(*i as f64);
+                }
+            }
+        }
+        self.rows.push(coerced);
+        Ok(())
+    }
+
+    /// Mutable access for the executor (indices come from a prior scan).
+    pub(crate) fn set_cell(&mut self, row: usize, col: usize, value: Value) -> DbResult<()> {
+        let col_def = &self.schema.columns()[col];
+        let mut value = value;
+        if !value.conforms_to(col_def.ty) {
+            return Err(DbError::Type(format!(
+                "value {value} does not fit column {} ({})",
+                col_def.name, col_def.ty
+            )));
+        }
+        if col_def.ty == ValueType::Float {
+            if let Value::Int(i) = value {
+                value = Value::Float(i as f64);
+            }
+        }
+        self.rows[row][col] = value;
+        Ok(())
+    }
+
+    /// Removes the rows at the given (sorted ascending, deduplicated)
+    /// indices.
+    pub(crate) fn delete_rows(&mut self, sorted_indices: &[usize]) {
+        for &idx in sorted_indices.iter().rev() {
+            self.rows.remove(idx);
+        }
+    }
+
+    /// Removes all rows.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("name".to_string(), ValueType::Text),
+            ("bid".to_string(), ValueType::Int),
+            ("roi".to_string(), ValueType::Float),
+        ])
+    }
+
+    #[test]
+    fn schema_lookup_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("BID"), Some(1));
+        assert_eq!(s.index_of("Roi"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        Schema::new(vec![
+            ("a".to_string(), ValueType::Int),
+            ("A".to_string(), ValueType::Int),
+        ]);
+    }
+
+    #[test]
+    fn insert_type_checked() {
+        let mut t = Table::new(schema());
+        t.insert(vec!["boot".into(), Value::Int(5), Value::Int(2)])
+            .unwrap();
+        // INT widened into the FLOAT column.
+        assert_eq!(t.rows()[0][2], Value::Float(2.0));
+        let err = t.insert(vec![Value::Int(1), Value::Int(5), Value::Float(2.0)]);
+        assert!(matches!(err, Err(DbError::Type(_))));
+        let err = t.insert(vec!["x".into()]);
+        assert!(matches!(
+            err,
+            Err(DbError::Arity {
+                expected: 3,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn null_fits_any_column() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_rows_in_reverse() {
+        let mut t = Table::new(Schema::new(vec![("v".to_string(), ValueType::Int)]));
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        t.delete_rows(&[1, 3]);
+        let left: Vec<i64> = t.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(left, vec![0, 2, 4]);
+    }
+}

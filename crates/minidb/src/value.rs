@@ -1,0 +1,351 @@
+//! Typed values and their coercion rules.
+
+use crate::error::{DbError, DbResult};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column or value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => write!(f, "INT"),
+            ValueType::Float => write!(f, "FLOAT"),
+            ValueType::Text => write!(f, "TEXT"),
+            ValueType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+/// A dynamically-typed SQL value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// The value's type, or `None` for NULL.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Text(_) => Some(ValueType::Text),
+            Value::Bool(_) => Some(ValueType::Bool),
+            Value::Null => None,
+        }
+    }
+
+    /// `true` if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view (exact).
+    pub fn as_int(&self) -> DbResult<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(DbError::Type(format!("expected INT, got {other}"))),
+        }
+    }
+
+    /// Numeric view: INT and FLOAT both coerce to `f64`.
+    pub fn as_f64(&self) -> DbResult<f64> {
+        match self {
+            Value::Int(v) => Ok(*v as f64),
+            Value::Float(v) => Ok(*v),
+            other => Err(DbError::Type(format!("expected a number, got {other}"))),
+        }
+    }
+
+    /// Text view.
+    pub fn as_text(&self) -> DbResult<&str> {
+        match self {
+            Value::Text(s) => Ok(s),
+            other => Err(DbError::Type(format!("expected TEXT, got {other}"))),
+        }
+    }
+
+    /// Boolean view. NULL is "unknown" and treated as `false` in predicate
+    /// position by the executor, but `as_bool` itself is strict.
+    pub fn as_bool(&self) -> DbResult<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DbError::Type(format!("expected BOOL, got {other}"))),
+        }
+    }
+
+    /// `true` if both values are numeric (INT or FLOAT).
+    fn both_numeric(&self, other: &Value) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+            && matches!(other, Value::Int(_) | Value::Float(_))
+    }
+
+    /// SQL three-valued comparison: NULL compares as None.
+    pub fn compare(&self, other: &Value) -> DbResult<Option<Ordering>> {
+        if self.is_null() || other.is_null() {
+            return Ok(None);
+        }
+        if self.both_numeric(other) {
+            // INT/INT comparisons stay exact.
+            if let (Value::Int(a), Value::Int(b)) = (self, other) {
+                return Ok(Some(a.cmp(b)));
+            }
+            let (a, b) = (self.as_f64()?, other.as_f64()?);
+            return Ok(a.partial_cmp(&b));
+        }
+        match (self, other) {
+            (Value::Text(a), Value::Text(b)) => Ok(Some(a.cmp(b))),
+            (Value::Bool(a), Value::Bool(b)) => Ok(Some(a.cmp(b))),
+            _ => Err(DbError::Type(format!("cannot compare {self} with {other}"))),
+        }
+    }
+
+    /// Arithmetic with INT-preserving semantics and NULL propagation.
+    pub fn arith(&self, op: ArithOp, other: &Value) -> DbResult<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        if let (Value::Int(a), Value::Int(b)) = (self, other) {
+            return match op {
+                ArithOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+                ArithOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+                ArithOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+                ArithOp::Div => {
+                    if *b == 0 {
+                        Err(DbError::DivisionByZero)
+                    } else {
+                        // SQL-style: integer division when exact, float
+                        // otherwise — the ROI heuristic divides cents by
+                        // time and expects a rate.
+                        if a % b == 0 {
+                            Ok(Value::Int(a / b))
+                        } else {
+                            Ok(Value::Float(*a as f64 / *b as f64))
+                        }
+                    }
+                }
+                ArithOp::Mod => {
+                    if *b == 0 {
+                        Err(DbError::DivisionByZero)
+                    } else {
+                        Ok(Value::Int(a % b))
+                    }
+                }
+            };
+        }
+        if !self.both_numeric(other) {
+            return Err(DbError::Type(format!(
+                "arithmetic on non-numbers: {self} {op} {other}"
+            )));
+        }
+        let (a, b) = (self.as_f64()?, other.as_f64()?);
+        let out = match op {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => {
+                if b == 0.0 {
+                    return Err(DbError::DivisionByZero);
+                }
+                a / b
+            }
+            ArithOp::Mod => {
+                if b == 0.0 {
+                    return Err(DbError::DivisionByZero);
+                }
+                a % b
+            }
+        };
+        Ok(Value::Float(out))
+    }
+
+    /// Checks assignability into a column of the given type (NULL fits
+    /// anywhere; INT widens into FLOAT).
+    pub fn conforms_to(&self, ty: ValueType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), ValueType::Int | ValueType::Float)
+                | (Value::Float(_), ValueType::Float)
+                | (Value::Text(_), ValueType::Text)
+                | (Value::Bool(_), ValueType::Bool)
+        )
+    }
+}
+
+/// Arithmetic operators used by [`Value::arith`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(
+            Value::Int(3)
+                .arith(ArithOp::Add, &Value::Float(0.5))
+                .unwrap(),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            Value::Int(7).arith(ArithOp::Div, &Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            Value::Int(6).arith(ArithOp::Div, &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Value::Int(7).arith(ArithOp::Mod, &Value::Int(4)).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(
+            Value::Null.arith(ArithOp::Add, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(Value::Int(1).compare(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert_eq!(
+            Value::Int(1).arith(ArithOp::Div, &Value::Int(0)),
+            Err(DbError::DivisionByZero)
+        );
+        assert_eq!(
+            Value::Float(1.0).arith(ArithOp::Mod, &Value::Float(0.0)),
+            Err(DbError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        use Ordering::*;
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.5)).unwrap(),
+            Some(Less)
+        );
+        assert_eq!(
+            Value::Text("a".into())
+                .compare(&Value::Text("b".into()))
+                .unwrap(),
+            Some(Less)
+        );
+        assert_eq!(
+            Value::Bool(true).compare(&Value::Bool(true)).unwrap(),
+            Some(Equal)
+        );
+        assert!(Value::Int(1).compare(&Value::Text("x".into())).is_err());
+    }
+
+    #[test]
+    fn type_conformance() {
+        assert!(Value::Int(1).conforms_to(ValueType::Float));
+        assert!(!Value::Float(1.0).conforms_to(ValueType::Int));
+        assert!(Value::Null.conforms_to(ValueType::Text));
+        assert!(!Value::Text("x".into()).conforms_to(ValueType::Bool));
+    }
+
+    #[test]
+    fn strict_accessors() {
+        assert!(Value::Text("x".into()).as_f64().is_err());
+        assert!(Value::Int(1).as_bool().is_err());
+        assert_eq!(Value::Float(2.0).as_f64().unwrap(), 2.0);
+        assert_eq!(Value::Text("hi".into()).as_text().unwrap(), "hi");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Text("a".into()).to_string(), "'a'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+    }
+}

@@ -1,0 +1,42 @@
+//! Robustness: the lexer/parser/executor must return errors, never panic,
+//! on arbitrary input.
+
+use proptest::prelude::*;
+use ssa_minidb::Database;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: `run` returns Ok or Err but never panics.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,200}") {
+        let mut db = Database::new();
+        let _ = db.run(&input);
+    }
+
+    /// SQL-shaped fragments assembled at random: still no panics, and the
+    /// database stays usable afterwards.
+    #[test]
+    fn sql_shaped_fragments_never_panic(
+        pieces in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("*"), Just("FROM"), Just("t"), Just("WHERE"),
+                Just("a"), Just("="), Just("1"), Just("("), Just(")"), Just(","),
+                Just("UPDATE"), Just("SET"), Just("INSERT"), Just("INTO"),
+                Just("VALUES"), Just("IF"), Just("THEN"), Just("ENDIF"),
+                Just("AND"), Just("OR"), Just("NOT"), Just("MAX"), Just("'x'"),
+                Just(";"), Just("+"), Just("-"), Just("/"), Just("0"),
+            ],
+            0..24,
+        ),
+    ) {
+        let mut db = Database::new();
+        db.run("CREATE TABLE t (a INT)").unwrap();
+        db.run("INSERT INTO t VALUES (1), (0)").unwrap();
+        let script = pieces.join(" ");
+        let _ = db.run(&script);
+        // Whatever happened, the engine must still answer queries.
+        let rows = db.query("SELECT COUNT(*) FROM t");
+        prop_assert!(rows.is_ok());
+    }
+}

@@ -1,0 +1,32 @@
+//! # ssa-simplex — linear programming solvers for winner determination
+//!
+//! The paper's experimental baseline ("method LP", Section V) solves the
+//! winner-determination problem as a linear program with the GLPK simplex
+//! solver. GLPK is not available to this reproduction, so this crate
+//! implements the required solvers from scratch:
+//!
+//! * [`tableau`] — a dense tableau simplex with Bland's anti-cycling rule
+//!   for general small LPs in standard form. Used to validate the LP
+//!   formulation and to demonstrate *empirically* the Chvátal integrality
+//!   property the paper proves: the assignment LP's optimum is integral
+//!   because the constraint matrix rows are the maximal cliques of a
+//!   perfect graph.
+//! * [`lp`] — the assignment LP formulation itself (one variable per
+//!   advertiser–slot pair, row-sum and column-sum constraints).
+//! * [`netsimplex`] — the *network simplex* method specialised to the
+//!   transportation form of the assignment problem. This is the scalable
+//!   "LP" column of Figure 12: a genuine simplex method (tree bases, dual
+//!   potentials, entering-arc pricing, cycle pivots) whose per-pivot
+//!   full-arc Dantzig pricing makes it roughly an order of magnitude slower
+//!   than the Hungarian specialisation, as the paper observes for GLPK.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lp;
+pub mod netsimplex;
+pub mod tableau;
+
+pub use lp::{assignment_lp, solve_assignment_lp, AssignmentLp};
+pub use netsimplex::{network_simplex_assignment, NetworkSimplexStats};
+pub use tableau::{LinearProgram, LpError, LpSolution};

@@ -1,0 +1,224 @@
+//! The Figure 5 strategy executed as a real SQL bidding program.
+//!
+//! [`SqlRoiBidder`] owns a private [`Database`] holding the advertiser's
+//! `Keywords` and `Bids` tables plus the trigger program, exactly as
+//! Section II-B prescribes ("the bidding program can be stored with its
+//! private tables to improve locality"). The host engine plays the search
+//! provider: before each auction it sets the shared variables and the
+//! per-keyword relevance, inserts into `Query` to fire the trigger, and
+//! reads the resulting `Bids` table.
+//!
+//! Integration tests assert that this bidder and the native
+//! [`crate::RoiBidder`] emit identical bids over long auction sequences.
+
+use ssa_bidlang::{parse_formula, BidsTable, Money};
+use ssa_core::{Bidder, BidderOutcome, QueryContext};
+use ssa_minidb::{Database, Value};
+
+/// Figure 5 (line 11's comparison corrected to `>`).
+const PROGRAM: &str = "
+CREATE TRIGGER bid AFTER INSERT ON Query
+{
+  IF amtSpent / time < targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid + 1
+    WHERE roi = ( SELECT MAX( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid < maxbid;
+  ELSEIF amtSpent / time > targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid - 1
+    WHERE roi = ( SELECT MIN( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid > 0;
+  ENDIF;
+
+  UPDATE Bids
+  SET value =
+    ( SELECT SUM( K.bid )
+      FROM Keywords K
+      WHERE K.relevance > 0.7
+        AND K.formula = Bids.formula );
+}
+";
+
+/// A bidder whose strategy runs inside the SQL engine.
+#[derive(Debug, Clone)]
+pub struct SqlRoiBidder {
+    db: Database,
+    /// Click value per keyword (cents); the provider-maintained statistic
+    /// used to update ROI.
+    click_values: Vec<i64>,
+    target_spend_rate: f64,
+    amt_spent: f64,
+    value_gained: Vec<f64>,
+    spent_per_keyword: Vec<f64>,
+    last_keyword: usize,
+}
+
+impl SqlRoiBidder {
+    /// Creates the bidder's private database.
+    ///
+    /// `keywords[i] = (click_value, initial_bid, initial_roi)`; the formula
+    /// for every keyword is `Click` and `maxbid = click_value`, mirroring
+    /// [`crate::roi::KeywordEntry::new`].
+    pub fn new(keywords: &[(i64, i64, f64)], target_spend_rate: f64) -> Self {
+        let mut db = Database::new();
+        db.run("CREATE TABLE Query (q TEXT)").unwrap();
+        db.run(
+            "CREATE TABLE Keywords (text TEXT, formula TEXT, maxbid INT, roi FLOAT, bid INT, \
+             relevance FLOAT)",
+        )
+        .unwrap();
+        db.run("CREATE TABLE Bids (formula TEXT, value INT)")
+            .unwrap();
+        for (i, (value, bid, roi)) in keywords.iter().enumerate() {
+            db.insert(
+                "Keywords",
+                vec![
+                    format!("kw{i}").into(),
+                    "Click".into(),
+                    Value::Int(*value),
+                    Value::Float(*roi),
+                    Value::Int(*bid),
+                    Value::Float(0.0),
+                ],
+            )
+            .unwrap();
+        }
+        db.insert("Bids", vec!["Click".into(), Value::Int(0)])
+            .unwrap();
+        db.run(PROGRAM).unwrap();
+        SqlRoiBidder {
+            db,
+            click_values: keywords.iter().map(|(v, _, _)| *v).collect(),
+            target_spend_rate,
+            amt_spent: 0.0,
+            value_gained: vec![0.0; keywords.len()],
+            spent_per_keyword: vec![0.0; keywords.len()],
+            last_keyword: 0,
+        }
+    }
+
+    /// Runs one auction round inside the database and returns the bid (in
+    /// cents) for the query keyword.
+    pub fn run_round(&mut self, keyword: usize, time: u64) -> i64 {
+        // Provider-maintained shared variables (Section II-B).
+        self.db.set_var("amtSpent", Value::Float(self.amt_spent));
+        self.db.set_var("time", Value::Int(time as i64));
+        self.db
+            .set_var("targetSpendRate", Value::Float(self.target_spend_rate));
+        // Relevance: 1 for the query keyword, 0 elsewhere.
+        self.db.run("UPDATE Keywords SET relevance = 0.0").unwrap();
+        self.db
+            .run(&format!(
+                "UPDATE Keywords SET relevance = 1.0 WHERE text = 'kw{keyword}'"
+            ))
+            .unwrap();
+        self.db.insert("Query", vec!["q".into()]).unwrap();
+        let rows = self
+            .db
+            .query("SELECT value FROM Bids WHERE formula = 'Click'")
+            .unwrap();
+        rows[0][0].as_int().expect("bid is integral")
+    }
+
+    /// The current stored bid for a keyword (reads the private table).
+    pub fn stored_bid(&mut self, keyword: usize) -> i64 {
+        self.db
+            .query(&format!(
+                "SELECT bid FROM Keywords WHERE text = 'kw{keyword}'"
+            ))
+            .unwrap()[0][0]
+            .as_int()
+            .unwrap()
+    }
+
+    /// Provider-side ROI bookkeeping after a click.
+    pub fn record_click(&mut self, keyword: usize, price: Money, value: f64) {
+        self.spent_per_keyword[keyword] += price.as_f64();
+        self.value_gained[keyword] += value;
+        self.amt_spent += price.as_f64();
+        if self.spent_per_keyword[keyword] > 0.0 {
+            let roi = self.value_gained[keyword] / self.spent_per_keyword[keyword];
+            self.db
+                .run(&format!(
+                    "UPDATE Keywords SET roi = {roi} WHERE text = 'kw{keyword}'"
+                ))
+                .unwrap();
+        }
+    }
+}
+
+impl Bidder for SqlRoiBidder {
+    fn on_query(&mut self, ctx: &QueryContext) -> BidsTable {
+        self.last_keyword = ctx.keyword;
+        let bid = self.run_round(ctx.keyword, ctx.time);
+        BidsTable::new(vec![(
+            parse_formula("Click").expect("static formula"),
+            Money::from_cents(bid),
+        )])
+    }
+
+    fn on_outcome(&mut self, _ctx: &QueryContext, outcome: &BidderOutcome) {
+        if outcome.clicked {
+            let value = self.click_values[self.last_keyword] as f64;
+            self.record_click(self.last_keyword, outcome.price, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roi::{KeywordEntry, RoiBidder};
+
+    #[test]
+    fn sql_round_matches_native_bid() {
+        let spec = [(5i64, 4i64, 2.0f64), (6, 8, 1.0)];
+        let mut sql = SqlRoiBidder::new(&spec, 1.0);
+        let mut native = RoiBidder::new(
+            spec.iter()
+                .map(|&(v, b, r)| KeywordEntry::new(v, b, r))
+                .collect(),
+            1.0,
+        );
+        for t in 1..=20u64 {
+            let kw = (t % 2) as usize;
+            let sql_bid = sql.run_round(kw, t);
+            let native_bid = native.adjust_and_bid(kw, t);
+            assert_eq!(sql_bid, native_bid, "divergence at t={t} kw={kw}");
+        }
+    }
+
+    #[test]
+    fn sql_strategy_tracks_wins() {
+        let spec = [(10i64, 2i64, 1.0f64), (10, 3, 1.0)];
+        let mut sql = SqlRoiBidder::new(&spec, 0.5);
+        let mut native = RoiBidder::new(
+            spec.iter()
+                .map(|&(v, b, r)| KeywordEntry::new(v, b, r))
+                .collect(),
+            0.5,
+        );
+        for t in 1..=30u64 {
+            let kw = (t % 2) as usize;
+            let (sb, nb) = (sql.run_round(kw, t), native.adjust_and_bid(kw, t));
+            assert_eq!(sb, nb, "pre-win divergence at t={t}");
+            // Simulate a click charged at half the bid every 5th auction.
+            if t % 5 == 0 && sb > 0 {
+                let price = Money::from_cents(sb / 2 + 1);
+                sql.record_click(kw, price, 10.0);
+                native.record_click(kw, price, 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn stored_bid_visible() {
+        let mut sql = SqlRoiBidder::new(&[(5, 4, 2.0)], 1.0);
+        assert_eq!(sql.stored_bid(0), 4);
+        sql.run_round(0, 1); // underspending → 5
+        assert_eq!(sql.stored_bid(0), 5);
+    }
+}

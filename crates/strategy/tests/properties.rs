@@ -1,0 +1,91 @@
+//! Property tests: the Section IV-B equivalence under adversarial
+//! parameters and win sequences, and native-vs-SQL strategy agreement.
+
+use proptest::prelude::*;
+use ssa_bidlang::Money;
+use ssa_strategy::{
+    KeywordEntry, LogicalRoiPopulation, NaiveRoiPopulation, RoiBidder, RoiBidderParams,
+    RoiPopulation, SqlRoiBidder,
+};
+
+fn arb_params(keywords: usize) -> impl Strategy<Value = RoiBidderParams> {
+    (
+        proptest::collection::vec((1i64..50, 0.25f64..3.0), keywords),
+        1.0f64..10.0,
+    )
+        .prop_map(|(kw, target)| RoiBidderParams {
+            keywords: kw
+                .into_iter()
+                .map(|(value, roi)| (value, (value / 2).max(1), roi))
+                .collect(),
+            target_spend_rate: target,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Logical updates ≡ naive evaluation for random populations, random
+    /// query streams, and random win/charge sequences.
+    #[test]
+    fn logical_equals_naive_randomised(
+        params in proptest::collection::vec(arb_params(3), 2..15),
+        script in proptest::collection::vec((0usize..3, any::<bool>(), 1i64..20), 40..120),
+    ) {
+        let mut naive = NaiveRoiPopulation::new(&params);
+        let mut logical = LogicalRoiPopulation::new(&params);
+        for (step, &(kw, give_win, price)) in script.iter().enumerate() {
+            naive.begin_auction(kw);
+            logical.begin_auction(kw);
+            for pid in 0..naive.len() {
+                prop_assert_eq!(
+                    naive.bid(pid),
+                    logical.bid(pid),
+                    "divergence at step {} for program {}", step, pid
+                );
+            }
+            if give_win {
+                // Winner: the top bidder under a deterministic tie-break.
+                let order = naive.bids_desc();
+                if let Some(&(winner, bid)) = order.first() {
+                    if bid > 0 {
+                        let value = 1.5 * price as f64;
+                        naive.record_click(winner, Money::from_cents(price), value);
+                        logical.record_click(winner, Money::from_cents(price), value);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The native ROI bidder and the SQL bidding program agree on every bid
+    /// over random spend trajectories.
+    #[test]
+    fn native_equals_sql(
+        spec in proptest::collection::vec((1i64..30, 0.5f64..2.5), 1..4),
+        target in 1.0f64..6.0,
+        wins in proptest::collection::vec((any::<bool>(), 1i64..10), 10..30),
+    ) {
+        let sql_spec: Vec<(i64, i64, f64)> = spec
+            .iter()
+            .map(|&(v, roi)| (v, (v / 2).max(1), roi))
+            .collect();
+        let mut sql = SqlRoiBidder::new(&sql_spec, target);
+        let mut native = RoiBidder::new(
+            sql_spec.iter().map(|&(v, b, r)| KeywordEntry::new(v, b, r)).collect(),
+            target,
+        );
+        for (t, &(win, price)) in wins.iter().enumerate() {
+            let time = (t + 1) as u64;
+            let kw = t % sql_spec.len();
+            let sql_bid = sql.run_round(kw, time);
+            let native_bid = native.adjust_and_bid(kw, time);
+            prop_assert_eq!(sql_bid, native_bid, "divergence at t={}", time);
+            if win && sql_bid > 0 {
+                let p = Money::from_cents(price.min(sql_bid).max(1));
+                sql.record_click(kw, p, 2.0 * p.as_f64());
+                native.record_click(kw, p, 2.0 * p.as_f64());
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # ssa-workload — the Section V experimental workload
+//!
+//! Reproduces the paper's evaluation setup:
+//!
+//! * 15 slots; 10 keywords; queries drawn uniformly, the chosen keyword at
+//!   relevance 1, the rest at 0;
+//! * every bidder runs the ROI heuristic; per-keyword click values uniform
+//!   in `[0, 50]` cents (each bidder has at least one non-zero value);
+//! * target spending rates uniform between 1 and the bidder's maximum
+//!   keyword value;
+//! * the interval `[0.1, 0.9]` partitioned into 15 sub-intervals, the
+//!   `j`-th highest associated with slot `j`; each advertiser's click
+//!   probability for a slot drawn uniformly within that slot's interval;
+//! * a slight generalisation of generalised second pricing charges
+//!   advertisers who receive clicks.
+//!
+//! [`Simulation`] runs complete auctions under any of the four Section V
+//! methods ([`Method::Lp`], [`Method::H`], [`Method::Rh`],
+//! [`Method::Rhtalu`]) and is what both the Criterion benches and the
+//! `reproduce` binary drive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod sim;
+
+pub use config::{SectionVConfig, SectionVWorkload};
+pub use sim::{Method, Simulation, SimulationStats};

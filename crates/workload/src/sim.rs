@@ -1,0 +1,402 @@
+//! The four-method auction simulation of Section V.
+
+use crate::config::SectionVWorkload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssa_bidlang::{Money, SlotId};
+use ssa_core::pricing::gsp_prices;
+use ssa_matching::threshold::{threshold_top_k, MaintainedIndex, TaSource};
+use ssa_matching::{max_weight_assignment, reduced_assignment, Assignment, RevenueMatrix};
+use ssa_simplex::network_simplex_assignment;
+use ssa_strategy::{LogicalRoiPopulation, NaiveRoiPopulation, RoiPopulation};
+use std::time::{Duration, Instant};
+
+/// The four winner-determination / program-evaluation methods compared in
+/// Figures 12 and 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Linear program solved with the (network) simplex method.
+    Lp,
+    /// Hungarian algorithm on the full bipartite graph.
+    H,
+    /// Reduced bipartite graph (Section III-E).
+    Rh,
+    /// Reduced graph + threshold algorithm + logical updates (Section IV).
+    Rhtalu,
+}
+
+impl Method {
+    /// All four methods, in the paper's order.
+    pub const ALL: [Method; 4] = [Method::Lp, Method::H, Method::Rh, Method::Rhtalu];
+
+    /// Label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Lp => "LP",
+            Method::H => "H",
+            Method::Rh => "RH",
+            Method::Rhtalu => "RHTALU",
+        }
+    }
+}
+
+/// Aggregate counters for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimulationStats {
+    /// Auctions run.
+    pub auctions: u64,
+    /// Sum of winner-determination objectives (expected revenue, cents).
+    pub total_expected_revenue: f64,
+    /// Realised clicks.
+    pub clicks: u64,
+    /// Realised GSP revenue (cents).
+    pub charged_cents: i64,
+    /// Total candidates surviving the reduction (RH / RHTALU).
+    pub candidates: u64,
+    /// Sorted accesses performed by the threshold algorithm (RHTALU).
+    pub ta_sorted_accesses: u64,
+}
+
+enum Population {
+    Naive(NaiveRoiPopulation),
+    Logical(LogicalRoiPopulation),
+}
+
+/// A [`TaSource`] over one slot: list 0 is the static click-probability
+/// index for that slot, list 1 the logically-maintained bid list for the
+/// query keyword. The aggregation `w × bid` is monotone in both.
+pub struct TaSlotSource<'a> {
+    /// Sorted click probabilities for this slot.
+    pub w_index: &'a MaintainedIndex,
+    /// The logical population holding the bid lists.
+    pub population: &'a LogicalRoiPopulation,
+    /// The query keyword.
+    pub keyword: usize,
+}
+
+impl TaSource for TaSlotSource<'_> {
+    fn num_lists(&self) -> usize {
+        2
+    }
+    fn num_objects(&self) -> usize {
+        self.w_index.len()
+    }
+    fn sorted_iter(&self, list: usize) -> Box<dyn Iterator<Item = (usize, f64)> + '_> {
+        match list {
+            0 => Box::new(self.w_index.iter_desc()),
+            1 => Box::new(
+                self.population
+                    .iter_desc(self.keyword)
+                    .map(|(p, b)| (p, b as f64)),
+            ),
+            _ => unreachable!("two lists"),
+        }
+    }
+    fn random_access(&self, list: usize, object: usize) -> f64 {
+        match list {
+            0 => self.w_index.value(object),
+            1 => self.population.bid_on(object, self.keyword) as f64,
+            _ => unreachable!("two lists"),
+        }
+    }
+}
+
+/// Product aggregation used by the RHTALU selection.
+pub fn ta_aggregation(values: &[f64]) -> f64 {
+    values.iter().product()
+}
+
+/// One full Section V simulation under a fixed method.
+pub struct Simulation {
+    /// The generated workload.
+    pub workload: SectionVWorkload,
+    method: Method,
+    population: Population,
+    /// Static per-slot click-probability indexes (RHTALU only).
+    w_indexes: Vec<MaintainedIndex>,
+    rng: StdRng,
+    auction_idx: usize,
+    /// Counters.
+    pub stats: SimulationStats,
+}
+
+impl Simulation {
+    /// Builds a simulation for the workload and method.
+    pub fn new(workload: SectionVWorkload, method: Method) -> Self {
+        let n = workload.config.num_advertisers;
+        let k = workload.config.num_slots;
+        let population = match method {
+            Method::Rhtalu => Population::Logical(LogicalRoiPopulation::new(&workload.bidders)),
+            _ => Population::Naive(NaiveRoiPopulation::new(&workload.bidders)),
+        };
+        let w_indexes = if method == Method::Rhtalu {
+            (0..k)
+                .map(|j| {
+                    MaintainedIndex::new(
+                        (0..n)
+                            .map(|i| workload.clicks.p_click(i, SlotId::from_index0(j)))
+                            .collect(),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let rng = StdRng::seed_from_u64(workload.config.seed ^ 0x5EED_CAFE);
+        Simulation {
+            workload,
+            method,
+            population,
+            w_indexes,
+            rng,
+            auction_idx: 0,
+            stats: SimulationStats::default(),
+        }
+    }
+
+    /// The method being simulated.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Runs one complete auction (program evaluation, winner determination,
+    /// click sampling, GSP pricing, strategy feedback). Returns the
+    /// winner-determination objective.
+    pub fn run_auction(&mut self) -> f64 {
+        let keyword =
+            self.workload.query_stream[self.auction_idx % self.workload.query_stream.len()];
+        self.auction_idx += 1;
+        let k = self.workload.config.num_slots;
+
+        // Program evaluation.
+        match &mut self.population {
+            Population::Naive(p) => p.begin_auction(keyword),
+            Population::Logical(p) => p.begin_auction(keyword),
+        };
+
+        // Winner determination.
+        let (assignment, candidates, objective) = match self.method {
+            Method::Lp | Method::H | Method::Rh => {
+                let Population::Naive(pop) = &self.population else {
+                    unreachable!("naive methods use the naive population")
+                };
+                let clicks = &self.workload.clicks;
+                let matrix = RevenueMatrix::from_fn(pop.len(), k, |i, j| {
+                    clicks.p_click(i, SlotId::from_index0(j)) * pop.bid(i) as f64
+                });
+                let assignment = match self.method {
+                    Method::Lp => network_simplex_assignment(&matrix).0,
+                    Method::H => max_weight_assignment(&matrix),
+                    Method::Rh => reduced_assignment(&matrix).assignment,
+                    Method::Rhtalu => unreachable!(),
+                };
+                let objective = assignment.total_weight;
+                let prices = gsp_prices(&matrix, &assignment, &|adv, slot| {
+                    clicks.p_click(adv, SlotId::from_index0(slot))
+                });
+                self.settle(keyword, &assignment, &prices);
+                (assignment, pop_len_candidates(&matrix), objective)
+            }
+            Method::Rhtalu => {
+                let (assignment, candidates, accesses) = self.solve_rhtalu(keyword);
+                self.stats.ta_sorted_accesses += accesses;
+                let objective = assignment.total_weight;
+                (assignment, candidates, objective)
+            }
+        };
+
+        self.stats.auctions += 1;
+        self.stats.total_expected_revenue += objective;
+        self.stats.candidates += candidates as u64;
+        let _ = assignment;
+        objective
+    }
+
+    /// RHTALU path: threshold-algorithm selection over logical bid lists,
+    /// then the reduced-graph Hungarian, then GSP within the candidate set.
+    fn solve_rhtalu(&mut self, keyword: usize) -> (Assignment, usize, u64) {
+        let k = self.workload.config.num_slots;
+        let Population::Logical(pop) = &self.population else {
+            unreachable!("RHTALU uses the logical population")
+        };
+        let mut candidates: Vec<usize> = Vec::with_capacity(k * (k + 1));
+        let mut accesses = 0u64;
+        for j in 0..k {
+            let source = TaSlotSource {
+                w_index: &self.w_indexes[j],
+                population: pop,
+                keyword,
+            };
+            // Top k+1 rather than top k: the winner determination needs k,
+            // but exact GSP pricing needs the best *unassigned* competitor
+            // per slot, and with at most k advertisers assigned the
+            // (k+1)-deep list always contains one.
+            let (top, instr) = threshold_top_k(&source, &ta_aggregation, k + 1);
+            accesses += instr.sorted_accesses as u64;
+            candidates.extend(top.into_iter().map(|(id, _)| id));
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let clicks = &self.workload.clicks;
+        let reduced = RevenueMatrix::from_fn(candidates.len(), k, |ci, j| {
+            let adv = candidates[ci];
+            clicks.p_click(adv, SlotId::from_index0(j)) * pop.bid_on(adv, keyword) as f64
+        });
+        let local = max_weight_assignment(&reduced);
+        let prices = gsp_prices(&reduced, &local, &|ci, slot| {
+            clicks.p_click(candidates[ci], SlotId::from_index0(slot))
+        });
+        // Map back to global ids.
+        let assignment = Assignment {
+            slot_to_adv: local
+                .slot_to_adv
+                .iter()
+                .map(|o| o.map(|ci| candidates[ci]))
+                .collect(),
+            total_weight: local.total_weight,
+        };
+        let global_prices: Vec<_> = prices
+            .into_iter()
+            .map(|mut p| {
+                p.winner = candidates[p.winner];
+                p
+            })
+            .collect();
+        let num_candidates = candidates.len();
+        self.settle(keyword, &assignment, &global_prices);
+        (assignment, num_candidates, accesses)
+    }
+
+    /// Samples user actions and feeds GSP charges back into the strategies.
+    fn settle(
+        &mut self,
+        keyword: usize,
+        assignment: &Assignment,
+        prices: &[ssa_core::pricing::SlotPrice],
+    ) {
+        let clicks = &self.workload.clicks;
+        for (j, adv) in assignment.slot_to_adv.iter().enumerate() {
+            let Some(adv) = *adv else { continue };
+            let p = clicks.p_click(adv, SlotId::from_index0(j));
+            if self.rng.gen::<f64>() >= p {
+                continue;
+            }
+            self.stats.clicks += 1;
+            let per_click = prices
+                .iter()
+                .find(|sp| sp.winner == adv)
+                .map(|sp| sp.amount)
+                .unwrap_or(0.0);
+            let price = Money::from_f64_rounded(per_click);
+            if price.is_positive() {
+                self.stats.charged_cents += price.cents();
+                let value = self.workload.bidders[adv].keywords[keyword].0 as f64;
+                match &mut self.population {
+                    Population::Naive(pop) => pop.record_click(adv, price, value),
+                    Population::Logical(pop) => pop.record_click(adv, price, value),
+                }
+            }
+        }
+    }
+
+    /// Runs `auctions` auctions, returning the elapsed wall-clock time.
+    pub fn run_timed(&mut self, auctions: usize) -> Duration {
+        let start = Instant::now();
+        for _ in 0..auctions {
+            self.run_auction();
+        }
+        start.elapsed()
+    }
+}
+
+/// "Candidates" for the full-matrix methods is simply n (every advertiser is
+/// considered); kept as a helper so the stats line up across methods.
+fn pop_len_candidates(matrix: &RevenueMatrix) -> usize {
+    matrix.num_advertisers()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SectionVConfig, SectionVWorkload};
+
+    fn workload(n: usize, seed: u64) -> SectionVWorkload {
+        SectionVWorkload::generate(SectionVConfig {
+            num_advertisers: n,
+            num_slots: 5,
+            num_keywords: 4,
+            seed,
+        })
+    }
+
+    /// All four methods produce the same winner-determination objective on
+    /// the very first auction (identical fresh state).
+    #[test]
+    fn methods_agree_on_first_auction_objective() {
+        let mut objectives = Vec::new();
+        for method in Method::ALL {
+            let mut sim = Simulation::new(workload(60, 11), method);
+            objectives.push(sim.run_auction());
+        }
+        for pair in objectives.windows(2) {
+            assert!(
+                (pair[0] - pair[1]).abs() < 1e-6,
+                "objectives diverge: {objectives:?}"
+            );
+        }
+    }
+
+    /// RH and RHTALU agree auction after auction: same objective every
+    /// round even as strategies evolve through clicks and charges (the RNG
+    /// streams are identical, and ties in GSP pricing resolve identically
+    /// because the candidate set always contains every positive-weight
+    /// competitor for each slot... asserted here empirically).
+    #[test]
+    fn rh_and_rhtalu_agree_over_time() {
+        let mut rh = Simulation::new(workload(40, 5), Method::Rh);
+        let mut ta = Simulation::new(workload(40, 5), Method::Rhtalu);
+        for auction in 0..120 {
+            let a = rh.run_auction();
+            let b = ta.run_auction();
+            assert!(
+                (a - b).abs() < 1e-6,
+                "objective diverged at auction {auction}: RH {a} vs RHTALU {b}"
+            );
+        }
+        assert_eq!(rh.stats.clicks, ta.stats.clicks);
+        assert_eq!(rh.stats.charged_cents, ta.stats.charged_cents);
+    }
+
+    /// The reduction bounds candidates by k² while the naive methods look
+    /// at all n advertisers.
+    #[test]
+    fn candidate_counts() {
+        let mut ta = Simulation::new(workload(80, 2), Method::Rhtalu);
+        for _ in 0..10 {
+            ta.run_auction();
+        }
+        let per_auction = ta.stats.candidates as f64 / ta.stats.auctions as f64;
+        assert!(
+            per_auction <= 30.0,
+            "candidates per auction = {per_auction}"
+        );
+        assert!(ta.stats.ta_sorted_accesses > 0);
+
+        let mut h = Simulation::new(workload(80, 2), Method::H);
+        h.run_auction();
+        assert_eq!(h.stats.candidates, 80);
+    }
+
+    /// Revenue statistics accumulate sensibly.
+    #[test]
+    fn stats_accumulate() {
+        let mut sim = Simulation::new(workload(50, 9), Method::Rh);
+        let d = sim.run_timed(30);
+        assert_eq!(sim.stats.auctions, 30);
+        assert!(sim.stats.total_expected_revenue > 0.0);
+        assert!(d.as_nanos() > 0);
+        // Clicks were sampled and some were charged.
+        assert!(sim.stats.clicks > 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Runs the paper's Figure 5 "Equalize ROI" SQL bidding program inside the
+//! bundled relational engine, reproducing the Figure 4 → Figure 6
+//! walkthrough and then letting the program adapt over a few auctions.
+//!
+//! ```text
+//! cargo run --example bidding_programs
+//! ```
+
+use sponsored_search::minidb::{Database, Value};
+
+const EQUALIZE_ROI: &str = "
+CREATE TRIGGER bid AFTER INSERT ON Query
+{
+  IF amtSpent / time < targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid + 1
+    WHERE roi = ( SELECT MAX( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid < maxbid;
+  ELSEIF amtSpent / time > targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid - 1
+    WHERE roi = ( SELECT MIN( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid > 0;
+  ENDIF;
+
+  UPDATE Bids
+  SET value =
+    ( SELECT SUM( K.bid )
+      FROM Keywords K
+      WHERE K.relevance > 0.7
+        AND K.formula = Bids.formula );
+}
+";
+
+fn print_table(db: &mut Database, title: &str, sql: &str) {
+    println!("-- {title}");
+    for row in db.query(sql).expect("query") {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:<18}")).collect();
+        println!("   {}", cells.join(" "));
+    }
+    println!();
+}
+
+fn main() {
+    let mut db = Database::new();
+    db.run("CREATE TABLE Query (text TEXT)").unwrap();
+    db.run(
+        "CREATE TABLE Keywords (text TEXT, formula TEXT, maxbid INT, roi FLOAT, bid INT, \
+         relevance FLOAT)",
+    )
+    .unwrap();
+    db.run("CREATE TABLE Bids (formula TEXT, value INT)")
+        .unwrap();
+
+    // Figure 4.
+    db.run(
+        "INSERT INTO Keywords VALUES \
+           ('boot', 'Click AND Slot1', 5, 2.0, 4, 0.8), \
+           ('shoe', 'Click', 6, 1.0, 8, 0.2)",
+    )
+    .unwrap();
+    db.run("INSERT INTO Bids VALUES ('Click AND Slot1', 0), ('Click', 0)")
+        .unwrap();
+
+    println!("installing the Figure 5 bidding program…\n{EQUALIZE_ROI}");
+    db.run(EQUALIZE_ROI).unwrap();
+
+    print_table(
+        &mut db,
+        "Keywords (Figure 4)",
+        "SELECT text, formula, maxbid, roi, bid, relevance FROM Keywords",
+    );
+
+    // Balanced spending → the trigger only refreshes the Bids table.
+    db.set_var("amtSpent", Value::Int(10));
+    db.set_var("time", Value::Int(10));
+    db.set_var("targetSpendRate", Value::Int(1));
+    db.run("INSERT INTO Query VALUES ('red boots')").unwrap();
+    print_table(
+        &mut db,
+        "Bids after a balanced auction (Figure 6)",
+        "SELECT formula, value FROM Bids",
+    );
+
+    // Underspending for several auctions: the max-ROI keyword climbs to its
+    // cap.
+    db.set_var("amtSpent", Value::Int(0));
+    db.set_var("targetSpendRate", Value::Int(3));
+    for t in 11..=14 {
+        db.set_var("time", Value::Int(t));
+        db.run("INSERT INTO Query VALUES ('boots')").unwrap();
+    }
+    print_table(
+        &mut db,
+        "Keywords after 4 underspending auctions (bid capped at maxbid)",
+        "SELECT text, bid, maxbid FROM Keywords",
+    );
+
+    // Overspending: the min-ROI keyword is wound down.
+    db.set_var("amtSpent", Value::Int(500));
+    for t in 15..=18 {
+        db.set_var("time", Value::Int(t));
+        db.run("INSERT INTO Query VALUES ('running shoes')")
+            .unwrap();
+        // The shoe keyword is the only relevant one in these queries.
+        db.run("UPDATE Keywords SET relevance = 0.0 WHERE text = 'boot'")
+            .unwrap();
+        db.run("UPDATE Keywords SET relevance = 1.0 WHERE text = 'shoe'")
+            .unwrap();
+    }
+    db.run("INSERT INTO Query VALUES ('shoes again')").unwrap();
+    print_table(
+        &mut db,
+        "Keywords after overspending auctions on 'shoe'",
+        "SELECT text, bid FROM Keywords",
+    );
+}

@@ -1,0 +1,59 @@
+//! # sponsored-search — expressive and scalable sponsored search auctions
+//!
+//! A from-scratch Rust reproduction of *Toward Expressive and Scalable
+//! Sponsored Search Auctions* (Martin, Gehrke & Halpern, ICDE 2008,
+//! arXiv:0809.0116). This umbrella crate re-exports the workspace members:
+//!
+//! * [`bidlang`] — the multi-feature bidding language (formulas over
+//!   `Slotj` / `Click` / `Purchase`, OR-bid tables, 2-dependent events);
+//! * [`minidb`] — the SQL engine that executes bidding programs
+//!   (Section II-B);
+//! * [`matching`] — Hungarian matching, the reduced-graph method, the
+//!   threshold algorithm, parallel aggregation (Sections III & IV-A);
+//! * [`simplex`] — the LP formulation and solvers (tableau + network
+//!   simplex);
+//! * [`strategy`] — the ROI-equalising heuristic (native and SQL) and
+//!   logical updates (Sections II-C & IV-B);
+//! * [`core`] — the auction engine: probability models, expected revenue,
+//!   pricing, the heavyweight model (Sections III-A/E/F);
+//! * [`workload`] — the Section V experimental workload and the
+//!   four-method simulation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sponsored_search::core::{
+//!     AuctionEngine, EngineConfig, TableBidder, WdMethod,
+//! };
+//! use sponsored_search::core::prob::{ClickModel, PurchaseModel};
+//! use sponsored_search::core::pricing::PricingScheme;
+//! use sponsored_search::bidlang::Money;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let bidders = vec![
+//!     TableBidder::per_click(Money::from_cents(10)),
+//!     TableBidder::per_click(Money::from_cents(20)),
+//! ];
+//! let clicks = ClickModel::from_rows(&[vec![0.8, 0.4], vec![0.6, 0.3]]);
+//! let purchases = PurchaseModel::never(2, 2);
+//! let mut engine = AuctionEngine::new(
+//!     bidders,
+//!     clicks,
+//!     purchases,
+//!     1,
+//!     EngineConfig { method: WdMethod::Reduced, pricing: PricingScheme::Gsp },
+//! );
+//! let report = engine.run_auction(0, &mut StdRng::seed_from_u64(1));
+//! assert_eq!(report.assignment.slot_to_adv.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ssa_bidlang as bidlang;
+pub use ssa_core as core;
+pub use ssa_matching as matching;
+pub use ssa_minidb as minidb;
+pub use ssa_simplex as simplex;
+pub use ssa_strategy as strategy;
+pub use ssa_workload as workload;
