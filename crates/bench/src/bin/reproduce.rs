@@ -18,8 +18,31 @@ use ssa_core::prob::ClickModel;
 use ssa_matching::{reduced_assignment, RevenueMatrix};
 use ssa_workload::Method;
 
+const USAGE: &str = "\
+reproduce — regenerate the paper's figures as text output
+
+Usage: reproduce [fig12|fig13|tables|all] [--quick]
+
+Targets:
+  fig12    winner-determination time per auction (LP/H/RH/RHTALU, k = 15)
+  fig13    RH vs RHTALU at larger advertiser counts
+  tables   the illustrative tables of Figures 1-11
+  all      everything above (default)
+
+Options:
+  --quick  shrink advertiser/auction counts so the run finishes in seconds
+  --help   print this message";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-') && *a != "--quick") {
+        eprintln!("unknown option {flag:?}\n{USAGE}");
+        std::process::exit(2);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let what = args
         .iter()
@@ -36,7 +59,7 @@ fn main() {
             fig13(quick);
         }
         other => {
-            eprintln!("unknown target {other:?}; expected fig12|fig13|tables|all");
+            eprintln!("unknown target {other:?}\n{USAGE}");
             std::process::exit(2);
         }
     }

@@ -136,9 +136,9 @@ proptest! {
             .collect();
         let (matrix, base) = revenue_matrix(&tables, &clicks, &purchases);
         prop_assert_eq!(base.total_base, 0.0);
-        for i in 0..n {
+        for (i, &cents) in bids_cents.iter().enumerate() {
             for j in 0..k {
-                let expect = clicks.p_click(i, SlotId::from_index0(j)) * bids_cents[i] as f64;
+                let expect = clicks.p_click(i, SlotId::from_index0(j)) * cents as f64;
                 prop_assert!((matrix.get(i, j) - expect).abs() < 1e-9);
             }
         }

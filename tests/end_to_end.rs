@@ -150,6 +150,33 @@ fn simulation_methods_agree_long_run() {
 }
 
 #[test]
+fn all_four_paper_methods_agree_on_shared_workload() {
+    // LP, H, RH and RHTALU run over the *same* generated Section V
+    // workload and must report the same winner-determination objective on
+    // every auction of the stream.
+    let config = SectionVConfig {
+        num_advertisers: 40,
+        num_slots: 5,
+        num_keywords: 4,
+        seed: 7171,
+    };
+    let mut sims: Vec<Simulation> = Method::ALL
+        .iter()
+        .map(|&m| Simulation::new(SectionVWorkload::generate(config), m))
+        .collect();
+    for auction in 0..40 {
+        let objectives: Vec<f64> = sims.iter_mut().map(|s| s.run_auction()).collect();
+        let reference = objectives[0];
+        for (method, obj) in Method::ALL.iter().zip(&objectives) {
+            assert!(
+                (obj - reference).abs() < 1e-6,
+                "auction {auction}: {method:?} objective {obj} != LP objective {reference}"
+            );
+        }
+    }
+}
+
+#[test]
 fn engine_expected_revenue_matches_realized_average_pay_your_bid() {
     // Law of large numbers check: with pay-your-bid pricing, average
     // realised revenue over many auctions approaches the (constant)

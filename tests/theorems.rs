@@ -130,7 +130,12 @@ proptest! {
         let n = tables.len();
         let k = K as usize;
         let mut reference: Option<f64> = None;
-        for method in [WdMethod::Lp, WdMethod::Hungarian, WdMethod::Reduced] {
+        for method in [
+            WdMethod::Lp,
+            WdMethod::Hungarian,
+            WdMethod::Reduced,
+            WdMethod::ReducedParallel(2),
+        ] {
             let mut rng = StdRng::seed_from_u64(seed);
             use rand::Rng;
             let clicks = ClickModel::from_fn(n, k, |_, _| rng.gen_range(0.0..1.0));

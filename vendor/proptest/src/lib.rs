@@ -1,0 +1,598 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate, vendored because
+//! the build environment has no network access to a crates registry.
+//!
+//! Supported surface (exactly what this workspace's property suites use):
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive` and `boxed`;
+//! * range strategies (`0..10`, `1..=5`, `0.0..1.0`), tuple strategies up
+//!   to arity 6, [`Just`], `any::<T>()`, [`collection::vec`],
+//!   [`option::of`] and the [`prop_oneof!`] union (weighted and
+//!   unweighted);
+//! * the [`proptest!`] test macro with `#![proptest_config(...)]` and
+//!   [`ProptestConfig::with_cases`];
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! **No shrinking is performed**: a failing case panics immediately with
+//! the case number. Generation is fully deterministic — the RNG is seeded
+//! from the test function's name — so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+use std::rc::Rc;
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value. (Upstream proptest builds a shrinkable value
+    /// tree; this shim generates directly.)
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns
+    /// for it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `self` is the leaf, `recurse` wraps an inner
+    /// strategy into a deeper one, nesting at most `depth` levels. The
+    /// `_desired_size` / `_expected_branch_size` hints are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            // Mix the leaf back in at every level so all depths from 0 to
+            // `depth` are reachable (weighted toward recursing).
+            let deeper = recurse(strat).boxed();
+            strat = Union {
+                arms: vec![(1, leaf.clone()), (3, deeper)],
+            }
+            .boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.gen_value(rng)))
+    }
+}
+
+/// A type-erased, cheaply cloneable [`Strategy`].
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of strategies — the engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.random_index(total);
+        for (w, strat) in &self.arms {
+            if pick < *w as u64 {
+                return strat.gen_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies from regex-like patterns (`input in ".{0,200}"`).
+///
+/// Supports the subset of regex syntax the workspace uses: literal
+/// characters, `.` (any printable-ish char, occasionally non-ASCII),
+/// character classes `[a-z0-9_]`, and the quantifiers `{m,n}`, `{n}`,
+/// `*`, `+`, `?`. Unsupported syntax panics at generation time.
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        string_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PatternAtom {
+    Any,
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn gen_any_char(rng: &mut TestRng) -> char {
+    // Mostly printable ASCII, with occasional control / non-ASCII chars
+    // so parser fuzzing still sees hostile input.
+    match rng.gen_range(0u32..20) {
+        0 => char::from_u32(rng.gen_range(1u32..32)).unwrap_or('\u{1}'),
+        1 => char::from_u32(rng.gen_range(0x80u32..0x2FFF)).unwrap_or('\u{FF}'),
+        _ => char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap(),
+    }
+}
+
+fn string_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => PatternAtom::Any,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            ranges.push((lo, hi));
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                ranges.push((p, p));
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    ranges.push((p, p));
+                }
+                PatternAtom::Class(ranges)
+            }
+            '\\' => PatternAtom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '(' | ')' | '|' | '^' | '$' => panic!(
+                "unsupported regex syntax {c:?} in pattern {pattern:?}: the vendored \
+                 proptest shim only supports literals, '.', classes and quantifiers"
+            ),
+            ch => PatternAtom::Literal(ch),
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse::<usize>().unwrap_or(0),
+                        b.trim().parse::<usize>().unwrap_or(0),
+                    ),
+                    None => {
+                        let n = spec.trim().parse::<usize>().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            match &atom {
+                PatternAtom::Any => out.push(gen_any_char(rng)),
+                PatternAtom::Literal(ch) => out.push(*ch),
+                PatternAtom::Class(ranges) => {
+                    let (a, b) = ranges[rng.gen_range(0..ranges.len())];
+                    let span = b as u32 - a as u32;
+                    let pick = rng.gen_range(0u32..=span);
+                    out.push(char::from_u32(a as u32 + pick).unwrap_or(a));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Types with a canonical "anything" strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        AnyFn(|rng: &mut TestRng| rng.gen_bool(0.5)).boxed()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                AnyFn(|rng: &mut TestRng| rng.gen()).boxed()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> BoxedStrategy<f64> {
+        AnyFn(|rng: &mut TestRng| rng.gen()).boxed()
+    }
+}
+
+struct AnyFn<F>(F);
+
+impl<F, T> Strategy for AnyFn<F>
+where
+    F: Fn(&mut TestRng) -> T,
+{
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Generates `Some` from the inner strategy about 3/4 of the time,
+    /// `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.gen_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Union of strategies; arms may be `strategy` or `weight => strategy`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property; panics (no shrinking) with the
+/// failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0..10i64, v in proptest::collection::vec(any::<bool>(), 1..5)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::seed_for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::gen_value(&($strat), &mut __rng);)*
+                let __run = move || { $body };
+                if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                    eprintln!(
+                        "proptest: property {} failed at case {}/{} (deterministic; re-run reproduces)",
+                        stringify!($name), __case + 1, __config.cases,
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

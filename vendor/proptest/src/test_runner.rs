@@ -1,0 +1,56 @@
+//! The deterministic RNG driving value generation.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic generator handed to [`crate::Strategy::gen_value`].
+///
+/// Seeded from the property's function name, so every run of a given test
+/// binary sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds a generator from an arbitrary label (FNV-1a hash).
+    pub fn seed_for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+
+    /// Uniform index in `[0, n)` — used by weighted unions.
+    pub fn random_index(&mut self, n: u64) -> u64 {
+        use rand::Rng;
+        self.0.gen_range(0..n)
+    }
+
+    /// Delegates to [`rand::Rng::gen_range`].
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: rand::SampleRange<T>,
+    {
+        use rand::Rng;
+        self.0.gen_range(range)
+    }
+
+    /// Delegates to [`rand::Rng::gen_bool`].
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        use rand::Rng;
+        self.0.gen_bool(p)
+    }
+
+    /// Delegates to [`rand::Rng::gen`].
+    pub fn gen<T: rand::StandardSample>(&mut self) -> T {
+        use rand::Rng;
+        self.0.gen()
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
