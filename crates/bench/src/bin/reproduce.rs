@@ -12,9 +12,10 @@
 //! up to 5000 advertisers, 100 auctions per point; Figure 13: up to 20000
 //! advertisers, 1000 auctions per point).
 
-use ssa_bench::{format_table, measure_series};
+use ssa_bench::{format_table, measure_method, measure_series};
 use ssa_bidlang::{BidsTable, Formula, Money, SlotId};
 use ssa_core::prob::ClickModel;
+use ssa_core::{PricingScheme, WdMethod};
 use ssa_matching::{reduced_assignment, RevenueMatrix};
 use ssa_workload::Method;
 
@@ -22,6 +23,7 @@ const USAGE: &str = "\
 reproduce — regenerate the paper's figures as text output
 
 Usage: reproduce [fig12|fig13|tables|all] [--quick]
+       reproduce --method <lp|h|rh|rhp[:threads]> [--json] [--quick]
 
 Targets:
   fig12    winner-determination time per auction (LP/H/RH/RHTALU, k = 15)
@@ -30,8 +32,12 @@ Targets:
   all      everything above (default)
 
 Options:
-  --quick  shrink advertiser/auction counts so the run finishes in seconds
-  --help   print this message";
+  --method <m>  measure one winner-determination method on the batched
+                engine pipeline instead of printing figures
+  --json        with --method, emit one machine-readable JSON object
+  --quick       shrink advertiser/auction counts so the run finishes in
+                seconds
+  --help        print this message";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,17 +45,53 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    if let Some(flag) = args.iter().find(|a| a.starts_with('-') && *a != "--quick") {
-        eprintln!("unknown option {flag:?}\n{USAGE}");
-        std::process::exit(2);
+    let method = match parse_method_flag(&args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    // Walk the arguments once: reject unknown flags and find the first
+    // positional target (skipping --method's value).
+    let known_flag = |a: &str| a == "--quick" || a == "--json" || a == "--method";
+    let mut target: Option<&str> = None;
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--method" {
+            skip_value = true;
+            continue;
+        }
+        if a.starts_with('-') {
+            if !known_flag(a) {
+                eprintln!("unknown option {a:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+            continue;
+        }
+        target.get_or_insert(a.as_str());
     }
     let quick = args.iter().any(|a| a == "--quick");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
-    match what {
+    let json = args.iter().any(|a| a == "--json");
+    if json && method.is_none() {
+        eprintln!("--json requires --method\n{USAGE}");
+        std::process::exit(2);
+    }
+
+    if let Some(method) = method {
+        if let Some(target) = target {
+            eprintln!("--method cannot be combined with target {target:?}\n{USAGE}");
+            std::process::exit(2);
+        }
+        single_method(method, json, quick);
+        return;
+    }
+
+    match target.unwrap_or("all") {
         "fig12" => fig12(quick),
         "fig13" => fig13(quick),
         "tables" => tables(),
@@ -62,6 +104,42 @@ fn main() {
             eprintln!("unknown target {other:?}\n{USAGE}");
             std::process::exit(2);
         }
+    }
+}
+
+/// Extracts `--method <m>` from the argument list, if present.
+fn parse_method_flag(args: &[String]) -> Result<Option<WdMethod>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--method") else {
+        return Ok(None);
+    };
+    let value = args
+        .get(pos + 1)
+        .ok_or_else(|| "--method requires a value".to_string())?;
+    value.parse().map(Some)
+}
+
+/// Single-method mode: one batched throughput run on the Section V engine
+/// workload, reported as text or JSON (for `BENCH_*.json` tracking).
+fn single_method(method: WdMethod, json: bool, quick: bool) {
+    let (n, auctions) = if quick { (250, 50) } else { (1000, 200) };
+    let warmup = auctions / 10 + 1;
+    let run = measure_method(method, PricingScheme::Gsp, n, auctions, warmup, 4242);
+    if json {
+        println!("{}", run.to_json());
+    } else {
+        println!(
+            "method {} ({} pricing): n = {}, k = {}, {} auctions in {:.2} ms \
+             ({:.0} auctions/sec, {} clicks, {} realized)",
+            run.method,
+            run.pricing,
+            run.advertisers,
+            run.slots,
+            run.auctions,
+            ssa_bench::ms(run.elapsed),
+            run.auctions_per_sec(),
+            run.report.clicks,
+            run.report.realized_revenue,
+        );
     }
 }
 

@@ -8,8 +8,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssa_bidlang::Money;
+use ssa_core::{AuctionEngine, BatchReport, EngineConfig, PricingScheme, TableBidder, WdMethod};
 use ssa_workload::{Method, SectionVConfig, SectionVWorkload, Simulation};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One measured point of a figure series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +75,116 @@ pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1000.0
 }
 
+/// Builds an [`AuctionEngine`] over a Section V population: per-click
+/// [`TableBidder`]s with the workload's initial bids, the paper's
+/// 15-slot click model, no purchases.
+pub fn section_v_engine(n: usize, seed: u64, config: EngineConfig) -> AuctionEngine<TableBidder> {
+    let workload = SectionVWorkload::generate(SectionVConfig::paper(n, seed));
+    let bidders: Vec<TableBidder> = workload
+        .bidders
+        .iter()
+        .map(|b| {
+            let cents = b
+                .keywords
+                .iter()
+                .map(|&(_, bid, _)| bid)
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            TableBidder::per_click(Money::from_cents(cents))
+        })
+        .collect();
+    let num_keywords = workload.config.num_keywords;
+    AuctionEngine::new(
+        bidders,
+        workload.clicks,
+        workload.purchases,
+        num_keywords,
+        config,
+    )
+}
+
+/// Outcome of a single-method batched throughput run (the machine-readable
+/// record behind `reproduce --method <m> --json`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodRun {
+    /// Winner-determination method measured.
+    pub method: WdMethod,
+    /// Pricing scheme in force.
+    pub pricing: PricingScheme,
+    /// Advertiser count.
+    pub advertisers: usize,
+    /// Slot count.
+    pub slots: usize,
+    /// Timed auctions (after warm-up).
+    pub auctions: usize,
+    /// Wall-clock time of the timed batch.
+    pub elapsed: Duration,
+    /// Aggregate auction outcomes of the timed batch.
+    pub report: BatchReport,
+}
+
+impl MethodRun {
+    /// Batched throughput in auctions per second.
+    pub fn auctions_per_sec(&self) -> f64 {
+        self.auctions as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Serialises the run as a single JSON object (stable keys, no
+    /// dependencies) for `BENCH_*.json`-style tracking.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"method\":\"{}\",\"pricing\":\"{}\",\"advertisers\":{},",
+                "\"slots\":{},\"auctions\":{},\"elapsed_ms\":{:.3},",
+                "\"auctions_per_sec\":{:.1},\"expected_revenue_cents\":{:.2},",
+                "\"clicks\":{},\"realized_revenue_cents\":{}}}"
+            ),
+            self.method,
+            self.pricing,
+            self.advertisers,
+            self.slots,
+            self.auctions,
+            ms(self.elapsed),
+            self.auctions_per_sec(),
+            self.report.expected_revenue,
+            self.report.clicks,
+            self.report.realized_revenue.cents(),
+        )
+    }
+}
+
+/// Measures one method's batched throughput on the Section V engine
+/// workload: `warmup` unmeasured auctions (filling the persistent solver
+/// and matrix buffers), then `auctions` timed ones.
+pub fn measure_method(
+    method: WdMethod,
+    pricing: PricingScheme,
+    n: usize,
+    auctions: usize,
+    warmup: usize,
+    seed: u64,
+) -> MethodRun {
+    let mut engine = section_v_engine(n, seed, EngineConfig { method, pricing });
+    let slots = engine.clicks.num_slots();
+    let keywords = engine.num_keywords.max(1);
+    let queries: Vec<usize> = (0..auctions.max(warmup)).map(|i| i % keywords).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE_D1CE);
+    engine.run_batch(&queries[..warmup], &mut rng);
+    let start = Instant::now();
+    let report = engine.run_batch(&queries[..auctions], &mut rng);
+    let elapsed = start.elapsed();
+    MethodRun {
+        method,
+        pricing,
+        advertisers: n,
+        slots,
+        auctions,
+        elapsed,
+        report,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +195,30 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert!(pts.iter().all(|p| p.ms_per_auction > 0.0));
         assert_eq!(pts[0].n, 30);
+    }
+
+    #[test]
+    fn method_run_json_shape() {
+        let run = measure_method(WdMethod::Reduced, PricingScheme::Gsp, 40, 6, 2, 11);
+        assert_eq!(run.auctions, 6);
+        assert_eq!(run.report.auctions, 6);
+        assert!(run.auctions_per_sec() > 0.0);
+        let json = run.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for key in [
+            "\"method\":\"rh\"",
+            "\"pricing\":\"gsp\"",
+            "\"advertisers\":40",
+            "\"slots\":15",
+            "\"auctions\":6",
+            "\"elapsed_ms\":",
+            "\"auctions_per_sec\":",
+            "\"expected_revenue_cents\":",
+            "\"clicks\":",
+            "\"realized_revenue_cents\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

@@ -1,14 +1,29 @@
 //! The auction engine: program evaluation → winner determination → user
 //! action → pricing, per Section I-B's six-step flow.
+//!
+//! Two execution paths share the same auction logic:
+//!
+//! * [`AuctionEngine::run_auction`] — the one-shot convenience path. It
+//!   builds a fresh revenue matrix and solver scratch per call and returns
+//!   a fully materialised [`AuctionReport`].
+//! * [`AuctionEngine::run_batch`] / [`AuctionEngine::stream`] — the hot
+//!   path. The engine owns a boxed [`WdSolver`] plus preallocated matrix,
+//!   assignment, and charge buffers; each auction refills them in place
+//!   (via [`revenue_matrix_into`]), so a batch performs **no per-auction
+//!   revenue-matrix allocation**. `run_batch` aggregates into a
+//!   [`BatchReport`]; `stream` lazily materialises per-auction reports.
 
 use crate::bidder::{Bidder, BidderOutcome, QueryContext};
-use crate::pricing::{gsp_prices, vcg_prices, PricingScheme};
+use crate::pricing::{gsp_prices_into, vcg_prices, PricingScheme, SlotPrice};
 use crate::prob::{ClickModel, PurchaseModel};
-use crate::revenue::revenue_matrix;
+use crate::revenue::{revenue_matrix, revenue_matrix_into, NoSlotValues};
 use rand::Rng;
-use ssa_bidlang::{AdvertiserView, Money, SlotId};
-use ssa_matching::{max_weight_assignment, reduced_assignment, Assignment};
-use ssa_simplex::network_simplex_assignment;
+use ssa_bidlang::{AdvertiserView, BidsTable, Money, SlotId};
+use ssa_matching::{
+    max_weight_assignment, reduced_assignment, Assignment, HungarianSolver, ParallelReducedSolver,
+    ReducedSolver, RevenueMatrix, WdSolver,
+};
+use ssa_simplex::{network_simplex_assignment, NetworkSimplexSolver};
 
 /// Which winner-determination algorithm the engine runs (the four methods
 /// of Section V, minus the program-evaluation reductions which live in the
@@ -25,6 +40,68 @@ pub enum WdMethod {
     /// Method RH with the Section III-E parallel tree aggregation, using
     /// the given number of threads.
     ReducedParallel(usize),
+}
+
+/// Selection-thread count assumed when parsing a bare `rhp` (no `:threads`
+/// suffix).
+pub const DEFAULT_PARALLEL_THREADS: usize = 4;
+
+impl WdMethod {
+    /// Constructs the reusable [`WdSolver`] implementing this method. The
+    /// returned solver owns its scratch buffers; keep it alive across
+    /// auctions to amortise allocation.
+    pub fn new_solver(self) -> Box<dyn WdSolver> {
+        match self {
+            WdMethod::Lp => Box::new(NetworkSimplexSolver::new()),
+            WdMethod::Hungarian => Box::new(HungarianSolver::new()),
+            WdMethod::Reduced => Box::new(ReducedSolver::new()),
+            WdMethod::ReducedParallel(threads) => Box::new(ParallelReducedSolver::new(threads)),
+        }
+    }
+}
+
+impl std::fmt::Display for WdMethod {
+    /// The CLI names: `lp`, `h`, `rh`, and `rhp:<threads>`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WdMethod::Lp => f.write_str("lp"),
+            WdMethod::Hungarian => f.write_str("h"),
+            WdMethod::Reduced => f.write_str("rh"),
+            WdMethod::ReducedParallel(threads) => write!(f, "rhp:{threads}"),
+        }
+    }
+}
+
+impl std::str::FromStr for WdMethod {
+    type Err = String;
+
+    /// Parses `lp`, `h`, `rh`, `rhp` (with [`DEFAULT_PARALLEL_THREADS`]),
+    /// or `rhp:<threads>`, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "lp" => Ok(WdMethod::Lp),
+            "h" | "hungarian" => Ok(WdMethod::Hungarian),
+            "rh" | "reduced" => Ok(WdMethod::Reduced),
+            "rhp" => Ok(WdMethod::ReducedParallel(DEFAULT_PARALLEL_THREADS)),
+            other => {
+                if let Some(threads) = other.strip_prefix("rhp:") {
+                    let threads: usize = threads
+                        .parse()
+                        .map_err(|_| format!("invalid thread count in {s:?}"))?;
+                    if threads == 0 {
+                        return Err(format!("thread count must be positive in {s:?}"));
+                    }
+                    Ok(WdMethod::ReducedParallel(threads))
+                } else {
+                    Err(format!(
+                        "unknown winner-determination method {other:?} \
+                         (expected lp, h, rh, rhp, or rhp:<threads>)"
+                    ))
+                }
+            }
+        }
+    }
 }
 
 /// Engine configuration.
@@ -63,6 +140,57 @@ pub struct AuctionReport {
     pub realized_revenue: Money,
 }
 
+/// Aggregate outcome of a batched run: everything the serving layer needs
+/// for accounting without materialising per-auction reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BatchReport {
+    /// Auctions run.
+    pub auctions: u64,
+    /// Sum of winner-determination objectives (expected revenue, cents).
+    pub expected_revenue: f64,
+    /// Slots that received an advertiser, summed over auctions.
+    pub filled_slots: u64,
+    /// Realised clicks.
+    pub clicks: u64,
+    /// Realised purchases.
+    pub purchases: u64,
+    /// Total realised revenue.
+    pub realized_revenue: Money,
+}
+
+/// Hot-path scratch reused across batched auctions; every buffer is refilled
+/// in place each step.
+#[derive(Debug)]
+struct BatchScratch {
+    bids: Vec<BidsTable>,
+    matrix: RevenueMatrix,
+    base: NoSlotValues,
+    assignment: Assignment,
+    clicked: Vec<bool>,
+    purchased: Vec<bool>,
+    charges: Vec<(usize, Money)>,
+    prices: Vec<SlotPrice>,
+    adv_to_slot: Vec<Option<usize>>,
+    price_by_adv: Vec<Money>,
+}
+
+impl BatchScratch {
+    fn new(num_slots: usize) -> Self {
+        BatchScratch {
+            bids: Vec::new(),
+            matrix: RevenueMatrix::zeros(0, num_slots.max(1)),
+            base: NoSlotValues::default(),
+            assignment: Assignment::default(),
+            clicked: Vec::new(),
+            purchased: Vec::new(),
+            charges: Vec::new(),
+            prices: Vec::new(),
+            adv_to_slot: Vec::new(),
+            price_by_adv: Vec::new(),
+        }
+    }
+}
+
 /// The auction engine over a population of bidders.
 #[derive(Debug)]
 pub struct AuctionEngine<B: Bidder> {
@@ -77,6 +205,9 @@ pub struct AuctionEngine<B: Bidder> {
     /// Keyword universe size, surfaced to bidders.
     pub num_keywords: usize,
     time: u64,
+    solver: Box<dyn WdSolver>,
+    solver_method: WdMethod,
+    scratch: BatchScratch,
 }
 
 impl<B: Bidder> AuctionEngine<B> {
@@ -90,6 +221,7 @@ impl<B: Bidder> AuctionEngine<B> {
     ) -> Self {
         assert_eq!(clicks.num_advertisers(), bidders.len());
         assert_eq!(purchases.num_advertisers(), bidders.len());
+        let scratch = BatchScratch::new(clicks.num_slots());
         AuctionEngine {
             bidders,
             clicks,
@@ -97,6 +229,9 @@ impl<B: Bidder> AuctionEngine<B> {
             config,
             num_keywords,
             time: 0,
+            solver: config.method.new_solver(),
+            solver_method: config.method,
+            scratch,
         }
     }
 
@@ -105,7 +240,32 @@ impl<B: Bidder> AuctionEngine<B> {
         self.time
     }
 
+    /// The auction clock (number of auctions run, across both single and
+    /// batched paths). Alias of [`AuctionEngine::time`] with the
+    /// conventional name.
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// The persistent solver the batched path dispatches to, rebuilt lazily
+    /// whenever `config.method` changes.
+    pub fn solver_name(&mut self) -> &'static str {
+        self.ensure_solver();
+        self.solver.name()
+    }
+
+    fn ensure_solver(&mut self) {
+        if self.solver_method != self.config.method {
+            self.solver = self.config.method.new_solver();
+            self.solver_method = self.config.method;
+        }
+    }
+
     /// Runs one complete auction for a query on `keyword`.
+    ///
+    /// This is the stateless convenience path: it rebuilds the revenue
+    /// matrix and solver scratch per call. Use [`AuctionEngine::run_batch`]
+    /// or [`AuctionEngine::stream`] on the hot path.
     pub fn run_auction<R: Rng>(&mut self, keyword: usize, rng: &mut R) -> AuctionReport {
         self.time += 1;
         let ctx = QueryContext {
@@ -141,32 +301,32 @@ impl<B: Bidder> AuctionEngine<B> {
         }
 
         // Step 6: pricing.
-        let charges = self.compute_charges(&bids, &matrix, &assignment, &clicked, &purchased);
+        let adv_to_slot = assignment.adv_to_slot(self.bidders.len());
+        let mut charges = Vec::new();
+        compute_charges_into(
+            self.config.pricing,
+            &self.clicks,
+            &bids,
+            &matrix,
+            &assignment,
+            &adv_to_slot,
+            &clicked,
+            &purchased,
+            &mut Vec::new(),
+            &mut charges,
+        );
         let realized_revenue = charges.iter().map(|(_, m)| *m).sum();
 
         // Notify bidders.
-        let adv_to_slot = assignment.adv_to_slot(self.bidders.len());
-        for (i, bidder) in self.bidders.iter_mut().enumerate() {
-            let slot = adv_to_slot[i].map(SlotId::from_index0);
-            let (c, p) = match adv_to_slot[i] {
-                Some(j) => (clicked[j], purchased[j]),
-                None => (false, false),
-            };
-            let price = charges
-                .iter()
-                .find(|(adv, _)| *adv == i)
-                .map(|(_, m)| *m)
-                .unwrap_or(Money::ZERO);
-            bidder.on_outcome(
-                &ctx,
-                &BidderOutcome {
-                    slot,
-                    clicked: c,
-                    purchased: p,
-                    price,
-                },
-            );
-        }
+        notify_bidders(
+            &mut self.bidders,
+            &ctx,
+            &adv_to_slot,
+            &clicked,
+            &purchased,
+            &charges,
+            &mut Vec::new(),
+        );
 
         AuctionReport {
             assignment,
@@ -178,54 +338,248 @@ impl<B: Bidder> AuctionEngine<B> {
         }
     }
 
-    fn compute_charges(
-        &self,
-        bids: &[ssa_bidlang::BidsTable],
-        matrix: &ssa_matching::RevenueMatrix,
-        assignment: &Assignment,
-        clicked: &[bool],
-        purchased: &[bool],
-    ) -> Vec<(usize, Money)> {
-        match self.config.pricing {
-            PricingScheme::PayYourBid => {
-                // Everyone pays their realised OR-bid (unplaced advertisers
-                // can owe money on negated-slot formulas).
-                let adv_to_slot = assignment.adv_to_slot(bids.len());
-                bids.iter()
-                    .enumerate()
-                    .filter_map(|(i, table)| {
-                        let view = match adv_to_slot[i] {
-                            Some(j) => AdvertiserView {
-                                slot: Some(SlotId::from_index0(j)),
-                                clicked: clicked[j],
-                                purchased: purchased[j],
-                                heavy_pattern: None,
-                            },
-                            None => AdvertiserView::unplaced(),
-                        };
-                        let owed = table.payment(&view);
-                        owed.is_positive().then_some((i, owed))
-                    })
-                    .collect()
+    /// Runs one auction entirely inside the persistent scratch buffers.
+    /// Returns the auction's expected revenue; all other outcomes are left
+    /// in `self.scratch` for the caller to aggregate or materialise.
+    fn hot_step<R: Rng>(&mut self, keyword: usize, rng: &mut R) -> f64 {
+        self.time += 1;
+        let ctx = QueryContext {
+            time: self.time,
+            keyword,
+            num_keywords: self.num_keywords,
+        };
+
+        // Step 3: program evaluation into the reused bids buffer.
+        self.scratch.bids.clear();
+        for b in self.bidders.iter_mut() {
+            self.scratch.bids.push(b.on_query(&ctx));
+        }
+
+        // Step 4: winner determination, matrix refilled in place.
+        revenue_matrix_into(
+            &self.scratch.bids,
+            &self.clicks,
+            &self.purchases,
+            &mut self.scratch.matrix,
+            &mut self.scratch.base,
+        );
+        self.solver
+            .solve(&self.scratch.matrix, &mut self.scratch.assignment);
+        let expected_revenue = self.scratch.base.total_base + self.scratch.assignment.total_weight;
+
+        // Step 5: user action.
+        let k = self.scratch.matrix.num_slots();
+        self.scratch.clicked.clear();
+        self.scratch.clicked.resize(k, false);
+        self.scratch.purchased.clear();
+        self.scratch.purchased.resize(k, false);
+        for (j, adv) in self.scratch.assignment.slot_to_adv.iter().enumerate() {
+            let Some(adv) = *adv else { continue };
+            let slot = SlotId::from_index0(j);
+            let clicked = rng.gen::<f64>() < self.clicks.p_click(adv, slot);
+            self.scratch.clicked[j] = clicked;
+            self.scratch.purchased[j] =
+                rng.gen::<f64>() < self.purchases.p_purchase(adv, slot, clicked);
+        }
+
+        // Reused advertiser→slot inverse map (pricing and notification).
+        self.scratch.adv_to_slot.clear();
+        self.scratch.adv_to_slot.resize(self.bidders.len(), None);
+        for (j, adv) in self.scratch.assignment.slot_to_adv.iter().enumerate() {
+            if let Some(i) = adv {
+                self.scratch.adv_to_slot[*i] = Some(j);
             }
-            PricingScheme::Gsp => {
-                let clicks = &self.clicks;
-                let prices = gsp_prices(matrix, assignment, &|adv, slot| {
-                    clicks.p_click(adv, SlotId::from_index0(slot))
-                });
+        }
+
+        // Step 6: pricing into the reused charge/price buffers.
+        compute_charges_into(
+            self.config.pricing,
+            &self.clicks,
+            &self.scratch.bids,
+            &self.scratch.matrix,
+            &self.scratch.assignment,
+            &self.scratch.adv_to_slot,
+            &self.scratch.clicked,
+            &self.scratch.purchased,
+            &mut self.scratch.prices,
+            &mut self.scratch.charges,
+        );
+
+        // Notify bidders.
+        notify_bidders(
+            &mut self.bidders,
+            &ctx,
+            &self.scratch.adv_to_slot,
+            &self.scratch.clicked,
+            &self.scratch.purchased,
+            &self.scratch.charges,
+            &mut self.scratch.price_by_adv,
+        );
+
+        expected_revenue
+    }
+
+    /// Runs one auction per keyword in `queries` through the persistent
+    /// pipeline, aggregating outcomes. Performs no per-auction
+    /// revenue-matrix (or solver-scratch) allocation after warm-up.
+    pub fn run_batch<R: Rng>(&mut self, queries: &[usize], rng: &mut R) -> BatchReport {
+        self.ensure_solver();
+        let mut report = BatchReport::default();
+        for &keyword in queries {
+            let expected = self.hot_step(keyword, rng);
+            report.auctions += 1;
+            report.expected_revenue += expected;
+            report.filled_slots += self.scratch.assignment.num_assigned() as u64;
+            report.clicks += self.scratch.clicked.iter().filter(|c| **c).count() as u64;
+            report.purchases += self.scratch.purchased.iter().filter(|p| **p).count() as u64;
+            report.realized_revenue += self.scratch.charges.iter().map(|(_, m)| *m).sum();
+        }
+        report
+    }
+
+    /// Lazily runs one auction per keyword yielded by `queries` through the
+    /// persistent pipeline, materialising an [`AuctionReport`] per auction.
+    /// The pipeline state (matrix, solver scratch) is still reused; only
+    /// the yielded reports allocate.
+    pub fn stream<'a, R: Rng, I>(
+        &'a mut self,
+        queries: I,
+        rng: &'a mut R,
+    ) -> AuctionStream<'a, B, R, I::IntoIter>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        self.ensure_solver();
+        AuctionStream {
+            engine: self,
+            rng,
+            queries: queries.into_iter(),
+        }
+    }
+}
+
+/// Iterator over batched auctions; see [`AuctionEngine::stream`].
+pub struct AuctionStream<'a, B: Bidder, R: Rng, I: Iterator<Item = usize>> {
+    engine: &'a mut AuctionEngine<B>,
+    rng: &'a mut R,
+    queries: I,
+}
+
+impl<B: Bidder, R: Rng, I: Iterator<Item = usize>> Iterator for AuctionStream<'_, B, R, I> {
+    type Item = AuctionReport;
+
+    fn next(&mut self) -> Option<AuctionReport> {
+        let keyword = self.queries.next()?;
+        let expected_revenue = self.engine.hot_step(keyword, self.rng);
+        let scratch = &self.engine.scratch;
+        Some(AuctionReport {
+            assignment: scratch.assignment.clone(),
+            expected_revenue,
+            clicked: scratch.clicked.clone(),
+            purchased: scratch.purchased.clone(),
+            charges: scratch.charges.clone(),
+            realized_revenue: scratch.charges.iter().map(|(_, m)| *m).sum(),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.queries.size_hint()
+    }
+}
+
+/// Notifies every bidder of its slot, click, purchase, and charge.
+/// `price_by_adv` is a reusable scratch scattered from `charges` so the
+/// per-bidder lookup is O(1) rather than a scan of the charge list (which
+/// under pay-your-bid pricing can cover every advertiser).
+fn notify_bidders<B: Bidder>(
+    bidders: &mut [B],
+    ctx: &QueryContext,
+    adv_to_slot: &[Option<usize>],
+    clicked: &[bool],
+    purchased: &[bool],
+    charges: &[(usize, Money)],
+    price_by_adv: &mut Vec<Money>,
+) {
+    price_by_adv.clear();
+    price_by_adv.resize(bidders.len(), Money::ZERO);
+    for &(adv, m) in charges {
+        price_by_adv[adv] = m;
+    }
+    for (i, bidder) in bidders.iter_mut().enumerate() {
+        let slot = adv_to_slot[i].map(SlotId::from_index0);
+        let (c, p) = match adv_to_slot[i] {
+            Some(j) => (clicked[j], purchased[j]),
+            None => (false, false),
+        };
+        bidder.on_outcome(
+            ctx,
+            &BidderOutcome {
+                slot,
+                clicked: c,
+                purchased: p,
+                price: price_by_adv[i],
+            },
+        );
+    }
+}
+
+/// Computes the per-advertiser charges for one auction into `out`
+/// (cleared first). `adv_to_slot` is the assignment's inverse map and
+/// `prices` a reusable scratch for the GSP slot prices.
+#[allow(clippy::too_many_arguments)] // the auction facts plus two sinks
+fn compute_charges_into(
+    pricing: PricingScheme,
+    clicks: &ClickModel,
+    bids: &[BidsTable],
+    matrix: &RevenueMatrix,
+    assignment: &Assignment,
+    adv_to_slot: &[Option<usize>],
+    clicked: &[bool],
+    purchased: &[bool],
+    prices: &mut Vec<SlotPrice>,
+    out: &mut Vec<(usize, Money)>,
+) {
+    out.clear();
+    match pricing {
+        PricingScheme::PayYourBid => {
+            // Everyone pays their realised OR-bid (unplaced advertisers
+            // can owe money on negated-slot formulas).
+            out.extend(bids.iter().enumerate().filter_map(|(i, table)| {
+                let view = match adv_to_slot[i] {
+                    Some(j) => AdvertiserView {
+                        slot: Some(SlotId::from_index0(j)),
+                        clicked: clicked[j],
+                        purchased: purchased[j],
+                        heavy_pattern: None,
+                    },
+                    None => AdvertiserView::unplaced(),
+                };
+                let owed = table.payment(&view);
+                owed.is_positive().then_some((i, owed))
+            }));
+        }
+        PricingScheme::Gsp => {
+            gsp_prices_into(
+                matrix,
+                assignment,
+                adv_to_slot,
+                &|adv, slot| clicks.p_click(adv, SlotId::from_index0(slot)),
+                prices,
+            );
+            out.extend(
                 prices
-                    .into_iter()
+                    .iter()
                     .filter(|p| clicked[p.slot])
                     .map(|p| (p.winner, Money::from_f64_rounded(p.amount)))
-                    .filter(|(_, m)| m.is_positive())
-                    .collect()
-            }
-            PricingScheme::Vickrey => vcg_prices(matrix, assignment)
+                    .filter(|(_, m)| m.is_positive()),
+            );
+        }
+        PricingScheme::Vickrey => out.extend(
+            vcg_prices(matrix, assignment)
                 .into_iter()
                 .map(|p| (p.winner, Money::from_f64_rounded(p.amount)))
-                .filter(|(_, m)| m.is_positive())
-                .collect(),
-        }
+                .filter(|(_, m)| m.is_positive()),
+        ),
     }
 }
 
@@ -300,9 +654,119 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut engine = basic_engine(WdMethod::Hungarian, PricingScheme::Vickrey);
         assert_eq!(engine.time(), 0);
+        assert_eq!(engine.now(), 0);
         engine.run_auction(0, &mut rng);
         engine.run_auction(0, &mut rng);
         assert_eq!(engine.time(), 2);
+        assert_eq!(engine.now(), 2);
+    }
+
+    #[test]
+    fn clock_advances_consistently_across_single_and_batched_runs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut engine = basic_engine(WdMethod::Reduced, PricingScheme::Gsp);
+        engine.run_auction(0, &mut rng);
+        let report = engine.run_batch(&[0, 0, 0], &mut rng);
+        assert_eq!(report.auctions, 3);
+        assert_eq!(engine.now(), 4);
+        let streamed: Vec<_> = engine.stream([0usize, 0], &mut rng).collect();
+        assert_eq!(streamed.len(), 2);
+        assert_eq!(engine.now(), 6);
+    }
+
+    #[test]
+    fn batch_matches_looped_run_auction() {
+        // Identical RNG streams ⇒ the aggregated batch must equal the sum
+        // of per-call reports, for every method and pricing scheme.
+        for method in [
+            WdMethod::Lp,
+            WdMethod::Hungarian,
+            WdMethod::Reduced,
+            WdMethod::ReducedParallel(2),
+        ] {
+            for pricing in [
+                PricingScheme::PayYourBid,
+                PricingScheme::Gsp,
+                PricingScheme::Vickrey,
+            ] {
+                let queries = [0usize; 40];
+                let mut loop_rng = StdRng::seed_from_u64(99);
+                let mut loop_engine = basic_engine(method, pricing);
+                let mut expected = BatchReport::default();
+                for &kw in &queries {
+                    let r = loop_engine.run_auction(kw, &mut loop_rng);
+                    expected.auctions += 1;
+                    expected.expected_revenue += r.expected_revenue;
+                    expected.filled_slots += r.assignment.num_assigned() as u64;
+                    expected.clicks += r.clicked.iter().filter(|c| **c).count() as u64;
+                    expected.purchases += r.purchased.iter().filter(|p| **p).count() as u64;
+                    expected.realized_revenue += r.realized_revenue;
+                }
+
+                let mut batch_rng = StdRng::seed_from_u64(99);
+                let mut batch_engine = basic_engine(method, pricing);
+                let got = batch_engine.run_batch(&queries, &mut batch_rng);
+                assert!(
+                    (got.expected_revenue - expected.expected_revenue).abs() < 1e-6,
+                    "{method:?}/{pricing:?}"
+                );
+                assert_eq!(
+                    BatchReport {
+                        expected_revenue: expected.expected_revenue,
+                        ..got
+                    },
+                    expected,
+                    "{method:?}/{pricing:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_reports_match_run_auction_reports() {
+        let queries = [0usize; 10];
+        let mut loop_rng = StdRng::seed_from_u64(5);
+        let mut loop_engine = basic_engine(WdMethod::Reduced, PricingScheme::Gsp);
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|&kw| loop_engine.run_auction(kw, &mut loop_rng))
+            .collect();
+
+        let mut stream_rng = StdRng::seed_from_u64(5);
+        let mut stream_engine = basic_engine(WdMethod::Reduced, PricingScheme::Gsp);
+        let got: Vec<_> = stream_engine.stream(queries, &mut stream_rng).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn method_change_rebuilds_the_batched_solver() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut engine = basic_engine(WdMethod::Reduced, PricingScheme::Gsp);
+        assert_eq!(engine.solver_name(), "reduced");
+        let a = engine.run_batch(&[0, 0], &mut rng).expected_revenue / 2.0;
+        engine.config.method = WdMethod::Lp;
+        assert_eq!(engine.solver_name(), "network-simplex");
+        let b = engine.run_batch(&[0, 0], &mut rng).expected_revenue / 2.0;
+        assert!((a - b).abs() < 1e-9, "objective must not depend on method");
+    }
+
+    #[test]
+    fn wd_method_display_round_trips() {
+        for method in [
+            WdMethod::Lp,
+            WdMethod::Hungarian,
+            WdMethod::Reduced,
+            WdMethod::ReducedParallel(7),
+        ] {
+            assert_eq!(method.to_string().parse::<WdMethod>(), Ok(method));
+        }
+        assert_eq!(
+            "rhp".parse(),
+            Ok(WdMethod::ReducedParallel(DEFAULT_PARALLEL_THREADS))
+        );
+        assert_eq!("Hungarian".parse(), Ok(WdMethod::Hungarian));
+        assert!("rhp:0".parse::<WdMethod>().is_err());
+        assert!("simplex".parse::<WdMethod>().is_err());
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! 4. **Pricing and payment** — generalised second pricing or VCG
 //!    ([`pricing`]).
 //!
+//! Winner determination dispatches through the `ssa_matching::WdSolver`
+//! trait: [`AuctionEngine`] owns a boxed solver with persistent scratch and
+//! a preallocated revenue matrix, and the batched entry points
+//! ([`AuctionEngine::run_batch`], [`AuctionEngine::stream`]) refill them in
+//! place — no per-auction matrix allocation on the hot path.
+//!
 //! The Section III-F heavyweight/lightweight extension lives in
 //! [`heavyweight`].
 //!
@@ -31,8 +37,10 @@ pub mod prob;
 pub mod revenue;
 
 pub use bidder::{Bidder, BidderOutcome, QueryContext, TableBidder};
-pub use engine::{AuctionEngine, AuctionReport, EngineConfig, WdMethod};
+pub use engine::{
+    AuctionEngine, AuctionReport, AuctionStream, BatchReport, EngineConfig, WdMethod,
+};
 pub use heavyweight::{solve_heavyweight, HeavyweightInstance, HeavyweightSolution};
 pub use pricing::{PricingScheme, SlotPrice};
 pub use prob::{ClickModel, PurchaseModel, SeparableClickModel};
-pub use revenue::{expected_revenue, revenue_matrix, NoSlotValues};
+pub use revenue::{expected_revenue, revenue_matrix, revenue_matrix_into, NoSlotValues};

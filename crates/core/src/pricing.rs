@@ -26,6 +26,33 @@ pub enum PricingScheme {
     Vickrey,
 }
 
+impl std::fmt::Display for PricingScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PricingScheme::PayYourBid => "pay-your-bid",
+            PricingScheme::Gsp => "gsp",
+            PricingScheme::Vickrey => "vcg",
+        })
+    }
+}
+
+impl std::str::FromStr for PricingScheme {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) names plus common aliases
+    /// (`first-price`, `vickrey`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "pay-your-bid" | "first-price" | "first" => Ok(PricingScheme::PayYourBid),
+            "gsp" => Ok(PricingScheme::Gsp),
+            "vcg" | "vickrey" => Ok(PricingScheme::Vickrey),
+            other => Err(format!(
+                "unknown pricing scheme {other:?} (expected pay-your-bid, gsp, or vcg)"
+            )),
+        }
+    }
+}
+
 /// Price attached to a slot for this auction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlotPrice {
@@ -50,9 +77,26 @@ pub fn gsp_prices(
     assignment: &Assignment,
     p_click: &dyn Fn(usize, usize) -> f64,
 ) -> Vec<SlotPrice> {
-    let n = matrix.num_advertisers();
-    let assigned = assignment.adv_to_slot(n);
+    let assigned = assignment.adv_to_slot(matrix.num_advertisers());
     let mut prices = Vec::new();
+    gsp_prices_into(matrix, assignment, &assigned, p_click, &mut prices);
+    prices
+}
+
+/// In-place variant of [`gsp_prices`] for the batched pipeline: takes the
+/// advertiser-to-slot map (`assignment.adv_to_slot`, which hot paths
+/// already maintain as scratch) and writes into `prices` (cleared first),
+/// so pricing performs no per-auction allocation.
+pub fn gsp_prices_into(
+    matrix: &RevenueMatrix,
+    assignment: &Assignment,
+    assigned: &[Option<usize>],
+    p_click: &dyn Fn(usize, usize) -> f64,
+    prices: &mut Vec<SlotPrice>,
+) {
+    let n = matrix.num_advertisers();
+    debug_assert_eq!(assigned.len(), n, "adv_to_slot map must cover all rows");
+    prices.clear();
     for (slot, winner) in assignment.slot_to_adv.iter().enumerate() {
         let Some(winner) = *winner else { continue };
         // Best losing expected revenue for this slot.
@@ -83,7 +127,6 @@ pub fn gsp_prices(
             amount: per_click.max(0.0),
         });
     }
-    prices
 }
 
 /// Exact VCG payments: for each winner `i`,
@@ -118,6 +161,20 @@ pub fn vcg_prices(matrix: &RevenueMatrix, assignment: &Assignment) -> Vec<SlotPr
 mod tests {
     use super::*;
     use ssa_matching::max_weight_assignment;
+
+    #[test]
+    fn pricing_scheme_display_round_trips() {
+        for scheme in [
+            PricingScheme::PayYourBid,
+            PricingScheme::Gsp,
+            PricingScheme::Vickrey,
+        ] {
+            assert_eq!(scheme.to_string().parse::<PricingScheme>(), Ok(scheme));
+        }
+        assert_eq!("Vickrey".parse(), Ok(PricingScheme::Vickrey));
+        assert_eq!("FIRST-PRICE".parse(), Ok(PricingScheme::PayYourBid));
+        assert!("dutch".parse::<PricingScheme>().is_err());
+    }
 
     /// Classical single-feature setting: separable clicks, per-click bids.
     /// GSP must reduce to "pay the next-highest bid".

@@ -69,7 +69,7 @@ pub fn no_slot_revenue(bids: &BidsTable) -> f64 {
 
 /// The per-advertiser unplaced revenues plus their sum; the constant part of
 /// the winner-determination objective.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct NoSlotValues {
     /// `base[i]` = revenue if advertiser `i` is left unplaced.
     pub base: Vec<f64>,
@@ -87,6 +87,22 @@ pub fn revenue_matrix(
     clicks: &ClickModel,
     purchases: &PurchaseModel,
 ) -> (RevenueMatrix, NoSlotValues) {
+    let mut matrix = RevenueMatrix::zeros(0, clicks.num_slots().max(1));
+    let mut no_slot = NoSlotValues::default();
+    revenue_matrix_into(bids, clicks, purchases, &mut matrix, &mut no_slot);
+    (matrix, no_slot)
+}
+
+/// In-place variant of [`revenue_matrix`]: reshapes and refills
+/// caller-owned buffers, so the batched auction pipeline performs no
+/// per-auction matrix (or base-vector) allocation after warm-up.
+pub fn revenue_matrix_into(
+    bids: &[BidsTable],
+    clicks: &ClickModel,
+    purchases: &PurchaseModel,
+    matrix: &mut RevenueMatrix,
+    no_slot: &mut NoSlotValues,
+) {
     let n = bids.len();
     let k = clicks.num_slots();
     assert_eq!(clicks.num_advertisers(), n, "click model size mismatch");
@@ -95,12 +111,13 @@ pub fn revenue_matrix(
         n,
         "purchase model size mismatch"
     );
-    let base: Vec<f64> = bids.iter().map(no_slot_revenue).collect();
-    let matrix = RevenueMatrix::from_fn(n, k, |i, j| {
+    no_slot.base.clear();
+    no_slot.base.extend(bids.iter().map(no_slot_revenue));
+    no_slot.total_base = no_slot.base.iter().sum();
+    let base = &no_slot.base;
+    matrix.fill_from_fn(n, k, |i, j| {
         expected_revenue(&bids[i], i, SlotId::from_index0(j), clicks, purchases) - base[i]
     });
-    let total_base = base.iter().sum();
-    (matrix, NoSlotValues { base, total_base })
 }
 
 #[cfg(test)]
@@ -216,6 +233,25 @@ mod tests {
         assert_eq!(base.total_base, 0.0);
         assert!((matrix.get(0, 0) - 8.0).abs() < 1e-12);
         assert!((matrix.get(1, 1) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_place_refill_matches_owned_construction() {
+        let (clicks, purchases) = uniform_models(2, 2, 0.4);
+        let bids = vec![
+            BidsTable::single_feature(Money::from_cents(10)),
+            BidsTable::new(vec![(Formula::no_slot(2), Money::from_cents(3))]),
+        ];
+        let (owned_matrix, owned_base) = revenue_matrix(&bids, &clicks, &purchases);
+        // Refill buffers previously sized for a different market.
+        let mut matrix = RevenueMatrix::zeros(5, 3);
+        let mut no_slot = NoSlotValues {
+            base: vec![9.0; 5],
+            total_base: 45.0,
+        };
+        revenue_matrix_into(&bids, &clicks, &purchases, &mut matrix, &mut no_slot);
+        assert_eq!(matrix, owned_matrix);
+        assert_eq!(no_slot, owned_base);
     }
 
     #[test]

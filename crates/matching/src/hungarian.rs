@@ -16,12 +16,147 @@
 //!   reduced-graph method of Section III-E avoids.
 
 use crate::matrix::{Assignment, RevenueMatrix, EXCLUDED};
+use crate::solver::WdSolver;
+
+/// Method **H** as a reusable [`WdSolver`]: the Jonker–Volgenant scratch
+/// arrays (dual potentials, match/backtrack/label vectors) persist across
+/// calls, so solving a stream of same-sized instances performs no
+/// allocation after the first call.
+#[derive(Debug, Default, Clone)]
+pub struct HungarianSolver {
+    u: Vec<f64>,             // slot potentials
+    v: Vec<f64>,             // column potentials
+    matched_row: Vec<usize>, // column -> slot (1-based, 0 = free)
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+}
+
+impl HungarianSolver {
+    /// Creates a solver with empty scratch buffers (they grow on first use).
+    pub fn new() -> Self {
+        HungarianSolver::default()
+    }
+
+    /// Resizes every scratch vector for a `k`-slot, `cols`-column instance
+    /// and resets it to its initial value, reusing existing capacity.
+    fn reset_scratch(&mut self, k: usize, cols: usize) {
+        self.u.clear();
+        self.u.resize(k + 1, 0.0);
+        self.v.clear();
+        self.v.resize(cols + 1, 0.0);
+        self.matched_row.clear();
+        self.matched_row.resize(cols + 1, 0);
+        self.way.clear();
+        self.way.resize(cols + 1, 0);
+        self.minv.clear();
+        self.minv.resize(cols + 1, 0.0);
+        self.used.clear();
+        self.used.resize(cols + 1, false);
+    }
+}
+
+impl WdSolver for HungarianSolver {
+    fn name(&self) -> &'static str {
+        "hungarian"
+    }
+
+    fn solve(&mut self, matrix: &RevenueMatrix, out: &mut Assignment) {
+        let n = matrix.num_advertisers();
+        let k = matrix.num_slots();
+        let cols = n + k; // advertisers + one dummy per slot
+        self.reset_scratch(k, cols);
+
+        // Minimisation formulation: cost = -weight, dummies cost 0,
+        // excluded ∞.
+        let cost = |slot: usize, col: usize| -> f64 {
+            if col < n {
+                let w = matrix.get(col, slot);
+                if w == EXCLUDED {
+                    f64::INFINITY
+                } else {
+                    -w
+                }
+            } else {
+                0.0
+            }
+        };
+
+        // Jonker–Volgenant with 1-based sentinel index 0 (e-maxx
+        // formulation).
+        for slot in 1..=k {
+            self.matched_row[0] = slot;
+            let mut j0 = 0usize;
+            self.minv.iter_mut().for_each(|m| *m = f64::INFINITY);
+            self.used.iter_mut().for_each(|u| *u = false);
+            loop {
+                self.used[j0] = true;
+                let i0 = self.matched_row[j0];
+                let mut delta = f64::INFINITY;
+                let mut j1 = 0usize;
+                for j in 1..=cols {
+                    if self.used[j] {
+                        continue;
+                    }
+                    let cur = cost(i0 - 1, j - 1) - self.u[i0] - self.v[j];
+                    if cur < self.minv[j] {
+                        self.minv[j] = cur;
+                        self.way[j] = j0;
+                    }
+                    if self.minv[j] < delta {
+                        delta = self.minv[j];
+                        j1 = j;
+                    }
+                }
+                debug_assert!(
+                    delta.is_finite(),
+                    "augmenting phase stuck: dummy columns guarantee feasibility"
+                );
+                for j in 0..=cols {
+                    if self.used[j] {
+                        self.u[self.matched_row[j]] += delta;
+                        self.v[j] -= delta;
+                    } else {
+                        self.minv[j] -= delta; // ∞ stays ∞
+                    }
+                }
+                j0 = j1;
+                if self.matched_row[j0] == 0 {
+                    break;
+                }
+            }
+            // Unwind the alternating path.
+            loop {
+                let j1 = self.way[j0];
+                self.matched_row[j0] = self.matched_row[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
+                }
+            }
+        }
+
+        out.reset(k);
+        for col in 1..=n {
+            let row = self.matched_row[col];
+            if row != 0 {
+                let adv = col - 1;
+                let slot = row - 1;
+                out.slot_to_adv[slot] = Some(adv);
+                out.total_weight += matrix.get(adv, slot);
+            }
+        }
+    }
+}
 
 /// Computes a maximum-weight (partial) assignment of slots to advertisers.
 ///
 /// Every slot is matched to at most one advertiser and vice versa; slots are
 /// left empty when every available advertiser has [`EXCLUDED`] or negative
 /// weight there. Ties are resolved deterministically (lowest column index).
+///
+/// One-shot convenience over [`HungarianSolver`]; construct the solver
+/// directly to amortise scratch allocation across auctions.
 ///
 /// ```
 /// use ssa_matching::{max_weight_assignment, RevenueMatrix};
@@ -37,100 +172,7 @@ use crate::matrix::{Assignment, RevenueMatrix, EXCLUDED};
 /// assert_eq!(a.slot_to_adv, vec![Some(0), Some(1)]);
 /// ```
 pub fn max_weight_assignment(matrix: &RevenueMatrix) -> Assignment {
-    let n = matrix.num_advertisers();
-    let k = matrix.num_slots();
-    let cols = n + k; // advertisers + one dummy per slot
-
-    // Minimisation formulation: cost = -weight, dummies cost 0, excluded ∞.
-    let cost = |slot: usize, col: usize| -> f64 {
-        if col < n {
-            let w = matrix.get(col, slot);
-            if w == EXCLUDED {
-                f64::INFINITY
-            } else {
-                -w
-            }
-        } else {
-            0.0
-        }
-    };
-
-    // Jonker–Volgenant with 1-based sentinel index 0 (e-maxx formulation).
-    let mut u = vec![0.0f64; k + 1]; // slot potentials
-    let mut v = vec![0.0f64; cols + 1]; // column potentials
-    let mut matched_row = vec![0usize; cols + 1]; // column -> slot (1-based, 0 = free)
-    let mut way = vec![0usize; cols + 1];
-    let mut minv = vec![0.0f64; cols + 1];
-    let mut used = vec![false; cols + 1];
-
-    for slot in 1..=k {
-        matched_row[0] = slot;
-        let mut j0 = 0usize;
-        minv.iter_mut().for_each(|m| *m = f64::INFINITY);
-        used.iter_mut().for_each(|u| *u = false);
-        loop {
-            used[j0] = true;
-            let i0 = matched_row[j0];
-            let mut delta = f64::INFINITY;
-            let mut j1 = 0usize;
-            for j in 1..=cols {
-                if used[j] {
-                    continue;
-                }
-                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
-                if cur < minv[j] {
-                    minv[j] = cur;
-                    way[j] = j0;
-                }
-                if minv[j] < delta {
-                    delta = minv[j];
-                    j1 = j;
-                }
-            }
-            debug_assert!(
-                delta.is_finite(),
-                "augmenting phase stuck: dummy columns guarantee feasibility"
-            );
-            for j in 0..=cols {
-                if used[j] {
-                    u[matched_row[j]] += delta;
-                    v[j] -= delta;
-                } else {
-                    minv[j] -= delta; // ∞ stays ∞
-                }
-            }
-            j0 = j1;
-            if matched_row[j0] == 0 {
-                break;
-            }
-        }
-        // Unwind the alternating path.
-        loop {
-            let j1 = way[j0];
-            matched_row[j0] = matched_row[j1];
-            j0 = j1;
-            if j0 == 0 {
-                break;
-            }
-        }
-    }
-
-    let mut slot_to_adv = vec![None; k];
-    let mut total_weight = 0.0;
-    #[allow(clippy::needless_range_loop)] // indexes two parallel arrays
-    for col in 1..=n {
-        let row = matched_row[col];
-        if row != 0 {
-            let adv = col - 1;
-            let slot = row - 1;
-            slot_to_adv[slot] = Some(adv);
-            total_weight += matrix.get(adv, slot);
-        }
-    }
-    Assignment {
-        slot_to_adv,
-        total_weight,
-    }
+    HungarianSolver::new().solve_alloc(matrix)
 }
 
 #[cfg(test)]
@@ -212,6 +254,25 @@ mod tests {
         });
         let a = max_weight_assignment(&m);
         assert_eq!(a.slot_to_adv, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn reused_solver_matches_fresh_across_sizes() {
+        // One persistent solver solving a stream of instances of varying
+        // dimensions must agree with a fresh solver every time.
+        let mut persistent = HungarianSolver::new();
+        let mut out = Assignment::empty(1);
+        let mut state = 0xABCDu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 900) as f64 / 9.0
+        };
+        for (n, k) in [(4, 2), (1, 3), (7, 7), (0, 2), (5, 1), (4, 2)] {
+            let m = RevenueMatrix::from_fn(n, k, |_, _| next());
+            persistent.solve(&m, &mut out);
+            let fresh = max_weight_assignment(&m);
+            assert_eq!(out, fresh, "n={n} k={k}");
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   advertisers, over incrementally-maintained sorted parameter indexes.
 //! * [`exhaustive`] — brute-force reference solvers used to validate
 //!   optimality in tests.
+//! * [`solver`] — the [`WdSolver`] trait: every method above as a reusable
+//!   solver object with persistent scratch buffers, the interface the
+//!   batched auction pipeline in `ssa_core` is built on.
 //!
 //! Weights are `f64` expected revenues. The sentinel [`EXCLUDED`]
 //! (`f64::NEG_INFINITY`) marks advertiser–slot pairs that must not be
@@ -35,12 +38,15 @@ pub mod matrix;
 pub mod ordered;
 pub mod parallel;
 pub mod reduced;
+pub mod solver;
 pub mod threshold;
 pub mod topk;
 
-pub use hungarian::max_weight_assignment;
+pub use hungarian::{max_weight_assignment, HungarianSolver};
 pub use matrix::{Assignment, RevenueMatrix, EXCLUDED};
 pub use ordered::OrderedF64;
-pub use reduced::{reduced_assignment, reduced_candidates, ReducedSolution};
+pub use parallel::ParallelReducedSolver;
+pub use reduced::{reduced_assignment, reduced_candidates, ReducedSolution, ReducedSolver};
+pub use solver::{BoxedWdSolver, WdSolver};
 pub use threshold::{threshold_top_k, MaintainedIndex, TaInstrumentation, TaSource};
 pub use topk::{top_k_indices, TopK};

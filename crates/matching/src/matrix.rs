@@ -104,16 +104,47 @@ impl RevenueMatrix {
         &self.data[adv * self.k..(adv + 1) * self.k]
     }
 
+    /// Reshapes the matrix to `n × k` in place, reusing the existing
+    /// allocation when its capacity suffices, and refills every entry from
+    /// `f`. This is the zero-realloc counterpart of [`RevenueMatrix::from_fn`]
+    /// used by the batched auction pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or if `f` produces NaN / `+∞`.
+    pub fn fill_from_fn(&mut self, n: usize, k: usize, mut f: impl FnMut(usize, usize) -> f64) {
+        assert!(k > 0, "at least one slot is required");
+        self.n = n;
+        self.k = k;
+        self.data.clear();
+        self.data.reserve(n * k);
+        for i in 0..n {
+            for j in 0..k {
+                let weight = f(i, j);
+                assert!(
+                    weight.is_finite() || weight == EXCLUDED,
+                    "revenue weights must be finite or EXCLUDED, got {weight}"
+                );
+                self.data.push(weight);
+            }
+        }
+    }
+
     /// Extracts the sub-matrix restricted to the given advertisers (in the
     /// given order). Used by the reduced-graph method.
     pub fn restrict_advertisers(&self, advertisers: &[usize]) -> RevenueMatrix {
         let mut m = RevenueMatrix::zeros(advertisers.len(), self.k);
-        for (new_i, &old_i) in advertisers.iter().enumerate() {
-            for j in 0..self.k {
-                m.set(new_i, j, self.get(old_i, j));
-            }
-        }
+        self.restrict_advertisers_into(advertisers, &mut m);
         m
+    }
+
+    /// In-place variant of [`RevenueMatrix::restrict_advertisers`]: reshapes
+    /// `out` and fills it with the selected rows without allocating (beyond
+    /// growing `out`'s capacity on first use).
+    pub fn restrict_advertisers_into(&self, advertisers: &[usize], out: &mut RevenueMatrix) {
+        out.fill_from_fn(advertisers.len(), self.k, |new_i, j| {
+            self.get(advertisers[new_i], j)
+        });
     }
 }
 
@@ -143,6 +174,17 @@ pub struct Assignment {
     pub total_weight: f64,
 }
 
+impl Default for Assignment {
+    /// An empty assignment over zero slots; allocates nothing, so scratch
+    /// buffers can be `std::mem::take`n and restored for free.
+    fn default() -> Self {
+        Assignment {
+            slot_to_adv: Vec::new(),
+            total_weight: 0.0,
+        }
+    }
+}
+
 impl Assignment {
     /// An empty assignment over `k` slots.
     pub fn empty(k: usize) -> Self {
@@ -150,6 +192,14 @@ impl Assignment {
             slot_to_adv: vec![None; k],
             total_weight: 0.0,
         }
+    }
+
+    /// Clears the assignment and resizes it to `k` slots in place, reusing
+    /// the existing allocation. Solvers call this before writing a result.
+    pub fn reset(&mut self, k: usize) {
+        self.slot_to_adv.clear();
+        self.slot_to_adv.resize(k, None);
+        self.total_weight = 0.0;
     }
 
     /// Inverts into an advertiser-to-slot map over `n` advertisers.
@@ -251,6 +301,48 @@ mod tests {
             total_weight: 0.0,
         };
         assert!(!bad.is_valid(2));
+    }
+
+    #[test]
+    fn fill_from_fn_reshapes_without_losing_validation() {
+        let mut m = RevenueMatrix::zeros(1, 1);
+        m.fill_from_fn(3, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.num_advertisers(), 3);
+        assert_eq!(m.num_slots(), 2);
+        assert_eq!(m.get(2, 1), 21.0);
+        // Shrinking reuses the allocation.
+        let cap_before = m.data.capacity();
+        m.fill_from_fn(2, 2, |_, _| 1.0);
+        assert_eq!(m.data.capacity(), cap_before);
+        assert_eq!(m.num_advertisers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn fill_from_fn_rejects_nan() {
+        let mut m = RevenueMatrix::zeros(1, 1);
+        m.fill_from_fn(1, 1, |_, _| f64::NAN);
+    }
+
+    #[test]
+    fn restrict_into_matches_owned_restrict() {
+        let m = RevenueMatrix::from_rows(&[vec![9.0, 5.0], vec![8.0, 7.0], vec![7.0, 6.0]]);
+        let owned = m.restrict_advertisers(&[2, 0]);
+        let mut out = RevenueMatrix::zeros(0, 1);
+        m.restrict_advertisers_into(&[2, 0], &mut out);
+        assert_eq!(out, owned);
+    }
+
+    #[test]
+    fn assignment_reset_reuses_buffer() {
+        let mut a = Assignment {
+            slot_to_adv: vec![Some(2), None, Some(0)],
+            total_weight: 9.0,
+        };
+        a.reset(2);
+        assert_eq!(a.slot_to_adv, vec![None, None]);
+        assert_eq!(a.total_weight, 0.0);
+        assert_eq!(Assignment::default().slot_to_adv.capacity(), 0);
     }
 
     #[test]

@@ -16,9 +16,10 @@
 //!   processing by running more than one program sequentially on each
 //!   machine, computing the top k bids, and then aggregating").
 
-use crate::hungarian::max_weight_assignment;
+use crate::hungarian::{max_weight_assignment, HungarianSolver};
 use crate::matrix::{Assignment, RevenueMatrix};
 use crate::reduced::ReducedSolution;
+use crate::solver::WdSolver;
 use crate::topk::TopK;
 
 /// Statistics from a simulated tree-network aggregation.
@@ -150,8 +151,66 @@ pub fn threaded_top_k(matrix: &RevenueMatrix, k: usize, threads: usize) -> Vec<V
         .collect()
 }
 
+/// Method **RH** with threaded top-k aggregation as a reusable
+/// [`WdSolver`]: the candidate list, reduced sub-matrix, and inner
+/// Hungarian scratch persist across calls. The per-thread partial heaps are
+/// still allocated inside each scoped worker (they live on other threads),
+/// so this solver trades a little allocation for wall-clock parallelism on
+/// large `n` — exactly the paper's mixed sequential/parallel scheme.
+#[derive(Debug, Clone)]
+pub struct ParallelReducedSolver {
+    threads: usize,
+    candidates: Vec<usize>,
+    sub: RevenueMatrix,
+    sub_out: Assignment,
+    inner: HungarianSolver,
+}
+
+impl ParallelReducedSolver {
+    /// Creates a solver that fans the selection pass out over `threads`
+    /// workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        ParallelReducedSolver {
+            threads: threads.max(1),
+            candidates: Vec::new(),
+            sub: RevenueMatrix::zeros(0, 1),
+            sub_out: Assignment::default(),
+            inner: HungarianSolver::new(),
+        }
+    }
+
+    /// Number of selection workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl WdSolver for ParallelReducedSolver {
+    fn name(&self) -> &'static str {
+        "reduced-parallel"
+    }
+
+    fn solve(&mut self, matrix: &RevenueMatrix, out: &mut Assignment) {
+        let k = matrix.num_slots();
+        let per_slot = threaded_top_k(matrix, k, self.threads);
+        self.candidates.clear();
+        self.candidates
+            .extend(per_slot.into_iter().flatten().map(|(id, _)| id));
+        self.candidates.sort_unstable();
+        self.candidates.dedup();
+        matrix.restrict_advertisers_into(&self.candidates, &mut self.sub);
+        self.inner.solve(&self.sub, &mut self.sub_out);
+        out.reset(k);
+        out.total_weight = self.sub_out.total_weight;
+        for (j, local) in self.sub_out.slot_to_adv.iter().enumerate() {
+            out.slot_to_adv[j] = local.map(|l| self.candidates[l]);
+        }
+    }
+}
+
 /// The fully parallel winner determination of Section III-E: threaded
 /// per-slot top-k, candidate union, Hungarian on the reduced graph.
+/// One-shot convenience over [`ParallelReducedSolver`].
 pub fn threaded_reduced_assignment(matrix: &RevenueMatrix, threads: usize) -> ReducedSolution {
     let k = matrix.num_slots();
     let per_slot = threaded_top_k(matrix, k, threads);
@@ -234,6 +293,19 @@ mod tests {
         let par = threaded_reduced_assignment(&m, 4);
         assert_eq!(par.assignment.total_weight, seq.assignment.total_weight);
         assert_eq!(par.candidates, seq.candidates);
+    }
+
+    #[test]
+    fn parallel_solver_matches_one_shot() {
+        let mut solver = ParallelReducedSolver::new(3);
+        assert_eq!(solver.threads(), 3);
+        let mut out = Assignment::empty(1);
+        for (n, k, seed) in [(40, 4, 1u64), (9, 2, 2), (40, 4, 3)] {
+            let m = pseudorandom_matrix(n, k, seed);
+            solver.solve(&m, &mut out);
+            let one_shot = threaded_reduced_assignment(&m, 3);
+            assert_eq!(out, one_shot.assignment, "n={n} k={k}");
+        }
     }
 
     #[test]

@@ -10,9 +10,10 @@
 //! reduced bipartite graph costs `O(k⁵)` after an `O(n k log k)` selection
 //! pass — linear in the number of advertisers.
 
-use crate::hungarian::max_weight_assignment;
+use crate::hungarian::HungarianSolver;
 use crate::matrix::{Assignment, RevenueMatrix};
-use crate::topk::top_k_indices;
+use crate::solver::WdSolver;
+use crate::topk::{top_k_indices, TopK};
 
 /// Output of the reduced-graph method: the assignment plus the candidate set
 /// that survived the reduction (the paper's Figure 11 sub-graph).
@@ -35,11 +36,93 @@ pub fn reduced_candidates(matrix: &RevenueMatrix) -> Vec<usize> {
     candidates
 }
 
+/// Method **RH** as a reusable [`WdSolver`]: the per-slot top-k heaps, the
+/// candidate list, the reduced sub-matrix, and the inner Hungarian solver's
+/// scratch all persist across calls, so a stream of same-sized auctions
+/// performs no allocation after warm-up.
+#[derive(Debug, Clone)]
+pub struct ReducedSolver {
+    collectors: Vec<TopK>,
+    candidates: Vec<usize>,
+    sub: RevenueMatrix,
+    sub_out: Assignment,
+    inner: HungarianSolver,
+}
+
+impl Default for ReducedSolver {
+    fn default() -> Self {
+        ReducedSolver::new()
+    }
+}
+
+impl ReducedSolver {
+    /// Creates a solver with empty scratch buffers (they grow on first use).
+    pub fn new() -> Self {
+        ReducedSolver {
+            collectors: Vec::new(),
+            candidates: Vec::new(),
+            sub: RevenueMatrix::zeros(0, 1),
+            sub_out: Assignment::default(),
+            inner: HungarianSolver::new(),
+        }
+    }
+
+    /// The candidate set computed by the most recent [`WdSolver::solve`]
+    /// call (sorted ascending original advertiser ids).
+    pub fn candidates(&self) -> &[usize] {
+        &self.candidates
+    }
+}
+
+impl WdSolver for ReducedSolver {
+    fn name(&self) -> &'static str {
+        "reduced"
+    }
+
+    fn solve(&mut self, matrix: &RevenueMatrix, out: &mut Assignment) {
+        let k = matrix.num_slots();
+
+        // Per-slot top-k selection into persistent heaps.
+        if self.collectors.len() != k {
+            self.collectors.resize_with(k, || TopK::new(k));
+        }
+        for c in &mut self.collectors {
+            c.reset(k);
+        }
+        for adv in 0..matrix.num_advertisers() {
+            for (slot, &w) in matrix.row(adv).iter().enumerate() {
+                self.collectors[slot].offer(adv, w);
+            }
+        }
+
+        // Candidate union, sorted so the sub-matrix row order (and hence
+        // tie-breaking) matches `reduced_candidates`.
+        self.candidates.clear();
+        for c in &mut self.collectors {
+            c.drain_ids_into(&mut self.candidates);
+        }
+        self.candidates.sort_unstable();
+        self.candidates.dedup();
+
+        // Hungarian on the reduced graph, then map back to original ids.
+        matrix.restrict_advertisers_into(&self.candidates, &mut self.sub);
+        self.inner.solve(&self.sub, &mut self.sub_out);
+        out.reset(k);
+        out.total_weight = self.sub_out.total_weight;
+        for (j, local) in self.sub_out.slot_to_adv.iter().enumerate() {
+            out.slot_to_adv[j] = local.map(|l| self.candidates[l]);
+        }
+    }
+}
+
 /// Winner determination via the reduced bipartite graph (method RH).
 ///
 /// Produces exactly the same total weight as running
-/// [`max_weight_assignment`] on the full matrix, in
-/// `O(n k log k + k⁵)` instead of `O(k² n)`.
+/// [`max_weight_assignment`](crate::max_weight_assignment) on the full
+/// matrix, in
+/// `O(n k log k + k⁵)` instead of `O(k² n)`. One-shot convenience over
+/// [`ReducedSolver`]; construct the solver directly to amortise scratch
+/// allocation across auctions.
 ///
 /// ```
 /// use ssa_matching::{reduced_assignment, max_weight_assignment, RevenueMatrix};
@@ -56,20 +139,11 @@ pub fn reduced_candidates(matrix: &RevenueMatrix) -> Vec<usize> {
 /// assert_eq!(fast.candidates, vec![0, 1, 2]);
 /// ```
 pub fn reduced_assignment(matrix: &RevenueMatrix) -> ReducedSolution {
-    let candidates = reduced_candidates(matrix);
-    let sub = matrix.restrict_advertisers(&candidates);
-    let sub_assignment = max_weight_assignment(&sub);
-    let slot_to_adv = sub_assignment
-        .slot_to_adv
-        .iter()
-        .map(|opt| opt.map(|local| candidates[local]))
-        .collect();
+    let mut solver = ReducedSolver::new();
+    let assignment = solver.solve_alloc(matrix);
     ReducedSolution {
-        assignment: Assignment {
-            slot_to_adv,
-            total_weight: sub_assignment.total_weight,
-        },
-        candidates,
+        assignment,
+        candidates: std::mem::take(&mut solver.candidates),
     }
 }
 
@@ -113,6 +187,25 @@ mod tests {
                 );
                 assert!(reduced.candidates.len() <= k * k);
             }
+        }
+    }
+
+    #[test]
+    fn reused_solver_matches_one_shot_and_tracks_candidates() {
+        let mut solver = ReducedSolver::new();
+        let mut out = Assignment::empty(1);
+        let mut state = 0x5151u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 700) as f64 / 3.0
+        };
+        for (n, k) in [(8, 2), (3, 4), (12, 3), (0, 2), (8, 2)] {
+            let m = RevenueMatrix::from_fn(n, k, |_, _| next());
+            solver.solve(&m, &mut out);
+            let one_shot = reduced_assignment(&m);
+            assert_eq!(out, one_shot.assignment, "n={n} k={k}");
+            assert_eq!(solver.candidates(), one_shot.candidates, "n={n} k={k}");
+            assert_eq!(solver.candidates(), reduced_candidates(&m));
         }
     }
 

@@ -48,6 +48,20 @@ impl TopK {
         }
     }
 
+    /// Re-arms the collector for a fresh pass retaining the `k` largest
+    /// entries, keeping the heap's allocation. Used by the reusable solvers
+    /// to avoid per-auction heap construction.
+    pub fn reset(&mut self, k: usize) {
+        self.capacity = k;
+        self.heap.clear();
+    }
+
+    /// Drains the retained ids into `out` in unspecified order, leaving the
+    /// collector empty but with its allocation intact.
+    pub fn drain_ids_into(&mut self, out: &mut Vec<usize>) {
+        out.extend(self.heap.drain().map(|Reverse((_, Reverse(id)))| id));
+    }
+
     /// The smallest retained weight, if the collector is full.
     pub fn current_floor(&self) -> Option<f64> {
         if self.heap.len() < self.capacity {
@@ -125,6 +139,23 @@ mod tests {
         let mut z = TopK::new(0);
         z.offer(0, 1.0);
         assert_eq!(z.len(), 0);
+    }
+
+    #[test]
+    fn reset_and_drain_reuse() {
+        let mut t = TopK::new(2);
+        t.offer(0, 1.0);
+        t.offer(1, 5.0);
+        t.offer(2, 3.0);
+        let mut ids = Vec::new();
+        t.drain_ids_into(&mut ids);
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        assert!(t.is_empty());
+        t.reset(1);
+        t.offer(3, 2.0);
+        t.offer(4, 9.0);
+        assert_eq!(t.into_sorted_desc(), vec![(4, 9.0)]);
     }
 
     #[test]

@@ -28,5 +28,5 @@ pub mod netsimplex;
 pub mod tableau;
 
 pub use lp::{assignment_lp, solve_assignment_lp, AssignmentLp};
-pub use netsimplex::{network_simplex_assignment, NetworkSimplexStats};
+pub use netsimplex::{network_simplex_assignment, NetworkSimplexSolver, NetworkSimplexStats};
 pub use tableau::{LinearProgram, LpError, LpSolution};

@@ -18,7 +18,14 @@
 //! exhibits), pivots along the unique tree cycle, and falls back to Bland's
 //! rule after long degenerate stretches to guarantee termination on the
 //! (maximally degenerate) assignment problem.
+//!
+//! [`NetworkSimplexSolver`] implements
+//! [`WdSolver`](ssa_matching::WdSolver) with persistent scratch: the basis,
+//! tree arrays, and per-pivot adjacency/cycle buffers are reused across
+//! solves, which removes the per-pivot allocation that otherwise dominates
+//! repeated runs.
 
+use ssa_matching::solver::WdSolver;
 use ssa_matching::{Assignment, RevenueMatrix, EXCLUDED};
 
 /// Cost stand-in for excluded arcs. Large enough to never be chosen while
@@ -47,8 +54,11 @@ struct BasicArc {
     flow: i64,
 }
 
-struct Solver<'a> {
-    matrix: &'a RevenueMatrix,
+/// Method **LP** as a reusable [`WdSolver`]: network simplex with a
+/// spanning-tree basis whose bookkeeping buffers persist across solves.
+#[derive(Debug, Default, Clone)]
+pub struct NetworkSimplexSolver {
+    // Problem dimensions of the solve in progress.
     n: usize,
     k: usize,
     basis: Vec<BasicArc>,
@@ -58,16 +68,94 @@ struct Solver<'a> {
     parent_arc: Vec<usize>,
     depth: Vec<usize>,
     potential: Vec<f64>,
+    // Per-rebuild / per-pivot scratch.
+    adjacency: Vec<Vec<(usize, usize)>>,
+    dfs_stack: Vec<usize>,
+    cycle_from_sink: Vec<(usize, bool)>,
+    cycle_from_source: Vec<(usize, bool)>,
+    stats: NetworkSimplexStats,
 }
 
-impl<'a> Solver<'a> {
+impl NetworkSimplexSolver {
+    /// Creates a solver with empty scratch buffers (they grow on first use).
+    pub fn new() -> Self {
+        NetworkSimplexSolver::default()
+    }
+
+    /// Statistics of the most recent solve.
+    pub fn last_stats(&self) -> NetworkSimplexStats {
+        self.stats
+    }
+
+    /// Solves winner determination for `matrix` into `out`, returning run
+    /// statistics.
+    pub fn solve_with_stats(
+        &mut self,
+        matrix: &RevenueMatrix,
+        out: &mut Assignment,
+    ) -> NetworkSimplexStats {
+        let n = matrix.num_advertisers();
+        let k = matrix.num_slots();
+        self.n = n;
+        self.k = k;
+        self.stats = NetworkSimplexStats::default();
+        out.reset(k);
+        if n == 0 {
+            return self.stats;
+        }
+
+        self.basis.clear();
+        self.northwest_corner();
+        self.rebuild_tree(matrix);
+
+        let mut degenerate_streak = 0usize;
+        // Generous safety cap; the solver has always terminated far below
+        // it.
+        let max_pivots = 1000 + 64 * (n + k);
+        while self.stats.pivots < max_pivots {
+            let bland = degenerate_streak >= BLAND_TRIGGER;
+            let Some((s, t)) = self.entering_arc(matrix, bland) else {
+                break; // optimal
+            };
+            self.stats.pivots += 1;
+            if bland {
+                self.stats.bland_pivots += 1;
+            }
+            if self.pivot(matrix, s, t) {
+                degenerate_streak = 0;
+            } else {
+                self.stats.degenerate_pivots += 1;
+                degenerate_streak += 1;
+            }
+        }
+        assert!(
+            self.stats.pivots < max_pivots,
+            "network simplex exceeded the pivot cap — anti-cycling failure"
+        );
+
+        for arc in &self.basis {
+            if arc.flow > 0 && arc.source < n && arc.sink < k {
+                let w = matrix.get(arc.source, arc.sink);
+                debug_assert!(w != EXCLUDED, "flow on an excluded arc");
+                // A zero-revenue match and an empty slot are LP-equivalent;
+                // keep only strictly profitable matches for a canonical
+                // assignment.
+                if w > 0.0 {
+                    out.slot_to_adv[arc.sink] = Some(arc.source);
+                    out.total_weight += w;
+                }
+            }
+        }
+        self.stats
+    }
+
     fn sink_node(&self, t: usize) -> usize {
         self.n + 1 + t
     }
 
-    fn cost(&self, s: usize, t: usize) -> f64 {
+    fn cost(&self, matrix: &RevenueMatrix, s: usize, t: usize) -> f64 {
         if s < self.n && t < self.k {
-            let w = self.matrix.get(s, t);
+            let w = matrix.get(s, t);
             if w == EXCLUDED {
                 BIG
             } else {
@@ -108,27 +196,39 @@ impl<'a> Solver<'a> {
         debug_assert_eq!(self.basis.len(), n + k + 1);
     }
 
-    /// Rebuilds parent/depth/potential arrays from the basis tree.
-    fn rebuild_tree(&mut self) {
+    /// Rebuilds parent/depth/potential arrays from the basis tree, reusing
+    /// the adjacency and stack buffers.
+    fn rebuild_tree(&mut self, matrix: &RevenueMatrix) {
         let m = self.n + self.k + 2;
-        let mut adjacency: Vec<Vec<(usize, usize)>> = vec![Vec::new(); m];
+        if self.adjacency.len() < m {
+            self.adjacency.resize_with(m, Vec::new);
+        }
+        for adj in &mut self.adjacency[..m] {
+            adj.clear();
+        }
         for (idx, arc) in self.basis.iter().enumerate() {
             let a = arc.source;
-            let b = self.sink_node(arc.sink);
-            adjacency[a].push((b, idx));
-            adjacency[b].push((a, idx));
+            let b = self.n + 1 + arc.sink;
+            self.adjacency[a].push((b, idx));
+            self.adjacency[b].push((a, idx));
         }
-        self.parent = vec![usize::MAX; m];
-        self.parent_arc = vec![usize::MAX; m];
-        self.depth = vec![0; m];
-        self.potential = vec![0.0; m];
+        self.parent.clear();
+        self.parent.resize(m, usize::MAX);
+        self.parent_arc.clear();
+        self.parent_arc.resize(m, usize::MAX);
+        self.depth.clear();
+        self.depth.resize(m, 0);
+        self.potential.clear();
+        self.potential.resize(m, 0.0);
         // Iterative DFS from root 0.
         let root = 0usize;
         self.parent[root] = root;
-        let mut stack = vec![root];
+        self.dfs_stack.clear();
+        self.dfs_stack.push(root);
         let mut visited = 1usize;
-        while let Some(x) = stack.pop() {
-            for &(y, arc_idx) in &adjacency[x] {
+        while let Some(x) = self.dfs_stack.pop() {
+            for idx in 0..self.adjacency[x].len() {
+                let (y, arc_idx) = self.adjacency[x][idx];
                 if self.parent[y] != usize::MAX {
                     continue;
                 }
@@ -138,30 +238,30 @@ impl<'a> Solver<'a> {
                 let arc = self.basis[arc_idx];
                 // Tree arcs have zero reduced cost:
                 // cost = π[source] − π[sink].
-                let c = self.cost(arc.source, arc.sink);
+                let c = self.cost(matrix, arc.source, arc.sink);
                 if x == arc.source {
                     self.potential[y] = self.potential[x] - c;
                 } else {
                     self.potential[y] = self.potential[x] + c;
                 }
                 visited += 1;
-                stack.push(y);
+                self.dfs_stack.push(y);
             }
         }
         debug_assert_eq!(visited, m, "basis does not span all nodes");
     }
 
-    fn reduced_cost(&self, s: usize, t: usize) -> f64 {
-        self.cost(s, t) - self.potential[s] + self.potential[self.sink_node(t)]
+    fn reduced_cost(&self, matrix: &RevenueMatrix, s: usize, t: usize) -> f64 {
+        self.cost(matrix, s, t) - self.potential[s] + self.potential[self.sink_node(t)]
     }
 
     /// Finds an entering arc; `bland` selects the first negative arc instead
     /// of the most negative.
-    fn entering_arc(&self, bland: bool) -> Option<(usize, usize)> {
+    fn entering_arc(&self, matrix: &RevenueMatrix, bland: bool) -> Option<(usize, usize)> {
         let mut best: Option<((usize, usize), f64)> = None;
         for s in 0..=self.n {
             for t in 0..=self.k {
-                let rc = self.reduced_cost(s, t);
+                let rc = self.reduced_cost(matrix, s, t);
                 if rc < -TOL {
                     if bland {
                         return Some((s, t));
@@ -176,20 +276,20 @@ impl<'a> Solver<'a> {
     }
 
     /// Pivots on the entering arc; returns `true` if the pivot moved flow.
-    fn pivot(&mut self, s: usize, t: usize) -> bool {
+    fn pivot(&mut self, matrix: &RevenueMatrix, s: usize, t: usize) -> bool {
         let source_node = s;
         let sink_node = self.sink_node(t);
         // Collect the tree path between the entering arc's endpoints by
         // climbing to the lowest common ancestor. `forward` = the cycle
         // (entering direction source→sink, then sink_node back to
         // source_node) traverses the arc in its own source→sink direction.
-        let mut from_sink: Vec<(usize, bool)> = Vec::new(); // climb sink_node → LCA
-        let mut from_source: Vec<(usize, bool)> = Vec::new(); // climb source_node → LCA
+        self.cycle_from_sink.clear(); // climb sink_node → LCA
+        self.cycle_from_source.clear(); // climb source_node → LCA
         let (mut x, mut y) = (sink_node, source_node);
         while self.depth[x] > self.depth[y] {
             let arc_idx = self.parent_arc[x];
             let forward = self.basis[arc_idx].source == x;
-            from_sink.push((arc_idx, forward));
+            self.cycle_from_sink.push((arc_idx, forward));
             x = self.parent[x];
         }
         while self.depth[y] > self.depth[x] {
@@ -197,22 +297,23 @@ impl<'a> Solver<'a> {
             // Cycle traverses these arcs parent→child, i.e. opposite of the
             // climb, so forward ⇔ the child is the arc's sink.
             let forward = self.sink_node_of_arc(arc_idx) == y;
-            from_source.push((arc_idx, forward));
+            self.cycle_from_source.push((arc_idx, forward));
             y = self.parent[y];
         }
         while x != y {
             let ax = self.parent_arc[x];
-            from_sink.push((ax, self.basis[ax].source == x));
+            self.cycle_from_sink.push((ax, self.basis[ax].source == x));
             x = self.parent[x];
             let ay = self.parent_arc[y];
-            from_source.push((ay, self.sink_node_of_arc(ay) == y));
+            self.cycle_from_source
+                .push((ay, self.sink_node_of_arc(ay) == y));
             y = self.parent[y];
         }
 
         // θ = min flow over backward arcs.
         let mut theta = i64::MAX;
         let mut leaving: Option<usize> = None;
-        for &(arc_idx, forward) in from_sink.iter().chain(&from_source) {
+        for &(arc_idx, forward) in self.cycle_from_sink.iter().chain(&self.cycle_from_source) {
             if !forward {
                 let f = self.basis[arc_idx].flow;
                 if f < theta {
@@ -224,7 +325,7 @@ impl<'a> Solver<'a> {
         let leaving = leaving.expect("bipartite cycle must contain a backward arc");
         debug_assert!(theta >= 0);
 
-        for &(arc_idx, forward) in from_sink.iter().chain(&from_source) {
+        for &(arc_idx, forward) in self.cycle_from_sink.iter().chain(&self.cycle_from_source) {
             if forward {
                 self.basis[arc_idx].flow += theta;
             } else {
@@ -236,7 +337,7 @@ impl<'a> Solver<'a> {
             sink: t,
             flow: theta,
         };
-        self.rebuild_tree();
+        self.rebuild_tree(matrix);
         theta > 0
     }
 
@@ -245,74 +346,24 @@ impl<'a> Solver<'a> {
     }
 }
 
+impl WdSolver for NetworkSimplexSolver {
+    fn name(&self) -> &'static str {
+        "network-simplex"
+    }
+
+    fn solve(&mut self, revenue: &RevenueMatrix, out: &mut Assignment) {
+        self.solve_with_stats(revenue, out);
+    }
+}
+
 /// Solves winner determination with the network simplex method. Returns the
 /// optimal assignment (identical total weight to the Hungarian method) and
-/// run statistics.
+/// run statistics. One-shot convenience over [`NetworkSimplexSolver`].
 pub fn network_simplex_assignment(matrix: &RevenueMatrix) -> (Assignment, NetworkSimplexStats) {
-    let n = matrix.num_advertisers();
-    let k = matrix.num_slots();
-    let mut stats = NetworkSimplexStats::default();
-    if n == 0 {
-        return (Assignment::empty(k), stats);
-    }
-    let mut solver = Solver {
-        matrix,
-        n,
-        k,
-        basis: Vec::with_capacity(n + k + 1),
-        parent: Vec::new(),
-        parent_arc: Vec::new(),
-        depth: Vec::new(),
-        potential: Vec::new(),
-    };
-    solver.northwest_corner();
-    solver.rebuild_tree();
-
-    let mut degenerate_streak = 0usize;
-    // Generous safety cap; the solver has always terminated far below it.
-    let max_pivots = 1000 + 64 * (n + k);
-    while stats.pivots < max_pivots {
-        let bland = degenerate_streak >= BLAND_TRIGGER;
-        let Some((s, t)) = solver.entering_arc(bland) else {
-            break; // optimal
-        };
-        stats.pivots += 1;
-        if bland {
-            stats.bland_pivots += 1;
-        }
-        if solver.pivot(s, t) {
-            degenerate_streak = 0;
-        } else {
-            stats.degenerate_pivots += 1;
-            degenerate_streak += 1;
-        }
-    }
-    assert!(
-        stats.pivots < max_pivots,
-        "network simplex exceeded the pivot cap — anti-cycling failure"
-    );
-
-    let mut slot_to_adv = vec![None; k];
-    let mut total_weight = 0.0;
-    for arc in &solver.basis {
-        if arc.flow > 0 && arc.source < n && arc.sink < k {
-            let w = matrix.get(arc.source, arc.sink);
-            debug_assert!(w != EXCLUDED, "flow on an excluded arc");
-            // A zero-revenue match and an empty slot are LP-equivalent; keep
-            // only strictly profitable matches for a canonical assignment.
-            if w > 0.0 {
-                slot_to_adv[arc.sink] = Some(arc.source);
-                total_weight += w;
-            }
-        }
-    }
-    (
-        Assignment {
-            slot_to_adv,
-            total_weight,
-        },
-        stats,
-    )
+    let mut solver = NetworkSimplexSolver::new();
+    let mut out = Assignment::empty(matrix.num_slots());
+    let stats = solver.solve_with_stats(matrix, &mut out);
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -391,6 +442,28 @@ mod tests {
                 );
                 assert!(lp.is_valid(n));
             }
+        }
+    }
+
+    #[test]
+    fn reused_solver_matches_fresh_across_sizes() {
+        // One persistent solver over a stream of differently-sized
+        // instances must agree with a fresh solve (and its stats accessor
+        // must report the latest run).
+        let mut solver = NetworkSimplexSolver::new();
+        let mut out = Assignment::empty(1);
+        let mut state = 0xFACEu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 4000) as f64 / 50.0
+        };
+        for (n, k) in [(6, 3), (1, 1), (12, 5), (0, 2), (6, 3)] {
+            let m = RevenueMatrix::from_fn(n, k, |_, _| next());
+            let stats = solver.solve_with_stats(&m, &mut out);
+            let (fresh, fresh_stats) = network_simplex_assignment(&m);
+            assert_eq!(out, fresh, "n={n} k={k}");
+            assert_eq!(stats, fresh_stats, "n={n} k={k}");
+            assert_eq!(solver.last_stats(), stats);
         }
     }
 

@@ -4,10 +4,10 @@ use crate::config::SectionVWorkload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssa_bidlang::{Money, SlotId};
-use ssa_core::pricing::gsp_prices;
+use ssa_core::pricing::{gsp_prices_into, SlotPrice};
 use ssa_matching::threshold::{threshold_top_k, MaintainedIndex, TaSource};
-use ssa_matching::{max_weight_assignment, reduced_assignment, Assignment, RevenueMatrix};
-use ssa_simplex::network_simplex_assignment;
+use ssa_matching::{Assignment, HungarianSolver, ReducedSolver, RevenueMatrix, WdSolver};
+use ssa_simplex::NetworkSimplexSolver;
 use ssa_strategy::{LogicalRoiPopulation, NaiveRoiPopulation, RoiPopulation};
 use std::time::{Duration, Instant};
 
@@ -107,6 +107,13 @@ pub fn ta_aggregation(values: &[f64]) -> f64 {
 }
 
 /// One full Section V simulation under a fixed method.
+///
+/// The simulation is the hot path the Figure 12/13 measurements drive, so
+/// it is built on the reusable-[`WdSolver`] pipeline: the revenue matrix,
+/// assignment, candidate list, price buffers, and solver scratch persist
+/// across auctions and are refilled in place. The full-matrix methods
+/// allocate nothing per auction after warm-up; RHTALU's
+/// threshold-algorithm selection still returns fresh top-k lists.
 pub struct Simulation {
     /// The generated workload.
     pub workload: SectionVWorkload,
@@ -116,6 +123,23 @@ pub struct Simulation {
     w_indexes: Vec<MaintainedIndex>,
     rng: StdRng,
     auction_idx: usize,
+    /// Persistent solver for the full-matrix methods (LP / H / RH); RHTALU
+    /// runs its own threshold-algorithm selection in front of `hungarian`.
+    solver: Option<Box<dyn WdSolver>>,
+    /// Hungarian scratch for the RHTALU candidate sub-problem.
+    hungarian: HungarianSolver,
+    /// Reused revenue (or candidate sub-) matrix.
+    matrix: RevenueMatrix,
+    /// Reused assignment buffer (global advertiser ids).
+    assignment: Assignment,
+    /// Reused candidate-local assignment buffer (RHTALU only).
+    local_assignment: Assignment,
+    /// Reused RHTALU candidate ids.
+    candidates: Vec<usize>,
+    /// Reused advertiser→slot inverse map for pricing.
+    adv_to_slot: Vec<Option<usize>>,
+    /// Reused GSP slot-price buffer.
+    prices: Vec<SlotPrice>,
     /// Counters.
     pub stats: SimulationStats,
 }
@@ -142,6 +166,12 @@ impl Simulation {
         } else {
             Vec::new()
         };
+        let solver: Option<Box<dyn WdSolver>> = match method {
+            Method::Lp => Some(Box::new(NetworkSimplexSolver::new())),
+            Method::H => Some(Box::new(HungarianSolver::new())),
+            Method::Rh => Some(Box::new(ReducedSolver::new())),
+            Method::Rhtalu => None,
+        };
         let rng = StdRng::seed_from_u64(workload.config.seed ^ 0x5EED_CAFE);
         Simulation {
             workload,
@@ -150,6 +180,14 @@ impl Simulation {
             w_indexes,
             rng,
             auction_idx: 0,
+            solver,
+            hungarian: HungarianSolver::new(),
+            matrix: RevenueMatrix::zeros(0, k.max(1)),
+            assignment: Assignment::default(),
+            local_assignment: Assignment::default(),
+            candidates: Vec::new(),
+            adv_to_slot: Vec::new(),
+            prices: Vec::new(),
             stats: SimulationStats::default(),
         }
     }
@@ -175,51 +213,58 @@ impl Simulation {
         };
 
         // Winner determination.
-        let (assignment, candidates, objective) = match self.method {
+        let (candidates, objective) = match self.method {
             Method::Lp | Method::H | Method::Rh => {
                 let Population::Naive(pop) = &self.population else {
                     unreachable!("naive methods use the naive population")
                 };
                 let clicks = &self.workload.clicks;
-                let matrix = RevenueMatrix::from_fn(pop.len(), k, |i, j| {
+                let n = pop.len();
+                self.matrix.fill_from_fn(n, k, |i, j| {
                     clicks.p_click(i, SlotId::from_index0(j)) * pop.bid(i) as f64
                 });
-                let assignment = match self.method {
-                    Method::Lp => network_simplex_assignment(&matrix).0,
-                    Method::H => max_weight_assignment(&matrix),
-                    Method::Rh => reduced_assignment(&matrix).assignment,
-                    Method::Rhtalu => unreachable!(),
-                };
-                let objective = assignment.total_weight;
-                let prices = gsp_prices(&matrix, &assignment, &|adv, slot| {
-                    clicks.p_click(adv, SlotId::from_index0(slot))
-                });
+                let solver = self.solver.as_mut().expect("naive methods own a solver");
+                solver.solve(&self.matrix, &mut self.assignment);
+                let objective = self.assignment.total_weight;
+                fill_adv_to_slot(&self.assignment, n, &mut self.adv_to_slot);
+                gsp_prices_into(
+                    &self.matrix,
+                    &self.assignment,
+                    &self.adv_to_slot,
+                    &|adv, slot| clicks.p_click(adv, SlotId::from_index0(slot)),
+                    &mut self.prices,
+                );
+                // Every advertiser was considered: candidates = n.
+                let assignment = std::mem::take(&mut self.assignment);
+                let prices = std::mem::take(&mut self.prices);
                 self.settle(keyword, &assignment, &prices);
-                (assignment, pop_len_candidates(&matrix), objective)
+                self.assignment = assignment;
+                self.prices = prices;
+                (n, objective)
             }
             Method::Rhtalu => {
-                let (assignment, candidates, accesses) = self.solve_rhtalu(keyword);
+                let (candidates, accesses) = self.solve_rhtalu(keyword);
                 self.stats.ta_sorted_accesses += accesses;
-                let objective = assignment.total_weight;
-                (assignment, candidates, objective)
+                (candidates, self.assignment.total_weight)
             }
         };
 
         self.stats.auctions += 1;
         self.stats.total_expected_revenue += objective;
         self.stats.candidates += candidates as u64;
-        let _ = assignment;
         objective
     }
 
     /// RHTALU path: threshold-algorithm selection over logical bid lists,
     /// then the reduced-graph Hungarian, then GSP within the candidate set.
-    fn solve_rhtalu(&mut self, keyword: usize) -> (Assignment, usize, u64) {
+    /// Leaves the global-id assignment in `self.assignment` and returns the
+    /// candidate count plus TA sorted accesses.
+    fn solve_rhtalu(&mut self, keyword: usize) -> (usize, u64) {
         let k = self.workload.config.num_slots;
         let Population::Logical(pop) = &self.population else {
             unreachable!("RHTALU uses the logical population")
         };
-        let mut candidates: Vec<usize> = Vec::with_capacity(k * (k + 1));
+        self.candidates.clear();
         let mut accesses = 0u64;
         for j in 0..k {
             let source = TaSlotSource {
@@ -233,39 +278,47 @@ impl Simulation {
             // (k+1)-deep list always contains one.
             let (top, instr) = threshold_top_k(&source, &ta_aggregation, k + 1);
             accesses += instr.sorted_accesses as u64;
-            candidates.extend(top.into_iter().map(|(id, _)| id));
+            self.candidates.extend(top.into_iter().map(|(id, _)| id));
         }
-        candidates.sort_unstable();
-        candidates.dedup();
+        self.candidates.sort_unstable();
+        self.candidates.dedup();
 
         let clicks = &self.workload.clicks;
-        let reduced = RevenueMatrix::from_fn(candidates.len(), k, |ci, j| {
+        let candidates = &self.candidates;
+        self.matrix.fill_from_fn(candidates.len(), k, |ci, j| {
             let adv = candidates[ci];
             clicks.p_click(adv, SlotId::from_index0(j)) * pop.bid_on(adv, keyword) as f64
         });
-        let local = max_weight_assignment(&reduced);
-        let prices = gsp_prices(&reduced, &local, &|ci, slot| {
-            clicks.p_click(candidates[ci], SlotId::from_index0(slot))
-        });
-        // Map back to global ids.
-        let assignment = Assignment {
-            slot_to_adv: local
-                .slot_to_adv
-                .iter()
-                .map(|o| o.map(|ci| candidates[ci]))
-                .collect(),
-            total_weight: local.total_weight,
-        };
-        let global_prices: Vec<_> = prices
-            .into_iter()
-            .map(|mut p| {
-                p.winner = candidates[p.winner];
-                p
-            })
-            .collect();
+        self.hungarian
+            .solve(&self.matrix, &mut self.local_assignment);
+        fill_adv_to_slot(
+            &self.local_assignment,
+            candidates.len(),
+            &mut self.adv_to_slot,
+        );
+        gsp_prices_into(
+            &self.matrix,
+            &self.local_assignment,
+            &self.adv_to_slot,
+            &|ci, slot| clicks.p_click(candidates[ci], SlotId::from_index0(slot)),
+            &mut self.prices,
+        );
+        // Map back to global ids (assignment and prices alike).
+        self.assignment.reset(k);
+        self.assignment.total_weight = self.local_assignment.total_weight;
+        for (j, local) in self.local_assignment.slot_to_adv.iter().enumerate() {
+            self.assignment.slot_to_adv[j] = local.map(|ci| candidates[ci]);
+        }
+        for p in &mut self.prices {
+            p.winner = candidates[p.winner];
+        }
         let num_candidates = candidates.len();
-        self.settle(keyword, &assignment, &global_prices);
-        (assignment, num_candidates, accesses)
+        let assignment = std::mem::take(&mut self.assignment);
+        let prices = std::mem::take(&mut self.prices);
+        self.settle(keyword, &assignment, &prices);
+        self.assignment = assignment;
+        self.prices = prices;
+        (num_candidates, accesses)
     }
 
     /// Samples user actions and feeds GSP charges back into the strategies.
@@ -310,10 +363,16 @@ impl Simulation {
     }
 }
 
-/// "Candidates" for the full-matrix methods is simply n (every advertiser is
-/// considered); kept as a helper so the stats line up across methods.
-fn pop_len_candidates(matrix: &RevenueMatrix) -> usize {
-    matrix.num_advertisers()
+/// Refills `out` with the advertiser→slot inverse of `assignment` over `n`
+/// advertisers, reusing the buffer.
+fn fill_adv_to_slot(assignment: &Assignment, n: usize, out: &mut Vec<Option<usize>>) {
+    out.clear();
+    out.resize(n, None);
+    for (j, adv) in assignment.slot_to_adv.iter().enumerate() {
+        if let Some(i) = adv {
+            out[*i] = Some(j);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,33 @@
 //! * [`workload`] — the Section V experimental workload and the
 //!   four-method simulation.
 //!
+//! ## Architecture: the `WdSolver` pipeline
+//!
+//! Winner determination is unified behind [`matching::WdSolver`]: each
+//! method (H, RH, parallel RH, LP) is a solver struct with persistent
+//! scratch, constructed from a [`core::WdMethod`] via
+//! `WdMethod::new_solver()`. The engine and the Section V simulation both
+//! dispatch through it:
+//!
+//! ```text
+//!                ssa_matching::WdSolver
+//!       solve(&mut self, &RevenueMatrix, &mut Assignment)
+//!        ▲            ▲            ▲              ▲
+//!  HungarianSolver ReducedSolver ParallelReduced- NetworkSimplexSolver
+//!  (method H)      (method RH)   Solver (RH ∥)    (method LP, ssa_simplex)
+//!        ▲            ▲            ▲              ▲
+//!        └────────────┴─────┬──────┴──────────────┘
+//!                 WdMethod::new_solver()
+//!                    ┌──────┴────────┐
+//!        core::AuctionEngine   workload::Simulation
+//!        (run_auction / run_batch / stream)
+//! ```
+//!
+//! The batched entry points ([`core::AuctionEngine::run_batch`] and
+//! [`core::AuctionEngine::stream`]) reuse one preallocated revenue matrix
+//! (refilled in place by [`core::revenue_matrix_into`]) and one boxed
+//! solver across the whole batch — no per-auction matrix allocation.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -46,6 +73,38 @@
 //! );
 //! let report = engine.run_auction(0, &mut StdRng::seed_from_u64(1));
 //! assert_eq!(report.assignment.slot_to_adv.len(), 2);
+//! ```
+//!
+//! ## Batched serving (`run_batch`)
+//!
+//! On the hot path, hand the engine a whole query stream: one solver and
+//! one matrix buffer serve every auction, and the aggregate comes back as
+//! a [`core::BatchReport`]:
+//!
+//! ```
+//! use sponsored_search::core::{AuctionEngine, EngineConfig, TableBidder};
+//! use sponsored_search::core::prob::{ClickModel, PurchaseModel};
+//! use sponsored_search::bidlang::Money;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let bidders = vec![
+//!     TableBidder::per_click(Money::from_cents(10)),
+//!     TableBidder::per_click(Money::from_cents(20)),
+//! ];
+//! let clicks = ClickModel::from_rows(&[vec![0.8, 0.4], vec![0.6, 0.3]]);
+//! let mut engine = AuctionEngine::new(
+//!     bidders,
+//!     clicks,
+//!     PurchaseModel::never(2, 2),
+//!     1,
+//!     EngineConfig::default(),
+//! );
+//! let queries = vec![0usize; 500];
+//! let report = engine.run_batch(&queries, &mut StdRng::seed_from_u64(1));
+//! assert_eq!(report.auctions, 500);
+//! assert_eq!(engine.now(), 500); // the clock advances per auction
+//! assert!(report.expected_revenue > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
