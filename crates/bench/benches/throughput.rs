@@ -6,11 +6,18 @@
 //! The batched rows must come out strictly faster than the matching loop
 //! rows — that gap is the per-auction allocation the `WdSolver` pipeline
 //! amortises away.
+//!
+//! The `marketplace_serve_batch` group measures the service facade on a
+//! multi-keyword stream: ten persistent per-keyword engines, each reusing
+//! its revenue matrix and solver scratch across the queries routed to it —
+//! no per-query allocation even when consecutive queries hit different
+//! keywords.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ssa_bench::section_v_engine;
+use ssa_bench::{section_v_engine, section_v_market};
+use ssa_core::marketplace::QueryRequest;
 use ssa_core::{EngineConfig, PricingScheme, WdMethod};
 use std::time::{Duration, Instant};
 
@@ -60,6 +67,44 @@ fn bench_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `Marketplace` facade serving a multi-keyword query stream:
+/// `serve_batch` splits the stream into same-keyword chunks and feeds each
+/// chunk to that keyword's persistent engine, so queries of the same
+/// keyword reuse one revenue matrix and one solver scratch — no per-query
+/// allocation. The stream below interleaves all 10 Section V keywords in a
+/// fixed pseudo-random order (chunk length ≈ 1, the facade's worst case).
+fn bench_marketplace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marketplace_serve_batch");
+    group.sample_size(10);
+    // Deterministic multi-keyword stream over the 10 Section V keywords.
+    let mut state = 0x5EEDu64;
+    let requests: Vec<QueryRequest> = (0..BATCH)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            QueryRequest::new(((state >> 33) % 10) as usize)
+        })
+        .collect();
+    let config = EngineConfig {
+        method: WdMethod::Reduced,
+        pricing: PricingScheme::Gsp,
+    };
+    for n in [2000usize, 5000] {
+        group.bench_with_input(
+            BenchmarkId::new("rh/serve_batch_multi_keyword", n),
+            &n,
+            |b, &n| {
+                let mut market = section_v_market(n, 0xBA7C4, config);
+                // Warm every per-keyword engine so the measurement sees the
+                // steady serving state, not ten one-off engine builds.
+                let warmup: Vec<QueryRequest> = (0..10).map(QueryRequest::new).collect();
+                market.serve_batch(&warmup).expect("keywords in range");
+                b.iter(|| market.serve_batch(&requests).expect("keywords in range"))
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Paired measurement: alternate loop/batch rounds on twin engines so slow
 /// machine drift hits both sides equally, then print the speedup. This is
 /// the robust form of the claim the criterion rows above make.
@@ -102,7 +147,7 @@ fn paired_speedup() {
     }
 }
 
-criterion_group!(benches, bench_throughput);
+criterion_group!(benches, bench_throughput, bench_marketplace);
 
 fn main() {
     // The paired measurement is the default headline; skip it when the

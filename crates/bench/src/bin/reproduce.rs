@@ -24,6 +24,7 @@ reproduce — regenerate the paper's figures as text output
 
 Usage: reproduce [fig12|fig13|tables|all] [--quick]
        reproduce --method <lp|h|rh|rhp[:threads]> [--json] [--quick]
+       reproduce --list-methods
 
 Targets:
   fig12    winner-determination time per auction (LP/H/RH/RHTALU, k = 15)
@@ -32,17 +33,30 @@ Targets:
   all      everything above (default)
 
 Options:
-  --method <m>  measure one winner-determination method on the batched
-                engine pipeline instead of printing figures
-  --json        with --method, emit one machine-readable JSON object
-  --quick       shrink advertiser/auction counts so the run finishes in
-                seconds
-  --help        print this message";
+  --method <m>    measure one winner-determination method on the Marketplace
+                  serve_batch pipeline instead of printing figures
+  --list-methods  print the accepted --method names with their paper
+                  sections, then exit
+  --json          with --method, emit one machine-readable JSON object
+  --quick         shrink advertiser/auction counts so the run finishes in
+                  seconds
+  --help          print this message";
+
+const METHODS: &str = "\
+lp        winner-determination linear program, network simplex (Section III-B)
+h         Hungarian algorithm on the full bipartite graph (Section III-D)
+rh        reduced bipartite graph (Section III-E)
+rhp       rh with parallel tree aggregation, 4 threads (Section III-E)
+rhp:<t>   rh with parallel tree aggregation over <t> threads (Section III-E)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
+        return;
+    }
+    if args.iter().any(|a| a == "--list-methods") {
+        println!("{METHODS}");
         return;
     }
     let method = match parse_method_flag(&args) {
@@ -115,11 +129,16 @@ fn parse_method_flag(args: &[String]) -> Result<Option<WdMethod>, String> {
     let value = args
         .get(pos + 1)
         .ok_or_else(|| "--method requires a value".to_string())?;
-    value.parse().map(Some)
+    value
+        .parse()
+        .map(Some)
+        .map_err(|e: ssa_core::ParseMethodError| e.to_string())
 }
 
-/// Single-method mode: one batched throughput run on the Section V engine
-/// workload, reported as text or JSON (for `BENCH_*.json` tracking).
+/// Single-method mode: one batched throughput run of the `Marketplace`
+/// facade (per-keyword persistent engines, `serve_batch` over a
+/// round-robin multi-keyword stream) on the Section V workload, reported
+/// as text or JSON (for `BENCH_*.json` tracking).
 fn single_method(method: WdMethod, json: bool, quick: bool) {
     let (n, auctions) = if quick { (250, 50) } else { (1000, 200) };
     let warmup = auctions / 10 + 1;

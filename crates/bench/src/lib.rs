@@ -8,9 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use ssa_bidlang::Money;
+use ssa_bidlang::{Money, SlotId};
+use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
 use ssa_core::{AuctionEngine, BatchReport, EngineConfig, PricingScheme, TableBidder, WdMethod};
 use ssa_workload::{Method, SectionVConfig, SectionVWorkload, Simulation};
 use std::time::{Duration, Instant};
@@ -78,6 +77,9 @@ pub fn ms(d: Duration) -> f64 {
 /// Builds an [`AuctionEngine`] over a Section V population: per-click
 /// [`TableBidder`]s with the workload's initial bids, the paper's
 /// 15-slot click model, no purchases.
+///
+/// This is the low-level escape-hatch twin of [`section_v_market`], kept
+/// for benches that measure the raw engine pipeline.
 pub fn section_v_engine(n: usize, seed: u64, config: EngineConfig) -> AuctionEngine<TableBidder> {
     let workload = SectionVWorkload::generate(SectionVConfig::paper(n, seed));
     let bidders: Vec<TableBidder> = workload
@@ -102,6 +104,41 @@ pub fn section_v_engine(n: usize, seed: u64, config: EngineConfig) -> AuctionEng
         num_keywords,
         config,
     )
+}
+
+/// Builds a [`Marketplace`] over a Section V population: every advertiser
+/// registers once and opens one per-click campaign per keyword (bidding its
+/// workload-initial bid, valued at its click value), under the paper's
+/// 15-slot click model with no purchases.
+pub fn section_v_market(n: usize, seed: u64, config: EngineConfig) -> Marketplace {
+    let workload = SectionVWorkload::generate(SectionVConfig::paper(n, seed));
+    let k = workload.config.num_slots;
+    let mut market = Marketplace::builder()
+        .slots(k)
+        .keywords(workload.config.num_keywords)
+        .method(config.method)
+        .pricing(config.pricing)
+        .seed(seed ^ 0xD1CE_D1CE)
+        .build()
+        .expect("Section V configuration is valid");
+    for (i, b) in workload.bidders.iter().enumerate() {
+        let advertiser = market.register_advertiser(format!("advertiser-{i}"));
+        let click_probs: Vec<f64> = (0..k)
+            .map(|j| workload.clicks.p_click(i, SlotId::from_index0(j)))
+            .collect();
+        for (keyword, &(value, bid, _)) in b.keywords.iter().enumerate() {
+            market
+                .add_campaign(
+                    advertiser,
+                    keyword,
+                    CampaignSpec::per_click(Money::from_cents(bid.max(0)))
+                        .click_value(Money::from_cents(value))
+                        .click_probs(click_probs.clone()),
+                )
+                .expect("Section V campaign is valid");
+        }
+    }
+    market
 }
 
 /// Outcome of a single-method batched throughput run (the machine-readable
@@ -154,9 +191,12 @@ impl MethodRun {
     }
 }
 
-/// Measures one method's batched throughput on the Section V engine
-/// workload: `warmup` unmeasured auctions (filling the persistent solver
-/// and matrix buffers), then `auctions` timed ones.
+/// Measures one method's batched serving throughput on the Section V
+/// workload, driven through the [`Marketplace`] facade: `warmup`
+/// unmeasured auctions (building the per-keyword engines and filling their
+/// persistent solver and matrix buffers), then `auctions` timed ones
+/// served with [`Marketplace::serve_batch`] over a round-robin
+/// multi-keyword query stream.
 pub fn measure_method(
     method: WdMethod,
     pricing: PricingScheme,
@@ -165,14 +205,19 @@ pub fn measure_method(
     warmup: usize,
     seed: u64,
 ) -> MethodRun {
-    let mut engine = section_v_engine(n, seed, EngineConfig { method, pricing });
-    let slots = engine.clicks.num_slots();
-    let keywords = engine.num_keywords.max(1);
-    let queries: Vec<usize> = (0..auctions.max(warmup)).map(|i| i % keywords).collect();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE_D1CE);
-    engine.run_batch(&queries[..warmup], &mut rng);
+    let mut market = section_v_market(n, seed, EngineConfig { method, pricing });
+    let slots = market.num_slots();
+    let keywords = market.num_keywords().max(1);
+    let requests: Vec<QueryRequest> = (0..auctions.max(warmup))
+        .map(|i| QueryRequest::new(i % keywords))
+        .collect();
+    market
+        .serve_batch(&requests[..warmup])
+        .expect("round-robin keywords are in range");
     let start = Instant::now();
-    let report = engine.run_batch(&queries[..auctions], &mut rng);
+    let report = market
+        .serve_batch(&requests[..auctions])
+        .expect("round-robin keywords are in range");
     let elapsed = start.elapsed();
     MethodRun {
         method,
@@ -181,7 +226,7 @@ pub fn measure_method(
         slots,
         auctions,
         elapsed,
-        report,
+        report: report.total,
     }
 }
 

@@ -72,8 +72,37 @@ impl std::fmt::Display for WdMethod {
     }
 }
 
+/// Error returned when parsing a [`WdMethod`] from its CLI name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMethodError {
+    /// The name matched none of `lp`, `h`, `rh`, `rhp`, `rhp:<threads>`.
+    UnknownMethod(String),
+    /// `rhp:<threads>` carried a suffix that is not an unsigned integer.
+    InvalidThreadCount(String),
+    /// `rhp:0` — the parallel reduction needs at least one thread.
+    ZeroThreads,
+}
+
+impl std::fmt::Display for ParseMethodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseMethodError::UnknownMethod(name) => write!(
+                f,
+                "unknown winner-determination method {name:?} \
+                 (expected lp, h, rh, rhp, or rhp:<threads>)"
+            ),
+            ParseMethodError::InvalidThreadCount(raw) => {
+                write!(f, "invalid thread count in {raw:?}")
+            }
+            ParseMethodError::ZeroThreads => f.write_str("thread count must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ParseMethodError {}
+
 impl std::str::FromStr for WdMethod {
-    type Err = String;
+    type Err = ParseMethodError;
 
     /// Parses `lp`, `h`, `rh`, `rhp` (with [`DEFAULT_PARALLEL_THREADS`]),
     /// or `rhp:<threads>`, case-insensitively.
@@ -88,16 +117,13 @@ impl std::str::FromStr for WdMethod {
                 if let Some(threads) = other.strip_prefix("rhp:") {
                     let threads: usize = threads
                         .parse()
-                        .map_err(|_| format!("invalid thread count in {s:?}"))?;
+                        .map_err(|_| ParseMethodError::InvalidThreadCount(s.to_string()))?;
                     if threads == 0 {
-                        return Err(format!("thread count must be positive in {s:?}"));
+                        return Err(ParseMethodError::ZeroThreads);
                     }
                     Ok(WdMethod::ReducedParallel(threads))
                 } else {
-                    Err(format!(
-                        "unknown winner-determination method {other:?} \
-                         (expected lp, h, rh, rhp, or rhp:<threads>)"
-                    ))
+                    Err(ParseMethodError::UnknownMethod(other.to_string()))
                 }
             }
         }
@@ -156,6 +182,20 @@ pub struct BatchReport {
     pub purchases: u64,
     /// Total realised revenue.
     pub realized_revenue: Money,
+}
+
+impl BatchReport {
+    /// Folds another report into this one (the aggregate of two consecutive
+    /// batches); used by the `Marketplace` facade to merge per-keyword
+    /// chunks into a market-wide total.
+    pub fn absorb(&mut self, other: &BatchReport) {
+        self.auctions += other.auctions;
+        self.expected_revenue += other.expected_revenue;
+        self.filled_slots += other.filled_slots;
+        self.clicks += other.clicks;
+        self.purchases += other.purchases;
+        self.realized_revenue += other.realized_revenue;
+    }
 }
 
 /// Hot-path scratch reused across batched auctions; every buffer is refilled
@@ -247,6 +287,14 @@ impl<B: Bidder> AuctionEngine<B> {
         self.time
     }
 
+    /// Overrides the auction clock. Facade support: a service layer that
+    /// owns several per-keyword engines (e.g. the `Marketplace`) keeps one
+    /// global auction clock and aligns each engine to it before running a
+    /// batch, so bidders observe market time rather than per-engine time.
+    pub fn set_time(&mut self, time: u64) {
+        self.time = time;
+    }
+
     /// The persistent solver the batched path dispatches to, rebuilt lazily
     /// whenever `config.method` changes.
     pub fn solver_name(&mut self) -> &'static str {
@@ -297,7 +345,11 @@ impl<B: Bidder> AuctionEngine<B> {
             let Some(adv) = *adv else { continue };
             let slot = SlotId::from_index0(j);
             clicked[j] = rng.gen::<f64>() < self.clicks.p_click(adv, slot);
-            purchased[j] = rng.gen::<f64>() < self.purchases.p_purchase(adv, slot, clicked[j]);
+            // Impossible purchases consume no randomness, so pure click
+            // auctions draw exactly once per filled slot (the contract the
+            // Section V equivalence between facade and Simulation rests on).
+            let p_buy = self.purchases.p_purchase(adv, slot, clicked[j]);
+            purchased[j] = p_buy > 0.0 && rng.gen::<f64>() < p_buy;
         }
 
         // Step 6: pricing.
@@ -378,8 +430,9 @@ impl<B: Bidder> AuctionEngine<B> {
             let slot = SlotId::from_index0(j);
             let clicked = rng.gen::<f64>() < self.clicks.p_click(adv, slot);
             self.scratch.clicked[j] = clicked;
-            self.scratch.purchased[j] =
-                rng.gen::<f64>() < self.purchases.p_purchase(adv, slot, clicked);
+            // Mirrors `run_auction`: zero-probability purchases draw nothing.
+            let p_buy = self.purchases.p_purchase(adv, slot, clicked);
+            self.scratch.purchased[j] = p_buy > 0.0 && rng.gen::<f64>() < p_buy;
         }
 
         // Reused advertiser→slot inverse map (pricing and notification).
@@ -765,8 +818,28 @@ mod tests {
             Ok(WdMethod::ReducedParallel(DEFAULT_PARALLEL_THREADS))
         );
         assert_eq!("Hungarian".parse(), Ok(WdMethod::Hungarian));
-        assert!("rhp:0".parse::<WdMethod>().is_err());
-        assert!("simplex".parse::<WdMethod>().is_err());
+        assert_eq!(
+            "rhp:0".parse::<WdMethod>(),
+            Err(ParseMethodError::ZeroThreads)
+        );
+        assert_eq!(
+            "rhp:many".parse::<WdMethod>(),
+            Err(ParseMethodError::InvalidThreadCount("rhp:many".into()))
+        );
+        assert_eq!(
+            "simplex".parse::<WdMethod>(),
+            Err(ParseMethodError::UnknownMethod("simplex".into()))
+        );
+    }
+
+    #[test]
+    fn parse_method_error_is_a_std_error() {
+        let err: Box<dyn std::error::Error> =
+            Box::new("nope".parse::<WdMethod>().expect_err("must fail"));
+        assert!(err.to_string().contains("nope"));
+        assert!(ParseMethodError::ZeroThreads
+            .to_string()
+            .contains("positive"));
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! ([`AuctionEngine::run_batch`], [`AuctionEngine::stream`]) refill them in
 //! place — no per-auction matrix allocation on the hot path.
 //!
+//! Above the engine sits the [`marketplace`] service facade: a long-lived
+//! [`marketplace::Marketplace`] owning registered advertisers,
+//! per-keyword campaigns, and one persistent engine+solver per keyword,
+//! with a typed query-serving API and an incremental update API backed by
+//! the Section IV-B [`logical`] adjustment lists. `AuctionEngine` remains
+//! the documented low-level escape hatch.
+//!
 //! The Section III-F heavyweight/lightweight extension lives in
 //! [`heavyweight`].
 //!
@@ -32,15 +39,22 @@
 pub mod bidder;
 pub mod engine;
 pub mod heavyweight;
+pub mod logical;
+pub mod marketplace;
 pub mod pricing;
 pub mod prob;
 pub mod revenue;
 
 pub use bidder::{Bidder, BidderOutcome, QueryContext, TableBidder};
 pub use engine::{
-    AuctionEngine, AuctionReport, AuctionStream, BatchReport, EngineConfig, WdMethod,
+    AuctionEngine, AuctionReport, AuctionStream, BatchReport, EngineConfig, ParseMethodError,
+    WdMethod,
 };
 pub use heavyweight::{solve_heavyweight, HeavyweightInstance, HeavyweightSolution};
-pub use pricing::{PricingScheme, SlotPrice};
+pub use marketplace::{
+    AdvertiserHandle, AuctionResponse, CampaignId, CampaignSpec, MarketBatchReport, MarketError,
+    Marketplace, MarketplaceBuilder, Placement, QueryRequest,
+};
+pub use pricing::{ParsePricingError, PricingScheme, SlotPrice};
 pub use prob::{ClickModel, PurchaseModel, SeparableClickModel};
 pub use revenue::{expected_revenue, revenue_matrix, revenue_matrix_into, NoSlotValues};

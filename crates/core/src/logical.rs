@@ -11,6 +11,13 @@
 //! programs in the list adjust their bids by the same amount").
 //! [`LogicalBids`] bundles the increment, decrement, and constant lists for
 //! one keyword.
+//!
+//! This module lives in `ssa_core` (rather than `ssa_strategy`, which
+//! re-exports it) because it is shared by two layers: the strategy crate's
+//! `LogicalRoiPopulation` maintains whole ROI populations through these
+//! lists, and the [`crate::marketplace`] facade routes its incremental bid
+//! updates (`update_bid`, pause/resume) through a per-keyword
+//! [`AdjustmentList`] instead of rebuilding bidder vectors.
 
 use std::collections::{BTreeSet, HashMap};
 

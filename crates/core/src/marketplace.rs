@@ -1,0 +1,1382 @@
+//! The `Marketplace` service facade: a long-lived auction *system* rather
+//! than a per-keyword engine.
+//!
+//! The paper describes a database of expressive bids that serves a stream
+//! of keyword queries and absorbs incremental bid-program updates between
+//! auctions. [`Marketplace`] is that surface: it owns registered
+//! advertisers ([`AdvertiserHandle`]), per-keyword campaigns (each a
+//! [`BidsTable`] bidding program — or an arbitrary [`Bidder`] — plus
+//! click/purchase models), and one persistent [`AuctionEngine`]+solver per
+//! keyword. Queries are served through a typed API
+//! ([`Marketplace::serve`] / [`Marketplace::serve_batch`], built on
+//! [`AuctionEngine::run_batch`]) and bids are changed through an
+//! incremental update API ([`Marketplace::update_bid`],
+//! [`Marketplace::pause_campaign`], [`Marketplace::set_roi_target`]) that
+//! routes through the Section IV-B logical-update machinery
+//! ([`crate::logical::AdjustmentList`]) instead of rebuilding bidder
+//! vectors.
+//!
+//! [`AuctionEngine`] remains the documented low-level escape hatch for
+//! callers that want to assemble a single-keyword auction by hand.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
+//! use ssa_bidlang::Money;
+//!
+//! let mut market = Marketplace::builder()
+//!     .slots(2)
+//!     .keywords(1)
+//!     .seed(7)
+//!     .default_click_probs(vec![0.6, 0.3])
+//!     .build()
+//!     .expect("valid configuration");
+//! let shoes = market.register_advertiser("shoes.example");
+//! let books = market.register_advertiser("books.example");
+//! let c1 = market
+//!     .add_campaign(shoes, 0, CampaignSpec::per_click(Money::from_cents(20)))
+//!     .expect("campaign accepted");
+//! market
+//!     .add_campaign(books, 0, CampaignSpec::per_click(Money::from_cents(10)))
+//!     .expect("campaign accepted");
+//!
+//! let response = market.serve(QueryRequest::new(0)).expect("keyword 0 exists");
+//! assert_eq!(response.placements.len(), 2);
+//!
+//! // Incremental update: O(log n) on the keyword's logical bid index, no
+//! // engine rebuild.
+//! market.update_bid(c1, Money::from_cents(5)).expect("per-click campaign");
+//! assert_eq!(market.current_bid(c1).unwrap(), Money::from_cents(5));
+//! ```
+
+use crate::bidder::{Bidder, BidderOutcome, QueryContext};
+use crate::engine::{AuctionEngine, AuctionReport, BatchReport, EngineConfig, WdMethod};
+use crate::logical::AdjustmentList;
+use crate::pricing::PricingScheme;
+use crate::prob::{ClickModel, PurchaseModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssa_bidlang::{BidsTable, Money, SlotId};
+
+// ---------------------------------------------------------------------------
+// Handles and identifiers.
+// ---------------------------------------------------------------------------
+
+/// Opaque handle to a registered advertiser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AdvertiserHandle(usize);
+
+impl AdvertiserHandle {
+    /// Registration index of the advertiser (dense, starting at 0).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque identifier of a campaign: one bidding program on one keyword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CampaignId {
+    keyword: usize,
+    index: usize,
+}
+
+impl CampaignId {
+    /// The keyword the campaign bids on.
+    pub fn keyword(self) -> usize {
+        self.keyword
+    }
+
+    /// Registration index of the campaign within its keyword (dense,
+    /// starting at 0).
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------------
+
+/// Typed error surface of the [`Marketplace`] API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarketError {
+    /// The handle does not name a registered advertiser.
+    UnknownAdvertiser(AdvertiserHandle),
+    /// The keyword index is outside the configured keyword universe.
+    UnknownKeyword {
+        /// Requested keyword index.
+        keyword: usize,
+        /// Size of the configured keyword universe.
+        num_keywords: usize,
+    },
+    /// The id does not name a registered campaign.
+    UnknownCampaign(CampaignId),
+    /// A per-slot model vector does not match the slot count.
+    ModelDimension {
+        /// Slots the marketplace was built with.
+        expected: usize,
+        /// Length of the supplied vector.
+        got: usize,
+    },
+    /// A probability fell outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// The campaign supplied no click model and the marketplace was built
+    /// without [`MarketplaceBuilder::default_click_probs`].
+    MissingClickModel,
+    /// The campaign runs a custom bidding program, so the per-click
+    /// incremental update API does not apply; pause it or re-register it
+    /// instead.
+    NotIncremental(CampaignId),
+    /// Bids must be non-negative.
+    NegativeBid(Money),
+    /// ROI targets must be finite and strictly positive.
+    InvalidRoiTarget(f64),
+    /// A marketplace needs at least one slot.
+    NoSlots,
+    /// A marketplace needs at least one keyword.
+    NoKeywords,
+}
+
+impl std::fmt::Display for MarketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarketError::UnknownAdvertiser(h) => {
+                write!(f, "unknown advertiser handle {:?}", h.index())
+            }
+            MarketError::UnknownKeyword {
+                keyword,
+                num_keywords,
+            } => write!(
+                f,
+                "keyword {keyword} outside the configured universe of {num_keywords}"
+            ),
+            MarketError::UnknownCampaign(id) => write!(
+                f,
+                "unknown campaign {}/{} (keyword/index)",
+                id.keyword, id.index
+            ),
+            MarketError::ModelDimension { expected, got } => write!(
+                f,
+                "per-slot model has {got} entries but the marketplace has {expected} slots"
+            ),
+            MarketError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside [0, 1]")
+            }
+            MarketError::MissingClickModel => f.write_str(
+                "campaign supplied no click probabilities and no default click model is configured",
+            ),
+            MarketError::NotIncremental(id) => write!(
+                f,
+                "campaign {}/{} runs a custom bidding program; \
+                 the per-click incremental update API does not apply",
+                id.keyword, id.index
+            ),
+            MarketError::NegativeBid(m) => write!(f, "bid {m} is negative"),
+            MarketError::InvalidRoiTarget(t) => {
+                write!(f, "ROI target {t} must be finite and positive")
+            }
+            MarketError::NoSlots => f.write_str("a marketplace needs at least one slot"),
+            MarketError::NoKeywords => f.write_str("a marketplace needs at least one keyword"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+// ---------------------------------------------------------------------------
+// Campaign specification.
+// ---------------------------------------------------------------------------
+
+/// What a campaign bids. Built with [`CampaignSpec::per_click`],
+/// [`CampaignSpec::table`], or [`CampaignSpec::program`].
+enum ProgramSpec {
+    /// Classical single-feature campaign: a per-click bid. Supports the
+    /// whole incremental update API.
+    PerClick(Money),
+    /// A fixed multi-feature [`BidsTable`] submitted verbatim each auction.
+    Table(BidsTable),
+    /// An arbitrary bidding program (anything implementing [`Bidder`]),
+    /// e.g. a shared-state ROI strategy.
+    Program(Box<dyn Bidder>),
+}
+
+/// Declarative description of a campaign handed to
+/// [`Marketplace::add_campaign`].
+///
+/// Per-slot click probabilities default to the builder-level
+/// [`MarketplaceBuilder::default_click_probs`]; purchase probabilities
+/// default to "never" (the pure click-auction setting).
+pub struct CampaignSpec {
+    program: ProgramSpec,
+    click_probs: Option<Vec<f64>>,
+    purchase_probs: Option<Vec<(f64, f64)>>,
+    click_value: Money,
+    roi_target: Option<f64>,
+}
+
+impl CampaignSpec {
+    fn new(program: ProgramSpec) -> Self {
+        CampaignSpec {
+            program,
+            click_probs: None,
+            purchase_probs: None,
+            click_value: Money::ZERO,
+            roi_target: None,
+        }
+    }
+
+    /// A classical single-feature campaign bidding `bid` per click. Only
+    /// this kind supports [`Marketplace::update_bid`] and
+    /// [`Marketplace::set_roi_target`].
+    pub fn per_click(bid: Money) -> Self {
+        CampaignSpec::new(ProgramSpec::PerClick(bid))
+    }
+
+    /// A fixed multi-feature bidding program: the table is submitted
+    /// verbatim at every auction on the campaign's keyword.
+    pub fn table(bids: BidsTable) -> Self {
+        CampaignSpec::new(ProgramSpec::Table(bids))
+    }
+
+    /// An arbitrary bidding program. The program sees the global market
+    /// clock and the queried keyword in its [`QueryContext`] and receives
+    /// outcome notifications; this is how stateful strategies (e.g. the
+    /// Section II-C ROI heuristic) run on the facade.
+    pub fn program(bidder: Box<dyn Bidder>) -> Self {
+        CampaignSpec::new(ProgramSpec::Program(bidder))
+    }
+
+    /// Per-slot click probabilities for this campaign's ad.
+    pub fn click_probs(mut self, probs: Vec<f64>) -> Self {
+        self.click_probs = Some(probs);
+        self
+    }
+
+    /// Per-slot purchase probabilities `(p | click, p | no click)`.
+    pub fn purchase_probs(mut self, probs: Vec<(f64, f64)>) -> Self {
+        self.purchase_probs = Some(probs);
+        self
+    }
+
+    /// The advertiser's value of a click, used by
+    /// [`Marketplace::set_roi_target`] to derive the bid ceiling
+    /// `value / target`.
+    pub fn click_value(mut self, value: Money) -> Self {
+        self.click_value = value;
+        self
+    }
+
+    /// Initial ROI target (see [`Marketplace::set_roi_target`]).
+    pub fn roi_target(mut self, target: f64) -> Self {
+        self.roi_target = Some(target);
+        self
+    }
+}
+
+impl std::fmt::Debug for CampaignSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.program {
+            ProgramSpec::PerClick(bid) => format!("per-click {bid}"),
+            ProgramSpec::Table(t) => format!("table[{} rows]", t.len()),
+            ProgramSpec::Program(_) => "custom program".to_string(),
+        };
+        f.debug_struct("CampaignSpec")
+            .field("program", &kind)
+            .field("click_value", &self.click_value)
+            .field("roi_target", &self.roi_target)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal campaign state.
+// ---------------------------------------------------------------------------
+
+/// Mutable per-campaign bid state (the part the incremental API touches).
+#[derive(Debug, Clone, Copy)]
+enum CampaignKind {
+    PerClick {
+        nominal: Money,
+        click_value: Money,
+        roi_target: Option<f64>,
+    },
+    Table,
+    Program,
+}
+
+#[derive(Debug)]
+struct Campaign {
+    id: CampaignId,
+    advertiser: AdvertiserHandle,
+    kind: CampaignKind,
+    paused: bool,
+    click_probs: Vec<f64>,
+    purchase_probs: Vec<(f64, f64)>,
+}
+
+/// The engine-side representation of a campaign: a [`Bidder`] whose table
+/// is rewritten in place by the incremental update API. A paused campaign
+/// submits an empty table, which winner determination treats as
+/// [`ssa_matching::EXCLUDED`] — it can never be displayed.
+struct CampaignBidder {
+    table: BidsTable,
+    program: Option<Box<dyn Bidder>>,
+    paused: bool,
+}
+
+impl Bidder for CampaignBidder {
+    fn on_query(&mut self, ctx: &QueryContext) -> BidsTable {
+        if self.paused {
+            return BidsTable::empty();
+        }
+        match &mut self.program {
+            Some(p) => p.on_query(ctx),
+            None => self.table.clone(),
+        }
+    }
+
+    fn on_outcome(&mut self, ctx: &QueryContext, outcome: &BidderOutcome) {
+        if let Some(p) = &mut self.program {
+            if !self.paused {
+                p.on_outcome(ctx, outcome);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for CampaignBidder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignBidder")
+            .field("paused", &self.paused)
+            .field(
+                "program",
+                &if self.program.is_some() {
+                    "custom"
+                } else {
+                    "table"
+                },
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything the marketplace holds for one keyword: campaign metadata, the
+/// persistent engine (solver + matrix buffers), and the logical bid index.
+///
+/// The campaign bidders live in exactly one of two places: inside the
+/// engine while it exists, or in `pending` between a structural change
+/// (campaign added) and the next serve. Incremental updates mutate them in
+/// place wherever they are.
+#[derive(Debug, Default)]
+struct KeywordBook {
+    campaigns: Vec<Campaign>,
+    pending: Vec<CampaignBidder>,
+    engine: Option<AuctionEngine<CampaignBidder>>,
+    /// Sorted per-click bids (cents) of unpaused per-click campaigns — the
+    /// Section IV-B adjustment list backing `update_bid` / `top_bids`.
+    index: AdjustmentList,
+}
+
+impl KeywordBook {
+    fn bidder_mut(&mut self, index: usize) -> &mut CampaignBidder {
+        match self.engine.as_mut() {
+            Some(engine) => &mut engine.bidders[index],
+            None => &mut self.pending[index],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query-serving API types.
+// ---------------------------------------------------------------------------
+
+/// One keyword query to serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Index of the queried keyword.
+    pub keyword: usize,
+}
+
+impl QueryRequest {
+    /// A query on `keyword`.
+    pub fn new(keyword: usize) -> Self {
+        QueryRequest { keyword }
+    }
+}
+
+impl From<usize> for QueryRequest {
+    fn from(keyword: usize) -> Self {
+        QueryRequest { keyword }
+    }
+}
+
+/// One ad shown in response to a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The slot the ad occupied.
+    pub slot: SlotId,
+    /// The campaign whose program won the slot.
+    pub campaign: CampaignId,
+    /// The advertiser owning the campaign.
+    pub advertiser: AdvertiserHandle,
+    /// Whether the user clicked the ad.
+    pub clicked: bool,
+    /// Whether the user purchased via the ad.
+    pub purchased: bool,
+    /// Amount the campaign was charged this auction.
+    pub charge: Money,
+}
+
+/// Everything that happened serving one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuctionResponse {
+    /// The queried keyword.
+    pub keyword: usize,
+    /// Global market clock value of this auction (1-based).
+    pub time: u64,
+    /// Expected revenue of the winning allocation.
+    pub expected_revenue: f64,
+    /// Total realised revenue.
+    pub realized_revenue: Money,
+    /// The ads shown, in slot order.
+    pub placements: Vec<Placement>,
+    /// Every charge of the auction. Under GSP/VCG these cover winners only;
+    /// under pay-your-bid, unplaced campaigns with negated-slot formulas can
+    /// owe money too.
+    pub charges: Vec<(CampaignId, Money)>,
+}
+
+/// Aggregate outcome of [`Marketplace::serve_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketBatchReport {
+    /// Market-wide totals.
+    pub total: BatchReport,
+    /// Per-keyword totals (indexed by keyword).
+    pub per_keyword: Vec<BatchReport>,
+    /// Number of maximal same-keyword chunks the stream was split into.
+    /// A chunk on a keyword with campaigns is one
+    /// [`AuctionEngine::run_batch`] call on that keyword's persistent
+    /// engine; a chunk on a campaign-less keyword serves empty pages
+    /// without touching any engine.
+    pub chunks: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Builder.
+// ---------------------------------------------------------------------------
+
+/// Configures and constructs a [`Marketplace`]; obtained from
+/// [`Marketplace::builder`].
+#[derive(Debug, Clone)]
+pub struct MarketplaceBuilder {
+    method: WdMethod,
+    pricing: PricingScheme,
+    num_slots: usize,
+    num_keywords: usize,
+    seed: u64,
+    default_click_probs: Option<Vec<f64>>,
+    default_purchase_probs: Option<Vec<(f64, f64)>>,
+}
+
+impl Default for MarketplaceBuilder {
+    fn default() -> Self {
+        MarketplaceBuilder {
+            method: WdMethod::Reduced,
+            pricing: PricingScheme::Gsp,
+            num_slots: 1,
+            num_keywords: 1,
+            seed: 0,
+            default_click_probs: None,
+            default_purchase_probs: None,
+        }
+    }
+}
+
+impl MarketplaceBuilder {
+    /// Winner-determination method (default: [`WdMethod::Reduced`]).
+    pub fn method(mut self, method: WdMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Pricing rule (default: [`PricingScheme::Gsp`]).
+    pub fn pricing(mut self, pricing: PricingScheme) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Number of ad slots per results page (default: 1).
+    pub fn slots(mut self, num_slots: usize) -> Self {
+        self.num_slots = num_slots;
+        self
+    }
+
+    /// Size of the keyword universe (default: 1).
+    pub fn keywords(mut self, num_keywords: usize) -> Self {
+        self.num_keywords = num_keywords;
+        self
+    }
+
+    /// Seed of the marketplace's own RNG (user clicks and purchases).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Click model applied to campaigns that do not supply their own
+    /// [`CampaignSpec::click_probs`].
+    pub fn default_click_probs(mut self, probs: Vec<f64>) -> Self {
+        self.default_click_probs = Some(probs);
+        self
+    }
+
+    /// Purchase model applied to campaigns that do not supply their own
+    /// [`CampaignSpec::purchase_probs`] (default: purchases never happen).
+    pub fn default_purchase_probs(mut self, probs: Vec<(f64, f64)>) -> Self {
+        self.default_purchase_probs = Some(probs);
+        self
+    }
+
+    /// Validates the configuration and constructs the marketplace.
+    pub fn build(self) -> Result<Marketplace, MarketError> {
+        if self.num_slots == 0 {
+            return Err(MarketError::NoSlots);
+        }
+        if self.num_keywords == 0 {
+            return Err(MarketError::NoKeywords);
+        }
+        if let Some(probs) = &self.default_click_probs {
+            validate_click_probs(probs, self.num_slots)?;
+        }
+        if let Some(probs) = &self.default_purchase_probs {
+            validate_purchase_probs(probs, self.num_slots)?;
+        }
+        Ok(Marketplace {
+            config: EngineConfig {
+                method: self.method,
+                pricing: self.pricing,
+            },
+            num_slots: self.num_slots,
+            num_keywords: self.num_keywords,
+            advertisers: Vec::new(),
+            books: (0..self.num_keywords)
+                .map(|_| KeywordBook::default())
+                .collect(),
+            default_click_probs: self.default_click_probs,
+            default_purchase_probs: self.default_purchase_probs,
+            rng: StdRng::seed_from_u64(self.seed),
+            clock: 0,
+            query_buf: Vec::new(),
+        })
+    }
+}
+
+fn validate_click_probs(probs: &[f64], num_slots: usize) -> Result<(), MarketError> {
+    if probs.len() != num_slots {
+        return Err(MarketError::ModelDimension {
+            expected: num_slots,
+            got: probs.len(),
+        });
+    }
+    for &p in probs {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(MarketError::InvalidProbability(p));
+        }
+    }
+    Ok(())
+}
+
+fn validate_purchase_probs(probs: &[(f64, f64)], num_slots: usize) -> Result<(), MarketError> {
+    if probs.len() != num_slots {
+        return Err(MarketError::ModelDimension {
+            expected: num_slots,
+            got: probs.len(),
+        });
+    }
+    for &(pc, pn) in probs {
+        if !(0.0..=1.0).contains(&pc) {
+            return Err(MarketError::InvalidProbability(pc));
+        }
+        if !(0.0..=1.0).contains(&pn) {
+            return Err(MarketError::InvalidProbability(pn));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The marketplace itself.
+// ---------------------------------------------------------------------------
+
+/// A long-lived sponsored-search marketplace: registered advertisers,
+/// per-keyword campaigns, one persistent engine+solver per keyword, a typed
+/// query-serving API, and an incremental update API. See the
+/// [module docs](crate::marketplace) for the full picture.
+#[derive(Debug)]
+pub struct Marketplace {
+    config: EngineConfig,
+    num_slots: usize,
+    num_keywords: usize,
+    advertisers: Vec<String>,
+    books: Vec<KeywordBook>,
+    default_click_probs: Option<Vec<f64>>,
+    default_purchase_probs: Option<Vec<(f64, f64)>>,
+    rng: StdRng,
+    clock: u64,
+    /// Reused chunk buffer for [`Marketplace::serve_batch`].
+    query_buf: Vec<usize>,
+}
+
+impl Marketplace {
+    /// Starts configuring a marketplace.
+    pub fn builder() -> MarketplaceBuilder {
+        MarketplaceBuilder::default()
+    }
+
+    /// Registers an advertiser, returning its handle.
+    pub fn register_advertiser(&mut self, name: impl Into<String>) -> AdvertiserHandle {
+        self.advertisers.push(name.into());
+        AdvertiserHandle(self.advertisers.len() - 1)
+    }
+
+    /// The display name an advertiser registered under.
+    pub fn advertiser_name(&self, advertiser: AdvertiserHandle) -> Result<&str, MarketError> {
+        self.advertisers
+            .get(advertiser.0)
+            .map(String::as_str)
+            .ok_or(MarketError::UnknownAdvertiser(advertiser))
+    }
+
+    /// Number of registered advertisers.
+    pub fn num_advertisers(&self) -> usize {
+        self.advertisers.len()
+    }
+
+    /// Number of ad slots per results page.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Size of the keyword universe.
+    pub fn num_keywords(&self) -> usize {
+        self.num_keywords
+    }
+
+    /// Number of campaigns registered on a keyword.
+    pub fn num_campaigns(&self, keyword: usize) -> Result<usize, MarketError> {
+        self.check_keyword(keyword)?;
+        Ok(self.books[keyword].campaigns.len())
+    }
+
+    /// The winner-determination method every keyword engine runs.
+    pub fn method(&self) -> WdMethod {
+        self.config.method
+    }
+
+    /// The pricing rule in force.
+    pub fn pricing(&self) -> PricingScheme {
+        self.config.pricing
+    }
+
+    /// The global market clock: total auctions served.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    fn check_keyword(&self, keyword: usize) -> Result<usize, MarketError> {
+        if keyword < self.num_keywords {
+            Ok(keyword)
+        } else {
+            Err(MarketError::UnknownKeyword {
+                keyword,
+                num_keywords: self.num_keywords,
+            })
+        }
+    }
+
+    fn check_campaign(&self, id: CampaignId) -> Result<(), MarketError> {
+        self.check_keyword(id.keyword)
+            .map_err(|_| MarketError::UnknownCampaign(id))?;
+        if id.index < self.books[id.keyword].campaigns.len() {
+            Ok(())
+        } else {
+            Err(MarketError::UnknownCampaign(id))
+        }
+    }
+
+    // -- campaign registration ---------------------------------------------
+
+    /// Registers a campaign for `advertiser` on `keyword`.
+    ///
+    /// This is the structural slow path: the keyword's engine is rebuilt on
+    /// the next serve (its bidder vector grows). Bid changes afterwards go
+    /// through the incremental API, which never rebuilds.
+    pub fn add_campaign(
+        &mut self,
+        advertiser: AdvertiserHandle,
+        keyword: usize,
+        spec: CampaignSpec,
+    ) -> Result<CampaignId, MarketError> {
+        if advertiser.0 >= self.advertisers.len() {
+            return Err(MarketError::UnknownAdvertiser(advertiser));
+        }
+        let keyword = self.check_keyword(keyword)?;
+        let click_probs = match spec.click_probs {
+            Some(probs) => probs,
+            None => self
+                .default_click_probs
+                .clone()
+                .ok_or(MarketError::MissingClickModel)?,
+        };
+        validate_click_probs(&click_probs, self.num_slots)?;
+        let purchase_probs = match spec.purchase_probs {
+            Some(probs) => probs,
+            None => self
+                .default_purchase_probs
+                .clone()
+                .unwrap_or_else(|| vec![(0.0, 0.0); self.num_slots]),
+        };
+        validate_purchase_probs(&purchase_probs, self.num_slots)?;
+        if let Some(target) = spec.roi_target {
+            check_roi_target(target)?;
+        }
+        // Every validation must precede the engine teardown below: a
+        // rejected registration leaves the keyword's warm engine untouched.
+        if let ProgramSpec::PerClick(bid) = &spec.program {
+            if !bid.is_positive() && *bid != Money::ZERO {
+                return Err(MarketError::NegativeBid(*bid));
+            }
+        }
+
+        let book = &mut self.books[keyword];
+        // Tear the engine down to `pending` so the bidder vector can grow;
+        // the next serve rebuilds it with the enlarged models.
+        if let Some(engine) = book.engine.take() {
+            book.pending = engine.bidders;
+        }
+        let id = CampaignId {
+            keyword,
+            index: book.campaigns.len(),
+        };
+        let (kind, bidder) = match spec.program {
+            ProgramSpec::PerClick(bid) => (
+                CampaignKind::PerClick {
+                    nominal: bid,
+                    click_value: spec.click_value,
+                    roi_target: spec.roi_target,
+                },
+                CampaignBidder {
+                    table: BidsTable::empty(), // filled by refresh below
+                    program: None,
+                    paused: false,
+                },
+            ),
+            ProgramSpec::Table(table) => (
+                CampaignKind::Table,
+                CampaignBidder {
+                    table,
+                    program: None,
+                    paused: false,
+                },
+            ),
+            ProgramSpec::Program(program) => (
+                CampaignKind::Program,
+                CampaignBidder {
+                    table: BidsTable::empty(),
+                    program: Some(program),
+                    paused: false,
+                },
+            ),
+        };
+        book.pending.push(bidder);
+        book.campaigns.push(Campaign {
+            id,
+            advertiser,
+            kind,
+            paused: false,
+            click_probs,
+            purchase_probs,
+        });
+        if matches!(kind, CampaignKind::PerClick { .. }) {
+            self.refresh_per_click(id);
+        }
+        Ok(id)
+    }
+
+    /// The advertiser owning a campaign.
+    pub fn campaign_advertiser(&self, id: CampaignId) -> Result<AdvertiserHandle, MarketError> {
+        self.check_campaign(id)?;
+        Ok(self.books[id.keyword].campaigns[id.index].advertiser)
+    }
+
+    /// Whether a campaign is currently paused.
+    pub fn is_paused(&self, id: CampaignId) -> Result<bool, MarketError> {
+        self.check_campaign(id)?;
+        Ok(self.books[id.keyword].campaigns[id.index].paused)
+    }
+
+    // -- incremental update API --------------------------------------------
+
+    /// Sets a per-click campaign's bid.
+    ///
+    /// `O(log n)` on the keyword's logical bid index plus an in-place
+    /// rewrite of the campaign's table — the engine, its solver scratch,
+    /// and the other campaigns are untouched.
+    pub fn update_bid(&mut self, id: CampaignId, bid: Money) -> Result<(), MarketError> {
+        self.check_campaign(id)?;
+        if !bid.is_positive() && bid != Money::ZERO {
+            return Err(MarketError::NegativeBid(bid));
+        }
+        match &mut self.books[id.keyword].campaigns[id.index].kind {
+            CampaignKind::PerClick { nominal, .. } => *nominal = bid,
+            _ => return Err(MarketError::NotIncremental(id)),
+        }
+        self.refresh_per_click(id);
+        Ok(())
+    }
+
+    /// Sets or clears a per-click campaign's ROI target.
+    ///
+    /// A target `t` caps the effective bid at `click_value / t` (paying
+    /// more than that per click would push the expected return on
+    /// investment below `t`); the nominal bid set by
+    /// [`Marketplace::update_bid`] is preserved and the cap is re-derived
+    /// on every change.
+    pub fn set_roi_target(
+        &mut self,
+        id: CampaignId,
+        target: Option<f64>,
+    ) -> Result<(), MarketError> {
+        self.check_campaign(id)?;
+        if let Some(t) = target {
+            check_roi_target(t)?;
+        }
+        match &mut self.books[id.keyword].campaigns[id.index].kind {
+            CampaignKind::PerClick { roi_target, .. } => *roi_target = target,
+            _ => return Err(MarketError::NotIncremental(id)),
+        }
+        self.refresh_per_click(id);
+        Ok(())
+    }
+
+    /// Pauses a campaign: it stops bidding (and, being excluded from the
+    /// matching, can never be displayed) until resumed. Works for every
+    /// campaign kind and never rebuilds the engine.
+    pub fn pause_campaign(&mut self, id: CampaignId) -> Result<(), MarketError> {
+        self.set_paused(id, true)
+    }
+
+    /// Resumes a paused campaign.
+    pub fn resume_campaign(&mut self, id: CampaignId) -> Result<(), MarketError> {
+        self.set_paused(id, false)
+    }
+
+    fn set_paused(&mut self, id: CampaignId, paused: bool) -> Result<(), MarketError> {
+        self.check_campaign(id)?;
+        let book = &mut self.books[id.keyword];
+        book.campaigns[id.index].paused = paused;
+        if matches!(book.campaigns[id.index].kind, CampaignKind::PerClick { .. }) {
+            self.refresh_per_click(id);
+        } else {
+            book.bidder_mut(id.index).paused = paused;
+        }
+        Ok(())
+    }
+
+    /// A per-click campaign's current *effective* bid (nominal bid after
+    /// the ROI cap; [`Money::ZERO`] while paused), read from the logical
+    /// bid index.
+    pub fn current_bid(&self, id: CampaignId) -> Result<Money, MarketError> {
+        self.check_campaign(id)?;
+        let book = &self.books[id.keyword];
+        match book.campaigns[id.index].kind {
+            CampaignKind::PerClick { .. } => Ok(book
+                .index
+                .bid(id.index)
+                .map(Money::from_cents)
+                .unwrap_or(Money::ZERO)),
+            _ => Err(MarketError::NotIncremental(id)),
+        }
+    }
+
+    /// The highest effective per-click bids on a keyword, descending — a
+    /// direct read of the keyword's logical bid index.
+    pub fn top_bids(
+        &self,
+        keyword: usize,
+        limit: usize,
+    ) -> Result<Vec<(CampaignId, Money)>, MarketError> {
+        let keyword = self.check_keyword(keyword)?;
+        let book = &self.books[keyword];
+        Ok(book
+            .index
+            .iter_desc()
+            .take(limit)
+            .map(|(index, cents)| (book.campaigns[index].id, Money::from_cents(cents)))
+            .collect())
+    }
+
+    /// Recomputes a per-click campaign's effective bid and pushes it into
+    /// both views: the keyword's [`AdjustmentList`] (remove + insert,
+    /// `O(log n)`) and the campaign's in-place engine table.
+    fn refresh_per_click(&mut self, id: CampaignId) {
+        let book = &mut self.books[id.keyword];
+        let campaign = &book.campaigns[id.index];
+        let CampaignKind::PerClick {
+            nominal,
+            click_value,
+            roi_target,
+        } = campaign.kind
+        else {
+            unreachable!("refresh_per_click called on a non-per-click campaign");
+        };
+        let paused = campaign.paused;
+        let effective = effective_bid(nominal, click_value, roi_target);
+        book.index.remove(id.index);
+        if !paused {
+            book.index.insert(id.index, effective.cents());
+        }
+        let bidder = book.bidder_mut(id.index);
+        bidder.table = BidsTable::single_feature(effective);
+        bidder.paused = paused;
+    }
+
+    // -- query serving ------------------------------------------------------
+
+    /// Serves one query end to end (program evaluation, winner
+    /// determination, user action, pricing, program notification) and
+    /// returns the fully typed outcome.
+    pub fn serve(&mut self, request: QueryRequest) -> Result<AuctionResponse, MarketError> {
+        let keyword = self.check_keyword(request.keyword)?;
+        self.clock += 1;
+        let time = self.clock;
+        if self.books[keyword].campaigns.is_empty() {
+            return Ok(AuctionResponse {
+                keyword,
+                time,
+                expected_revenue: 0.0,
+                realized_revenue: Money::ZERO,
+                placements: Vec::new(),
+                charges: Vec::new(),
+            });
+        }
+        self.ensure_engine(keyword);
+        let book = &mut self.books[keyword];
+        let engine = book.engine.as_mut().expect("engine built above");
+        engine.set_time(time - 1);
+        let report = engine
+            .stream(std::iter::once(keyword), &mut self.rng)
+            .next()
+            .expect("one query yields one auction");
+        Ok(respond(&book.campaigns, keyword, time, report))
+    }
+
+    /// Serves a stream of queries through the persistent per-keyword
+    /// engines, aggregating outcomes.
+    ///
+    /// The stream is split into maximal same-keyword chunks; each chunk is
+    /// one [`AuctionEngine::run_batch`] call, so consecutive queries on the
+    /// same keyword reuse one revenue matrix and one solver scratch with no
+    /// per-query allocation. Auction order (and therefore the RNG stream)
+    /// is exactly the order of `requests`.
+    pub fn serve_batch(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<MarketBatchReport, MarketError> {
+        for request in requests {
+            self.check_keyword(request.keyword)?;
+        }
+        let mut out = MarketBatchReport {
+            total: BatchReport::default(),
+            per_keyword: vec![BatchReport::default(); self.num_keywords],
+            chunks: 0,
+        };
+        let mut i = 0;
+        while i < requests.len() {
+            let keyword = requests[i].keyword;
+            let mut j = i + 1;
+            while j < requests.len() && requests[j].keyword == keyword {
+                j += 1;
+            }
+            let len = (j - i) as u64;
+            let chunk = if self.books[keyword].campaigns.is_empty() {
+                BatchReport {
+                    auctions: len,
+                    ..BatchReport::default()
+                }
+            } else {
+                self.ensure_engine(keyword);
+                self.query_buf.clear();
+                self.query_buf.resize(j - i, keyword);
+                let engine = self.books[keyword]
+                    .engine
+                    .as_mut()
+                    .expect("engine built above");
+                engine.set_time(self.clock);
+                engine.run_batch(&self.query_buf, &mut self.rng)
+            };
+            self.clock += len;
+            out.per_keyword[keyword].absorb(&chunk);
+            out.total.absorb(&chunk);
+            out.chunks += 1;
+            i = j;
+        }
+        Ok(out)
+    }
+
+    /// Builds (or reuses) the keyword's persistent engine. Only structural
+    /// changes (new campaigns) tear it down; bid updates never do.
+    fn ensure_engine(&mut self, keyword: usize) {
+        let config = self.config;
+        let num_keywords = self.num_keywords;
+        let num_slots = self.num_slots;
+        let book = &mut self.books[keyword];
+        if book.engine.is_some() || book.campaigns.is_empty() {
+            return;
+        }
+        let n = book.campaigns.len();
+        debug_assert_eq!(book.pending.len(), n, "bidders out of sync with metadata");
+        let campaigns = &book.campaigns;
+        let clicks = ClickModel::from_fn(n, num_slots, |i, j| campaigns[i].click_probs[j]);
+        let purchases = PurchaseModel::from_fn(n, num_slots, |i, j| campaigns[i].purchase_probs[j]);
+        let bidders = std::mem::take(&mut book.pending);
+        book.engine = Some(AuctionEngine::new(
+            bidders,
+            clicks,
+            purchases,
+            num_keywords,
+            config,
+        ));
+    }
+}
+
+fn check_roi_target(target: f64) -> Result<(), MarketError> {
+    if target.is_finite() && target > 0.0 {
+        Ok(())
+    } else {
+        Err(MarketError::InvalidRoiTarget(target))
+    }
+}
+
+/// Effective per-click bid: the nominal bid capped at `click_value /
+/// roi_target` (never negative).
+fn effective_bid(nominal: Money, click_value: Money, roi_target: Option<f64>) -> Money {
+    let capped = match roi_target {
+        Some(target) => nominal.min(Money::from_cents(
+            (click_value.as_f64() / target).floor() as i64
+        )),
+        None => nominal,
+    };
+    capped.max(Money::ZERO)
+}
+
+/// Maps an engine [`AuctionReport`] (local bidder indexes) to the typed
+/// [`AuctionResponse`] (campaign ids and advertiser handles).
+fn respond(
+    campaigns: &[Campaign],
+    keyword: usize,
+    time: u64,
+    report: AuctionReport,
+) -> AuctionResponse {
+    let mut placements = Vec::with_capacity(report.assignment.num_assigned());
+    for (j, local) in report.assignment.slot_to_adv.iter().enumerate() {
+        let Some(local) = *local else { continue };
+        let campaign = &campaigns[local];
+        let charge = report
+            .charges
+            .iter()
+            .find(|(adv, _)| *adv == local)
+            .map(|(_, m)| *m)
+            .unwrap_or(Money::ZERO);
+        placements.push(Placement {
+            slot: SlotId::from_index0(j),
+            campaign: campaign.id,
+            advertiser: campaign.advertiser,
+            clicked: report.clicked[j],
+            purchased: report.purchased[j],
+            charge,
+        });
+    }
+    let charges = report
+        .charges
+        .iter()
+        .map(|(local, m)| (campaigns[*local].id, *m))
+        .collect();
+    AuctionResponse {
+        keyword,
+        time,
+        expected_revenue: report.expected_revenue,
+        realized_revenue: report.realized_revenue,
+        placements,
+        charges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_campaign_market() -> (Marketplace, CampaignId, CampaignId) {
+        let mut market = Marketplace::builder()
+            .slots(2)
+            .keywords(2)
+            .seed(11)
+            .default_click_probs(vec![0.8, 0.4])
+            .build()
+            .expect("valid configuration");
+        let a = market.register_advertiser("a");
+        let b = market.register_advertiser("b");
+        let c1 = market
+            .add_campaign(a, 0, CampaignSpec::per_click(Money::from_cents(20)))
+            .expect("accepted");
+        let c2 = market
+            .add_campaign(b, 0, CampaignSpec::per_click(Money::from_cents(10)))
+            .expect("accepted");
+        (market, c1, c2)
+    }
+
+    #[test]
+    fn serve_places_by_descending_bid() {
+        let (mut market, c1, c2) = two_campaign_market();
+        let response = market.serve(QueryRequest::new(0)).expect("valid keyword");
+        assert_eq!(response.time, 1);
+        assert_eq!(market.now(), 1);
+        assert_eq!(response.placements.len(), 2);
+        assert_eq!(response.placements[0].campaign, c1);
+        assert_eq!(response.placements[1].campaign, c2);
+        assert!((response.expected_revenue - (0.8 * 20.0 + 0.4 * 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_bid_takes_effect_without_rebuilding() {
+        let (mut market, c1, c2) = two_campaign_market();
+        market.serve(QueryRequest::new(0)).expect("warm engine");
+        // Flip the order incrementally; the engine must survive in place.
+        market
+            .update_bid(c1, Money::from_cents(1))
+            .expect("per-click");
+        assert_eq!(market.current_bid(c1).unwrap(), Money::from_cents(1));
+        let response = market.serve(QueryRequest::new(0)).expect("valid keyword");
+        assert_eq!(response.placements[0].campaign, c2);
+        assert_eq!(
+            market.top_bids(0, 10).unwrap(),
+            vec![(c2, Money::from_cents(10)), (c1, Money::from_cents(1))]
+        );
+    }
+
+    #[test]
+    fn paused_campaigns_are_never_displayed() {
+        for method in [
+            WdMethod::Lp,
+            WdMethod::Hungarian,
+            WdMethod::Reduced,
+            WdMethod::ReducedParallel(2),
+        ] {
+            let mut market = Marketplace::builder()
+                .slots(2)
+                .keywords(1)
+                .method(method)
+                .default_click_probs(vec![0.9, 0.5])
+                .build()
+                .expect("valid configuration");
+            let a = market.register_advertiser("a");
+            let c1 = market
+                .add_campaign(a, 0, CampaignSpec::per_click(Money::from_cents(5)))
+                .expect("accepted");
+            let c2 = market
+                .add_campaign(a, 0, CampaignSpec::per_click(Money::from_cents(9)))
+                .expect("accepted");
+            market.pause_campaign(c1).expect("known campaign");
+            for _ in 0..5 {
+                let r = market.serve(QueryRequest::new(0)).expect("valid keyword");
+                assert!(
+                    r.placements.iter().all(|p| p.campaign != c1),
+                    "paused campaign displayed under {method:?}"
+                );
+            }
+            // Pausing everything empties the page entirely.
+            market.pause_campaign(c2).expect("known campaign");
+            let r = market.serve(QueryRequest::new(0)).expect("valid keyword");
+            assert!(r.placements.is_empty(), "{method:?} displayed a paused ad");
+            assert_eq!(r.expected_revenue, 0.0, "{method:?}");
+            // And resuming restores service.
+            market.resume_campaign(c1).expect("known campaign");
+            let r = market.serve(QueryRequest::new(0)).expect("valid keyword");
+            assert_eq!(r.placements.len(), 1);
+            assert_eq!(r.placements[0].campaign, c1);
+        }
+    }
+
+    #[test]
+    fn roi_target_caps_the_effective_bid() {
+        let mut market = Marketplace::builder()
+            .slots(1)
+            .default_click_probs(vec![0.5])
+            .build()
+            .expect("valid configuration");
+        let a = market.register_advertiser("a");
+        let c = market
+            .add_campaign(
+                a,
+                0,
+                CampaignSpec::per_click(Money::from_cents(40)).click_value(Money::from_cents(60)),
+            )
+            .expect("accepted");
+        assert_eq!(market.current_bid(c).unwrap(), Money::from_cents(40));
+        // Target ROI 2.0 ⇒ never pay more than 30¢ per 60¢ click.
+        market.set_roi_target(c, Some(2.0)).expect("per-click");
+        assert_eq!(market.current_bid(c).unwrap(), Money::from_cents(30));
+        // The nominal bid survives underneath the cap.
+        market.set_roi_target(c, None).expect("per-click");
+        assert_eq!(market.current_bid(c).unwrap(), Money::from_cents(40));
+        // A cap below zero is floored.
+        market.set_roi_target(c, Some(f64::MAX)).expect("per-click");
+        assert_eq!(market.current_bid(c).unwrap(), Money::ZERO);
+    }
+
+    #[test]
+    fn serve_batch_chunks_same_keyword_runs() {
+        let (mut market, _, _) = two_campaign_market();
+        let requests: Vec<QueryRequest> = [0, 0, 0, 1, 1, 0]
+            .iter()
+            .map(|&k| QueryRequest::new(k))
+            .collect();
+        let report = market.serve_batch(&requests).expect("valid keywords");
+        assert_eq!(report.total.auctions, 6);
+        assert_eq!(report.chunks, 3); // [0,0,0] [1,1] [0]
+        assert_eq!(report.per_keyword[0].auctions, 4);
+        assert_eq!(report.per_keyword[1].auctions, 2); // keyword 1: no campaigns
+        assert_eq!(report.per_keyword[1].filled_slots, 0);
+        assert_eq!(market.now(), 6);
+    }
+
+    #[test]
+    fn serve_batch_matches_looped_serve() {
+        let build = || {
+            let (market, ..) = two_campaign_market();
+            market
+        };
+        let requests: Vec<QueryRequest> = (0..40).map(|i| QueryRequest::new(i % 2)).collect();
+        let mut looped = build();
+        let mut expected = BatchReport::default();
+        for &request in &requests {
+            let r = looped.serve(request).expect("valid keyword");
+            expected.auctions += 1;
+            expected.expected_revenue += r.expected_revenue;
+            expected.filled_slots += r.placements.len() as u64;
+            expected.clicks += r.placements.iter().filter(|p| p.clicked).count() as u64;
+            expected.purchases += r.placements.iter().filter(|p| p.purchased).count() as u64;
+            expected.realized_revenue += r.realized_revenue;
+        }
+        let mut batched = build();
+        let got = batched.serve_batch(&requests).expect("valid keywords");
+        assert!((got.total.expected_revenue - expected.expected_revenue).abs() < 1e-9);
+        assert_eq!(
+            BatchReport {
+                expected_revenue: expected.expected_revenue,
+                ..got.total
+            },
+            expected
+        );
+    }
+
+    #[test]
+    fn typed_errors_cover_the_api() {
+        let (mut market, c1, _) = two_campaign_market();
+        let ghost = AdvertiserHandle(99);
+        assert_eq!(
+            market.add_campaign(ghost, 0, CampaignSpec::per_click(Money::ZERO)),
+            Err(MarketError::UnknownAdvertiser(ghost))
+        );
+        assert!(matches!(
+            market.serve(QueryRequest::new(9)),
+            Err(MarketError::UnknownKeyword { keyword: 9, .. })
+        ));
+        let bogus = CampaignId {
+            keyword: 0,
+            index: 77,
+        };
+        assert_eq!(
+            market.update_bid(bogus, Money::ZERO),
+            Err(MarketError::UnknownCampaign(bogus))
+        );
+        assert_eq!(
+            market.update_bid(c1, Money::from_cents(-3)),
+            Err(MarketError::NegativeBid(Money::from_cents(-3)))
+        );
+        assert_eq!(
+            market.set_roi_target(c1, Some(-1.0)),
+            Err(MarketError::InvalidRoiTarget(-1.0))
+        );
+        let a = market.register_advertiser("tables");
+        let t = market
+            .add_campaign(
+                a,
+                0,
+                CampaignSpec::table(BidsTable::single_feature(Money::from_cents(2))),
+            )
+            .expect("accepted");
+        assert_eq!(
+            market.update_bid(t, Money::from_cents(9)),
+            Err(MarketError::NotIncremental(t))
+        );
+        assert_eq!(
+            Marketplace::builder().slots(0).build().err(),
+            Some(MarketError::NoSlots)
+        );
+        assert_eq!(
+            Marketplace::builder()
+                .default_click_probs(vec![0.5, 0.5])
+                .build()
+                .err(),
+            Some(MarketError::ModelDimension {
+                expected: 1,
+                got: 2
+            })
+        );
+        // Errors are std errors with readable messages.
+        let err: Box<dyn std::error::Error> = Box::new(MarketError::MissingClickModel);
+        assert!(err.to_string().contains("click"));
+    }
+
+    #[test]
+    fn rejected_registration_leaves_the_market_untouched() {
+        // A failing add_campaign must be a pure no-op: same campaign count
+        // and byte-for-byte identical serving as a twin market that never
+        // saw the bad request (in particular, the warm engine survives).
+        let (mut market, _, _) = two_campaign_market();
+        let (mut twin, _, _) = two_campaign_market();
+        market.serve(QueryRequest::new(0)).expect("warm engine");
+        twin.serve(QueryRequest::new(0)).expect("warm engine");
+        let a = market.register_advertiser("bad");
+        assert_eq!(
+            market.add_campaign(a, 0, CampaignSpec::per_click(Money::from_cents(-1))),
+            Err(MarketError::NegativeBid(Money::from_cents(-1)))
+        );
+        assert_eq!(market.num_campaigns(0).unwrap(), 2);
+        for _ in 0..3 {
+            let r = market.serve(QueryRequest::new(0)).expect("valid keyword");
+            let t = twin.serve(QueryRequest::new(0)).expect("valid keyword");
+            assert_eq!(r, t);
+        }
+    }
+
+    #[test]
+    fn adding_a_campaign_rebuilds_only_that_keyword() {
+        let (mut market, c1, _) = two_campaign_market();
+        market.serve(QueryRequest::new(0)).expect("warm engine");
+        let a = market.register_advertiser("late");
+        let c3 = market
+            .add_campaign(a, 0, CampaignSpec::per_click(Money::from_cents(50)))
+            .expect("accepted");
+        // The pre-rebuild incremental state survives the rebuild.
+        market
+            .update_bid(c1, Money::from_cents(2))
+            .expect("per-click");
+        let response = market.serve(QueryRequest::new(0)).expect("valid keyword");
+        assert_eq!(response.placements[0].campaign, c3);
+        assert_eq!(market.num_campaigns(0).unwrap(), 3);
+        assert_eq!(market.current_bid(c1).unwrap(), Money::from_cents(2));
+    }
+}

@@ -36,8 +36,28 @@ impl std::fmt::Display for PricingScheme {
     }
 }
 
+/// Error returned when parsing a [`PricingScheme`] from its CLI name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePricingError {
+    /// The name matched none of the accepted scheme names or aliases.
+    UnknownScheme(String),
+}
+
+impl std::fmt::Display for ParsePricingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParsePricingError::UnknownScheme(name) => write!(
+                f,
+                "unknown pricing scheme {name:?} (expected pay-your-bid, gsp, or vcg)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParsePricingError {}
+
 impl std::str::FromStr for PricingScheme {
-    type Err = String;
+    type Err = ParsePricingError;
 
     /// Parses the [`Display`](std::fmt::Display) names plus common aliases
     /// (`first-price`, `vickrey`), case-insensitively.
@@ -46,9 +66,7 @@ impl std::str::FromStr for PricingScheme {
             "pay-your-bid" | "first-price" | "first" => Ok(PricingScheme::PayYourBid),
             "gsp" => Ok(PricingScheme::Gsp),
             "vcg" | "vickrey" => Ok(PricingScheme::Vickrey),
-            other => Err(format!(
-                "unknown pricing scheme {other:?} (expected pay-your-bid, gsp, or vcg)"
-            )),
+            other => Err(ParsePricingError::UnknownScheme(other.to_string())),
         }
     }
 }
@@ -173,7 +191,13 @@ mod tests {
         }
         assert_eq!("Vickrey".parse(), Ok(PricingScheme::Vickrey));
         assert_eq!("FIRST-PRICE".parse(), Ok(PricingScheme::PayYourBid));
-        assert!("dutch".parse::<PricingScheme>().is_err());
+        assert_eq!(
+            "dutch".parse::<PricingScheme>(),
+            Err(ParsePricingError::UnknownScheme("dutch".into()))
+        );
+        let err: Box<dyn std::error::Error> =
+            Box::new("dutch".parse::<PricingScheme>().expect_err("must fail"));
+        assert!(err.to_string().contains("dutch"));
     }
 
     /// Classical single-feature setting: separable clicks, per-click bids.

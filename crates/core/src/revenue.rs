@@ -115,8 +115,17 @@ pub fn revenue_matrix_into(
     no_slot.base.extend(bids.iter().map(no_slot_revenue));
     no_slot.total_base = no_slot.base.iter().sum();
     let base = &no_slot.base;
+    // An advertiser whose table has no rows bids on nothing at all: it is
+    // excluded from the matching outright rather than entered at weight 0,
+    // where tie-breaking against empty slots could still display it (this
+    // is how the `Marketplace` facade expresses paused campaigns without
+    // rebuilding the engine).
     matrix.fill_from_fn(n, k, |i, j| {
-        expected_revenue(&bids[i], i, SlotId::from_index0(j), clicks, purchases) - base[i]
+        if bids[i].is_empty() {
+            ssa_matching::EXCLUDED
+        } else {
+            expected_revenue(&bids[i], i, SlotId::from_index0(j), clicks, purchases) - base[i]
+        }
     });
 }
 
@@ -252,6 +261,23 @@ mod tests {
         revenue_matrix_into(&bids, &clicks, &purchases, &mut matrix, &mut no_slot);
         assert_eq!(matrix, owned_matrix);
         assert_eq!(no_slot, owned_base);
+    }
+
+    #[test]
+    fn empty_table_is_excluded_from_the_matching() {
+        let bids = vec![
+            BidsTable::empty(),
+            BidsTable::single_feature(Money::from_cents(1)),
+        ];
+        let (clicks, purchases) = uniform_models(2, 2, 0.5);
+        let (matrix, base) = revenue_matrix(&bids, &clicks, &purchases);
+        assert_eq!(matrix.get(0, 0), ssa_matching::EXCLUDED);
+        assert_eq!(matrix.get(0, 1), ssa_matching::EXCLUDED);
+        assert_eq!(base.base[0], 0.0);
+        // The matching never seats the empty-table advertiser, even though
+        // a zero-weight row could win tie-breaks against an empty slot.
+        let a = max_weight_assignment(&matrix);
+        assert_eq!(a.slot_to_adv.iter().filter(|s| **s == Some(0)).count(), 0);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! (maximally degenerate) assignment problem.
 //!
 //! [`NetworkSimplexSolver`] implements
-//! [`WdSolver`](ssa_matching::WdSolver) with persistent scratch: the basis,
+//! [`WdSolver`] with persistent scratch: the basis,
 //! tree arrays, and per-pivot adjacency/cycle buffers are reused across
 //! solves, which removes the per-pivot allocation that otherwise dominates
 //! repeated runs.

@@ -10,7 +10,10 @@
 //!   agree bid-for-bid;
 //! * [`logical`] — adjustment lists: sorted bid lists whose members all
 //!   move by the same amount per auction, so one `O(1)` update to a shared
-//!   adjustment variable replaces `n` individual bid updates;
+//!   adjustment variable replaces `n` individual bid updates (the data
+//!   structures themselves live in `ssa_core::logical`, shared with the
+//!   `Marketplace` facade's incremental-update API, and are re-exported
+//!   here unchanged);
 //! * [`population`] — a population of ROI bidders maintained *entirely*
 //!   through logical updates and critical-value triggers (the RHTALU
 //!   evaluation path of Section V), plus the naive full-evaluation twin it
@@ -19,7 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod logical;
+pub use ssa_core::logical;
+
 pub mod population;
 pub mod roi;
 pub mod sqlroi;

@@ -17,13 +17,18 @@
 //! [`Simulation`] runs complete auctions under any of the four Section V
 //! methods ([`Method::Lp`], [`Method::H`], [`Method::Rh`],
 //! [`Method::Rhtalu`]) and is what both the Criterion benches and the
-//! `reproduce` binary drive.
+//! `reproduce` binary drive. [`MarketSimulation`] is the same experiment
+//! expressed on the `Marketplace` service facade (advertisers, campaigns,
+//! `serve_batch`), equivalent to the legacy path for the full-matrix
+//! methods.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod market;
 pub mod sim;
 
 pub use config::{SectionVConfig, SectionVWorkload};
+pub use market::{MarketSimulation, SharedRoiProgram};
 pub use sim::{Method, Simulation, SimulationStats};

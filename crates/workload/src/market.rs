@@ -1,0 +1,191 @@
+//! The Section V experiment expressed on the [`Marketplace`] facade.
+//!
+//! [`MarketSimulation`] is the facade-native port of [`crate::Simulation`]:
+//! every advertiser registers once, opens one campaign per keyword, and all
+//! of an advertiser's campaigns share one [`RoiBidder`] (the Figure 5
+//! strategy couples keywords through the advertiser-level spending rate and
+//! max/min ROI, so per-campaign state would not be faithful). Queries are
+//! then served through [`Marketplace::serve_batch`] — the typed service
+//! API driving the same persistent-engine pipeline.
+//!
+//! The port is *exactly* equivalent to the legacy [`crate::Simulation`]
+//! path for the full-matrix methods (LP / H / RH): same bids, same
+//! allocations, same sampled clicks, same GSP charges, auction for auction.
+//! The integration tests assert this; it is the proof that the facade can
+//! express the paper's evaluation without the hand-assembled harness.
+//! (`Simulation` remains the reference implementation and the only home of
+//! the RHTALU threshold-algorithm evaluation path.)
+
+use crate::config::SectionVWorkload;
+use crate::sim::SimulationStats;
+use ssa_bidlang::{BidsTable, Formula, Money, SlotId};
+use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
+use ssa_core::{Bidder, BidderOutcome, PricingScheme, QueryContext, WdMethod};
+use ssa_strategy::{KeywordEntry, RoiBidder};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A campaign bidding program that shares one [`RoiBidder`] across all of
+/// an advertiser's per-keyword campaigns.
+///
+/// On a query it applies the Figure 5 adjustment for the queried keyword at
+/// the global market time and emits the resulting single-row click bid; on
+/// a charged click it feeds spend and value back into the shared strategy
+/// state — mirroring the legacy simulation's settlement rule (zero-priced
+/// clicks are not recorded).
+pub struct SharedRoiProgram {
+    shared: Rc<RefCell<RoiBidder>>,
+}
+
+impl SharedRoiProgram {
+    /// Wraps a shared strategy handle.
+    pub fn new(shared: Rc<RefCell<RoiBidder>>) -> Self {
+        SharedRoiProgram { shared }
+    }
+}
+
+impl Bidder for SharedRoiProgram {
+    fn on_query(&mut self, ctx: &QueryContext) -> BidsTable {
+        let bid = self
+            .shared
+            .borrow_mut()
+            .adjust_and_bid(ctx.keyword, ctx.time);
+        BidsTable::new(vec![(Formula::click(), Money::from_cents(bid))])
+    }
+
+    fn on_outcome(&mut self, ctx: &QueryContext, outcome: &BidderOutcome) {
+        if outcome.clicked && outcome.price.is_positive() {
+            let mut shared = self.shared.borrow_mut();
+            let value = shared.keywords[ctx.keyword].click_value as f64;
+            shared.record_click(ctx.keyword, outcome.price, value);
+        }
+    }
+}
+
+/// The Section V workload running on the [`Marketplace`] facade.
+pub struct MarketSimulation {
+    /// The generated workload.
+    pub workload: SectionVWorkload,
+    market: Marketplace,
+    programs: Vec<Rc<RefCell<RoiBidder>>>,
+    auction_idx: usize,
+    /// Aggregate counters, kept shape-compatible with the legacy
+    /// [`crate::Simulation`] (`candidates` counts every advertiser per
+    /// auction, as for the full-matrix methods; `ta_sorted_accesses` stays
+    /// zero — the threshold algorithm lives only in the legacy path).
+    pub stats: SimulationStats,
+}
+
+impl MarketSimulation {
+    /// Builds the marketplace for `workload`: one advertiser registration
+    /// and one ROI campaign per (advertiser, keyword) pair, engines running
+    /// `method` with the paper's GSP pricing, RNG seeded exactly like the
+    /// legacy simulation.
+    pub fn new(workload: SectionVWorkload, method: WdMethod) -> Self {
+        let config = workload.config;
+        let mut market = Marketplace::builder()
+            .slots(config.num_slots)
+            .keywords(config.num_keywords)
+            .method(method)
+            .pricing(PricingScheme::Gsp)
+            .seed(config.seed ^ 0x5EED_CAFE)
+            .build()
+            .expect("Section V configuration is valid");
+        let mut programs = Vec::with_capacity(workload.bidders.len());
+        for (i, params) in workload.bidders.iter().enumerate() {
+            let advertiser = market.register_advertiser(format!("advertiser-{i}"));
+            let shared = Rc::new(RefCell::new(RoiBidder::new(
+                params
+                    .keywords
+                    .iter()
+                    .map(|&(value, bid, roi)| KeywordEntry::new(value, bid, roi))
+                    .collect(),
+                params.target_spend_rate,
+            )));
+            let click_probs: Vec<f64> = (0..config.num_slots)
+                .map(|j| workload.clicks.p_click(i, SlotId::from_index0(j)))
+                .collect();
+            for keyword in 0..config.num_keywords {
+                market
+                    .add_campaign(
+                        advertiser,
+                        keyword,
+                        CampaignSpec::program(Box::new(SharedRoiProgram::new(Rc::clone(&shared))))
+                            .click_probs(click_probs.clone()),
+                    )
+                    .expect("Section V campaign is valid");
+            }
+            programs.push(shared);
+        }
+        MarketSimulation {
+            workload,
+            market,
+            programs,
+            auction_idx: 0,
+            stats: SimulationStats::default(),
+        }
+    }
+
+    /// The underlying marketplace (e.g. to inspect `now()` or `top_bids`).
+    pub fn market(&self) -> &Marketplace {
+        &self.market
+    }
+
+    /// Serves the next `count` queries of the workload's stream (cycled,
+    /// exactly like the legacy simulation) through
+    /// [`Marketplace::serve_batch`] and folds the outcome into
+    /// [`MarketSimulation::stats`].
+    pub fn run_auctions(&mut self, count: usize) -> &SimulationStats {
+        let stream = &self.workload.query_stream;
+        let requests: Vec<QueryRequest> = (0..count)
+            .map(|offset| QueryRequest::new(stream[(self.auction_idx + offset) % stream.len()]))
+            .collect();
+        self.auction_idx += count;
+        let report = self
+            .market
+            .serve_batch(&requests)
+            .expect("workload keywords are all in range");
+        self.stats.auctions += report.total.auctions;
+        self.stats.total_expected_revenue += report.total.expected_revenue;
+        self.stats.clicks += report.total.clicks;
+        self.stats.charged_cents += report.total.realized_revenue.cents();
+        self.stats.candidates +=
+            report.total.auctions * self.workload.config.num_advertisers as u64;
+        &self.stats
+    }
+
+    /// Current bid (cents) of advertiser `adv` on `keyword`, read from the
+    /// shared strategy state.
+    pub fn bid_of(&self, adv: usize, keyword: usize) -> i64 {
+        self.programs[adv].borrow().keywords[keyword].bid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SectionVConfig;
+
+    #[test]
+    fn facade_serves_the_section_v_workload() {
+        let workload = SectionVWorkload::generate(SectionVConfig {
+            num_advertisers: 30,
+            num_slots: 5,
+            num_keywords: 4,
+            seed: 17,
+        });
+        let mut sim = MarketSimulation::new(workload, WdMethod::Reduced);
+        sim.run_auctions(60);
+        assert_eq!(sim.stats.auctions, 60);
+        assert_eq!(sim.market().now(), 60);
+        assert!(sim.stats.total_expected_revenue > 0.0);
+        assert!(
+            sim.stats.clicks > 0,
+            "five slots over 60 auctions must click"
+        );
+        assert_eq!(sim.stats.candidates, 60 * 30);
+        // Strategy state is live and reachable.
+        let bids: Vec<i64> = (0..30).map(|a| sim.bid_of(a, 0)).collect();
+        assert!(bids.iter().any(|&b| b > 0));
+    }
+}

@@ -197,6 +197,16 @@ impl Simulation {
         self.method
     }
 
+    /// Current bid (cents) of `program` on `keyword` — exposed so the
+    /// facade-equivalence tests can compare strategy state bid-for-bid
+    /// against `MarketSimulation`.
+    pub fn bid_of(&self, program: usize, keyword: usize) -> i64 {
+        match &self.population {
+            Population::Naive(p) => p.bid_on(program, keyword),
+            Population::Logical(p) => p.bid_on(program, keyword),
+        }
+    }
+
     /// Runs one complete auction (program evaluation, winner determination,
     /// click sampling, GSP pricing, strategy feedback). Returns the
     /// winner-determination objective.

@@ -1,4 +1,11 @@
-//! Quickstart: run one multi-feature sponsored search auction end to end.
+//! Quickstart for the low-level engine: run one multi-feature sponsored
+//! search auction end to end with a hand-assembled [`AuctionEngine`].
+//!
+//! **Start with `examples/marketplace.rs` instead** if you want the service
+//! surface — registered advertisers, campaigns, incremental bid updates,
+//! and typed query serving. This example is the documented escape hatch
+//! underneath it: you own the bidder vector, the probability models, and
+//! the RNG yourself.
 //!
 //! Three advertisers with different goals compete for two slots:
 //! a retailer bidding per click, a conversion-focused store bidding on

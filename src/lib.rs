@@ -15,38 +15,86 @@
 //! * [`strategy`] — the ROI-equalising heuristic (native and SQL) and
 //!   logical updates (Sections II-C & IV-B);
 //! * [`core`] — the auction engine: probability models, expected revenue,
-//!   pricing, the heavyweight model (Sections III-A/E/F);
+//!   pricing, the heavyweight model (Sections III-A/E/F) — plus the
+//!   [`marketplace`] service facade;
 //! * [`workload`] — the Section V experimental workload and the
-//!   four-method simulation.
+//!   four-method simulation (legacy harness and facade-native
+//!   `MarketSimulation`).
 //!
-//! ## Architecture: the `WdSolver` pipeline
+//! ## Architecture: the `Marketplace` facade over the `WdSolver` pipeline
 //!
-//! Winner determination is unified behind [`matching::WdSolver`]: each
-//! method (H, RH, parallel RH, LP) is a solver struct with persistent
-//! scratch, constructed from a [`core::WdMethod`] via
-//! `WdMethod::new_solver()`. The engine and the Section V simulation both
-//! dispatch through it:
+//! The public serving surface is the [`marketplace::Marketplace`]: a
+//! long-lived service owning registered advertisers, per-keyword campaigns,
+//! and one persistent engine+solver per keyword. Below it, winner
+//! determination is unified behind [`matching::WdSolver`]: each method (H,
+//! RH, parallel RH, LP) is a solver struct with persistent scratch,
+//! constructed from a [`core::WdMethod`] via `WdMethod::new_solver()`:
 //!
 //! ```text
-//!                ssa_matching::WdSolver
-//!       solve(&mut self, &RevenueMatrix, &mut Assignment)
+//!                    marketplace::Marketplace
+//!      register_advertiser / add_campaign        update_bid / pause /
+//!      serve(QueryRequest) / serve_batch         set_roi_target
+//!                 │ one persistent engine              │ logical::
+//!                 ▼ per keyword                        ▼ AdjustmentList
+//!        core::AuctionEngine   workload::Simulation (legacy harness)
+//!        (run_auction / run_batch / stream)
+//!                    ┌──────┴────────┐
+//!                 WdMethod::new_solver()
 //!        ▲            ▲            ▲              ▲
 //!  HungarianSolver ReducedSolver ParallelReduced- NetworkSimplexSolver
 //!  (method H)      (method RH)   Solver (RH ∥)    (method LP, ssa_simplex)
 //!        ▲            ▲            ▲              ▲
 //!        └────────────┴─────┬──────┴──────────────┘
-//!                 WdMethod::new_solver()
-//!                    ┌──────┴────────┐
-//!        core::AuctionEngine   workload::Simulation
-//!        (run_auction / run_batch / stream)
+//!                ssa_matching::WdSolver
+//!       solve(&mut self, &RevenueMatrix, &mut Assignment)
 //! ```
 //!
 //! The batched entry points ([`core::AuctionEngine::run_batch`] and
 //! [`core::AuctionEngine::stream`]) reuse one preallocated revenue matrix
 //! (refilled in place by [`core::revenue_matrix_into`]) and one boxed
 //! solver across the whole batch — no per-auction matrix allocation.
+//! [`marketplace::Marketplace::serve_batch`] sits on top: it splits a
+//! multi-keyword query stream into same-keyword chunks and feeds each to
+//! that keyword's persistent engine, so there is no per-query allocation
+//! either.
 //!
-//! ## Quickstart
+//! ## Quickstart: the `Marketplace` facade
+//!
+//! ```
+//! use sponsored_search::marketplace::{CampaignSpec, Marketplace, QueryRequest};
+//! use sponsored_search::bidlang::Money;
+//!
+//! let mut market = Marketplace::builder()
+//!     .slots(2)
+//!     .keywords(1)
+//!     .seed(2008)
+//!     .default_click_probs(vec![0.8, 0.4])
+//!     .build()
+//!     .expect("valid configuration");
+//! let shoes = market.register_advertiser("shoes.example");
+//! let books = market.register_advertiser("books.example");
+//! let c = market
+//!     .add_campaign(shoes, 0, CampaignSpec::per_click(Money::from_cents(20)))
+//!     .expect("campaign accepted");
+//! market
+//!     .add_campaign(books, 0, CampaignSpec::per_click(Money::from_cents(10)))
+//!     .expect("campaign accepted");
+//!
+//! let response = market.serve(QueryRequest::new(0)).expect("keyword 0 exists");
+//! assert_eq!(response.placements.len(), 2);
+//!
+//! // Incremental updates route through the logical bid index — no engine
+//! // rebuild, O(log n) per change.
+//! market.update_bid(c, Money::from_cents(5)).expect("per-click campaign");
+//! market.pause_campaign(c).expect("known campaign");
+//! let response = market.serve(QueryRequest::new(0)).expect("keyword 0 exists");
+//! assert_eq!(response.placements.len(), 1); // paused ads are never shown
+//! ```
+//!
+//! ## Low-level escape hatch: driving `AuctionEngine` by hand
+//!
+//! The facade covers the service use case; the engine stays public for
+//! callers assembling a single-keyword auction themselves:
 //!
 //! ```
 //! use sponsored_search::core::{
@@ -111,6 +159,10 @@
 
 pub use ssa_bidlang as bidlang;
 pub use ssa_core as core;
+/// The `Marketplace` service facade, re-exported from [`core`] for
+/// discoverability: `sponsored_search::marketplace::Marketplace` is the
+/// recommended entry point.
+pub use ssa_core::marketplace;
 pub use ssa_matching as matching;
 pub use ssa_minidb as minidb;
 pub use ssa_simplex as simplex;
