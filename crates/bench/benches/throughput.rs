@@ -16,9 +16,11 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ssa_bench::{section_v_engine, section_v_market};
+use ssa_bench::{section_v_engine, section_v_market, section_v_sharded_market};
 use ssa_core::marketplace::QueryRequest;
+use ssa_core::sharded::ShardedMarketplace;
 use ssa_core::{EngineConfig, PricingScheme, WdMethod};
+use ssa_workload::SectionVConfig;
 use std::time::{Duration, Instant};
 
 /// Auctions per measured iteration; one batch call vs one loop of calls.
@@ -105,6 +107,93 @@ fn bench_marketplace(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shard counts measured by the `sharded_serve_batch` group.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The mixed 8-keyword Section V workload the sharded scaling rows run on.
+fn sharded_setup(n: usize, shards: usize) -> (ShardedMarketplace, Vec<QueryRequest>) {
+    let config = EngineConfig {
+        method: WdMethod::Reduced,
+        pricing: PricingScheme::Gsp,
+    };
+    let section = SectionVConfig {
+        num_advertisers: n,
+        num_slots: 15,
+        num_keywords: 8,
+        seed: 0xBA7C4,
+    };
+    let mut market = section_v_sharded_market(section, config, shards);
+    // Deterministic interleaved stream over all 8 keywords (chunk length
+    // ≈ 1 — the fan-out's worst case for batching, best case for spread).
+    let mut state = 0x5EEDu64;
+    let requests: Vec<QueryRequest> = (0..BATCH)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            QueryRequest::new(((state >> 33) % 8) as usize)
+        })
+        .collect();
+    let warmup: Vec<QueryRequest> = (0..8).map(QueryRequest::new).collect();
+    market.serve_batch(&warmup).expect("keywords in range");
+    (market, requests)
+}
+
+/// `ShardedMarketplace::serve_batch` on a mixed 8-keyword stream at 1, 2,
+/// 4, and 8 shards: per-shard scoped workers each driving their own
+/// persistent per-keyword engines. Wall-clock scaling with the shard count
+/// is bounded by the machine's cores (`std::thread::available_parallelism`
+/// — the paired rows printed by `cargo bench --bench throughput` report
+/// the observed speedups); the auction *outcomes* are identical at every
+/// shard count.
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_serve_batch");
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("rh/mixed_8_keywords", shards),
+            &shards,
+            |b, &shards| {
+                let (mut market, requests) = sharded_setup(2000, shards);
+                b.iter(|| market.serve_batch(&requests).expect("keywords in range"))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Paired sharded-scaling measurement: alternate rounds across all shard
+/// counts so machine drift hits every configuration equally, then print
+/// throughput and the speedup over the 1-shard baseline.
+fn paired_sharded_speedup() {
+    const ROUNDS: usize = 10;
+    let n = 2000;
+    let mut markets: Vec<(usize, ShardedMarketplace, Vec<QueryRequest>)> = SHARD_COUNTS
+        .into_iter()
+        .map(|shards| {
+            let (market, requests) = sharded_setup(n, shards);
+            (shards, market, requests)
+        })
+        .collect();
+    let mut times = vec![Duration::ZERO; markets.len()];
+    for _ in 0..ROUNDS {
+        for (i, (_, market, requests)) in markets.iter_mut().enumerate() {
+            let start = Instant::now();
+            market.serve_batch(requests).expect("keywords in range");
+            times[i] += start.elapsed();
+        }
+    }
+    let auctions = (ROUNDS * BATCH) as f64;
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let baseline = times[0].as_secs_f64();
+    for (i, (shards, ..)) in markets.iter().enumerate() {
+        println!(
+            "sharded_serve_batch/rh/paired/{n}: shards {shards} \
+             ({cores} cores): {:.0} auctions/sec, speedup ×{:.3} vs 1 shard",
+            auctions / times[i].as_secs_f64(),
+            baseline / times[i].as_secs_f64(),
+        );
+    }
+}
+
 /// Paired measurement: alternate loop/batch rounds on twin engines so slow
 /// machine drift hits both sides equally, then print the speedup. This is
 /// the robust form of the claim the criterion rows above make.
@@ -147,16 +236,17 @@ fn paired_speedup() {
     }
 }
 
-criterion_group!(benches, bench_throughput, bench_marketplace);
+criterion_group!(benches, bench_throughput, bench_marketplace, bench_sharded);
 
 fn main() {
-    // The paired measurement is the default headline; skip it when the
+    // The paired measurements are the default headline; skip them when the
     // harness is invoked with CLI arguments (filters, --list, …) so
     // tooling that only enumerates or selects benchmarks is not blocked.
     // Cargo itself passes a bare `--bench` to harness = false binaries;
     // that one does not count as a user argument.
     if std::env::args().skip(1).all(|a| a == "--bench") {
         paired_speedup();
+        paired_sharded_speedup();
     }
     benches();
     Criterion::default().final_summary();

@@ -12,9 +12,10 @@
 //! up to 5000 advertisers, 100 auctions per point; Figure 13: up to 20000
 //! advertisers, 1000 auctions per point).
 
-use ssa_bench::{format_table, measure_method, measure_series};
+use ssa_bench::{format_table, measure_method, measure_method_sharded, measure_series};
 use ssa_bidlang::{BidsTable, Formula, Money, SlotId};
 use ssa_core::prob::ClickModel;
+use ssa_core::sharded::parse_shards;
 use ssa_core::{PricingScheme, WdMethod};
 use ssa_matching::{reduced_assignment, RevenueMatrix};
 use ssa_workload::Method;
@@ -23,7 +24,8 @@ const USAGE: &str = "\
 reproduce — regenerate the paper's figures as text output
 
 Usage: reproduce [fig12|fig13|tables|all] [--quick]
-       reproduce --method <lp|h|rh|rhp[:threads]> [--json] [--quick]
+       reproduce --method <lp|h|rh|rhp:<threads>> [--json] [--quick]
+                 [--shards <n>] [--load <queries>]
        reproduce --list-methods
 
 Targets:
@@ -35,6 +37,11 @@ Targets:
 Options:
   --method <m>    measure one winner-determination method on the Marketplace
                   serve_batch pipeline instead of printing figures
+  --shards <n>    with --method, serve through a ShardedMarketplace with n
+                  worker shards (n >= 1) instead of the single-threaded
+                  facade
+  --load <q>      with --method, serve q timed queries (q >= 1) instead of
+                  the built-in auction count — the load-generator knob
   --list-methods  print the accepted --method names with their paper
                   sections, then exit
   --json          with --method, emit one machine-readable JSON object
@@ -46,8 +53,8 @@ const METHODS: &str = "\
 lp        winner-determination linear program, network simplex (Section III-B)
 h         Hungarian algorithm on the full bipartite graph (Section III-D)
 rh        reduced bipartite graph (Section III-E)
-rhp       rh with parallel tree aggregation, 4 threads (Section III-E)
-rhp:<t>   rh with parallel tree aggregation over <t> threads (Section III-E)";
+rhp:<t>   rh with parallel tree aggregation over <t> threads (Section III-E;
+          the thread count is required — bare rhp is rejected)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,9 +73,24 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let shards = match parse_value_flag(&args, "--shards", parse_shards) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let load = match parse_value_flag(&args, "--load", parse_load) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     // Walk the arguments once: reject unknown flags and find the first
-    // positional target (skipping --method's value).
-    let known_flag = |a: &str| a == "--quick" || a == "--json" || a == "--method";
+    // positional target (skipping the value-carrying flags' values).
+    let value_flag = |a: &str| a == "--method" || a == "--shards" || a == "--load";
+    let known_flag = |a: &str| a == "--quick" || a == "--json" || value_flag(a);
     let mut target: Option<&str> = None;
     let mut skip_value = false;
     for a in &args {
@@ -76,7 +98,7 @@ fn main() {
             skip_value = false;
             continue;
         }
-        if a == "--method" {
+        if value_flag(a) {
             skip_value = true;
             continue;
         }
@@ -95,13 +117,17 @@ fn main() {
         eprintln!("--json requires --method\n{USAGE}");
         std::process::exit(2);
     }
+    if (shards.is_some() || load.is_some()) && method.is_none() {
+        eprintln!("--shards/--load require --method\n{USAGE}");
+        std::process::exit(2);
+    }
 
     if let Some(method) = method {
         if let Some(target) = target {
             eprintln!("--method cannot be combined with target {target:?}\n{USAGE}");
             std::process::exit(2);
         }
-        single_method(method, json, quick);
+        single_method(method, json, quick, shards, load);
         return;
     }
 
@@ -123,34 +149,80 @@ fn main() {
 
 /// Extracts `--method <m>` from the argument list, if present.
 fn parse_method_flag(args: &[String]) -> Result<Option<WdMethod>, String> {
-    let Some(pos) = args.iter().position(|a| a == "--method") else {
+    parse_value_flag(args, "--method", |v| {
+        v.parse::<WdMethod>().map_err(|e| e.to_string())
+    })
+}
+
+/// Parses `--load`: the same positive-count contract as `--shards`
+/// (delegating to `ssa_core::sharded::parse_shards` for the trim / parse /
+/// reject-zero behaviour), with the error text renamed to the flag's noun.
+fn parse_load(s: &str) -> Result<usize, String> {
+    use ssa_core::sharded::ParseShardsError;
+    parse_shards(s).map_err(|e| match e {
+        ParseShardsError::Invalid(raw) => format!("invalid load (query count) {raw:?}"),
+        ParseShardsError::Zero => "load (query count) must be positive".to_string(),
+    })
+}
+
+/// Extracts `<flag> <value>` from the argument list, if present, running
+/// the flag's typed parser on the value.
+fn parse_value_flag<T, E: std::fmt::Display>(
+    args: &[String],
+    flag: &str,
+    parse: impl Fn(&str) -> Result<T, E>,
+) -> Result<Option<T>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
         return Ok(None);
     };
     let value = args
         .get(pos + 1)
-        .ok_or_else(|| "--method requires a value".to_string())?;
-    value
-        .parse()
-        .map(Some)
-        .map_err(|e: ssa_core::ParseMethodError| e.to_string())
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    parse(value).map(Some).map_err(|e| e.to_string())
 }
 
-/// Single-method mode: one batched throughput run of the `Marketplace`
-/// facade (per-keyword persistent engines, `serve_batch` over a
-/// round-robin multi-keyword stream) on the Section V workload, reported
-/// as text or JSON (for `BENCH_*.json` tracking).
-fn single_method(method: WdMethod, json: bool, quick: bool) {
-    let (n, auctions) = if quick { (250, 50) } else { (1000, 200) };
+/// Single-method mode: one batched throughput run on the Section V
+/// workload — through the single-threaded `Marketplace` facade
+/// (per-keyword persistent engines, `serve_batch` over a round-robin
+/// multi-keyword stream), or through the multi-threaded
+/// `ShardedMarketplace` when `--shards` is given — reported as text or
+/// JSON (for `BENCH_*.json` tracking). `--load` overrides the timed query
+/// count, turning the mode into a load generator.
+fn single_method(
+    method: WdMethod,
+    json: bool,
+    quick: bool,
+    shards: Option<usize>,
+    load: Option<usize>,
+) {
+    let (n, default_auctions) = if quick { (250, 50) } else { (1000, 200) };
+    let auctions = load.unwrap_or(default_auctions);
     let warmup = auctions / 10 + 1;
-    let run = measure_method(method, PricingScheme::Gsp, n, auctions, warmup, 4242);
+    let run = match shards {
+        Some(shards) => measure_method_sharded(
+            method,
+            PricingScheme::Gsp,
+            n,
+            auctions,
+            warmup,
+            4242,
+            shards,
+        ),
+        None => measure_method(method, PricingScheme::Gsp, n, auctions, warmup, 4242),
+    };
     if json {
         println!("{}", run.to_json());
     } else {
+        let sharding = match run.shards {
+            Some(s) => format!(", {s} shards"),
+            None => String::new(),
+        };
         println!(
-            "method {} ({} pricing): n = {}, k = {}, {} auctions in {:.2} ms \
+            "method {} ({} pricing{}): n = {}, k = {}, {} auctions in {:.2} ms \
              ({:.0} auctions/sec, {} clicks, {} realized)",
             run.method,
             run.pricing,
+            sharding,
             run.advertisers,
             run.slots,
             run.auctions,

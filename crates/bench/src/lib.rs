@@ -10,6 +10,7 @@
 
 use ssa_bidlang::{Money, SlotId};
 use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
+use ssa_core::sharded::ShardedMarketplace;
 use ssa_core::{AuctionEngine, BatchReport, EngineConfig, PricingScheme, TableBidder, WdMethod};
 use ssa_workload::{Method, SectionVConfig, SectionVWorkload, Simulation};
 use std::time::{Duration, Instant};
@@ -106,38 +107,77 @@ pub fn section_v_engine(n: usize, seed: u64, config: EngineConfig) -> AuctionEng
     )
 }
 
+/// Configures the marketplace builder shared by both serving flavours.
+fn section_v_builder(
+    workload: &SectionVWorkload,
+    seed: u64,
+    config: EngineConfig,
+) -> ssa_core::MarketplaceBuilder {
+    Marketplace::builder()
+        .slots(workload.config.num_slots)
+        .keywords(workload.config.num_keywords)
+        .method(config.method)
+        .pricing(config.pricing)
+        .seed(seed ^ 0xD1CE_D1CE)
+}
+
+/// Registers the Section V population — one advertiser, one per-click
+/// campaign per keyword at the workload-initial bid and click value — on a
+/// marketplace. A macro rather than a function because [`Marketplace`] and
+/// [`ShardedMarketplace`] share the control-plane API by name, not by
+/// trait; both builders below expand the same population code.
+macro_rules! populate_section_v {
+    ($market:expr, $workload:expr) => {{
+        let k = $workload.config.num_slots;
+        for (i, b) in $workload.bidders.iter().enumerate() {
+            let advertiser = $market.register_advertiser(format!("advertiser-{i}"));
+            let click_probs: Vec<f64> = (0..k)
+                .map(|j| $workload.clicks.p_click(i, SlotId::from_index0(j)))
+                .collect();
+            for (keyword, &(value, bid, _)) in b.keywords.iter().enumerate() {
+                $market
+                    .add_campaign(
+                        advertiser,
+                        keyword,
+                        CampaignSpec::per_click(Money::from_cents(bid.max(0)))
+                            .click_value(Money::from_cents(value))
+                            .click_probs(click_probs.clone()),
+                    )
+                    .expect("Section V campaign is valid");
+            }
+        }
+    }};
+}
+
 /// Builds a [`Marketplace`] over a Section V population: every advertiser
 /// registers once and opens one per-click campaign per keyword (bidding its
 /// workload-initial bid, valued at its click value), under the paper's
 /// 15-slot click model with no purchases.
 pub fn section_v_market(n: usize, seed: u64, config: EngineConfig) -> Marketplace {
     let workload = SectionVWorkload::generate(SectionVConfig::paper(n, seed));
-    let k = workload.config.num_slots;
-    let mut market = Marketplace::builder()
-        .slots(k)
-        .keywords(workload.config.num_keywords)
-        .method(config.method)
-        .pricing(config.pricing)
-        .seed(seed ^ 0xD1CE_D1CE)
+    let mut market = section_v_builder(&workload, seed, config)
         .build()
         .expect("Section V configuration is valid");
-    for (i, b) in workload.bidders.iter().enumerate() {
-        let advertiser = market.register_advertiser(format!("advertiser-{i}"));
-        let click_probs: Vec<f64> = (0..k)
-            .map(|j| workload.clicks.p_click(i, SlotId::from_index0(j)))
-            .collect();
-        for (keyword, &(value, bid, _)) in b.keywords.iter().enumerate() {
-            market
-                .add_campaign(
-                    advertiser,
-                    keyword,
-                    CampaignSpec::per_click(Money::from_cents(bid.max(0)))
-                        .click_value(Money::from_cents(value))
-                        .click_probs(click_probs.clone()),
-                )
-                .expect("Section V campaign is valid");
-        }
-    }
+    populate_section_v!(market, workload);
+    market
+}
+
+/// Builds a [`ShardedMarketplace`] over the same Section V population as
+/// [`section_v_market`], its keyword books partitioned across `shards`
+/// worker shards. `section_config` controls the workload shape (use
+/// [`SectionVConfig::paper`] for the paper's 15-slot / 10-keyword setup, or
+/// a custom keyword count for shard-scaling experiments).
+pub fn section_v_sharded_market(
+    section_config: SectionVConfig,
+    config: EngineConfig,
+    shards: usize,
+) -> ShardedMarketplace {
+    let seed = section_config.seed;
+    let workload = SectionVWorkload::generate(section_config);
+    let mut market = section_v_builder(&workload, seed, config)
+        .build_sharded(shards)
+        .expect("Section V sharded configuration is valid");
+    populate_section_v!(market, workload);
     market
 }
 
@@ -153,6 +193,10 @@ pub struct MethodRun {
     pub advertisers: usize,
     /// Slot count.
     pub slots: usize,
+    /// Shard count of the serving layer: `Some(n)` when the run went
+    /// through `ShardedMarketplace` with `n` shards, `None` for the
+    /// single-threaded `Marketplace` facade.
+    pub shards: Option<usize>,
     /// Timed auctions (after warm-up).
     pub auctions: usize,
     /// Wall-clock time of the timed batch.
@@ -168,12 +212,17 @@ impl MethodRun {
     }
 
     /// Serialises the run as a single JSON object (stable keys, no
-    /// dependencies) for `BENCH_*.json`-style tracking.
+    /// dependencies) for `BENCH_*.json`-style tracking. `"shards"` is a
+    /// number for sharded runs and `null` for the single-threaded facade.
     pub fn to_json(&self) -> String {
+        let shards = self
+            .shards
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "null".to_string());
         format!(
             concat!(
                 "{{\"method\":\"{}\",\"pricing\":\"{}\",\"advertisers\":{},",
-                "\"slots\":{},\"auctions\":{},\"elapsed_ms\":{:.3},",
+                "\"slots\":{},\"shards\":{},\"auctions\":{},\"elapsed_ms\":{:.3},",
                 "\"auctions_per_sec\":{:.1},\"expected_revenue_cents\":{:.2},",
                 "\"clicks\":{},\"realized_revenue_cents\":{}}}"
             ),
@@ -181,6 +230,7 @@ impl MethodRun {
             self.pricing,
             self.advertisers,
             self.slots,
+            shards,
             self.auctions,
             ms(self.elapsed),
             self.auctions_per_sec(),
@@ -207,27 +257,83 @@ pub fn measure_method(
 ) -> MethodRun {
     let mut market = section_v_market(n, seed, EngineConfig { method, pricing });
     let slots = market.num_slots();
-    let keywords = market.num_keywords().max(1);
-    let requests: Vec<QueryRequest> = (0..auctions.max(warmup))
-        .map(|i| QueryRequest::new(i % keywords))
-        .collect();
-    market
-        .serve_batch(&requests[..warmup])
-        .expect("round-robin keywords are in range");
-    let start = Instant::now();
-    let report = market
-        .serve_batch(&requests[..auctions])
-        .expect("round-robin keywords are in range");
-    let elapsed = start.elapsed();
+    let keywords = market.num_keywords();
+    let (elapsed, report) = timed_round_robin(keywords, auctions, warmup, |requests| {
+        market
+            .serve_batch(requests)
+            .expect("round-robin keywords are in range")
+            .total
+    });
     MethodRun {
         method,
         pricing,
         advertisers: n,
         slots,
+        shards: None,
         auctions,
         elapsed,
-        report: report.total,
+        report,
     }
+}
+
+/// Measures one method's batched serving throughput through the
+/// [`ShardedMarketplace`]: the load-generator twin of [`measure_method`].
+/// The warm-up round builds every shard's per-keyword engines; the timed
+/// round serves `auctions` queries with
+/// [`ShardedMarketplace::serve_batch`], fanning the same round-robin
+/// multi-keyword stream out across `shards` worker threads.
+pub fn measure_method_sharded(
+    method: WdMethod,
+    pricing: PricingScheme,
+    n: usize,
+    auctions: usize,
+    warmup: usize,
+    seed: u64,
+    shards: usize,
+) -> MethodRun {
+    let mut market = section_v_sharded_market(
+        SectionVConfig::paper(n, seed),
+        EngineConfig { method, pricing },
+        shards,
+    );
+    let slots = market.num_slots();
+    let keywords = market.num_keywords();
+    let (elapsed, report) = timed_round_robin(keywords, auctions, warmup, |requests| {
+        market
+            .serve_batch(requests)
+            .expect("round-robin keywords are in range")
+            .total
+    });
+    MethodRun {
+        method,
+        pricing,
+        advertisers: n,
+        slots,
+        shards: Some(shards),
+        auctions,
+        elapsed,
+        report,
+    }
+}
+
+/// The shared measurement scaffold of [`measure_method`] and
+/// [`measure_method_sharded`]: build one round-robin multi-keyword stream,
+/// serve the warm-up prefix unmeasured, then time the `auctions`-query
+/// batch and return its wall-clock and aggregate report.
+fn timed_round_robin(
+    keywords: usize,
+    auctions: usize,
+    warmup: usize,
+    mut serve_batch: impl FnMut(&[QueryRequest]) -> BatchReport,
+) -> (Duration, BatchReport) {
+    let keywords = keywords.max(1);
+    let requests: Vec<QueryRequest> = (0..auctions.max(warmup))
+        .map(|i| QueryRequest::new(i % keywords))
+        .collect();
+    serve_batch(&requests[..warmup]);
+    let start = Instant::now();
+    let report = serve_batch(&requests[..auctions]);
+    (start.elapsed(), report)
 }
 
 #[cfg(test)]
@@ -255,6 +361,7 @@ mod tests {
             "\"pricing\":\"gsp\"",
             "\"advertisers\":40",
             "\"slots\":15",
+            "\"shards\":null",
             "\"auctions\":6",
             "\"elapsed_ms\":",
             "\"auctions_per_sec\":",
@@ -264,6 +371,23 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn sharded_method_run_is_shard_count_invariant() {
+        let one = measure_method_sharded(WdMethod::Reduced, PricingScheme::Gsp, 40, 12, 3, 11, 1);
+        let four = measure_method_sharded(WdMethod::Reduced, PricingScheme::Gsp, 40, 12, 3, 11, 4);
+        assert_eq!(one.shards, Some(1));
+        assert_eq!(four.shards, Some(4));
+        assert!(one.to_json().contains("\"shards\":1"), "{}", one.to_json());
+        assert!(
+            four.to_json().contains("\"shards\":4"),
+            "{}",
+            four.to_json()
+        );
+        // Identical auction outcomes regardless of shard count: the sharded
+        // layer is an execution strategy, not a semantic one.
+        assert_eq!(one.report, four.report);
     }
 
     #[test]

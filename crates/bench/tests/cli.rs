@@ -1,0 +1,91 @@
+//! CLI contract tests for the `reproduce` binary: the typed-error paths
+//! (`--method rhp` without threads, `--shards 0`, `--load 0`, …) and the
+//! sharded load-generator happy path.
+
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("reproduce binary runs")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Asserts a clean usage failure: exit code 2, no stdout, a stderr that
+/// names the problem and reprints the usage text.
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = reproduce(args);
+    assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains(needle),
+        "args {args:?}: stderr {err:?} missing {needle:?}"
+    );
+    assert!(err.contains("Usage:"), "args {args:?}: no usage in {err:?}");
+}
+
+#[test]
+fn bare_rhp_is_a_clear_error_not_a_silent_default() {
+    assert_usage_error(&["--method", "rhp"], "needs an explicit thread count");
+}
+
+#[test]
+fn rhp_zero_threads_is_a_clear_error() {
+    assert_usage_error(&["--method", "rhp:0"], "thread count must be positive");
+    assert_usage_error(&["--method", "rhp:many"], "invalid thread count");
+}
+
+#[test]
+fn zero_shards_is_a_clear_error_not_a_panic() {
+    assert_usage_error(
+        &["--method", "rh", "--shards", "0"],
+        "shard count must be positive",
+    );
+    assert_usage_error(
+        &["--method", "rh", "--shards", "four"],
+        "invalid shard count",
+    );
+    assert_usage_error(&["--method", "rh", "--shards"], "--shards requires a value");
+}
+
+#[test]
+fn zero_load_is_a_clear_error() {
+    assert_usage_error(
+        &["--method", "rh", "--load", "0"],
+        "load (query count) must be positive",
+    );
+    assert_usage_error(&["--method", "rh", "--load", "lots"], "invalid load");
+}
+
+#[test]
+fn shards_and_load_require_method() {
+    assert_usage_error(&["--shards", "2"], "--shards/--load require --method");
+    assert_usage_error(&["--load", "10"], "--shards/--load require --method");
+}
+
+#[test]
+fn sharded_load_generator_emits_json() {
+    let out = reproduce(&[
+        "--method", "rh", "--json", "--quick", "--shards", "2", "--load", "10",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let json = stdout_of(&out);
+    for key in ["\"method\":\"rh\"", "\"shards\":2", "\"auctions\":10"] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn unsharded_json_reports_null_shards() {
+    let out = reproduce(&["--method", "rh", "--json", "--quick", "--load", "5"]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    assert!(stdout_of(&out).contains("\"shards\":null"));
+}

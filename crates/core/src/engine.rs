@@ -42,10 +42,6 @@ pub enum WdMethod {
     ReducedParallel(usize),
 }
 
-/// Selection-thread count assumed when parsing a bare `rhp` (no `:threads`
-/// suffix).
-pub const DEFAULT_PARALLEL_THREADS: usize = 4;
-
 impl WdMethod {
     /// Constructs the reusable [`WdSolver`] implementing this method. The
     /// returned solver owns its scratch buffers; keep it alive across
@@ -75,10 +71,13 @@ impl std::fmt::Display for WdMethod {
 /// Error returned when parsing a [`WdMethod`] from its CLI name fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseMethodError {
-    /// The name matched none of `lp`, `h`, `rh`, `rhp`, `rhp:<threads>`.
+    /// The name matched none of `lp`, `h`, `rh`, `rhp:<threads>`.
     UnknownMethod(String),
     /// `rhp:<threads>` carried a suffix that is not an unsigned integer.
     InvalidThreadCount(String),
+    /// Bare `rhp` (no `:threads` suffix) — the parallel reduction's
+    /// degree of parallelism must be explicit, not silently defaulted.
+    MissingThreadCount,
     /// `rhp:0` — the parallel reduction needs at least one thread.
     ZeroThreads,
 }
@@ -89,11 +88,15 @@ impl std::fmt::Display for ParseMethodError {
             ParseMethodError::UnknownMethod(name) => write!(
                 f,
                 "unknown winner-determination method {name:?} \
-                 (expected lp, h, rh, rhp, or rhp:<threads>)"
+                 (expected lp, h, rh, or rhp:<threads>)"
             ),
             ParseMethodError::InvalidThreadCount(raw) => {
                 write!(f, "invalid thread count in {raw:?}")
             }
+            ParseMethodError::MissingThreadCount => f.write_str(
+                "method \"rhp\" needs an explicit thread count: \
+                 write rhp:<threads>, e.g. rhp:4",
+            ),
             ParseMethodError::ZeroThreads => f.write_str("thread count must be positive"),
         }
     }
@@ -104,15 +107,20 @@ impl std::error::Error for ParseMethodError {}
 impl std::str::FromStr for WdMethod {
     type Err = ParseMethodError;
 
-    /// Parses `lp`, `h`, `rh`, `rhp` (with [`DEFAULT_PARALLEL_THREADS`]),
-    /// or `rhp:<threads>`, case-insensitively.
+    /// Parses `lp`, `h`, `rh`, or `rhp:<threads>`, case-insensitively.
+    ///
+    /// Bare `rhp` is rejected with
+    /// [`ParseMethodError::MissingThreadCount`]: the parallel method's
+    /// thread count is part of its identity (it is what Figure 12's RHP
+    /// curves vary), so it must be spelled out rather than silently
+    /// defaulted.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let lower = s.to_ascii_lowercase();
         match lower.as_str() {
             "lp" => Ok(WdMethod::Lp),
             "h" | "hungarian" => Ok(WdMethod::Hungarian),
             "rh" | "reduced" => Ok(WdMethod::Reduced),
-            "rhp" => Ok(WdMethod::ReducedParallel(DEFAULT_PARALLEL_THREADS)),
+            "rhp" => Err(ParseMethodError::MissingThreadCount),
             other => {
                 if let Some(threads) = other.strip_prefix("rhp:") {
                     let threads: usize = threads
@@ -814,8 +822,8 @@ mod tests {
             assert_eq!(method.to_string().parse::<WdMethod>(), Ok(method));
         }
         assert_eq!(
-            "rhp".parse(),
-            Ok(WdMethod::ReducedParallel(DEFAULT_PARALLEL_THREADS))
+            "rhp".parse::<WdMethod>(),
+            Err(ParseMethodError::MissingThreadCount)
         );
         assert_eq!("Hungarian".parse(), Ok(WdMethod::Hungarian));
         assert_eq!(

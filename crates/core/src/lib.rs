@@ -28,6 +28,12 @@
 //! the Section IV-B [`logical`] adjustment lists. `AuctionEngine` remains
 //! the documented low-level escape hatch.
 //!
+//! For multi-core serving, [`sharded::ShardedMarketplace`] partitions the
+//! keyword universe across worker shards by stable hash and fans
+//! `serve_batch` out over scoped threads — with bit-identical auction
+//! outcomes at every shard count (see the [`sharded`] module docs for the
+//! keyword-local-RNG equivalence guarantee).
+//!
 //! The Section III-F heavyweight/lightweight extension lives in
 //! [`heavyweight`].
 //!
@@ -44,6 +50,7 @@ pub mod marketplace;
 pub mod pricing;
 pub mod prob;
 pub mod revenue;
+pub mod sharded;
 
 pub use bidder::{Bidder, BidderOutcome, QueryContext, TableBidder};
 pub use engine::{
@@ -58,3 +65,4 @@ pub use marketplace::{
 pub use pricing::{ParsePricingError, PricingScheme, SlotPrice};
 pub use prob::{ClickModel, PurchaseModel, SeparableClickModel};
 pub use revenue::{expected_revenue, revenue_matrix, revenue_matrix_into, NoSlotValues};
+pub use sharded::{parse_shards, ParseShardsError, ShardedMarketplace};

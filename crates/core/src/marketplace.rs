@@ -82,6 +82,13 @@ pub struct CampaignId {
 }
 
 impl CampaignId {
+    /// Test-only constructor (the public API only hands out ids via
+    /// [`Marketplace::add_campaign`]).
+    #[cfg(test)]
+    pub(crate) fn new(keyword: usize, index: usize) -> Self {
+        CampaignId { keyword, index }
+    }
+
     /// The keyword the campaign bids on.
     pub fn keyword(self) -> usize {
         self.keyword
@@ -136,6 +143,8 @@ pub enum MarketError {
     NoSlots,
     /// A marketplace needs at least one keyword.
     NoKeywords,
+    /// A sharded marketplace needs at least one shard.
+    NoShards,
 }
 
 impl std::fmt::Display for MarketError {
@@ -178,6 +187,7 @@ impl std::fmt::Display for MarketError {
             }
             MarketError::NoSlots => f.write_str("a marketplace needs at least one slot"),
             MarketError::NoKeywords => f.write_str("a marketplace needs at least one keyword"),
+            MarketError::NoShards => f.write_str("a sharded marketplace needs at least one shard"),
         }
     }
 }
@@ -197,8 +207,10 @@ enum ProgramSpec {
     /// A fixed multi-feature [`BidsTable`] submitted verbatim each auction.
     Table(BidsTable),
     /// An arbitrary bidding program (anything implementing [`Bidder`]),
-    /// e.g. a shared-state ROI strategy.
-    Program(Box<dyn Bidder>),
+    /// e.g. a shared-state ROI strategy. `Send` so the marketplace — and
+    /// with it every campaign — can move across threads in a sharded
+    /// serving layer (see [`crate::sharded`]).
+    Program(Box<dyn Bidder + Send>),
 }
 
 /// Declarative description of a campaign handed to
@@ -242,8 +254,9 @@ impl CampaignSpec {
     /// An arbitrary bidding program. The program sees the global market
     /// clock and the queried keyword in its [`QueryContext`] and receives
     /// outcome notifications; this is how stateful strategies (e.g. the
-    /// Section II-C ROI heuristic) run on the facade.
-    pub fn program(bidder: Box<dyn Bidder>) -> Self {
+    /// Section II-C ROI heuristic) run on the facade. Programs must be
+    /// `Send` so campaigns can migrate to shard worker threads.
+    pub fn program(bidder: Box<dyn Bidder + Send>) -> Self {
         CampaignSpec::new(ProgramSpec::Program(bidder))
     }
 
@@ -321,7 +334,7 @@ struct Campaign {
 /// [`ssa_matching::EXCLUDED`] — it can never be displayed.
 struct CampaignBidder {
     table: BidsTable,
-    program: Option<Box<dyn Bidder>>,
+    program: Option<Box<dyn Bidder + Send>>,
     paused: bool,
 }
 
@@ -368,7 +381,7 @@ impl std::fmt::Debug for CampaignBidder {
 /// engine while it exists, or in `pending` between a structural change
 /// (campaign added) and the next serve. Incremental updates mutate them in
 /// place wherever they are.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct KeywordBook {
     campaigns: Vec<Campaign>,
     pending: Vec<CampaignBidder>,
@@ -376,15 +389,46 @@ struct KeywordBook {
     /// Sorted per-click bids (cents) of unpaused per-click campaigns — the
     /// Section IV-B adjustment list backing `update_bid` / `top_bids`.
     index: AdjustmentList,
+    /// The keyword's own user-action RNG stream, drawn from instead of the
+    /// market-global stream when the marketplace runs in
+    /// [`MarketplaceBuilder::keyword_local_rng`] mode. Seeded purely from
+    /// `(market seed, keyword)`, so a keyword's outcome stream does not
+    /// depend on which other keywords were queried in between — the
+    /// property sharded serving relies on.
+    rng: StdRng,
 }
 
 impl KeywordBook {
+    fn new(rng: StdRng) -> Self {
+        KeywordBook {
+            campaigns: Vec::new(),
+            pending: Vec::new(),
+            engine: None,
+            index: AdjustmentList::default(),
+            rng,
+        }
+    }
+
     fn bidder_mut(&mut self, index: usize) -> &mut CampaignBidder {
         match self.engine.as_mut() {
             Some(engine) => &mut engine.bidders[index],
             None => &mut self.pending[index],
         }
     }
+}
+
+/// The 64-bit SplitMix finaliser: a cheap, stable bijective mixer used for
+/// per-keyword RNG-seed derivation and shard routing.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of keyword `keyword`'s local RNG stream under market seed `seed`.
+pub(crate) fn keyword_stream_seed(seed: u64, keyword: usize) -> u64 {
+    splitmix64(seed ^ splitmix64(keyword as u64 ^ 0x5EED_4B1D_0EC0_FFEE))
 }
 
 // ---------------------------------------------------------------------------
@@ -475,6 +519,7 @@ pub struct MarketplaceBuilder {
     num_slots: usize,
     num_keywords: usize,
     seed: u64,
+    keyword_local_rng: bool,
     default_click_probs: Option<Vec<f64>>,
     default_purchase_probs: Option<Vec<(f64, f64)>>,
 }
@@ -487,6 +532,7 @@ impl Default for MarketplaceBuilder {
             num_slots: 1,
             num_keywords: 1,
             seed: 0,
+            keyword_local_rng: false,
             default_click_probs: None,
             default_purchase_probs: None,
         }
@@ -524,6 +570,22 @@ impl MarketplaceBuilder {
         self
     }
 
+    /// Draw user actions from one deterministic RNG stream *per keyword*
+    /// (each seeded from `(seed, keyword)`) instead of a single
+    /// market-global stream (the default).
+    ///
+    /// With keyword-local streams, a keyword's auction outcomes depend only
+    /// on the sub-sequence of queries on that keyword — not on how queries
+    /// to other keywords interleave with them. That independence is what
+    /// makes serving bit-identical no matter how keywords are partitioned
+    /// across shards; [`crate::sharded::ShardedMarketplace`] always runs
+    /// its shards in this mode, and an unsharded marketplace built with
+    /// this flag reproduces a sharded one exactly.
+    pub fn keyword_local_rng(mut self, enabled: bool) -> Self {
+        self.keyword_local_rng = enabled;
+        self
+    }
+
     /// Click model applied to campaigns that do not supply their own
     /// [`CampaignSpec::click_probs`].
     pub fn default_click_probs(mut self, probs: Vec<f64>) -> Self {
@@ -536,6 +598,16 @@ impl MarketplaceBuilder {
     pub fn default_purchase_probs(mut self, probs: Vec<(f64, f64)>) -> Self {
         self.default_purchase_probs = Some(probs);
         self
+    }
+
+    /// Validates the configuration and constructs a
+    /// [`crate::sharded::ShardedMarketplace`] with `num_shards` shards
+    /// (each running in [`MarketplaceBuilder::keyword_local_rng`] mode).
+    pub fn build_sharded(
+        self,
+        num_shards: usize,
+    ) -> Result<crate::sharded::ShardedMarketplace, MarketError> {
+        crate::sharded::ShardedMarketplace::new(self, num_shards)
     }
 
     /// Validates the configuration and constructs the marketplace.
@@ -561,11 +633,14 @@ impl MarketplaceBuilder {
             num_keywords: self.num_keywords,
             advertisers: Vec::new(),
             books: (0..self.num_keywords)
-                .map(|_| KeywordBook::default())
+                .map(|kw| {
+                    KeywordBook::new(StdRng::seed_from_u64(keyword_stream_seed(self.seed, kw)))
+                })
                 .collect(),
             default_click_probs: self.default_click_probs,
             default_purchase_probs: self.default_purchase_probs,
             rng: StdRng::seed_from_u64(self.seed),
+            keyword_local_rng: self.keyword_local_rng,
             clock: 0,
             query_buf: Vec::new(),
         })
@@ -623,6 +698,8 @@ pub struct Marketplace {
     default_click_probs: Option<Vec<f64>>,
     default_purchase_probs: Option<Vec<(f64, f64)>>,
     rng: StdRng,
+    /// See [`MarketplaceBuilder::keyword_local_rng`].
+    keyword_local_rng: bool,
     clock: u64,
     /// Reused chunk buffer for [`Marketplace::serve_batch`].
     query_buf: Vec<usize>,
@@ -950,26 +1027,40 @@ impl Marketplace {
     pub fn serve(&mut self, request: QueryRequest) -> Result<AuctionResponse, MarketError> {
         let keyword = self.check_keyword(request.keyword)?;
         self.clock += 1;
-        let time = self.clock;
+        Ok(self.serve_at(keyword, self.clock))
+    }
+
+    /// Serves one query on an already-checked `keyword` as the auction
+    /// with (1-based) global time `time`, leaving the market clock alone.
+    ///
+    /// Shard support: [`crate::sharded::ShardedMarketplace`] owns the
+    /// global clock itself and aligns each shard-resident marketplace to
+    /// it per query, so bidders observe market-wide time.
+    pub(crate) fn serve_at(&mut self, keyword: usize, time: u64) -> AuctionResponse {
         if self.books[keyword].campaigns.is_empty() {
-            return Ok(AuctionResponse {
+            return AuctionResponse {
                 keyword,
                 time,
                 expected_revenue: 0.0,
                 realized_revenue: Money::ZERO,
                 placements: Vec::new(),
                 charges: Vec::new(),
-            });
+            };
         }
         self.ensure_engine(keyword);
         let book = &mut self.books[keyword];
         let engine = book.engine.as_mut().expect("engine built above");
         engine.set_time(time - 1);
+        let rng = if self.keyword_local_rng {
+            &mut book.rng
+        } else {
+            &mut self.rng
+        };
         let report = engine
-            .stream(std::iter::once(keyword), &mut self.rng)
+            .stream(std::iter::once(keyword), rng)
             .next()
             .expect("one query yields one auction");
-        Ok(respond(&book.campaigns, keyword, time, report))
+        respond(&book.campaigns, keyword, time, report)
     }
 
     /// Serves a stream of queries through the persistent per-keyword
@@ -999,30 +1090,48 @@ impl Marketplace {
             while j < requests.len() && requests[j].keyword == keyword {
                 j += 1;
             }
-            let len = (j - i) as u64;
-            let chunk = if self.books[keyword].campaigns.is_empty() {
-                BatchReport {
-                    auctions: len,
-                    ..BatchReport::default()
-                }
-            } else {
-                self.ensure_engine(keyword);
-                self.query_buf.clear();
-                self.query_buf.resize(j - i, keyword);
-                let engine = self.books[keyword]
-                    .engine
-                    .as_mut()
-                    .expect("engine built above");
-                engine.set_time(self.clock);
-                engine.run_batch(&self.query_buf, &mut self.rng)
-            };
-            self.clock += len;
+            let chunk = self.serve_run_at(keyword, j - i, self.clock);
+            self.clock += (j - i) as u64;
             out.per_keyword[keyword].absorb(&chunk);
             out.total.absorb(&chunk);
             out.chunks += 1;
             i = j;
         }
         Ok(out)
+    }
+
+    /// Serves `count` consecutive queries on an already-checked `keyword`
+    /// as one [`AuctionEngine::run_batch`] call starting at global time
+    /// `start_time` (the clock value *before* the first of the queries),
+    /// leaving the market clock alone. A campaign-less keyword serves
+    /// `count` empty pages without touching any engine.
+    ///
+    /// This is the chunk primitive both [`Marketplace::serve_batch`] and
+    /// the sharded fan-out build on.
+    pub(crate) fn serve_run_at(
+        &mut self,
+        keyword: usize,
+        count: usize,
+        start_time: u64,
+    ) -> BatchReport {
+        if self.books[keyword].campaigns.is_empty() {
+            return BatchReport {
+                auctions: count as u64,
+                ..BatchReport::default()
+            };
+        }
+        self.ensure_engine(keyword);
+        self.query_buf.clear();
+        self.query_buf.resize(count, keyword);
+        let book = &mut self.books[keyword];
+        let engine = book.engine.as_mut().expect("engine built above");
+        engine.set_time(start_time);
+        let rng = if self.keyword_local_rng {
+            &mut book.rng
+        } else {
+            &mut self.rng
+        };
+        engine.run_batch(&self.query_buf, rng)
     }
 
     /// Builds (or reuses) the keyword's persistent engine. Only structural

@@ -1,0 +1,646 @@
+//! Sharded, multi-threaded marketplace serving.
+//!
+//! [`ShardedMarketplace`] scales the single-threaded
+//! [`Marketplace`] facade out over worker
+//! threads: the keyword universe is partitioned across `N` shards by a
+//! stable hash ([`ShardedMarketplace::shard_of`]), each shard owns its
+//! keywords' campaigns, persistent engines, and solver scratch, and
+//! [`ShardedMarketplace::serve_batch`] fans a mixed-keyword query stream
+//! out to the shards via [`std::thread::scope`] workers, merging the
+//! per-shard [`BatchReport`]s back into one
+//! [`MarketBatchReport`].
+//!
+//! Control-plane calls ([`ShardedMarketplace::register_advertiser`],
+//! [`ShardedMarketplace::add_campaign`], [`ShardedMarketplace::update_bid`],
+//! [`ShardedMarketplace::pause_campaign`],
+//! [`ShardedMarketplace::set_roi_target`], …) route to the owning shard
+//! through the same hash, so the Section IV-B incremental `O(log n)`
+//! adjustment-list path is preserved per shard — an update on one keyword
+//! never touches, locks, or rebuilds any other shard.
+//!
+//! # The equivalence guarantee
+//!
+//! Sharding is an *execution* strategy, not a semantic one: every shard
+//! runs in [`MarketplaceBuilder::keyword_local_rng`] mode, where keyword
+//! `k`'s user-action RNG stream is seeded purely from `(seed, k)`. Since
+//! per-keyword state (campaigns, engine, logical bid index, RNG) is fully
+//! keyword-local, the auctions served on a keyword depend only on the
+//! sub-sequence of queries on that keyword and their global clock values —
+//! not on which shard runs them or what other shards do concurrently.
+//! Consequently a `ShardedMarketplace` produces **bit-identical** winners,
+//! clicks, and charges for every shard count, all equal to an unsharded
+//! `Marketplace` built with the same configuration and
+//! `keyword_local_rng(true)` (the property-based tests in
+//! `tests/sharding.rs` prove this for shard counts 1, 2, 4, and 7).
+//!
+//! One caveat: the guarantee covers campaigns whose bidding state is
+//! keyword-local (per-click campaigns, fixed tables, and independent
+//! programs). A custom program *shared across keywords* (e.g. the Section
+//! II-C ROI strategy coupling an advertiser's keywords through one spend
+//! rate) observes cross-shard event ordering and is therefore not
+//! shard-invariant; keep such workloads on the single-threaded facade.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
+//! use ssa_core::sharded::ShardedMarketplace;
+//! use ssa_bidlang::Money;
+//!
+//! let mut market = Marketplace::builder()
+//!     .slots(2)
+//!     .keywords(8)
+//!     .seed(7)
+//!     .default_click_probs(vec![0.6, 0.3])
+//!     .build_sharded(4)
+//!     .expect("valid configuration");
+//! let shoes = market.register_advertiser("shoes.example");
+//! let c = market
+//!     .add_campaign(shoes, 3, CampaignSpec::per_click(Money::from_cents(20)))
+//!     .expect("campaign accepted");
+//!
+//! let requests: Vec<QueryRequest> = (0..64).map(|i| QueryRequest::new(i % 8)).collect();
+//! let report = market.serve_batch(&requests).expect("keywords in range");
+//! assert_eq!(report.total.auctions, 64);
+//! market.update_bid(c, Money::from_cents(5)).expect("routed to shard");
+//! ```
+
+use crate::engine::{BatchReport, WdMethod};
+use crate::marketplace::{
+    splitmix64, AdvertiserHandle, AuctionResponse, CampaignId, CampaignSpec, MarketBatchReport,
+    MarketError, Marketplace, MarketplaceBuilder, QueryRequest,
+};
+use crate::pricing::PricingScheme;
+use ssa_bidlang::Money;
+
+/// Error returned when parsing a shard count (the `--shards` CLI flag)
+/// fails. The shape mirrors [`crate::ParseMethodError`]: a typed
+/// [`std::error::Error`] per rejection reason instead of a panic or a
+/// silent default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseShardsError {
+    /// The value was not an unsigned integer.
+    Invalid(String),
+    /// `0` — a sharded marketplace needs at least one shard.
+    Zero,
+}
+
+impl std::fmt::Display for ParseShardsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseShardsError::Invalid(raw) => write!(f, "invalid shard count {raw:?}"),
+            ParseShardsError::Zero => f.write_str("shard count must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ParseShardsError {}
+
+/// Parses a shard count: an unsigned integer ≥ 1, with typed errors.
+pub fn parse_shards(s: &str) -> Result<usize, ParseShardsError> {
+    let n: usize = s
+        .trim()
+        .parse()
+        .map_err(|_| ParseShardsError::Invalid(s.to_string()))?;
+    if n == 0 {
+        return Err(ParseShardsError::Zero);
+    }
+    Ok(n)
+}
+
+/// One maximal same-keyword run of a request stream, tagged with its
+/// position so per-shard results can be merged back in stream order.
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    /// Index of the chunk in the full stream (merge key).
+    idx: usize,
+    keyword: usize,
+    len: usize,
+    /// Global clock value before the chunk's first query.
+    start_time: u64,
+}
+
+/// A sharded, multi-threaded sponsored-search marketplace: the
+/// [`Marketplace`] service API with
+/// keywords partitioned across shard-owned worker state. See the
+/// [module docs](crate::sharded) for the partitioning scheme and the
+/// equivalence guarantee.
+#[derive(Debug)]
+pub struct ShardedMarketplace {
+    shards: Vec<Marketplace>,
+    num_keywords: usize,
+    clock: u64,
+}
+
+impl ShardedMarketplace {
+    /// Builds a sharded marketplace from a [`MarketplaceBuilder`]
+    /// configuration; equivalent to
+    /// [`MarketplaceBuilder::build_sharded`].
+    ///
+    /// Every shard is a full [`Marketplace`] over the whole keyword
+    /// universe running in keyword-local RNG mode; only the keywords a
+    /// shard owns ever receive campaigns or queries.
+    pub fn new(builder: MarketplaceBuilder, num_shards: usize) -> Result<Self, MarketError> {
+        if num_shards == 0 {
+            return Err(MarketError::NoShards);
+        }
+        let shards: Vec<Marketplace> = (0..num_shards)
+            .map(|_| builder.clone().keyword_local_rng(true).build())
+            .collect::<Result<_, _>>()?;
+        let num_keywords = shards[0].num_keywords();
+        Ok(ShardedMarketplace {
+            shards,
+            num_keywords,
+            clock: 0,
+        })
+    }
+
+    /// Number of shards the keyword universe is partitioned across.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `keyword`: a stable SplitMix64 hash of the keyword
+    /// index modulo the shard count. Stable across runs and processes, so
+    /// external routers can precompute placement.
+    pub fn shard_of(&self, keyword: usize) -> usize {
+        (splitmix64(keyword as u64) % self.shards.len() as u64) as usize
+    }
+
+    fn check_keyword(&self, keyword: usize) -> Result<usize, MarketError> {
+        if keyword < self.num_keywords {
+            Ok(keyword)
+        } else {
+            Err(MarketError::UnknownKeyword {
+                keyword,
+                num_keywords: self.num_keywords,
+            })
+        }
+    }
+
+    fn owner_mut(&mut self, keyword: usize) -> &mut Marketplace {
+        let shard = self.shard_of(keyword);
+        &mut self.shards[shard]
+    }
+
+    fn owner(&self, keyword: usize) -> &Marketplace {
+        &self.shards[self.shard_of(keyword)]
+    }
+
+    // -- mirrored read-only configuration ----------------------------------
+
+    /// Number of ad slots per results page.
+    pub fn num_slots(&self) -> usize {
+        self.shards[0].num_slots()
+    }
+
+    /// Size of the keyword universe.
+    pub fn num_keywords(&self) -> usize {
+        self.num_keywords
+    }
+
+    /// The winner-determination method every keyword engine runs.
+    pub fn method(&self) -> WdMethod {
+        self.shards[0].method()
+    }
+
+    /// The pricing rule in force.
+    pub fn pricing(&self) -> PricingScheme {
+        self.shards[0].pricing()
+    }
+
+    /// The global market clock: total auctions served across all shards.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    // -- control plane ------------------------------------------------------
+
+    /// Registers an advertiser on every shard (handles are global — a
+    /// campaign can open on any keyword regardless of which shard owns it).
+    pub fn register_advertiser(&mut self, name: impl Into<String>) -> AdvertiserHandle {
+        let name = name.into();
+        let mut handle = None;
+        for shard in &mut self.shards {
+            let h = shard.register_advertiser(name.clone());
+            debug_assert!(handle.is_none() || handle == Some(h), "shards diverged");
+            handle = Some(h);
+        }
+        handle.expect("a sharded marketplace has at least one shard")
+    }
+
+    /// The display name an advertiser registered under.
+    pub fn advertiser_name(&self, advertiser: AdvertiserHandle) -> Result<&str, MarketError> {
+        self.shards[0].advertiser_name(advertiser)
+    }
+
+    /// Number of registered advertisers.
+    pub fn num_advertisers(&self) -> usize {
+        self.shards[0].num_advertisers()
+    }
+
+    /// Registers a campaign on the shard owning `keyword`; see
+    /// [`Marketplace::add_campaign`]. Only that shard's keyword book is
+    /// rebuilt on its next serve.
+    pub fn add_campaign(
+        &mut self,
+        advertiser: AdvertiserHandle,
+        keyword: usize,
+        spec: CampaignSpec,
+    ) -> Result<CampaignId, MarketError> {
+        self.check_keyword(keyword)?;
+        self.owner_mut(keyword)
+            .add_campaign(advertiser, keyword, spec)
+    }
+
+    /// Number of campaigns registered on a keyword.
+    pub fn num_campaigns(&self, keyword: usize) -> Result<usize, MarketError> {
+        self.check_keyword(keyword)?;
+        self.owner(keyword).num_campaigns(keyword)
+    }
+
+    /// The advertiser owning a campaign.
+    pub fn campaign_advertiser(&self, id: CampaignId) -> Result<AdvertiserHandle, MarketError> {
+        self.check_keyword(id.keyword())
+            .map_err(|_| MarketError::UnknownCampaign(id))?;
+        self.owner(id.keyword()).campaign_advertiser(id)
+    }
+
+    /// Whether a campaign is currently paused.
+    pub fn is_paused(&self, id: CampaignId) -> Result<bool, MarketError> {
+        self.check_keyword(id.keyword())
+            .map_err(|_| MarketError::UnknownCampaign(id))?;
+        self.owner(id.keyword()).is_paused(id)
+    }
+
+    /// Sets a per-click campaign's bid — `O(log n)` on the owning shard's
+    /// keyword-local logical bid index; see [`Marketplace::update_bid`].
+    pub fn update_bid(&mut self, id: CampaignId, bid: Money) -> Result<(), MarketError> {
+        self.check_keyword(id.keyword())
+            .map_err(|_| MarketError::UnknownCampaign(id))?;
+        self.owner_mut(id.keyword()).update_bid(id, bid)
+    }
+
+    /// Sets or clears a per-click campaign's ROI target; see
+    /// [`Marketplace::set_roi_target`].
+    pub fn set_roi_target(
+        &mut self,
+        id: CampaignId,
+        target: Option<f64>,
+    ) -> Result<(), MarketError> {
+        self.check_keyword(id.keyword())
+            .map_err(|_| MarketError::UnknownCampaign(id))?;
+        self.owner_mut(id.keyword()).set_roi_target(id, target)
+    }
+
+    /// Pauses a campaign on its owning shard; see
+    /// [`Marketplace::pause_campaign`].
+    pub fn pause_campaign(&mut self, id: CampaignId) -> Result<(), MarketError> {
+        self.check_keyword(id.keyword())
+            .map_err(|_| MarketError::UnknownCampaign(id))?;
+        self.owner_mut(id.keyword()).pause_campaign(id)
+    }
+
+    /// Resumes a paused campaign.
+    pub fn resume_campaign(&mut self, id: CampaignId) -> Result<(), MarketError> {
+        self.check_keyword(id.keyword())
+            .map_err(|_| MarketError::UnknownCampaign(id))?;
+        self.owner_mut(id.keyword()).resume_campaign(id)
+    }
+
+    /// A per-click campaign's current effective bid, read from the owning
+    /// shard's logical bid index.
+    pub fn current_bid(&self, id: CampaignId) -> Result<Money, MarketError> {
+        self.check_keyword(id.keyword())
+            .map_err(|_| MarketError::UnknownCampaign(id))?;
+        self.owner(id.keyword()).current_bid(id)
+    }
+
+    /// The highest effective per-click bids on a keyword, descending.
+    pub fn top_bids(
+        &self,
+        keyword: usize,
+        limit: usize,
+    ) -> Result<Vec<(CampaignId, Money)>, MarketError> {
+        self.check_keyword(keyword)?;
+        self.owner(keyword).top_bids(keyword, limit)
+    }
+
+    // -- query serving ------------------------------------------------------
+
+    /// Serves one query on its owning shard (no worker threads involved)
+    /// and returns the fully typed outcome. Identical, auction for
+    /// auction, to an unsharded keyword-local-RNG [`Marketplace`] serving
+    /// the same stream.
+    pub fn serve(&mut self, request: QueryRequest) -> Result<AuctionResponse, MarketError> {
+        let keyword = self.check_keyword(request.keyword)?;
+        self.clock += 1;
+        let time = self.clock;
+        Ok(self.owner_mut(keyword).serve_at(keyword, time))
+    }
+
+    /// Serves a mixed-keyword query stream across all shards in parallel.
+    ///
+    /// The stream is split into maximal same-keyword chunks (each one
+    /// [`crate::AuctionEngine::run_batch`] call on the owning shard's
+    /// persistent engine, exactly as in [`Marketplace::serve_batch`]); the
+    /// chunks are dealt to their owning shards, and every shard with work
+    /// runs its chunks on a [`std::thread::scope`] worker. Per-chunk
+    /// reports are merged back **in stream order**, so the aggregate —
+    /// including the floating-point `expected_revenue` sums — is
+    /// bit-identical to the unsharded serve of the same stream.
+    pub fn serve_batch(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<MarketBatchReport, MarketError> {
+        for request in requests {
+            self.check_keyword(request.keyword)?;
+        }
+        // Chunk the stream and deal the chunks to their owning shards.
+        let num_shards = self.shards.len();
+        let mut work: Vec<Vec<Chunk>> = vec![Vec::new(); num_shards];
+        let mut idx = 0;
+        let mut i = 0;
+        let mut time = self.clock;
+        while i < requests.len() {
+            let keyword = requests[i].keyword;
+            let mut j = i + 1;
+            while j < requests.len() && requests[j].keyword == keyword {
+                j += 1;
+            }
+            work[self.shard_of(keyword)].push(Chunk {
+                idx,
+                keyword,
+                len: j - i,
+                start_time: time,
+            });
+            idx += 1;
+            time += (j - i) as u64;
+            i = j;
+        }
+
+        let num_keywords = self.num_keywords;
+        let busy = work.iter().filter(|w| !w.is_empty()).count();
+        // (chunk index, keyword, report) triples from every shard; merged
+        // in stream order below.
+        let mut chunk_reports: Vec<(usize, usize, BatchReport)> = if busy <= 1 {
+            // Zero or one shard has work: serve inline, skip the threads.
+            let mut out = Vec::with_capacity(idx);
+            for (shard, chunks) in self.shards.iter_mut().zip(&work) {
+                for c in chunks {
+                    out.push((
+                        c.idx,
+                        c.keyword,
+                        shard.serve_run_at(c.keyword, c.len, c.start_time),
+                    ));
+                }
+            }
+            out
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(busy);
+                for (shard, chunks) in self.shards.iter_mut().zip(&work) {
+                    if chunks.is_empty() {
+                        continue;
+                    }
+                    handles.push(scope.spawn(move || {
+                        chunks
+                            .iter()
+                            .map(|c| {
+                                (
+                                    c.idx,
+                                    c.keyword,
+                                    shard.serve_run_at(c.keyword, c.len, c.start_time),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+        chunk_reports.sort_unstable_by_key(|(idx, _, _)| *idx);
+
+        self.clock = time;
+        let mut out = MarketBatchReport {
+            total: BatchReport::default(),
+            per_keyword: vec![BatchReport::default(); num_keywords],
+            chunks: 0,
+        };
+        for (_, keyword, report) in &chunk_reports {
+            out.per_keyword[*keyword].absorb(report);
+            out.total.absorb(report);
+            out.chunks += 1;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marketplace::Marketplace;
+
+    fn builder(keywords: usize) -> MarketplaceBuilder {
+        Marketplace::builder()
+            .slots(2)
+            .keywords(keywords)
+            .seed(99)
+            .default_click_probs(vec![0.7, 0.35])
+    }
+
+    /// A populated market: two advertisers, one campaign per keyword each.
+    fn populate<M>(
+        market: &mut M,
+        keywords: usize,
+        mut register: impl FnMut(&mut M, &str) -> AdvertiserHandle,
+        mut add: impl FnMut(&mut M, AdvertiserHandle, usize, CampaignSpec) -> CampaignId,
+    ) -> Vec<CampaignId> {
+        let a = register(market, "a");
+        let b = register(market, "b");
+        let mut ids = Vec::new();
+        for kw in 0..keywords {
+            ids.push(add(
+                market,
+                a,
+                kw,
+                CampaignSpec::per_click(Money::from_cents(10 + kw as i64)),
+            ));
+            ids.push(add(
+                market,
+                b,
+                kw,
+                CampaignSpec::per_click(Money::from_cents(4 + 2 * kw as i64)),
+            ));
+        }
+        ids
+    }
+
+    fn populated_sharded(keywords: usize, shards: usize) -> (ShardedMarketplace, Vec<CampaignId>) {
+        let mut m = builder(keywords).build_sharded(shards).expect("valid");
+        let ids = populate(
+            &mut m,
+            keywords,
+            |m, n| m.register_advertiser(n),
+            |m, a, kw, s| m.add_campaign(a, kw, s).expect("accepted"),
+        );
+        (m, ids)
+    }
+
+    fn populated_unsharded(keywords: usize) -> (Marketplace, Vec<CampaignId>) {
+        let mut m = builder(keywords)
+            .keyword_local_rng(true)
+            .build()
+            .expect("valid");
+        let ids = populate(
+            &mut m,
+            keywords,
+            |m, n| m.register_advertiser(n),
+            |m, a, kw, s| m.add_campaign(a, kw, s).expect("accepted"),
+        );
+        (m, ids)
+    }
+
+    fn mixed_stream(keywords: usize, len: usize) -> Vec<QueryRequest> {
+        let mut state = 0xD15EA5Eu64;
+        (0..len)
+            .map(|_| {
+                state = splitmix64(state);
+                QueryRequest::new((state % keywords as u64) as usize)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error() {
+        assert_eq!(
+            builder(4).build_sharded(0).err(),
+            Some(MarketError::NoShards)
+        );
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_total() {
+        let (m, _) = populated_sharded(16, 5);
+        assert_eq!(m.num_shards(), 5);
+        for kw in 0..16 {
+            let s = m.shard_of(kw);
+            assert!(s < 5);
+            assert_eq!(s, m.shard_of(kw), "routing must be deterministic");
+        }
+        // With 16 keywords over 5 shards, more than one shard owns work.
+        let owners: std::collections::HashSet<usize> = (0..16).map(|kw| m.shard_of(kw)).collect();
+        assert!(owners.len() > 1);
+    }
+
+    #[test]
+    fn serve_matches_unsharded_keyword_local_marketplace() {
+        for shards in [1, 2, 4, 7] {
+            let (mut sharded, _) = populated_sharded(9, shards);
+            let (mut plain, _) = populated_unsharded(9);
+            for (t, request) in mixed_stream(9, 60).into_iter().enumerate() {
+                let got = sharded.serve(request).expect("keyword in range");
+                let want = plain.serve(request).expect("keyword in range");
+                assert_eq!(got, want, "shards={shards} t={t}");
+            }
+            assert_eq!(sharded.now(), plain.now());
+        }
+    }
+
+    #[test]
+    fn serve_batch_matches_unsharded_keyword_local_marketplace() {
+        let requests = mixed_stream(9, 300);
+        let (mut plain, _) = populated_unsharded(9);
+        let want = plain.serve_batch(&requests).expect("keywords in range");
+        for shards in [1, 2, 4, 7] {
+            let (mut sharded, _) = populated_sharded(9, shards);
+            let got = sharded.serve_batch(&requests).expect("keywords in range");
+            assert_eq!(got, want, "shards={shards}");
+            assert_eq!(sharded.now(), 300);
+        }
+    }
+
+    #[test]
+    fn incremental_updates_route_to_the_owning_shard() {
+        let (mut sharded, ids) = populated_sharded(6, 4);
+        let (mut plain, plain_ids) = populated_unsharded(6);
+        assert_eq!(ids, plain_ids);
+        // Warm the engines, then update bids incrementally on both sides.
+        let warm = mixed_stream(6, 24);
+        sharded.serve_batch(&warm).expect("in range");
+        plain.serve_batch(&warm).expect("in range");
+        for (i, &id) in ids.iter().enumerate() {
+            let bid = Money::from_cents(1 + (7 * i % 23) as i64);
+            sharded.update_bid(id, bid).expect("per-click");
+            plain.update_bid(id, bid).expect("per-click");
+            assert_eq!(sharded.current_bid(id).unwrap(), bid);
+        }
+        sharded.pause_campaign(ids[3]).expect("known");
+        plain.pause_campaign(ids[3]).expect("known");
+        assert!(sharded.is_paused(ids[3]).unwrap());
+        for kw in 0..6 {
+            assert_eq!(
+                sharded.top_bids(kw, 8).unwrap(),
+                plain.top_bids(kw, 8).unwrap()
+            );
+        }
+        // Post-update serving still matches, auction for auction.
+        for request in mixed_stream(6, 40) {
+            assert_eq!(
+                sharded.serve(request).unwrap(),
+                plain.serve(request).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn typed_errors_surface_through_the_dispatch_table() {
+        let (mut m, _) = populated_sharded(4, 2);
+        assert!(matches!(
+            m.serve(QueryRequest::new(99)),
+            Err(MarketError::UnknownKeyword { keyword: 99, .. })
+        ));
+        assert!(matches!(
+            m.serve_batch(&[QueryRequest::new(0), QueryRequest::new(44)]),
+            Err(MarketError::UnknownKeyword { keyword: 44, .. })
+        ));
+        let ghost = CampaignId::new(99, 0);
+        assert_eq!(
+            m.update_bid(ghost, Money::ZERO),
+            Err(MarketError::UnknownCampaign(ghost))
+        );
+        assert_eq!(
+            m.current_bid(ghost),
+            Err(MarketError::UnknownCampaign(ghost))
+        );
+    }
+
+    #[test]
+    fn parse_shards_is_typed() {
+        assert_eq!(parse_shards("4"), Ok(4));
+        assert_eq!(parse_shards(" 2 "), Ok(2));
+        assert_eq!(parse_shards("0"), Err(ParseShardsError::Zero));
+        assert_eq!(
+            parse_shards("four"),
+            Err(ParseShardsError::Invalid("four".into()))
+        );
+        let err: Box<dyn std::error::Error> = Box::new(ParseShardsError::Zero);
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn advertisers_are_global() {
+        let (mut m, _) = populated_sharded(6, 3);
+        assert_eq!(m.num_advertisers(), 2);
+        let c = m.register_advertiser("late");
+        assert_eq!(m.advertiser_name(c).unwrap(), "late");
+        // The new advertiser can open campaigns on any shard's keywords.
+        for kw in 0..6 {
+            m.add_campaign(c, kw, CampaignSpec::per_click(Money::from_cents(2)))
+                .expect("accepted on every shard");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Compile-time thread-safety assertions.
+//!
+//! The sharded serving layer moves whole per-shard marketplaces — engines,
+//! boxed solvers, campaign programs, RNGs — onto scoped worker threads, so
+//! these types must stay `Send`. Asserting the bounds here means a future
+//! non-thread-safe field (an `Rc`, a `RefCell` handed across campaigns, a
+//! raw pointer in solver scratch) fails `cargo test` at compile time
+//! instead of surfacing as a trait-bound error deep inside shard
+//! integration.
+
+use ssa_core::marketplace::{AuctionResponse, CampaignSpec, MarketBatchReport, Marketplace};
+use ssa_core::sharded::ShardedMarketplace;
+use ssa_core::{AuctionEngine, BatchReport, TableBidder};
+use ssa_matching::{HungarianSolver, ParallelReducedSolver, ReducedSolver, WdSolver};
+use ssa_simplex::NetworkSimplexSolver;
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn marketplaces_are_send() {
+    assert_send::<Marketplace>();
+    assert_send::<ShardedMarketplace>();
+    assert_send::<AuctionEngine<TableBidder>>();
+    // Campaign specs (and thus their boxed programs) move into the
+    // marketplace, which must remain Send afterwards.
+    assert_send::<CampaignSpec>();
+}
+
+#[test]
+fn every_wd_solver_is_send() {
+    assert_send::<HungarianSolver>();
+    assert_send::<ReducedSolver>();
+    assert_send::<ParallelReducedSolver>();
+    assert_send::<NetworkSimplexSolver>();
+    // The trait-object form engines actually hold: `WdSolver: Send` is a
+    // supertrait bound, so the box is Send without an explicit `+ Send`.
+    assert_send::<Box<dyn WdSolver>>();
+}
+
+#[test]
+fn reports_are_send_and_sync() {
+    // Reports cross the shard merge boundary by value and may be shared
+    // read-only by monitoring threads.
+    assert_send::<BatchReport>();
+    assert_sync::<BatchReport>();
+    assert_send::<MarketBatchReport>();
+    assert_sync::<MarketBatchReport>();
+    assert_send::<AuctionResponse>();
+    assert_sync::<AuctionResponse>();
+}

@@ -68,6 +68,19 @@ mod tests {
     use crate::hungarian::HungarianSolver;
     use crate::matrix::RevenueMatrix;
 
+    /// Compile-time guard: every solver must stay `Send` (the trait
+    /// requires it) so sharded serving layers can move solvers across
+    /// threads. A non-`Send` field added to any implementation breaks
+    /// this test at compile time.
+    #[test]
+    fn solvers_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<HungarianSolver>();
+        assert_send::<crate::reduced::ReducedSolver>();
+        assert_send::<crate::parallel::ParallelReducedSolver>();
+        assert_send::<BoxedWdSolver>();
+    }
+
     #[test]
     fn boxed_solver_delegates() {
         let mut boxed: BoxedWdSolver = Box::new(HungarianSolver::new());

@@ -371,6 +371,14 @@ mod tests {
     use super::*;
     use ssa_matching::max_weight_assignment;
 
+    /// Compile-time guard: the LP solver must stay `Send` so sharded
+    /// serving layers can move it across threads with its engine.
+    #[test]
+    fn network_simplex_solver_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<NetworkSimplexSolver>();
+    }
+
     #[test]
     fn figure9_matrix() {
         let m = RevenueMatrix::from_rows(&[

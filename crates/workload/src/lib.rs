@@ -20,15 +20,19 @@
 //! `reproduce` binary drive. [`MarketSimulation`] is the same experiment
 //! expressed on the `Marketplace` service facade (advertisers, campaigns,
 //! `serve_batch`), equivalent to the legacy path for the full-matrix
-//! methods.
+//! methods. [`ShardedMarketSimulation`] serves the (static-bid) Section V
+//! population through the multi-threaded `ShardedMarketplace` and proves
+//! the results shard-count-invariant.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod market;
+pub mod sharded;
 pub mod sim;
 
 pub use config::{SectionVConfig, SectionVWorkload};
 pub use market::{MarketSimulation, SharedRoiProgram};
+pub use sharded::ShardedMarketSimulation;
 pub use sim::{Method, Simulation, SimulationStats};

@@ -22,8 +22,7 @@ use ssa_bidlang::{BidsTable, Formula, Money, SlotId};
 use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
 use ssa_core::{Bidder, BidderOutcome, PricingScheme, QueryContext, WdMethod};
 use ssa_strategy::{KeywordEntry, RoiBidder};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A campaign bidding program that shares one [`RoiBidder`] across all of
 /// an advertiser's per-keyword campaigns.
@@ -33,13 +32,21 @@ use std::rc::Rc;
 /// a charged click it feeds spend and value back into the shared strategy
 /// state — mirroring the legacy simulation's settlement rule (zero-priced
 /// clicks are not recorded).
+///
+/// The shared state lives behind an [`Arc`]`<`[`Mutex`]`>` so the program
+/// satisfies the `Send` bound campaign programs carry (campaigns must be
+/// able to migrate to shard worker threads). Note that *sharing* strategy
+/// state across keywords makes the program order-sensitive: it is exactly
+/// the kind of cross-keyword-coupled bidder whose results are not
+/// shard-invariant, so the Section V ROI experiment stays on the
+/// single-threaded `Marketplace` (see `ssa_core::sharded`'s module docs).
 pub struct SharedRoiProgram {
-    shared: Rc<RefCell<RoiBidder>>,
+    shared: Arc<Mutex<RoiBidder>>,
 }
 
 impl SharedRoiProgram {
     /// Wraps a shared strategy handle.
-    pub fn new(shared: Rc<RefCell<RoiBidder>>) -> Self {
+    pub fn new(shared: Arc<Mutex<RoiBidder>>) -> Self {
         SharedRoiProgram { shared }
     }
 }
@@ -48,14 +55,15 @@ impl Bidder for SharedRoiProgram {
     fn on_query(&mut self, ctx: &QueryContext) -> BidsTable {
         let bid = self
             .shared
-            .borrow_mut()
+            .lock()
+            .expect("ROI strategy state poisoned")
             .adjust_and_bid(ctx.keyword, ctx.time);
         BidsTable::new(vec![(Formula::click(), Money::from_cents(bid))])
     }
 
     fn on_outcome(&mut self, ctx: &QueryContext, outcome: &BidderOutcome) {
         if outcome.clicked && outcome.price.is_positive() {
-            let mut shared = self.shared.borrow_mut();
+            let mut shared = self.shared.lock().expect("ROI strategy state poisoned");
             let value = shared.keywords[ctx.keyword].click_value as f64;
             shared.record_click(ctx.keyword, outcome.price, value);
         }
@@ -67,7 +75,7 @@ pub struct MarketSimulation {
     /// The generated workload.
     pub workload: SectionVWorkload,
     market: Marketplace,
-    programs: Vec<Rc<RefCell<RoiBidder>>>,
+    programs: Vec<Arc<Mutex<RoiBidder>>>,
     auction_idx: usize,
     /// Aggregate counters, kept shape-compatible with the legacy
     /// [`crate::Simulation`] (`candidates` counts every advertiser per
@@ -94,7 +102,7 @@ impl MarketSimulation {
         let mut programs = Vec::with_capacity(workload.bidders.len());
         for (i, params) in workload.bidders.iter().enumerate() {
             let advertiser = market.register_advertiser(format!("advertiser-{i}"));
-            let shared = Rc::new(RefCell::new(RoiBidder::new(
+            let shared = Arc::new(Mutex::new(RoiBidder::new(
                 params
                     .keywords
                     .iter()
@@ -110,7 +118,7 @@ impl MarketSimulation {
                     .add_campaign(
                         advertiser,
                         keyword,
-                        CampaignSpec::program(Box::new(SharedRoiProgram::new(Rc::clone(&shared))))
+                        CampaignSpec::program(Box::new(SharedRoiProgram::new(Arc::clone(&shared))))
                             .click_probs(click_probs.clone()),
                     )
                     .expect("Section V campaign is valid");
@@ -157,7 +165,11 @@ impl MarketSimulation {
     /// Current bid (cents) of advertiser `adv` on `keyword`, read from the
     /// shared strategy state.
     pub fn bid_of(&self, adv: usize, keyword: usize) -> i64 {
-        self.programs[adv].borrow().keywords[keyword].bid
+        self.programs[adv]
+            .lock()
+            .expect("ROI strategy state poisoned")
+            .keywords[keyword]
+            .bid
     }
 }
 

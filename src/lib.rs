@@ -58,6 +58,30 @@
 //! that keyword's persistent engine, so there is no per-query allocation
 //! either.
 //!
+//! ## Scaling out: the sharded marketplace
+//!
+//! [`sharded::ShardedMarketplace`] multiplies the facade across worker
+//! threads: keywords are partitioned over `N` shards by a stable hash,
+//! each shard owns its keywords' campaigns, engines, and solver scratch,
+//! and `serve_batch` fans mixed-keyword streams out via
+//! [`std::thread::scope`] workers, merging per-shard
+//! [`core::BatchReport`]s in stream order. Control-plane calls
+//! (`add_campaign`, `update_bid`, `pause_campaign`, `set_roi_target`)
+//! route to the owning shard, preserving the `O(log n)` incremental path
+//! per shard with no cross-shard locking.
+//!
+//! Sharding is an execution strategy with a proven equivalence guarantee:
+//! every shard draws user actions from keyword-local RNG streams
+//! ([`marketplace::MarketplaceBuilder::keyword_local_rng`]), so winners,
+//! clicks, and charges are bit-identical for every shard count and equal
+//! to an unsharded keyword-local marketplace on the same stream
+//! (property-tested for shard counts 1/2/4/7). Pick `--shards` ≈ the
+//! machine's core count when serving many keywords; stay on the
+//! single-threaded `Marketplace` for cross-keyword-coupled bidding
+//! programs (e.g. the shared-state ROI strategy), whose semantics depend
+//! on global event order. See `examples/sharded_marketplace.rs` for a
+//! runnable tour.
+//!
 //! ## Quickstart: the `Marketplace` facade
 //!
 //! ```
@@ -163,6 +187,10 @@ pub use ssa_core as core;
 /// discoverability: `sponsored_search::marketplace::Marketplace` is the
 /// recommended entry point.
 pub use ssa_core::marketplace;
+/// The sharded, multi-threaded serving layer, re-exported from [`core`]:
+/// `sponsored_search::sharded::ShardedMarketplace` scales the facade
+/// across worker threads with bit-identical auction outcomes.
+pub use ssa_core::sharded;
 pub use ssa_matching as matching;
 pub use ssa_minidb as minidb;
 pub use ssa_simplex as simplex;
