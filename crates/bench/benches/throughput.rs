@@ -20,7 +20,8 @@ use ssa_bench::{section_v_engine, section_v_market, section_v_sharded_market};
 use ssa_core::marketplace::QueryRequest;
 use ssa_core::sharded::ShardedMarketplace;
 use ssa_core::{EngineConfig, PricingScheme, WdMethod};
-use ssa_workload::SectionVConfig;
+use ssa_workload::sql::{programmed_market, ProgrammedMarket, Strategy};
+use ssa_workload::{SectionVConfig, SectionVWorkload};
 use std::time::{Duration, Instant};
 
 /// Auctions per measured iteration; one batch call vs one loop of calls.
@@ -105,6 +106,108 @@ fn bench_marketplace(c: &mut Criterion) {
         );
     }
     group.finish();
+}
+
+/// The programmed Section II-B population the `sql_program_serve_batch`
+/// rows run on: every advertiser a keyword-local Figure 5 ROI program of
+/// the given flavour. Small keyword universe, mixed stream.
+fn programmed_setup(n: usize, strategy: Strategy) -> (ProgrammedMarket, Vec<QueryRequest>) {
+    let workload = SectionVWorkload::generate(SectionVConfig {
+        num_advertisers: n,
+        num_slots: 5,
+        num_keywords: 4,
+        seed: 0xBA7C4,
+    });
+    let mut built = programmed_market(&workload, WdMethod::Reduced, strategy);
+    let mut state = 0x5EEDu64;
+    let requests: Vec<QueryRequest> = (0..BATCH)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            QueryRequest::new(((state >> 33) % 4) as usize)
+        })
+        .collect();
+    let warmup: Vec<QueryRequest> = (0..4).map(QueryRequest::new).collect();
+    built
+        .market
+        .serve_batch(&warmup)
+        .expect("keywords in range");
+    (built, requests)
+}
+
+/// The Section II-B expressiveness claim, measured: the same ROI strategy
+/// as native Rust, as a SQL bidding program on prepared statements, and
+/// as the reparse-per-round SQL baseline. native-vs-sql is the price of
+/// SQL-programmability; sql-vs-sql_reparse is what the prepared-statement
+/// layer buys back.
+fn bench_sql_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_program_serve_batch");
+    group.sample_size(10);
+    for strategy in Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(format!("rh/{strategy}"), 100),
+            &strategy,
+            |b, &strategy| {
+                let (mut built, requests) = programmed_setup(100, strategy);
+                b.iter(|| {
+                    built
+                        .market
+                        .serve_batch(&requests)
+                        .expect("keywords in range")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Paired prepared-vs-reparse measurement: alternate rounds on twin
+/// populations so machine drift hits both equally, then print the
+/// speedup. Prepared statements must beat the reparse-per-round baseline
+/// — that gap is the per-auction parse cost the tentpole removed.
+fn paired_sql_program_speedup() {
+    const ROUNDS: usize = 10;
+    let n = 100;
+    let mut flavours: Vec<(Strategy, ProgrammedMarket, Vec<QueryRequest>)> = Strategy::ALL
+        .into_iter()
+        .map(|strategy| {
+            let (built, requests) = programmed_setup(n, strategy);
+            (strategy, built, requests)
+        })
+        .collect();
+    let mut times = vec![Duration::ZERO; flavours.len()];
+    for _ in 0..ROUNDS {
+        for (i, (_, built, requests)) in flavours.iter_mut().enumerate() {
+            let start = Instant::now();
+            built
+                .market
+                .serve_batch(requests)
+                .expect("keywords in range");
+            times[i] += start.elapsed();
+        }
+    }
+    let auctions = (ROUNDS * BATCH) as f64;
+    let time_of = |wanted: Strategy| {
+        let i = flavours
+            .iter()
+            .position(|(s, ..)| *s == wanted)
+            .expect("flavour measured above");
+        times[i].as_secs_f64()
+    };
+    let sql = time_of(Strategy::Sql);
+    for (i, (strategy, ..)) in flavours.iter().enumerate() {
+        let t = times[i].as_secs_f64();
+        println!(
+            "sql_program_serve_batch/rh/paired/{n}: {strategy} {:.0} auctions/sec, \
+             ×{:.3} vs prepared sql",
+            auctions / t,
+            t / sql,
+        );
+    }
+    println!(
+        "sql_program_serve_batch/rh/paired/{n}: prepared statements are ×{:.3} \
+         the reparse-per-round baseline's throughput",
+        time_of(Strategy::SqlReparse) / sql,
+    );
 }
 
 /// Shard counts measured by the `sharded_serve_batch` group.
@@ -236,7 +339,13 @@ fn paired_speedup() {
     }
 }
 
-criterion_group!(benches, bench_throughput, bench_marketplace, bench_sharded);
+criterion_group!(
+    benches,
+    bench_throughput,
+    bench_marketplace,
+    bench_sharded,
+    bench_sql_programs
+);
 
 fn main() {
     // The paired measurements are the default headline; skip them when the
@@ -247,6 +356,7 @@ fn main() {
     if std::env::args().skip(1).all(|a| a == "--bench") {
         paired_speedup();
         paired_sharded_speedup();
+        paired_sql_program_speedup();
     }
     benches();
     Criterion::default().final_summary();

@@ -12,13 +12,15 @@
 //! up to 5000 advertisers, 100 auctions per point; Figure 13: up to 20000
 //! advertisers, 1000 auctions per point).
 
-use ssa_bench::{format_table, measure_method, measure_method_sharded, measure_series};
+use ssa_bench::{
+    format_table, measure_method, measure_method_sharded, measure_programmed, measure_series,
+};
 use ssa_bidlang::{BidsTable, Formula, Money, SlotId};
 use ssa_core::prob::ClickModel;
 use ssa_core::sharded::parse_shards;
 use ssa_core::{PricingScheme, WdMethod};
 use ssa_matching::{reduced_assignment, RevenueMatrix};
-use ssa_workload::Method;
+use ssa_workload::{Method, Strategy};
 
 const USAGE: &str = "\
 reproduce — regenerate the paper's figures as text output
@@ -26,6 +28,8 @@ reproduce — regenerate the paper's figures as text output
 Usage: reproduce [fig12|fig13|tables|all] [--quick]
        reproduce --method <lp|h|rh|rhp:<threads>> [--json] [--quick]
                  [--shards <n>] [--load <queries>]
+                 [--strategy <native|sql|sql-reparse>]
+       reproduce --strategy <native|sql|sql-reparse> [--json] [--quick]
        reproduce --list-methods
 
 Targets:
@@ -42,6 +46,13 @@ Options:
                   facade
   --load <q>      with --method, serve q timed queries (q >= 1) instead of
                   the built-in auction count — the load-generator knob
+  --strategy <s>  measure the *programmed* Section II-B population instead
+                  of the static per-click one: every advertiser a
+                  keyword-local Figure 5 ROI program, run natively
+                  (native), as a SQL bidding program on prepared
+                  statements (sql), or as the reparse-per-round SQL
+                  baseline (sql-reparse). Implies single-run mode; the
+                  method defaults to rh when --method is omitted
   --list-methods  print the accepted --method names with their paper
                   sections, then exit
   --json          with --method, emit one machine-readable JSON object
@@ -87,9 +98,19 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let strategy = match parse_value_flag(&args, "--strategy", |v| {
+        v.parse::<Strategy>().map_err(|e| e.to_string())
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     // Walk the arguments once: reject unknown flags and find the first
     // positional target (skipping the value-carrying flags' values).
-    let value_flag = |a: &str| a == "--method" || a == "--shards" || a == "--load";
+    let value_flag =
+        |a: &str| a == "--method" || a == "--shards" || a == "--load" || a == "--strategy";
     let known_flag = |a: &str| a == "--quick" || a == "--json" || value_flag(a);
     let mut target: Option<&str> = None;
     let mut skip_value = false;
@@ -113,21 +134,24 @@ fn main() {
     }
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    if json && method.is_none() {
-        eprintln!("--json requires --method\n{USAGE}");
+    // --strategy implies single-run mode with the rh default method.
+    let single_run = method.is_some() || strategy.is_some();
+    if json && !single_run {
+        eprintln!("--json requires --method or --strategy\n{USAGE}");
         std::process::exit(2);
     }
-    if (shards.is_some() || load.is_some()) && method.is_none() {
-        eprintln!("--shards/--load require --method\n{USAGE}");
+    if (shards.is_some() || load.is_some()) && !single_run {
+        eprintln!("--shards/--load require --method or --strategy\n{USAGE}");
         std::process::exit(2);
     }
 
-    if let Some(method) = method {
+    if single_run {
         if let Some(target) = target {
-            eprintln!("--method cannot be combined with target {target:?}\n{USAGE}");
+            eprintln!("--method/--strategy cannot be combined with target {target:?}\n{USAGE}");
             std::process::exit(2);
         }
-        single_method(method, json, quick, shards, load);
+        let method = method.unwrap_or(WdMethod::Reduced);
+        single_method(method, json, quick, shards, load, strategy);
         return;
     }
 
@@ -181,34 +205,40 @@ fn parse_value_flag<T, E: std::fmt::Display>(
     parse(value).map(Some).map_err(|e| e.to_string())
 }
 
-/// Single-method mode: one batched throughput run on the Section V
-/// workload — through the single-threaded `Marketplace` facade
-/// (per-keyword persistent engines, `serve_batch` over a round-robin
-/// multi-keyword stream), or through the multi-threaded
-/// `ShardedMarketplace` when `--shards` is given — reported as text or
-/// JSON (for `BENCH_*.json` tracking). `--load` overrides the timed query
-/// count, turning the mode into a load generator.
+/// Single-run mode: one batched throughput run on the Section V workload
+/// — through the single-threaded `Marketplace` facade (per-keyword
+/// persistent engines, `serve_batch` over a round-robin multi-keyword
+/// stream), or through the multi-threaded `ShardedMarketplace` when
+/// `--shards` is given — reported as text or JSON (for `BENCH_*.json`
+/// tracking). `--load` overrides the timed query count, turning the mode
+/// into a load generator. `--strategy` swaps the static per-click
+/// population for the programmed Section II-B one (native vs SQL ROI
+/// programs), which is how CI tracks the SQL interpreter's overhead.
 fn single_method(
     method: WdMethod,
     json: bool,
     quick: bool,
     shards: Option<usize>,
     load: Option<usize>,
+    strategy: Option<Strategy>,
 ) {
     let (n, default_auctions) = if quick { (250, 50) } else { (1000, 200) };
     let auctions = load.unwrap_or(default_auctions);
     let warmup = auctions / 10 + 1;
-    let run = match shards {
-        Some(shards) => measure_method_sharded(
-            method,
-            PricingScheme::Gsp,
-            n,
-            auctions,
-            warmup,
-            4242,
-            shards,
-        ),
-        None => measure_method(method, PricingScheme::Gsp, n, auctions, warmup, 4242),
+    let run = match strategy {
+        Some(strategy) => measure_programmed(strategy, method, n, auctions, warmup, 4242, shards),
+        None => match shards {
+            Some(shards) => measure_method_sharded(
+                method,
+                PricingScheme::Gsp,
+                n,
+                auctions,
+                warmup,
+                4242,
+                shards,
+            ),
+            None => measure_method(method, PricingScheme::Gsp, n, auctions, warmup, 4242),
+        },
     };
     if json {
         println!("{}", run.to_json());
@@ -217,12 +247,17 @@ fn single_method(
             Some(s) => format!(", {s} shards"),
             None => String::new(),
         };
+        let population = match run.strategy {
+            Some(s) => format!(", {s} programs"),
+            None => String::new(),
+        };
         println!(
-            "method {} ({} pricing{}): n = {}, k = {}, {} auctions in {:.2} ms \
+            "method {} ({} pricing{}{}): n = {}, k = {}, {} auctions in {:.2} ms \
              ({:.0} auctions/sec, {} clicks, {} realized)",
             run.method,
             run.pricing,
             sharding,
+            population,
             run.advertisers,
             run.slots,
             run.auctions,

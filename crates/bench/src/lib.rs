@@ -12,7 +12,10 @@ use ssa_bidlang::{Money, SlotId};
 use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
 use ssa_core::sharded::ShardedMarketplace;
 use ssa_core::{AuctionEngine, BatchReport, EngineConfig, PricingScheme, TableBidder, WdMethod};
-use ssa_workload::{Method, SectionVConfig, SectionVWorkload, Simulation};
+use ssa_workload::{
+    programmed_market, programmed_sharded_market, Method, SectionVConfig, SectionVWorkload,
+    Simulation, Strategy,
+};
 use std::time::{Duration, Instant};
 
 /// One measured point of a figure series.
@@ -197,6 +200,10 @@ pub struct MethodRun {
     /// through `ShardedMarketplace` with `n` shards, `None` for the
     /// single-threaded `Marketplace` facade.
     pub shards: Option<usize>,
+    /// Population flavour: `Some(strategy)` for the programmed Section
+    /// II-B population ([`ssa_workload::sql`]), `None` for the static
+    /// per-click Section V population.
+    pub strategy: Option<Strategy>,
     /// Timed auctions (after warm-up).
     pub auctions: usize,
     /// Wall-clock time of the timed batch.
@@ -219,10 +226,15 @@ impl MethodRun {
             .shards
             .map(|s| s.to_string())
             .unwrap_or_else(|| "null".to_string());
+        let strategy = self
+            .strategy
+            .map(|s| format!("\"{s}\""))
+            .unwrap_or_else(|| "null".to_string());
         format!(
             concat!(
                 "{{\"method\":\"{}\",\"pricing\":\"{}\",\"advertisers\":{},",
-                "\"slots\":{},\"shards\":{},\"auctions\":{},\"elapsed_ms\":{:.3},",
+                "\"slots\":{},\"shards\":{},\"strategy\":{},\"auctions\":{},",
+                "\"elapsed_ms\":{:.3},",
                 "\"auctions_per_sec\":{:.1},\"expected_revenue_cents\":{:.2},",
                 "\"clicks\":{},\"realized_revenue_cents\":{}}}"
             ),
@@ -231,6 +243,7 @@ impl MethodRun {
             self.advertisers,
             self.slots,
             shards,
+            strategy,
             self.auctions,
             ms(self.elapsed),
             self.auctions_per_sec(),
@@ -270,6 +283,7 @@ pub fn measure_method(
         advertisers: n,
         slots,
         shards: None,
+        strategy: None,
         auctions,
         elapsed,
         report,
@@ -310,6 +324,69 @@ pub fn measure_method_sharded(
         advertisers: n,
         slots,
         shards: Some(shards),
+        strategy: None,
+        auctions,
+        elapsed,
+        report,
+    }
+}
+
+/// Measures the *programmed* Section II-B population: every advertiser a
+/// keyword-local Figure 5 ROI program — native Rust, SQL on prepared
+/// statements, or the reparse-per-round SQL baseline, per `strategy` —
+/// served with `serve_batch` over the same round-robin stream as
+/// [`measure_method`]. The native-vs-sql elapsed ratio is the SQL
+/// interpreter's overhead; sql-reparse-vs-sql is what the
+/// prepared-statement layer buys.
+///
+/// With `shards = Some(n)` the population serves through a
+/// [`ShardedMarketplace`] (the programs are keyword-local, so outcomes are
+/// shard-invariant). Pricing is always the paper's GSP — the programmed
+/// populations are defined (and equivalence-tested) under GSP settlement,
+/// whose click charges are the feedback the ROI programs consume.
+pub fn measure_programmed(
+    strategy: Strategy,
+    method: WdMethod,
+    n: usize,
+    auctions: usize,
+    warmup: usize,
+    seed: u64,
+    shards: Option<usize>,
+) -> MethodRun {
+    let pricing = PricingScheme::Gsp;
+    let workload = SectionVWorkload::generate(SectionVConfig::paper(n, seed));
+    let slots = workload.config.num_slots;
+    let keywords = workload.config.num_keywords;
+    let (elapsed, report) = match shards {
+        None => {
+            let mut built = programmed_market(&workload, method, strategy);
+            timed_round_robin(keywords, auctions, warmup, |requests| {
+                built
+                    .market
+                    .serve_batch(requests)
+                    .expect("round-robin keywords are in range")
+                    .total
+            })
+        }
+        Some(shards) => {
+            let mut built = programmed_sharded_market(&workload, method, strategy, shards)
+                .expect("valid shard count");
+            timed_round_robin(keywords, auctions, warmup, |requests| {
+                built
+                    .market
+                    .serve_batch(requests)
+                    .expect("round-robin keywords are in range")
+                    .total
+            })
+        }
+    };
+    MethodRun {
+        method,
+        pricing,
+        advertisers: n,
+        slots,
+        shards,
+        strategy: Some(strategy),
         auctions,
         elapsed,
         report,
@@ -362,6 +439,7 @@ mod tests {
             "\"advertisers\":40",
             "\"slots\":15",
             "\"shards\":null",
+            "\"strategy\":null",
             "\"auctions\":6",
             "\"elapsed_ms\":",
             "\"auctions_per_sec\":",
@@ -371,6 +449,26 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn programmed_runs_are_strategy_invariant() {
+        // Native, prepared-SQL, and reparse-SQL populations must produce
+        // identical auction outcomes (only their speed differs) — here
+        // through the measurement harness itself, sharded and not.
+        let run = |strategy, shards| {
+            measure_programmed(strategy, WdMethod::Reduced, 30, 12, 3, 7, shards)
+        };
+        let native = run(Strategy::Native, None);
+        let sql = run(Strategy::Sql, None);
+        let reparse = run(Strategy::SqlReparse, None);
+        assert_eq!(native.report, sql.report);
+        assert_eq!(sql.report, reparse.report);
+        assert!(sql.to_json().contains("\"strategy\":\"sql\""));
+        assert!(native.to_json().contains("\"strategy\":\"native\""));
+        let sharded = run(Strategy::Sql, Some(2));
+        assert_eq!(sharded.report, sql.report);
+        assert!(sharded.to_json().contains("\"shards\":2"));
     }
 
     #[test]

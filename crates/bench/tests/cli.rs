@@ -72,6 +72,51 @@ fn shards_and_load_require_method() {
 }
 
 #[test]
+fn bogus_strategy_is_a_clear_error() {
+    assert_usage_error(&["--strategy", "postgres"], "invalid strategy \"postgres\"");
+    assert_usage_error(&["--strategy"], "--strategy requires a value");
+    assert_usage_error(
+        &["--strategy", "sql", "fig12"],
+        "cannot be combined with target",
+    );
+}
+
+#[test]
+fn strategy_runs_standalone_with_the_default_method() {
+    // The CI perf-smoke invocation: no --method, strategy implies
+    // single-run mode at the rh default.
+    let out = reproduce(&["--strategy", "sql", "--json", "--quick", "--load", "8"]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let json = stdout_of(&out);
+    for key in [
+        "\"method\":\"rh\"",
+        "\"strategy\":\"sql\"",
+        "\"shards\":null",
+        "\"auctions\":8",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn native_and_sql_strategies_report_identical_outcomes() {
+    // The equivalence claim, visible at the CLI surface: same clicks and
+    // revenue, population for population (only elapsed_ms may differ).
+    let run = |strategy: &str| {
+        let out = reproduce(&["--strategy", strategy, "--json", "--quick", "--load", "12"]);
+        assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+        let json = stdout_of(&out);
+        let outcomes = json
+            .split("\"expected_revenue_cents\":")
+            .nth(1)
+            .expect("report keys present")
+            .to_string();
+        outcomes
+    };
+    assert_eq!(run("native"), run("sql"));
+}
+
+#[test]
 fn sharded_load_generator_emits_json() {
     let out = reproduce(&[
         "--method", "rh", "--json", "--quick", "--shards", "2", "--load", "10",

@@ -62,5 +62,5 @@ pub use formula::Formula;
 pub use ids::{AdvertiserId, SlotId};
 pub use money::Money;
 pub use outcome::{AdvertiserView, HeavyPattern, Outcome};
-pub use parser::{parse_formula, ParseError};
+pub use parser::{parse_formula, ParseError, ParseErrorKind};
 pub use predicate::Predicate;

@@ -13,6 +13,21 @@ use crate::formula::Formula;
 use crate::ids::SlotId;
 use std::fmt;
 
+/// Maximum formula nesting depth. Formulas arrive from untrusted
+/// advertiser programs; unbounded `(((…` or `!!!…` chains would otherwise
+/// overflow the recursive-descent parser's stack.
+pub const MAX_FORMULA_DEPTH: usize = 64;
+
+/// What kind of parse failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseErrorKind {
+    /// Malformed input (bad token, missing operand, trailing input, …).
+    #[default]
+    Syntax,
+    /// Nesting exceeded [`MAX_FORMULA_DEPTH`].
+    TooDeep,
+}
+
 /// Error produced when a formula string cannot be parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -20,6 +35,8 @@ pub struct ParseError {
     pub message: String,
     /// Byte offset in the input at which the error occurred.
     pub position: usize,
+    /// Failure category (syntax vs. the nesting depth limit).
+    pub kind: ParseErrorKind,
 }
 
 impl fmt::Display for ParseError {
@@ -59,6 +76,7 @@ impl<'a> Lexer<'a> {
         ParseError {
             message: message.into(),
             position: self.pos,
+            kind: ParseErrorKind::Syntax,
         }
     }
 
@@ -131,6 +149,7 @@ impl<'a> Lexer<'a> {
                     return Err(ParseError {
                         message: format!("unknown identifier {word:?}"),
                         position: start,
+                        kind: ParseErrorKind::Syntax,
                     });
                 }
             }
@@ -143,11 +162,13 @@ fn parse_slot_number(digits: &str, position: usize) -> Result<u16, ParseError> {
     let n: u16 = digits.parse().map_err(|_| ParseError {
         message: format!("invalid slot number {digits:?}"),
         position,
+        kind: ParseErrorKind::Syntax,
     })?;
     if n == 0 {
         return Err(ParseError {
             message: "slot numbers are 1-based".to_string(),
             position,
+            kind: ParseErrorKind::Syntax,
         });
     }
     Ok(n)
@@ -157,9 +178,29 @@ struct Parser {
     tokens: Vec<(Token, usize)>,
     index: usize,
     input_len: usize,
+    /// Current recursive-descent nesting depth.
+    depth: usize,
 }
 
 impl Parser {
+    /// Enters one nesting level; errors once [`MAX_FORMULA_DEPTH`] is hit.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_FORMULA_DEPTH {
+            Err(ParseError {
+                message: format!("formula nesting deeper than {MAX_FORMULA_DEPTH} levels"),
+                position: self.position(),
+                kind: ParseErrorKind::TooDeep,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
+    }
+
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.index).map(|(t, _)| t)
     }
@@ -180,6 +221,13 @@ impl Parser {
     }
 
     fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        self.descend()?;
+        let or = self.parse_or_at_depth();
+        self.ascend();
+        or
+    }
+
+    fn parse_or_at_depth(&mut self) -> Result<Formula, ParseError> {
         let mut lhs = self.parse_and()?;
         while self.peek() == Some(&Token::Or) {
             self.advance();
@@ -202,7 +250,10 @@ impl Parser {
     fn parse_unary(&mut self) -> Result<Formula, ParseError> {
         if self.peek() == Some(&Token::Not) {
             self.advance();
-            return Ok(!self.parse_unary()?);
+            self.descend()?;
+            let inner = self.parse_unary();
+            self.ascend();
+            return Ok(!inner?);
         }
         self.parse_atom()
     }
@@ -223,12 +274,14 @@ impl Parser {
                     _ => Err(ParseError {
                         message: "expected ')'".to_string(),
                         position: self.position(),
+                        kind: ParseErrorKind::Syntax,
                     }),
                 }
             }
             other => Err(ParseError {
                 message: format!("expected a predicate, found {other:?}"),
                 position,
+                kind: ParseErrorKind::Syntax,
             }),
         }
     }
@@ -254,12 +307,14 @@ pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
         tokens,
         index: 0,
         input_len: input.len(),
+        depth: 0,
     };
     let formula = parser.parse_or()?;
     if parser.index != parser.tokens.len() {
         return Err(ParseError {
             message: "trailing input after formula".to_string(),
             position: parser.position(),
+            kind: ParseErrorKind::Syntax,
         });
     }
     Ok(formula)
@@ -336,6 +391,35 @@ mod tests {
         let err = parse_formula("Click @ Purchase").unwrap_err();
         assert!(err.message.contains("unexpected character"));
         assert_eq!(err.position, 6);
+    }
+
+    #[test]
+    fn hostile_nesting_is_a_typed_error() {
+        // Untrusted advertiser programs must not be able to overflow the
+        // parser stack: `(((…`, `!!!…`, and word-operator chains all stop
+        // at the depth limit with a typed error.
+        for input in [
+            format!("{}Click{}", "(".repeat(100_000), ")".repeat(100_000)),
+            format!("{}Click", "!".repeat(100_000)),
+            format!("{}Click", "NOT ".repeat(100_000)),
+        ] {
+            let err = parse_formula(&input).expect_err("depth limit");
+            assert_eq!(
+                err.kind,
+                ParseErrorKind::TooDeep,
+                "input {} bytes",
+                input.len()
+            );
+            assert!(err.message.contains("nesting"));
+        }
+        // Reasonable nesting still parses.
+        let ok = format!("{}Click{}", "(".repeat(20), ")".repeat(20));
+        assert_eq!(parse_formula(&ok).unwrap(), Formula::click());
+        // Ordinary syntax errors keep the Syntax kind.
+        assert_eq!(
+            parse_formula("Click &").unwrap_err().kind,
+            ParseErrorKind::Syntax
+        );
     }
 
     #[test]

@@ -34,6 +34,12 @@
 //! outcomes at every shard count (see the [`sharded`] module docs for the
 //! keyword-local-RNG equivalence guarantee).
 //!
+//! Campaigns can be *SQL bidding programs* (Section II-B): [`sqlprog`]
+//! packages a script pair (schema + triggers, executed by the embedded
+//! `ssa_minidb` engine through its prepared-statement layer) as a
+//! [`Bidder`], registered via
+//! [`marketplace::CampaignSpec::sql_program`].
+//!
 //! The Section III-F heavyweight/lightweight extension lives in
 //! [`heavyweight`].
 //!
@@ -51,6 +57,7 @@ pub mod pricing;
 pub mod prob;
 pub mod revenue;
 pub mod sharded;
+pub mod sqlprog;
 
 pub use bidder::{Bidder, BidderOutcome, QueryContext, TableBidder};
 pub use engine::{
@@ -66,3 +73,4 @@ pub use pricing::{ParsePricingError, PricingScheme, SlotPrice};
 pub use prob::{ClickModel, PurchaseModel, SeparableClickModel};
 pub use revenue::{expected_revenue, revenue_matrix, revenue_matrix_into, NoSlotValues};
 pub use sharded::{parse_shards, ParseShardsError, ShardedMarketplace};
+pub use sqlprog::{SqlProgramBidder, SqlProgramError};

@@ -55,6 +55,7 @@ use crate::engine::{AuctionEngine, AuctionReport, BatchReport, EngineConfig, WdM
 use crate::logical::AdjustmentList;
 use crate::pricing::PricingScheme;
 use crate::prob::{ClickModel, PurchaseModel};
+use crate::sqlprog::{SqlProgramBidder, SqlProgramError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ssa_bidlang::{BidsTable, Money, SlotId};
@@ -258,6 +259,37 @@ impl CampaignSpec {
     /// `Send` so campaigns can migrate to shard worker threads.
     pub fn program(bidder: Box<dyn Bidder + Send>) -> Self {
         CampaignSpec::new(ProgramSpec::Program(bidder))
+    }
+
+    /// A Section II-B **SQL bidding program**: `tables` sets up the
+    /// program's private schema/state and `program` installs its triggers,
+    /// both executed by the embedded [`ssa_minidb`] engine under the host
+    /// protocol documented at [`crate::sqlprog`]. The scripts are parsed
+    /// once at registration (prepared statements thereafter); a program
+    /// that errors at auction time is excluded from the matching rather
+    /// than taking serving down.
+    ///
+    /// ```
+    /// use ssa_core::marketplace::CampaignSpec;
+    /// use ssa_minidb::Params;
+    ///
+    /// let spec = CampaignSpec::sql_program(
+    ///     "CREATE TRIGGER bid AFTER INSERT ON Query
+    ///      { UPDATE Bids SET value = value + 1; }",
+    ///     "CREATE TABLE Query (kw INT);
+    ///      CREATE TABLE Bids (formula TEXT, value INT);
+    ///      INSERT INTO Bids VALUES ('Click', :start);",
+    ///     &Params::new().bind("start", 10),
+    /// )
+    /// .expect("well-formed program");
+    /// ```
+    pub fn sql_program(
+        program: &str,
+        tables: &str,
+        params: &ssa_minidb::Params,
+    ) -> Result<Self, SqlProgramError> {
+        let bidder = SqlProgramBidder::new(tables, program, params)?;
+        Ok(CampaignSpec::new(ProgramSpec::Program(Box::new(bidder))))
     }
 
     /// Per-slot click probabilities for this campaign's ad.
@@ -1447,6 +1479,50 @@ mod tests {
         // Errors are std errors with readable messages.
         let err: Box<dyn std::error::Error> = Box::new(MarketError::MissingClickModel);
         assert!(err.to_string().contains("click"));
+    }
+
+    #[test]
+    fn sql_program_campaigns_serve_like_equivalent_static_bids() {
+        // A SQL program that always bids a constant must serve exactly like
+        // a per-click campaign at the same bid, auction for auction.
+        let build = |sql: bool| {
+            let mut market = Marketplace::builder()
+                .slots(2)
+                .seed(3)
+                .default_click_probs(vec![0.7, 0.3])
+                .build()
+                .expect("valid configuration");
+            let a = market.register_advertiser("a");
+            let spec = if sql {
+                CampaignSpec::sql_program(
+                    "",
+                    "CREATE TABLE Query (kw INT); \
+                     CREATE TABLE Bids (formula TEXT, value INT); \
+                     INSERT INTO Bids VALUES ('Click', :bid);",
+                    &ssa_minidb::Params::new().bind("bid", 25),
+                )
+                .expect("well-formed program")
+            } else {
+                CampaignSpec::per_click(Money::from_cents(25))
+            };
+            market.add_campaign(a, 0, spec).expect("accepted");
+            market
+                .add_campaign(a, 0, CampaignSpec::per_click(Money::from_cents(10)))
+                .expect("accepted");
+            market
+        };
+        let mut sql = build(true);
+        let mut fixed = build(false);
+        for _ in 0..20 {
+            let r = sql.serve(QueryRequest::new(0)).expect("valid keyword");
+            let t = fixed.serve(QueryRequest::new(0)).expect("valid keyword");
+            assert_eq!(r, t);
+        }
+        // Pausing a SQL campaign excludes it like any other program.
+        let id = CampaignId::new(0, 0);
+        sql.pause_campaign(id).expect("known campaign");
+        let r = sql.serve(QueryRequest::new(0)).expect("valid keyword");
+        assert!(r.placements.iter().all(|p| p.campaign != id));
     }
 
     #[test]

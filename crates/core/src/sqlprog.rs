@@ -1,0 +1,497 @@
+//! SQL bidding programs as first-class campaign programs.
+//!
+//! Section II-B of the paper makes *SQL bidding programs* the expressive
+//! core of the system: advertisers submit "simple SQL updates without
+//! recursion and side-effects", activated by triggers when an auction
+//! begins, reading provider-maintained shared variables and emitting a
+//! Bids table. [`SqlProgramBidder`] is that contract executed for real by
+//! the [`ssa_minidb`] engine, packaged as a [`crate::Bidder`] so a SQL
+//! program can be registered on a [`crate::marketplace::Marketplace`] via
+//! [`crate::marketplace::CampaignSpec::sql_program`] like any other
+//! campaign — and migrate to shard worker threads (`SqlProgramBidder` is
+//! `Send`).
+//!
+//! # The host protocol
+//!
+//! The advertiser supplies two scripts:
+//!
+//! * **`tables`** — schema and initial data. It must create a
+//!   single-column `Query` table (the trigger activation channel) and a
+//!   `Bids` table whose first two columns are the formula text and the bid
+//!   value in cents. An optional single-column `Outcome` table opts into
+//!   post-auction settlement notifications. The script is executed once at
+//!   construction through the prepared-statement layer, so `?`/`:name`
+//!   placeholders in it are bound from the `params` argument — numeric
+//!   initial state round-trips exactly instead of being string-formatted.
+//! * **`program`** — the bidding program proper, normally `CREATE
+//!   TRIGGER … AFTER INSERT ON Query { … }` (and, if settlement matters,
+//!   a second trigger on `Outcome`).
+//!
+//! Per auction the host (the marketplace engine) then:
+//!
+//! 1. sets the shared variables `time` (the global auction clock) and
+//!    `keyword` (the queried keyword's index),
+//! 2. clears `Query` and inserts the keyword index into it — firing the
+//!    program with exactly one fresh activation row (activation tables
+//!    are host-managed scratch, cleared between auctions so long-lived
+//!    campaigns stay memory-flat) —
+//! 3. reads `SELECT` of the `Bids` table and submits one bid row per
+//!    `(formula, value)` pair (formula texts are parsed once and cached).
+//!
+//! After the auction resolves, if `Outcome` exists, the host sets the
+//! shared variables `slot` (1-based slot won, 0 if none), `clicked`,
+//! `purchased` (0/1), and `price` (cents charged) and inserts `clicked`
+//! into `Outcome` — firing the settlement trigger, which can keep ROI
+//! statistics entirely in SQL.
+//!
+//! A program that errors mid-auction (type error, overflow, deleted
+//! tables, …) submits **no bids** from that auction on: defective
+//! programs are excluded from the matching rather than taking the
+//! marketplace down. The first error is retained in
+//! [`SqlProgramBidder::last_error`] for diagnosis.
+
+use crate::bidder::{Bidder, BidderOutcome, QueryContext};
+use ssa_bidlang::{parse_formula, BidsTable, Formula, Money};
+use ssa_minidb::{Database, DbError, Params, Prepared, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a pair of scripts could not be assembled into a
+/// [`SqlProgramBidder`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlProgramError {
+    /// A script failed to parse or execute.
+    Db(DbError),
+    /// The `tables` script did not create a required table.
+    MissingTable(&'static str),
+    /// `Query`/`Outcome` must have exactly one column (the host inserts a
+    /// single activation value).
+    ActivationArity {
+        /// The offending table.
+        table: &'static str,
+        /// Columns it was declared with.
+        got: usize,
+    },
+    /// `Bids` needs at least a formula column and a value column.
+    BidsArity {
+        /// Columns it was declared with.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SqlProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlProgramError::Db(e) => write!(f, "SQL program rejected: {e}"),
+            SqlProgramError::MissingTable(t) => {
+                write!(f, "the tables script must create a {t} table")
+            }
+            SqlProgramError::ActivationArity { table, got } => write!(
+                f,
+                "{table} must have exactly one column (the host's activation value), found {got}"
+            ),
+            SqlProgramError::BidsArity { got } => write!(
+                f,
+                "Bids must have at least two columns (formula, value), found {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SqlProgramError {}
+
+impl From<DbError> for SqlProgramError {
+    fn from(e: DbError) -> Self {
+        SqlProgramError::Db(e)
+    }
+}
+
+/// A Section II-B SQL bidding program executing inside its own private
+/// [`Database`], speaking the host protocol described in the
+/// [module docs](crate::sqlprog).
+pub struct SqlProgramBidder {
+    db: Database,
+    /// `SELECT` of the first two Bids columns — prepared once.
+    read_bids: Prepared,
+    /// Clears the activation tables between auctions so a long-lived
+    /// campaign's memory stays flat (prepared once each).
+    clear_query: Prepared,
+    clear_outcome: Option<Prepared>,
+    /// Whether the program opted into settlement via an `Outcome` table.
+    has_outcome: bool,
+    /// Formula-text → parsed formula cache (programs emit a small, stable
+    /// set of formulas; parsing each text once keeps the hot path free of
+    /// the formula parser).
+    formulas: HashMap<String, Formula>,
+    /// First execution error, if any; once set the program bids nothing.
+    error: Option<DbError>,
+}
+
+impl SqlProgramBidder {
+    /// Assembles a program: runs `tables` (with `params` bound through the
+    /// prepared-statement layer), then `program`, then validates the host
+    /// protocol's table contract.
+    pub fn new(tables: &str, program: &str, params: &Params) -> Result<Self, SqlProgramError> {
+        let mut db = Database::new();
+        let setup = db.prepare(tables)?;
+        setup.execute(&mut db, params)?;
+        db.run(program)?;
+        let query_cols = db
+            .table("Query")
+            .map_err(|_| SqlProgramError::MissingTable("Query"))?
+            .schema()
+            .len();
+        if query_cols != 1 {
+            return Err(SqlProgramError::ActivationArity {
+                table: "Query",
+                got: query_cols,
+            });
+        }
+        let bids_cols = db
+            .table("Bids")
+            .map_err(|_| SqlProgramError::MissingTable("Bids"))?
+            .schema()
+            .len();
+        if bids_cols < 2 {
+            return Err(SqlProgramError::BidsArity { got: bids_cols });
+        }
+        let has_outcome = match db.table("Outcome") {
+            Ok(t) => {
+                let got = t.schema().len();
+                if got != 1 {
+                    return Err(SqlProgramError::ActivationArity {
+                        table: "Outcome",
+                        got,
+                    });
+                }
+                true
+            }
+            Err(_) => false,
+        };
+        let read_bids = db.prepare("SELECT * FROM Bids")?;
+        let clear_query = db.prepare("DELETE FROM Query")?;
+        let clear_outcome = if has_outcome {
+            Some(db.prepare("DELETE FROM Outcome")?)
+        } else {
+            None
+        };
+        Ok(SqlProgramBidder {
+            db,
+            read_bids,
+            clear_query,
+            clear_outcome,
+            has_outcome,
+            formulas: HashMap::new(),
+            error: None,
+        })
+    }
+
+    /// The program's private database — the host-side escape hatch for
+    /// inspecting (or, in tests, perturbing) program state.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Read-only view of the program's private database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The first error the program hit at auction time, if any. A failed
+    /// program stops bidding (it submits empty tables) but stays
+    /// registered.
+    pub fn last_error(&self) -> Option<&DbError> {
+        self.error.as_ref()
+    }
+
+    /// Runs one auction round: publish shared variables, fire the Query
+    /// trigger, read the Bids table.
+    fn round(&mut self, ctx: &QueryContext) -> Result<BidsTable, DbError> {
+        self.db.set_var("time", Value::Int(ctx.time as i64));
+        self.db.set_var("keyword", Value::Int(ctx.keyword as i64));
+        // Each auction starts from a clean activation table: the trigger
+        // sees exactly one fresh Query row, and a campaign serving millions
+        // of auctions does not accumulate rows.
+        self.clear_query.execute(&mut self.db, &Params::new())?;
+        self.db
+            .insert("Query", vec![Value::Int(ctx.keyword as i64)])?;
+        let rows = self.read_bids.query(&mut self.db, &Params::new())?;
+        let mut bids = Vec::with_capacity(rows.len());
+        for row in rows {
+            // Re-check the row shape on every read: a trigger body may
+            // legally DROP and recreate Bids, and a defective program must
+            // surface a typed error (and bid nothing), never a panic.
+            if row.len() < 2 {
+                return Err(DbError::Type(format!(
+                    "Bids rows need (formula, value), found {} column(s)",
+                    row.len()
+                )));
+            }
+            let text = row[0].as_text()?;
+            let formula = match self.formulas.get(text) {
+                Some(f) => f.clone(),
+                None => {
+                    let parsed = parse_formula(text)
+                        .map_err(|e| DbError::Type(format!("bad bid formula {text:?}: {e}")))?;
+                    self.formulas.insert(text.to_string(), parsed.clone());
+                    parsed
+                }
+            };
+            bids.push((formula, Money::from_cents(row[1].as_int()?)));
+        }
+        Ok(BidsTable::new(bids))
+    }
+
+    /// Publishes the auction outcome and fires the settlement trigger.
+    fn settle(&mut self, outcome: &BidderOutcome) -> Result<(), DbError> {
+        let clicked = i64::from(outcome.clicked);
+        self.db.set_var(
+            "slot",
+            Value::Int(outcome.slot.map(|s| s.position() as i64).unwrap_or(0)),
+        );
+        self.db.set_var("clicked", Value::Int(clicked));
+        self.db
+            .set_var("purchased", Value::Int(i64::from(outcome.purchased)));
+        self.db.set_var("price", Value::Int(outcome.price.cents()));
+        if let Some(clear) = &self.clear_outcome {
+            clear.execute(&mut self.db, &Params::new())?;
+        }
+        self.db.insert("Outcome", vec![Value::Int(clicked)])
+    }
+}
+
+impl Bidder for SqlProgramBidder {
+    fn on_query(&mut self, ctx: &QueryContext) -> BidsTable {
+        if self.error.is_some() {
+            return BidsTable::empty();
+        }
+        match self.round(ctx) {
+            Ok(bids) => bids,
+            Err(e) => {
+                self.error = Some(e);
+                BidsTable::empty()
+            }
+        }
+    }
+
+    fn on_outcome(&mut self, _ctx: &QueryContext, outcome: &BidderOutcome) {
+        if !self.has_outcome || self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.settle(outcome) {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl fmt::Debug for SqlProgramBidder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SqlProgramBidder")
+            .field("tables", &self.db.table_names())
+            .field("has_outcome", &self.has_outcome)
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_bidlang::SlotId;
+
+    const TABLES: &str = "
+        CREATE TABLE Query (kw INT);
+        CREATE TABLE Bids (formula TEXT, value INT);
+        INSERT INTO Bids VALUES ('Click', :start);
+    ";
+
+    const PROGRAM: &str = "
+        CREATE TRIGGER bid AFTER INSERT ON Query
+        {
+          UPDATE Bids SET value = value + 1;
+        }
+    ";
+
+    fn ctx(time: u64) -> QueryContext {
+        QueryContext {
+            time,
+            keyword: 0,
+            num_keywords: 1,
+        }
+    }
+
+    #[test]
+    fn fires_the_trigger_and_reads_bids() {
+        let mut b =
+            SqlProgramBidder::new(TABLES, PROGRAM, &Params::new().bind("start", 7)).unwrap();
+        let bids = b.on_query(&ctx(1));
+        assert_eq!(bids.len(), 1);
+        assert_eq!(bids.rows()[0].formula, Formula::click());
+        assert_eq!(bids.rows()[0].value, Money::from_cents(8));
+        assert_eq!(b.on_query(&ctx(2)).rows()[0].value, Money::from_cents(9));
+        assert!(b.last_error().is_none());
+    }
+
+    #[test]
+    fn shared_variables_are_visible() {
+        let program = "
+            CREATE TRIGGER bid AFTER INSERT ON Query
+            { UPDATE Bids SET value = time * 10 + keyword; }
+        ";
+        let mut b =
+            SqlProgramBidder::new(TABLES, program, &Params::new().bind("start", 0)).unwrap();
+        let bids = b.on_query(&QueryContext {
+            time: 4,
+            keyword: 2,
+            num_keywords: 3,
+        });
+        assert_eq!(bids.rows()[0].value, Money::from_cents(42));
+    }
+
+    #[test]
+    fn settlement_trigger_sees_the_outcome() {
+        let tables = "
+            CREATE TABLE Query (kw INT);
+            CREATE TABLE Bids (formula TEXT, value INT);
+            CREATE TABLE Outcome (clicked INT);
+            CREATE TABLE Spend (total INT);
+            INSERT INTO Bids VALUES ('Click', 5);
+            INSERT INTO Spend VALUES (0);
+        ";
+        let program = "
+            CREATE TRIGGER settle AFTER INSERT ON Outcome
+            {
+              IF clicked = 1 THEN
+                UPDATE Spend SET total = total + price;
+              ENDIF;
+            }
+        ";
+        let mut b = SqlProgramBidder::new(tables, program, &Params::new()).unwrap();
+        b.on_query(&ctx(1));
+        b.on_outcome(
+            &ctx(1),
+            &BidderOutcome {
+                slot: Some(SlotId::new(1)),
+                clicked: true,
+                purchased: false,
+                price: Money::from_cents(3),
+            },
+        );
+        b.on_outcome(&ctx(2), &BidderOutcome::lost());
+        assert_eq!(
+            b.db_mut().query("SELECT total FROM Spend").unwrap()[0][0],
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn defective_programs_bid_nothing_but_stay_up() {
+        // The program divides by a value that reaches zero: from the first
+        // failing auction on, the bidder submits empty tables.
+        let tables = "
+            CREATE TABLE Query (kw INT);
+            CREATE TABLE Bids (formula TEXT, value INT);
+            INSERT INTO Bids VALUES ('Click', 6);
+        ";
+        let program = "
+            CREATE TRIGGER bid AFTER INSERT ON Query
+            { UPDATE Bids SET value = value / (3 - time); }
+        ";
+        let mut b = SqlProgramBidder::new(tables, program, &Params::new()).unwrap();
+        assert_eq!(b.on_query(&ctx(1)).len(), 1); // 6 / 2 = 3
+        assert_eq!(b.on_query(&ctx(2)).len(), 1); // 3 / 1 = 3
+        assert!(b.on_query(&ctx(3)).is_empty(), "division by zero");
+        assert_eq!(b.last_error(), Some(&DbError::DivisionByZero));
+        assert!(b.on_query(&ctx(4)).is_empty(), "stays excluded");
+    }
+
+    #[test]
+    fn activation_tables_stay_flat_across_auctions() {
+        let tables = "
+            CREATE TABLE Query (kw INT);
+            CREATE TABLE Outcome (clicked INT);
+            CREATE TABLE Bids (formula TEXT, value INT);
+            INSERT INTO Bids VALUES ('Click', 5);
+        ";
+        let mut b = SqlProgramBidder::new(tables, "", &Params::new()).unwrap();
+        for t in 1..=50 {
+            b.on_query(&ctx(t));
+            b.on_outcome(&ctx(t), &BidderOutcome::lost());
+        }
+        assert_eq!(b.db().table("Query").unwrap().len(), 1);
+        assert_eq!(b.db().table("Outcome").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn a_program_that_reshapes_bids_errors_instead_of_panicking() {
+        // Trigger bodies may legally contain DDL; a program that drops and
+        // recreates Bids with too few columns must surface a typed error
+        // (and bid nothing), not crash the serving thread.
+        let tables = "
+            CREATE TABLE Query (kw INT);
+            CREATE TABLE Bids (formula TEXT, value INT);
+            INSERT INTO Bids VALUES ('Click', 5);
+        ";
+        let program = "
+            CREATE TRIGGER sabotage AFTER INSERT ON Query
+            {
+              DROP TABLE Bids;
+              CREATE TABLE Bids (formula TEXT);
+              INSERT INTO Bids VALUES ('Click');
+            }
+        ";
+        let mut b = SqlProgramBidder::new(tables, program, &Params::new()).unwrap();
+        assert!(b.on_query(&ctx(1)).is_empty());
+        assert!(matches!(b.last_error(), Some(DbError::Type(_))));
+        assert!(b.on_query(&ctx(2)).is_empty(), "stays excluded");
+    }
+
+    #[test]
+    fn protocol_violations_are_typed_errors() {
+        assert_eq!(
+            SqlProgramBidder::new(
+                "CREATE TABLE Bids (formula TEXT, value INT)",
+                "",
+                &Params::new()
+            )
+            .unwrap_err(),
+            SqlProgramError::MissingTable("Query")
+        );
+        assert_eq!(
+            SqlProgramBidder::new("CREATE TABLE Query (a INT, b INT)", "", &Params::new())
+                .unwrap_err(),
+            SqlProgramError::ActivationArity {
+                table: "Query",
+                got: 2
+            }
+        );
+        assert_eq!(
+            SqlProgramBidder::new(
+                "CREATE TABLE Query (kw INT); CREATE TABLE Bids (formula TEXT)",
+                "",
+                &Params::new()
+            )
+            .unwrap_err(),
+            SqlProgramError::BidsArity { got: 1 }
+        );
+        assert!(matches!(
+            SqlProgramBidder::new("CREATE SOMETHING", "", &Params::new()),
+            Err(SqlProgramError::Db(DbError::Parse { .. }))
+        ));
+        // Error text is readable.
+        let err: Box<dyn std::error::Error> = Box::new(SqlProgramError::MissingTable("Bids"));
+        assert!(err.to_string().contains("Bids"));
+    }
+
+    #[test]
+    fn bad_formula_text_disables_the_program() {
+        let tables = "
+            CREATE TABLE Query (kw INT);
+            CREATE TABLE Bids (formula TEXT, value INT);
+            INSERT INTO Bids VALUES ('NotAFormula!!', 5);
+        ";
+        let mut b = SqlProgramBidder::new(tables, "", &Params::new()).unwrap();
+        assert!(b.on_query(&ctx(1)).is_empty());
+        assert!(matches!(b.last_error(), Some(DbError::Type(_))));
+    }
+}

@@ -10,7 +10,7 @@
 
 use ssa_core::marketplace::{AuctionResponse, CampaignSpec, MarketBatchReport, Marketplace};
 use ssa_core::sharded::ShardedMarketplace;
-use ssa_core::{AuctionEngine, BatchReport, TableBidder};
+use ssa_core::{AuctionEngine, BatchReport, SqlProgramBidder, TableBidder};
 use ssa_matching::{HungarianSolver, ParallelReducedSolver, ReducedSolver, WdSolver};
 use ssa_simplex::NetworkSimplexSolver;
 
@@ -25,6 +25,13 @@ fn marketplaces_are_send() {
     // Campaign specs (and thus their boxed programs) move into the
     // marketplace, which must remain Send afterwards.
     assert_send::<CampaignSpec>();
+    // SQL bidding programs carry a whole embedded database (tables,
+    // trigger ASTs, prepared plans, formula cache) — all of it must
+    // migrate to shard workers with the campaign.
+    assert_send::<SqlProgramBidder>();
+    assert_send::<ssa_minidb::Database>();
+    assert_send::<ssa_minidb::Prepared>();
+    assert_sync::<ssa_minidb::Prepared>();
 }
 
 #[test]

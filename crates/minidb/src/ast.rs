@@ -43,11 +43,32 @@ pub enum AggFunc {
     Avg,
 }
 
+/// A statement parameter placeholder, bound to a [`Value`] at execution
+/// time through the prepared-statement API (`crate::prepared`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamRef {
+    /// The `n`-th `?` in the statement, 0-based in statement order.
+    Positional(usize),
+    /// A `:name` parameter (name stored lowercased).
+    Named(String),
+}
+
+impl std::fmt::Display for ParamRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamRef::Positional(i) => write!(f, "?{}", i + 1),
+            ParamRef::Named(n) => write!(f, ":{n}"),
+        }
+    }
+}
+
 /// Expressions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Literal value.
     Literal(Value),
+    /// A `?` / `:name` parameter placeholder (prepared statements).
+    Param(ParamRef),
     /// Column (or host scalar variable, resolved at evaluation time).
     Column(ColumnRef),
     /// Arithmetic.

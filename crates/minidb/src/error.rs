@@ -33,6 +33,26 @@ pub enum DbError {
     Type(String),
     /// Division by zero.
     DivisionByZero,
+    /// Integer arithmetic overflowed 64 bits.
+    Overflow,
+    /// Expression or statement nesting exceeded the parser's depth limit
+    /// (untrusted advertiser programs must not be able to overflow the
+    /// stack).
+    NestingTooDeep {
+        /// The configured maximum nesting depth.
+        limit: usize,
+    },
+    /// A statement referenced a parameter (`?` or `:name`) with no bound
+    /// value.
+    UnboundParameter(String),
+    /// A prepared statement was executed with the wrong number of
+    /// positional parameters.
+    ParamArity {
+        /// Positional placeholders in the statement.
+        expected: usize,
+        /// Positional values supplied.
+        got: usize,
+    },
     /// A scalar subquery returned more than one row/column.
     NonScalarSubquery,
     /// Wrong number of values in an INSERT.
@@ -62,6 +82,17 @@ impl fmt::Display for DbError {
             DbError::TriggerExists(t) => write!(f, "trigger already exists: {t}"),
             DbError::Type(msg) => write!(f, "type error: {msg}"),
             DbError::DivisionByZero => write!(f, "division by zero"),
+            DbError::Overflow => write!(f, "integer arithmetic overflow"),
+            DbError::NestingTooDeep { limit } => {
+                write!(f, "nesting deeper than the {limit}-level parser limit")
+            }
+            DbError::UnboundParameter(p) => write!(f, "unbound parameter {p}"),
+            DbError::ParamArity { expected, got } => {
+                write!(
+                    f,
+                    "prepared statement has {expected} positional parameters, {got} values bound"
+                )
+            }
             DbError::NonScalarSubquery => {
                 write!(f, "scalar subquery returned more than one value")
             }

@@ -15,6 +15,7 @@
 use crate::ast::{AggFunc, CmpOp, ColumnRef, Expr, Select, SelectItem, Statement};
 use crate::error::{DbError, DbResult};
 use crate::parser::parse_script;
+use crate::prepared::{Params, Prepared, NO_PARAMS};
 use crate::table::{Row, Schema, Table};
 use crate::value::Value;
 use std::collections::HashMap;
@@ -64,6 +65,10 @@ impl Database {
     }
 
     /// Parses and executes a script; returns one outcome per statement.
+    ///
+    /// This re-parses `sql` on every call; callers on a hot path should
+    /// [`Database::prepare`] once and execute the returned [`Prepared`]
+    /// plan instead.
     pub fn run(&mut self, sql: &str) -> DbResult<Vec<ExecOutcome>> {
         let statements = parse_script(sql)?;
         let mut outcomes = Vec::with_capacity(statements.len());
@@ -71,6 +76,28 @@ impl Database {
             outcomes.push(self.execute(stmt)?);
         }
         Ok(outcomes)
+    }
+
+    /// Parses a script once into a [`Prepared`] plan whose `?`/`:name`
+    /// placeholders are bound per execution — see [`crate::prepared`].
+    pub fn prepare(&self, sql: &str) -> DbResult<Prepared> {
+        Prepared::parse(sql)
+    }
+
+    /// Executes a prepared plan with `params` bound; one outcome per
+    /// statement. Equivalent to [`Prepared::execute`].
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &Prepared,
+        params: &Params,
+    ) -> DbResult<Vec<ExecOutcome>> {
+        prepared.execute(self, params)
+    }
+
+    /// Runs a single-`SELECT` prepared plan and returns its rows.
+    /// Equivalent to [`Prepared::query`].
+    pub fn query_prepared(&mut self, prepared: &Prepared, params: &Params) -> DbResult<Vec<Row>> {
+        prepared.query(self, params)
     }
 
     /// Runs a single-`SELECT` script and returns its rows.
@@ -85,9 +112,19 @@ impl Database {
         }
     }
 
-    /// Executes one pre-parsed statement.
+    /// Executes one pre-parsed statement (with no parameters bound).
     pub fn execute(&mut self, stmt: &Statement) -> DbResult<ExecOutcome> {
-        self.execute_at_depth(stmt, 0)
+        self.execute_at_depth(stmt, 0, NO_PARAMS)
+    }
+
+    /// Executes one pre-parsed statement with a parameter binding
+    /// environment (the prepared-statement entry point).
+    pub(crate) fn execute_with_params(
+        &mut self,
+        stmt: &Statement,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
+        self.execute_at_depth(stmt, 0, params)
     }
 
     /// Sets a host scalar variable (e.g. `amtSpent`, `time`).
@@ -139,7 +176,12 @@ impl Database {
 
     // ---- execution internals ----------------------------------------------
 
-    fn execute_at_depth(&mut self, stmt: &Statement, depth: usize) -> DbResult<ExecOutcome> {
+    fn execute_at_depth(
+        &mut self,
+        stmt: &Statement,
+        depth: usize,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(columns.iter().cloned());
@@ -175,7 +217,7 @@ impl Database {
                 columns,
                 rows,
             } => {
-                let inserted = self.exec_insert(table, columns.as_deref(), rows, depth)?;
+                let inserted = self.exec_insert(table, columns.as_deref(), rows, depth, params)?;
                 Ok(ExecOutcome::Inserted(inserted))
             }
             Statement::Update {
@@ -183,42 +225,47 @@ impl Database {
                 sets,
                 where_clause,
             } => {
-                let updated = self.exec_update(table, sets, where_clause.as_ref())?;
+                let updated = self.exec_update(table, sets, where_clause.as_ref(), params)?;
                 Ok(ExecOutcome::Updated(updated))
             }
             Statement::Delete {
                 table,
                 where_clause,
             } => {
-                let deleted = self.exec_delete(table, where_clause.as_ref())?;
+                let deleted = self.exec_delete(table, where_clause.as_ref(), params)?;
                 Ok(ExecOutcome::Deleted(deleted))
             }
             Statement::Select(select) => {
-                let rows = Evaluator::global(self).run_select(select)?;
+                let rows = Evaluator::global(self, params).run_select(select)?;
                 Ok(ExecOutcome::Rows(rows))
             }
             Statement::If { arms, else_block } => {
                 for (cond, block) in arms {
-                    if Evaluator::global(self).eval_predicate(cond)? {
-                        return self.exec_block(block, depth);
+                    if Evaluator::global(self, params).eval_predicate(cond)? {
+                        return self.exec_block(block, depth, params);
                     }
                 }
                 if let Some(block) = else_block {
-                    return self.exec_block(block, depth);
+                    return self.exec_block(block, depth, params);
                 }
                 Ok(ExecOutcome::Done)
             }
             Statement::SetVar { name, value } => {
-                let v = Evaluator::global(self).eval(value)?;
+                let v = Evaluator::global(self, params).eval(value)?;
                 self.set_var(name, v);
                 Ok(ExecOutcome::Done)
             }
         }
     }
 
-    fn exec_block(&mut self, block: &[Statement], depth: usize) -> DbResult<ExecOutcome> {
+    fn exec_block(
+        &mut self,
+        block: &[Statement],
+        depth: usize,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
         for stmt in block {
-            self.execute_at_depth(stmt, depth)?;
+            self.execute_at_depth(stmt, depth, params)?;
         }
         Ok(ExecOutcome::Done)
     }
@@ -229,12 +276,13 @@ impl Database {
         columns: Option<&[String]>,
         rows: &[Vec<Expr>],
         depth: usize,
+        params: &Params,
     ) -> DbResult<usize> {
         let key = table.to_ascii_lowercase();
         // Evaluate before mutating (expressions may read other tables).
         let mut materialised: Vec<Row> = Vec::with_capacity(rows.len());
         {
-            let evaluator = Evaluator::global(self);
+            let evaluator = Evaluator::global(self, params);
             let (_, t) = self
                 .tables
                 .get(&key)
@@ -291,7 +339,9 @@ impl Database {
             .collect();
         for body in bodies {
             for stmt in body.iter() {
-                self.execute_at_depth(stmt, depth + 1)?;
+                // Stored trigger bodies never see the firing statement's
+                // parameters — host scalar variables are their channel.
+                self.execute_at_depth(stmt, depth + 1, NO_PARAMS)?;
             }
         }
         Ok(())
@@ -302,6 +352,7 @@ impl Database {
         table: &str,
         sets: &[crate::ast::SetClause],
         where_clause: Option<&Expr>,
+        params: &Params,
     ) -> DbResult<usize> {
         let key = table.to_ascii_lowercase();
         // Phase 1 (immutable): find matching rows, compute new values
@@ -322,7 +373,7 @@ impl Database {
                 })
                 .collect::<DbResult<_>>()?;
             for (ridx, row) in t.rows().iter().enumerate() {
-                let evaluator = Evaluator::with_row(self, display, None, schema, row);
+                let evaluator = Evaluator::with_row(self, display, None, schema, row, params);
                 let matches = match where_clause {
                     None => true,
                     Some(p) => evaluator.eval_predicate(p)?,
@@ -348,7 +399,12 @@ impl Database {
         Ok(count)
     }
 
-    fn exec_delete(&mut self, table: &str, where_clause: Option<&Expr>) -> DbResult<usize> {
+    fn exec_delete(
+        &mut self,
+        table: &str,
+        where_clause: Option<&Expr>,
+        params: &Params,
+    ) -> DbResult<usize> {
         let key = table.to_ascii_lowercase();
         let mut doomed: Vec<usize> = Vec::new();
         {
@@ -357,7 +413,7 @@ impl Database {
                 .get(&key)
                 .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
             for (ridx, row) in t.rows().iter().enumerate() {
-                let evaluator = Evaluator::with_row(self, display, None, t.schema(), row);
+                let evaluator = Evaluator::with_row(self, display, None, t.schema(), row, params);
                 let matches = match where_clause {
                     None => true,
                     Some(p) => evaluator.eval_predicate(p)?,
@@ -383,17 +439,19 @@ struct RowScope<'a> {
 }
 
 /// Expression evaluator over a database plus a stack of row scopes
-/// (outermost first).
+/// (outermost first) and the statement's parameter bindings.
 struct Evaluator<'a> {
     db: &'a Database,
     scopes: Vec<RowScope<'a>>,
+    params: &'a Params,
 }
 
 impl<'a> Evaluator<'a> {
-    fn global(db: &'a Database) -> Self {
+    fn global(db: &'a Database, params: &'a Params) -> Self {
         Evaluator {
             db,
             scopes: Vec::new(),
+            params,
         }
     }
 
@@ -403,6 +461,7 @@ impl<'a> Evaluator<'a> {
         alias: Option<&'a str>,
         schema: &'a Schema,
         row: &'a [Value],
+        params: &'a Params,
     ) -> Self {
         Evaluator {
             db,
@@ -412,6 +471,7 @@ impl<'a> Evaluator<'a> {
                 schema,
                 row,
             }],
+            params,
         }
     }
 
@@ -455,10 +515,11 @@ impl<'a> Evaluator<'a> {
     fn eval(&self, expr: &Expr) -> DbResult<Value> {
         match expr {
             Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(p) => self.params.resolve(p),
             Expr::Column(cref) => self.resolve_column(cref),
             Expr::Arith(a, op, b) => self.eval(a)?.arith(*op, &self.eval(b)?),
             Expr::Neg(inner) => match self.eval(inner)? {
-                Value::Int(v) => Ok(Value::Int(-v)),
+                Value::Int(v) => v.checked_neg().map(Value::Int).ok_or(DbError::Overflow),
                 Value::Float(v) => Ok(Value::Float(-v)),
                 Value::Null => Ok(Value::Null),
                 other => Err(DbError::Type(format!("cannot negate {other}"))),
@@ -635,6 +696,7 @@ impl<'a> Evaluator<'a> {
         Evaluator {
             db: self.db,
             scopes,
+            params: self.params,
         }
     }
 

@@ -27,6 +27,11 @@ pub enum TokenKind {
     Str(String),
     /// One of `( ) { } , ; . * + - / %`.
     Symbol(char),
+    /// `?` — a positional statement parameter (prepared statements).
+    Question,
+    /// `:name` — a named statement parameter (prepared statements);
+    /// carries the name lowercased.
+    NamedParam(String),
     /// `=`
     Eq,
     /// `<>` or `!=`
@@ -81,6 +86,36 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                     position: start,
                 });
                 pos += 1;
+            }
+            '?' => {
+                tokens.push(Token {
+                    kind: TokenKind::Question,
+                    position: start,
+                });
+                pos += 1;
+            }
+            ':' => {
+                pos += 1;
+                let mut end = pos;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if end == pos || (bytes[pos] as char).is_ascii_digit() {
+                    return Err(DbError::Lex {
+                        message: "expected a parameter name after ':'".to_string(),
+                        position: start,
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::NamedParam(input[pos..end].to_ascii_lowercase()),
+                    position: start,
+                });
+                pos = end;
             }
             '<' => {
                 pos += 1;
@@ -318,6 +353,20 @@ mod tests {
                 TokenKind::Int(1),
             ]
         );
+    }
+
+    #[test]
+    fn parameters() {
+        assert_eq!(
+            kinds("? :Name :a_1"),
+            vec![
+                TokenKind::Question,
+                TokenKind::NamedParam("name".into()),
+                TokenKind::NamedParam("a_1".into()),
+            ]
+        );
+        assert!(tokenize(":").is_err());
+        assert!(tokenize(":1abc").is_err());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * an [`exec`] interpreter with snapshot semantics for updates and
 //!   `AFTER INSERT` trigger firing,
 //! * host-visible scalar variables (`amtSpent`, `time`,
-//!   `targetSpendRate`, …) that the auction engine sets before each run.
+//!   `targetSpendRate`, …) that the auction engine sets before each run,
+//! * a [`prepared`] statement layer ([`Database::prepare`] → [`Prepared`]
+//!   plus [`Params`] binding of `?`/`:name` placeholders) so hot paths
+//!   parse each program once and run it many times.
 //!
 //! The paper's Figure 5 "Equalize ROI" program runs unmodified (up to the
 //! obvious typo on its line 11 — see `tests/figure5.rs`).
@@ -44,10 +47,12 @@ pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod prepared;
 pub mod table;
 pub mod value;
 
 pub use error::{DbError, DbResult};
 pub use exec::{Database, ExecOutcome};
+pub use prepared::{Params, Prepared};
 pub use table::{Column, Row, Schema, Table};
 pub use value::{Value, ValueType};

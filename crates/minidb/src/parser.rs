@@ -1,9 +1,16 @@
 //! Recursive-descent parser for the SQL dialect.
 
-use crate::ast::{AggFunc, CmpOp, ColumnRef, Expr, Select, SelectItem, SetClause, Statement};
+use crate::ast::{
+    AggFunc, CmpOp, ColumnRef, Expr, ParamRef, Select, SelectItem, SetClause, Statement,
+};
 use crate::error::{DbError, DbResult};
 use crate::lexer::{tokenize, Token, TokenKind};
 use crate::value::{ArithOp, Value, ValueType};
+
+/// Maximum combined statement/expression nesting depth. Bidding programs
+/// come from untrusted advertisers; unbounded recursive descent would let
+/// `((((…` or deeply nested `IF`s overflow the parser stack.
+pub const MAX_PARSE_DEPTH: usize = 64;
 
 /// Parses a script of one or more `;`-separated statements.
 pub fn parse_script(input: &str) -> DbResult<Vec<Statement>> {
@@ -12,6 +19,9 @@ pub fn parse_script(input: &str) -> DbResult<Vec<Statement>> {
         tokens,
         index: 0,
         input_len: input.len(),
+        depth: 0,
+        positional: 0,
+        in_trigger_body: false,
     };
     let mut statements = Vec::new();
     loop {
@@ -40,9 +50,33 @@ struct Parser {
     tokens: Vec<Token>,
     index: usize,
     input_len: usize,
+    /// Current recursive-descent nesting depth (statements + expressions).
+    depth: usize,
+    /// Positional (`?`) parameters seen so far, in statement order.
+    positional: usize,
+    /// Inside a `CREATE TRIGGER` body. Stored bodies run long after the
+    /// creating statement's parameters are gone, so placeholders in them
+    /// are rejected at parse time instead of failing when the trigger
+    /// eventually fires.
+    in_trigger_body: bool,
 }
 
 impl Parser {
+    /// Enters one nesting level; errors once [`MAX_PARSE_DEPTH`] is hit.
+    fn descend(&mut self) -> DbResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            Err(DbError::NestingTooDeep {
+                limit: MAX_PARSE_DEPTH,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
+    }
     fn at_end(&self) -> bool {
         self.index >= self.tokens.len()
     }
@@ -135,6 +169,13 @@ impl Parser {
     // ---- statements ------------------------------------------------------
 
     fn parse_statement(&mut self) -> DbResult<Statement> {
+        self.descend()?;
+        let statement = self.parse_statement_at_depth();
+        self.ascend();
+        statement
+    }
+
+    fn parse_statement_at_depth(&mut self) -> DbResult<Statement> {
         match self.peek() {
             Some(TokenKind::Keyword(k)) => match k.to_ascii_uppercase().as_str() {
                 "CREATE" => self.parse_create(),
@@ -175,16 +216,26 @@ impl Parser {
             let table = self.expect_ident()?;
             self.expect_symbol('{')?;
             let mut body = Vec::new();
+            let outer = std::mem::replace(&mut self.in_trigger_body, true);
             loop {
                 self.skip_semicolons();
                 if self.eat_symbol('}') {
                     break;
                 }
                 if self.at_end() {
+                    self.in_trigger_body = outer;
                     return Err(self.error("unterminated trigger body"));
                 }
-                body.push(self.parse_statement()?);
+                let statement = self.parse_statement();
+                match statement {
+                    Ok(s) => body.push(s),
+                    Err(e) => {
+                        self.in_trigger_body = outer;
+                        return Err(e);
+                    }
+                }
             }
+            self.in_trigger_body = outer;
             Ok(Statement::CreateTrigger { name, table, body })
         } else {
             Err(self.error("expected TABLE or TRIGGER after CREATE"))
@@ -417,7 +468,10 @@ impl Parser {
     // ---- expressions -----------------------------------------------------
 
     fn parse_expr(&mut self) -> DbResult<Expr> {
-        self.parse_or()
+        self.descend()?;
+        let expr = self.parse_or();
+        self.ascend();
+        expr
     }
 
     fn parse_or(&mut self) -> DbResult<Expr> {
@@ -440,7 +494,10 @@ impl Parser {
 
     fn parse_not(&mut self) -> DbResult<Expr> {
         if self.eat_keyword("NOT") {
-            Ok(Expr::Not(Box::new(self.parse_not()?)))
+            self.descend()?;
+            let inner = self.parse_not();
+            self.ascend();
+            Ok(Expr::Not(Box::new(inner?)))
         } else {
             self.parse_cmp()
         }
@@ -499,7 +556,10 @@ impl Parser {
 
     fn parse_unary(&mut self) -> DbResult<Expr> {
         if self.eat_symbol('-') {
-            Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+            self.descend()?;
+            let inner = self.parse_unary();
+            self.ascend();
+            Ok(Expr::Neg(Box::new(inner?)))
         } else {
             self.parse_primary()
         }
@@ -507,6 +567,28 @@ impl Parser {
 
     fn parse_primary(&mut self) -> DbResult<Expr> {
         match self.peek().cloned() {
+            Some(TokenKind::Question) => {
+                if self.in_trigger_body {
+                    return Err(self.error(
+                        "parameters are not allowed in trigger bodies \
+                         (use host variables for per-firing values)",
+                    ));
+                }
+                self.index += 1;
+                let i = self.positional;
+                self.positional += 1;
+                Ok(Expr::Param(ParamRef::Positional(i)))
+            }
+            Some(TokenKind::NamedParam(name)) => {
+                if self.in_trigger_body {
+                    return Err(self.error(
+                        "parameters are not allowed in trigger bodies \
+                         (use host variables for per-firing values)",
+                    ));
+                }
+                self.index += 1;
+                Ok(Expr::Param(ParamRef::Named(name)))
+            }
             Some(TokenKind::Int(v)) => {
                 self.index += 1;
                 Ok(Expr::Literal(Value::Int(v)))
@@ -741,6 +823,79 @@ mod tests {
     fn set_var_statement() {
         let s = parse_statement("SET amtSpent = amtSpent + 3").unwrap();
         assert!(matches!(s, Statement::SetVar { .. }));
+    }
+
+    #[test]
+    fn parameters_positional_and_named() {
+        let s = parse_statement("UPDATE t SET a = ?, b = :bee WHERE c = ?").unwrap();
+        match s {
+            Statement::Update {
+                sets, where_clause, ..
+            } => {
+                assert_eq!(
+                    sets[0].value,
+                    Expr::Param(ParamRef::Positional(0)),
+                    "first ? is index 0"
+                );
+                assert_eq!(sets[1].value, Expr::Param(ParamRef::Named("bee".into())));
+                let w = where_clause.expect("where");
+                assert!(matches!(
+                    w,
+                    Expr::Cmp(_, CmpOp::Eq, rhs) if *rhs == Expr::Param(ParamRef::Positional(1))
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Parenthesised expressions.
+        let deep = format!(
+            "SELECT {}1{} FROM t",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        assert_eq!(
+            parse_statement(&deep),
+            Err(DbError::NestingTooDeep {
+                limit: MAX_PARSE_DEPTH
+            })
+        );
+        // NOT and unary-minus chains recurse without parentheses.
+        let nots = format!("SELECT * FROM t WHERE {} a > 0", "NOT ".repeat(10_000));
+        assert!(matches!(
+            parse_statement(&nots),
+            Err(DbError::NestingTooDeep { .. })
+        ));
+        let negs = format!("SELECT {}1 FROM t", "- ".repeat(10_000));
+        assert!(matches!(
+            parse_statement(&negs),
+            Err(DbError::NestingTooDeep { .. })
+        ));
+        // Nested IF statements.
+        let ifs = format!(
+            "{} UPDATE t SET a = 1; {}",
+            "IF 1 = 1 THEN ".repeat(10_000),
+            "ENDIF; ".repeat(10_000)
+        );
+        assert!(matches!(
+            parse_statement(&ifs),
+            Err(DbError::NestingTooDeep { .. })
+        ));
+        // Nested scalar subqueries.
+        let subs = format!(
+            "SELECT {} MAX(a) {} FROM t",
+            "( SELECT ".repeat(10_000),
+            "FROM t )".repeat(10_000)
+        );
+        assert!(matches!(
+            parse_statement(&subs),
+            Err(DbError::NestingTooDeep { .. })
+        ));
+        // Reasonable nesting still parses.
+        let ok = format!("SELECT {}1{} FROM t", "(".repeat(20), ")".repeat(20));
+        assert!(parse_statement(&ok).is_ok());
     }
 
     #[test]

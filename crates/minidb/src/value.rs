@@ -126,10 +126,12 @@ impl Value {
             return Ok(Value::Null);
         }
         if let (Value::Int(a), Value::Int(b)) = (self, other) {
+            // Checked arithmetic throughout: bids near i64::MAX must error,
+            // not silently wrap (and i64::MIN / -1 and % -1 must not trap).
             return match op {
-                ArithOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
-                ArithOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
-                ArithOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+                ArithOp::Add => a.checked_add(*b).map(Value::Int).ok_or(DbError::Overflow),
+                ArithOp::Sub => a.checked_sub(*b).map(Value::Int).ok_or(DbError::Overflow),
+                ArithOp::Mul => a.checked_mul(*b).map(Value::Int).ok_or(DbError::Overflow),
                 ArithOp::Div => {
                     if *b == 0 {
                         Err(DbError::DivisionByZero)
@@ -137,10 +139,10 @@ impl Value {
                         // SQL-style: integer division when exact, float
                         // otherwise — the ROI heuristic divides cents by
                         // time and expects a rate.
-                        if a % b == 0 {
-                            Ok(Value::Int(a / b))
-                        } else {
-                            Ok(Value::Float(*a as f64 / *b as f64))
+                        match a.checked_rem(*b) {
+                            None => Err(DbError::Overflow),
+                            Some(0) => a.checked_div(*b).map(Value::Int).ok_or(DbError::Overflow),
+                            Some(_) => Ok(Value::Float(*a as f64 / *b as f64)),
                         }
                     }
                 }
@@ -148,7 +150,7 @@ impl Value {
                     if *b == 0 {
                         Err(DbError::DivisionByZero)
                     } else {
-                        Ok(Value::Int(a % b))
+                        a.checked_rem(*b).map(Value::Int).ok_or(DbError::Overflow)
                     }
                 }
             };
@@ -303,6 +305,41 @@ mod tests {
         assert_eq!(
             Value::Float(1.0).arith(ArithOp::Mod, &Value::Float(0.0)),
             Err(DbError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        let max = Value::Int(i64::MAX);
+        let min = Value::Int(i64::MIN);
+        assert_eq!(
+            max.arith(ArithOp::Add, &Value::Int(1)),
+            Err(DbError::Overflow)
+        );
+        assert_eq!(
+            min.arith(ArithOp::Sub, &Value::Int(1)),
+            Err(DbError::Overflow)
+        );
+        assert_eq!(
+            max.arith(ArithOp::Mul, &Value::Int(2)),
+            Err(DbError::Overflow)
+        );
+        assert_eq!(
+            min.arith(ArithOp::Div, &Value::Int(-1)),
+            Err(DbError::Overflow)
+        );
+        assert_eq!(
+            min.arith(ArithOp::Mod, &Value::Int(-1)),
+            Err(DbError::Overflow)
+        );
+        // Near the edge but in range stays exact.
+        assert_eq!(
+            max.arith(ArithOp::Sub, &Value::Int(1)).unwrap(),
+            Value::Int(i64::MAX - 1)
+        );
+        assert_eq!(
+            max.arith(ArithOp::Add, &Value::Int(0)).unwrap(),
+            Value::Int(i64::MAX)
         );
     }
 

@@ -2,7 +2,46 @@
 //! on arbitrary input.
 
 use proptest::prelude::*;
-use ssa_minidb::Database;
+use ssa_minidb::{Database, DbError};
+
+/// Hostile nesting depths: a typed error, never a stack overflow. This is
+/// the untrusted-advertiser-program guarantee — `(((((…`, `NOT NOT …`,
+/// nested `IF`s, and nested subqueries are all cut off at the parser's
+/// depth limit long before the stack is at risk.
+#[test]
+fn hostile_nesting_is_a_typed_error() {
+    let mut db = Database::new();
+    db.run("CREATE TABLE t (a INT)").unwrap();
+    let cases = [
+        format!(
+            "SELECT {}1{} FROM t",
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        ),
+        format!("SELECT * FROM t WHERE {}a > 0", "NOT ".repeat(50_000)),
+        // Spaced so the `--` line-comment rule does not swallow the chain.
+        format!("SELECT {}1 FROM t", "- ".repeat(50_000)),
+        format!(
+            "{}UPDATE t SET a = 1;{}",
+            "IF 1 = 1 THEN ".repeat(50_000),
+            " ENDIF;".repeat(50_000)
+        ),
+        format!(
+            "SELECT {}MAX(a){} FROM t",
+            "(SELECT ".repeat(50_000),
+            " FROM t)".repeat(50_000)
+        ),
+    ];
+    for sql in &cases {
+        assert!(
+            matches!(db.run(sql), Err(DbError::NestingTooDeep { .. })),
+            "input of {} bytes not rejected by the depth limit",
+            sql.len()
+        );
+    }
+    // The engine stays usable afterwards.
+    assert!(db.run("SELECT COUNT(*) FROM t").is_ok());
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

@@ -31,4 +31,4 @@ pub mod sqlroi;
 pub use logical::{AdjustmentList, ListKind, LogicalBids, ProgramId};
 pub use population::{LogicalRoiPopulation, NaiveRoiPopulation, RoiBidderParams, RoiPopulation};
 pub use roi::{KeywordEntry, RoiBidder};
-pub use sqlroi::SqlRoiBidder;
+pub use sqlroi::{SqlRoiBidder, SqlRoiError};

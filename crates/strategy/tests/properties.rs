@@ -78,12 +78,12 @@ proptest! {
         for (t, &(win, price)) in wins.iter().enumerate() {
             let time = (t + 1) as u64;
             let kw = t % sql_spec.len();
-            let sql_bid = sql.run_round(kw, time);
+            let sql_bid = sql.run_round(kw, time).expect("in-range keyword");
             let native_bid = native.adjust_and_bid(kw, time);
             prop_assert_eq!(sql_bid, native_bid, "divergence at t={}", time);
             if win && sql_bid > 0 {
                 let p = Money::from_cents(price.min(sql_bid).max(1));
-                sql.record_click(kw, p, 2.0 * p.as_f64());
+                sql.record_click(kw, p, 2.0 * p.as_f64()).expect("in-range keyword");
                 native.record_click(kw, p, 2.0 * p.as_f64());
             }
         }

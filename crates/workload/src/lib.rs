@@ -31,8 +31,13 @@ pub mod config;
 pub mod market;
 pub mod sharded;
 pub mod sim;
+pub mod sql;
 
 pub use config::{SectionVConfig, SectionVWorkload};
 pub use market::{MarketSimulation, SharedRoiProgram};
 pub use sharded::ShardedMarketSimulation;
 pub use sim::{Method, Simulation, SimulationStats};
+pub use sql::{
+    programmed_market, programmed_sharded_market, ParseStrategyError, ProgrammedMarket,
+    ShardedProgrammedMarket, Strategy,
+};

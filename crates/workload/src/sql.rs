@@ -1,0 +1,646 @@
+//! The Section II-B population: every advertiser a *SQL bidding program*,
+//! served at marketplace scale.
+//!
+//! This module builds the Section V advertiser population three ways —
+//! selectable by [`Strategy`] — over the same [`Marketplace`] /
+//! `ShardedMarketplace` configuration:
+//!
+//! * [`Strategy::Native`] — one keyword-local Figure 5 ROI program per
+//!   (advertiser, keyword) pair, run as native Rust
+//!   ([`ssa_strategy::RoiBidder`] state under the hood);
+//! * [`Strategy::Sql`] — the *same* program written in the Section II-B
+//!   SQL dialect and executed by [`SqlProgramBidder`] on prepared
+//!   statements (parse once at registration, bind-and-run per auction),
+//!   with ROI settlement done entirely inside SQL by an `Outcome`
+//!   trigger;
+//! * [`Strategy::SqlReparse`] — the pre-prepared-statement baseline: the
+//!   identical database and triggers, but every host statement formatted
+//!   and re-parsed on every round. Kept (and benchmarked) to measure what
+//!   the prepared-statement layer buys.
+//!
+//! The three populations are proven **bit-identical** — same reports,
+//! same clicks, same charges, and same per-campaign bid trajectories —
+//! through `serve_batch`, both single-threaded and sharded (the programs
+//! here are keyword-local, unlike the cross-keyword-coupled
+//! [`crate::SharedRoiProgram`], so shard-invariance applies).
+//!
+//! Campaign programs are registered behind shared handles
+//! ([`ProgramHandle`]) so tests can read each program's live bid back out
+//! of the marketplace; `CampaignSpec::sql_program` is the
+//! move-the-program-in flavour of the same machinery.
+
+use crate::config::SectionVWorkload;
+use ssa_bidlang::{BidsTable, Formula, Money, SlotId};
+use ssa_core::marketplace::{CampaignSpec, MarketError, Marketplace};
+use ssa_core::sharded::ShardedMarketplace;
+use ssa_core::{Bidder, BidderOutcome, PricingScheme, QueryContext, SqlProgramBidder, WdMethod};
+use ssa_minidb::{Database, DbError, Params, Value};
+use ssa_strategy::{KeywordEntry, RoiBidder};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
+
+/// Which implementation of the Section II-B ROI program the population
+/// runs. Parsed from `native` / `sql` / `sql-reparse` (the `reproduce
+/// --strategy` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Native Rust Figure 5 programs.
+    Native,
+    /// SQL programs on prepared statements (the production path).
+    Sql,
+    /// SQL programs re-parsing every statement per round (the baseline the
+    /// prepared layer replaces; kept for overhead benchmarking).
+    SqlReparse,
+}
+
+impl Strategy {
+    /// Every strategy, in CLI order.
+    pub const ALL: [Strategy; 3] = [Strategy::Native, Strategy::Sql, Strategy::SqlReparse];
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::Native => "native",
+            Strategy::Sql => "sql",
+            Strategy::SqlReparse => "sql-reparse",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Typed error for an unrecognised [`Strategy`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStrategyError(String);
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid strategy {:?}: expected native, sql, or sql-reparse",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "native" => Ok(Strategy::Native),
+            "sql" => Ok(Strategy::Sql),
+            "sql-reparse" | "sql_reparse" | "reparse" => Ok(Strategy::SqlReparse),
+            _ => Err(ParseStrategyError(s.to_string())),
+        }
+    }
+}
+
+/// The keyword-local Figure 5 schema/state script. One `Keywords` row
+/// (relevance pinned to 1 — the campaign only ever sees queries on its own
+/// keyword), the `Bids` emission table, and the advertiser's running spend
+/// state as host variables. All numeric initial state is bound through
+/// `:value` / `:bid` / `:roi` / `:rate` parameters — exact, never
+/// string-formatted.
+pub const ROI_TABLES: &str = "
+CREATE TABLE Query (kw INT);
+CREATE TABLE Outcome (clicked INT);
+CREATE TABLE Keywords (text TEXT, formula TEXT, maxbid INT, roi FLOAT, bid INT, relevance FLOAT);
+CREATE TABLE Bids (formula TEXT, value INT);
+INSERT INTO Keywords VALUES ('kw', 'Click', :value, :roi, :bid, 1.0);
+INSERT INTO Bids VALUES ('Click', 0);
+SET amtSpent = 0.0;
+SET spent = 0.0;
+SET valueGained = 0.0;
+SET clickValue = :value;
+SET targetSpendRate = :rate;
+";
+
+/// The keyword-local Figure 5 program: the paper's bid trigger (line 11
+/// corrected to `>`) plus a settlement trigger that keeps the ROI
+/// statistic entirely in SQL — mirroring, operation for operation, what
+/// the native `RoiBidder` computes in Rust.
+pub const ROI_PROGRAM: &str = "
+CREATE TRIGGER bid AFTER INSERT ON Query
+{
+  IF amtSpent / time < targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid + 1
+    WHERE roi = ( SELECT MAX( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid < maxbid;
+  ELSEIF amtSpent / time > targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid - 1
+    WHERE roi = ( SELECT MIN( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid > 0;
+  ENDIF;
+
+  UPDATE Bids
+  SET value =
+    ( SELECT SUM( K.bid )
+      FROM Keywords K
+      WHERE K.relevance > 0.7
+        AND K.formula = Bids.formula );
+}
+
+CREATE TRIGGER settle AFTER INSERT ON Outcome
+{
+  IF clicked = 1 AND price > 0 THEN
+    SET spent = spent + price;
+    SET valueGained = valueGained + clickValue;
+    SET amtSpent = amtSpent + price;
+    UPDATE Keywords SET roi = valueGained / spent;
+  ENDIF;
+}
+";
+
+/// Binds one (advertiser, keyword) pair's initial state for
+/// [`ROI_TABLES`].
+pub fn roi_params(value: i64, bid: i64, roi: f64, rate: f64) -> Params {
+    Params::new()
+        .bind("value", value)
+        .bind("bid", bid)
+        .bind("roi", roi)
+        .bind("rate", rate)
+}
+
+// ---------------------------------------------------------------------------
+// The three program flavours.
+// ---------------------------------------------------------------------------
+
+/// The native twin of the SQL program: a single-keyword Figure 5 ROI
+/// strategy addressed by whatever global keyword its campaign serves.
+#[derive(Debug)]
+pub struct LocalRoiProgram {
+    roi: RoiBidder,
+}
+
+impl LocalRoiProgram {
+    /// `value`/`bid`/`roi` as in [`KeywordEntry::new`]; `rate` is the
+    /// advertiser's target spend rate.
+    pub fn new(value: i64, bid: i64, roi: f64, rate: f64) -> Self {
+        LocalRoiProgram {
+            roi: RoiBidder::new(vec![KeywordEntry::new(value, bid, roi)], rate),
+        }
+    }
+
+    /// The program's current stored bid (cents).
+    pub fn current_bid(&self) -> i64 {
+        self.roi.keywords[0].bid
+    }
+}
+
+impl Bidder for LocalRoiProgram {
+    fn on_query(&mut self, ctx: &QueryContext) -> BidsTable {
+        let bid = self.roi.adjust_and_bid(0, ctx.time);
+        BidsTable::new(vec![(Formula::click(), Money::from_cents(bid))])
+    }
+
+    fn on_outcome(&mut self, _ctx: &QueryContext, outcome: &BidderOutcome) {
+        // Settlement rule shared by every flavour (and the legacy
+        // simulation): zero-priced clicks are not recorded.
+        if outcome.clicked && outcome.price.is_positive() {
+            let value = self.roi.keywords[0].click_value as f64;
+            self.roi.record_click(0, outcome.price, value);
+        }
+    }
+}
+
+/// The reparse-per-round baseline: the same database and triggers as the
+/// prepared path, but every host statement is formatted into SQL text and
+/// re-parsed on every auction — exactly what `SqlRoiBidder` did before the
+/// prepared-statement layer existed. Defective programs bid nothing, like
+/// [`SqlProgramBidder`].
+pub struct ReparseSqlProgram {
+    db: Database,
+    error: Option<DbError>,
+}
+
+impl ReparseSqlProgram {
+    /// Builds the same program state as the prepared flavour (setup still
+    /// binds parameters — only the per-round path re-parses).
+    pub fn new(value: i64, bid: i64, roi: f64, rate: f64) -> Result<Self, DbError> {
+        let mut db = Database::new();
+        let setup = db.prepare(ROI_TABLES)?;
+        setup.execute(&mut db, &roi_params(value, bid, roi, rate))?;
+        db.run(ROI_PROGRAM)?;
+        Ok(ReparseSqlProgram { db, error: None })
+    }
+
+    /// The program's current stored bid (cents), read with — what else — a
+    /// freshly parsed query.
+    pub fn current_bid(&mut self) -> i64 {
+        self.db
+            .query("SELECT bid FROM Keywords")
+            .ok()
+            .and_then(|rows| rows.first().and_then(|r| r[0].as_int().ok()))
+            .unwrap_or(0)
+    }
+
+    fn round(&mut self, ctx: &QueryContext) -> Result<BidsTable, DbError> {
+        self.db.set_var("time", Value::Int(ctx.time as i64));
+        self.db.set_var("keyword", Value::Int(ctx.keyword as i64));
+        // The reparse baseline: SQL text rebuilt and re-parsed per round
+        // (activation tables are host-managed scratch, cleared like the
+        // prepared path does — just without prepared statements).
+        self.db.run("DELETE FROM Query")?;
+        self.db
+            .run(&format!("INSERT INTO Query VALUES ({})", ctx.keyword))?;
+        let rows = self.db.query("SELECT * FROM Bids")?;
+        let mut bids = Vec::with_capacity(rows.len());
+        for row in rows {
+            let formula = ssa_bidlang::parse_formula(row[0].as_text()?)
+                .map_err(|e| DbError::Type(format!("bad bid formula: {e}")))?;
+            bids.push((formula, Money::from_cents(row[1].as_int()?)));
+        }
+        Ok(BidsTable::new(bids))
+    }
+
+    fn settle(&mut self, outcome: &BidderOutcome) -> Result<(), DbError> {
+        let clicked = i64::from(outcome.clicked);
+        self.db.set_var("clicked", Value::Int(clicked));
+        self.db
+            .set_var("purchased", Value::Int(i64::from(outcome.purchased)));
+        self.db.set_var("price", Value::Int(outcome.price.cents()));
+        self.db.set_var(
+            "slot",
+            Value::Int(outcome.slot.map(|s| s.position() as i64).unwrap_or(0)),
+        );
+        self.db.run("DELETE FROM Outcome")?;
+        self.db
+            .run(&format!("INSERT INTO Outcome VALUES ({clicked})"))?;
+        Ok(())
+    }
+}
+
+impl Bidder for ReparseSqlProgram {
+    fn on_query(&mut self, ctx: &QueryContext) -> BidsTable {
+        if self.error.is_some() {
+            return BidsTable::empty();
+        }
+        match self.round(ctx) {
+            Ok(bids) => bids,
+            Err(e) => {
+                self.error = Some(e);
+                BidsTable::empty()
+            }
+        }
+    }
+
+    fn on_outcome(&mut self, _ctx: &QueryContext, outcome: &BidderOutcome) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.settle(outcome) {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl fmt::Debug for ReparseSqlProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReparseSqlProgram")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared handles and the population builders.
+// ---------------------------------------------------------------------------
+
+/// Forwards the [`Bidder`] trait through a shared handle so the test
+/// harness can keep a window into a program after it moves into the
+/// marketplace (and across shard threads — hence [`Mutex`], not `RefCell`).
+struct SharedProgram<B>(Arc<Mutex<B>>);
+
+impl<B: Bidder + Send> Bidder for SharedProgram<B> {
+    fn on_query(&mut self, ctx: &QueryContext) -> BidsTable {
+        self.0.lock().expect("program state poisoned").on_query(ctx)
+    }
+
+    fn on_outcome(&mut self, ctx: &QueryContext, outcome: &BidderOutcome) {
+        self.0
+            .lock()
+            .expect("program state poisoned")
+            .on_outcome(ctx, outcome)
+    }
+}
+
+/// A live window into one registered program (indexed `advertiser *
+/// num_keywords + keyword` in [`ProgrammedMarket::handles`]).
+pub enum ProgramHandle {
+    /// Native Rust program.
+    Native(Arc<Mutex<LocalRoiProgram>>),
+    /// Prepared-statement SQL program.
+    Sql(Arc<Mutex<SqlProgramBidder>>),
+    /// Reparse-per-round SQL program.
+    Reparse(Arc<Mutex<ReparseSqlProgram>>),
+}
+
+impl ProgramHandle {
+    /// The program's current stored bid in cents.
+    pub fn current_bid(&self) -> i64 {
+        match self {
+            ProgramHandle::Native(h) => h.lock().expect("program state poisoned").current_bid(),
+            ProgramHandle::Sql(h) => {
+                let mut program = h.lock().expect("program state poisoned");
+                program
+                    .db_mut()
+                    .query("SELECT bid FROM Keywords")
+                    .ok()
+                    .and_then(|rows| rows.first().and_then(|r| r[0].as_int().ok()))
+                    .unwrap_or(0)
+            }
+            ProgramHandle::Reparse(h) => h.lock().expect("program state poisoned").current_bid(),
+        }
+    }
+}
+
+impl fmt::Debug for ProgramHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self {
+            ProgramHandle::Native(_) => "native",
+            ProgramHandle::Sql(_) => "sql",
+            ProgramHandle::Reparse(_) => "sql-reparse",
+        };
+        write!(f, "ProgramHandle({kind})")
+    }
+}
+
+/// Builds one campaign program of the requested flavour, returning the
+/// boxed bidder for registration plus the inspection handle.
+fn make_program(
+    strategy: Strategy,
+    value: i64,
+    bid: i64,
+    roi: f64,
+    rate: f64,
+) -> (Box<dyn Bidder + Send>, ProgramHandle) {
+    match strategy {
+        Strategy::Native => {
+            let h = Arc::new(Mutex::new(LocalRoiProgram::new(value, bid, roi, rate)));
+            (
+                Box::new(SharedProgram(Arc::clone(&h))),
+                ProgramHandle::Native(h),
+            )
+        }
+        Strategy::Sql => {
+            let program =
+                SqlProgramBidder::new(ROI_TABLES, ROI_PROGRAM, &roi_params(value, bid, roi, rate))
+                    .expect("the Figure 5 ROI program is well-formed");
+            let h = Arc::new(Mutex::new(program));
+            (
+                Box::new(SharedProgram(Arc::clone(&h))),
+                ProgramHandle::Sql(h),
+            )
+        }
+        Strategy::SqlReparse => {
+            let program = ReparseSqlProgram::new(value, bid, roi, rate)
+                .expect("the Figure 5 ROI program is well-formed");
+            let h = Arc::new(Mutex::new(program));
+            (
+                Box::new(SharedProgram(Arc::clone(&h))),
+                ProgramHandle::Reparse(h),
+            )
+        }
+    }
+}
+
+/// Registers the programmed Section II-B population on a marketplace-like
+/// control plane (`Marketplace` and `ShardedMarketplace` share the API by
+/// name, not by trait).
+macro_rules! populate_programmed {
+    ($market:expr, $workload:expr, $strategy:expr, $handles:expr) => {{
+        let slots = $workload.config.num_slots;
+        for (i, params) in $workload.bidders.iter().enumerate() {
+            let advertiser = $market.register_advertiser(format!("advertiser-{i}"));
+            let click_probs: Vec<f64> = (0..slots)
+                .map(|j| $workload.clicks.p_click(i, SlotId::from_index0(j)))
+                .collect();
+            for (keyword, &(value, bid, roi)) in params.keywords.iter().enumerate() {
+                let (program, handle) =
+                    make_program($strategy, value, bid, roi, params.target_spend_rate);
+                $market
+                    .add_campaign(
+                        advertiser,
+                        keyword,
+                        CampaignSpec::program(program).click_probs(click_probs.clone()),
+                    )
+                    .expect("Section II-B campaign is valid");
+                $handles.push(handle);
+            }
+        }
+    }};
+}
+
+/// A single-threaded marketplace carrying the programmed population.
+#[derive(Debug)]
+pub struct ProgrammedMarket {
+    /// The marketplace (built in keyword-local-RNG mode so it reproduces
+    /// its sharded twin exactly).
+    pub market: Marketplace,
+    /// One handle per campaign, indexed `advertiser * num_keywords +
+    /// keyword`.
+    pub handles: Vec<ProgramHandle>,
+    num_keywords: usize,
+}
+
+/// A sharded marketplace carrying the programmed population.
+#[derive(Debug)]
+pub struct ShardedProgrammedMarket {
+    /// The sharded marketplace.
+    pub market: ShardedMarketplace,
+    /// One handle per campaign, indexed `advertiser * num_keywords +
+    /// keyword`.
+    pub handles: Vec<ProgramHandle>,
+    num_keywords: usize,
+}
+
+fn programmed_builder(
+    workload: &SectionVWorkload,
+    method: WdMethod,
+) -> ssa_core::MarketplaceBuilder {
+    Marketplace::builder()
+        .slots(workload.config.num_slots)
+        .keywords(workload.config.num_keywords)
+        .method(method)
+        .pricing(PricingScheme::Gsp)
+        .seed(workload.config.seed ^ 0x5EC7_10B2)
+        .keyword_local_rng(true)
+}
+
+/// Builds the programmed Section II-B population on a single-threaded
+/// [`Marketplace`].
+pub fn programmed_market(
+    workload: &SectionVWorkload,
+    method: WdMethod,
+    strategy: Strategy,
+) -> ProgrammedMarket {
+    let mut market = programmed_builder(workload, method)
+        .build()
+        .expect("Section V configuration is valid");
+    let mut handles = Vec::with_capacity(workload.bidders.len() * workload.config.num_keywords);
+    populate_programmed!(market, workload, strategy, handles);
+    ProgrammedMarket {
+        market,
+        handles,
+        num_keywords: workload.config.num_keywords,
+    }
+}
+
+/// Builds the programmed Section II-B population on a
+/// [`ShardedMarketplace`] with `shards` worker shards.
+pub fn programmed_sharded_market(
+    workload: &SectionVWorkload,
+    method: WdMethod,
+    strategy: Strategy,
+    shards: usize,
+) -> Result<ShardedProgrammedMarket, MarketError> {
+    let mut market = programmed_builder(workload, method).build_sharded(shards)?;
+    let mut handles = Vec::with_capacity(workload.bidders.len() * workload.config.num_keywords);
+    populate_programmed!(market, workload, strategy, handles);
+    Ok(ShardedProgrammedMarket {
+        market,
+        handles,
+        num_keywords: workload.config.num_keywords,
+    })
+}
+
+impl ProgrammedMarket {
+    /// Current bid (cents) of advertiser `adv`'s program on `keyword`.
+    pub fn bid_of(&self, adv: usize, keyword: usize) -> i64 {
+        self.handles[adv * self.num_keywords + keyword].current_bid()
+    }
+}
+
+impl ShardedProgrammedMarket {
+    /// Current bid (cents) of advertiser `adv`'s program on `keyword`.
+    pub fn bid_of(&self, adv: usize, keyword: usize) -> i64 {
+        self.handles[adv * self.num_keywords + keyword].current_bid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SectionVConfig, SectionVWorkload};
+    use ssa_core::marketplace::QueryRequest;
+
+    fn workload() -> SectionVWorkload {
+        SectionVWorkload::generate(SectionVConfig {
+            num_advertisers: 16,
+            num_slots: 4,
+            num_keywords: 3,
+            seed: 29,
+        })
+    }
+
+    fn requests(workload: &SectionVWorkload, start: usize, count: usize) -> Vec<QueryRequest> {
+        let stream = &workload.query_stream;
+        (0..count)
+            .map(|i| QueryRequest::new(stream[(start + i) % stream.len()]))
+            .collect()
+    }
+
+    #[test]
+    fn strategy_parses_and_displays() {
+        for s in Strategy::ALL {
+            assert_eq!(s.to_string().parse::<Strategy>().unwrap(), s);
+        }
+        assert_eq!("SQL".parse::<Strategy>().unwrap(), Strategy::Sql);
+        let err = "postgres".parse::<Strategy>().unwrap_err();
+        assert!(err.to_string().contains("postgres"));
+    }
+
+    /// The acceptance bar: the SQL-programmed population, driven through
+    /// `Marketplace::serve_batch`, is bit-identical to the native
+    /// `RoiBidder` population — reports *and* every stored bid, round
+    /// after round.
+    #[test]
+    fn sql_population_is_bit_identical_to_native() {
+        let w = workload();
+        let mut native = programmed_market(&w, WdMethod::Reduced, Strategy::Native);
+        let mut sql = programmed_market(&w, WdMethod::Reduced, Strategy::Sql);
+        let mut served = 0;
+        for round in 0..3 {
+            let batch = requests(&w, served, 50);
+            served += batch.len();
+            let native_report = native.market.serve_batch(&batch).expect("valid keywords");
+            let sql_report = sql.market.serve_batch(&batch).expect("valid keywords");
+            assert_eq!(native_report, sql_report, "round {round} diverged");
+            for adv in 0..w.bidders.len() {
+                for kw in 0..w.config.num_keywords {
+                    assert_eq!(
+                        native.bid_of(adv, kw),
+                        sql.bid_of(adv, kw),
+                        "bid diverged at round {round}, advertiser {adv}, keyword {kw}"
+                    );
+                }
+            }
+        }
+        // The population actually trades: clicks and revenue are nonzero.
+        let batch = requests(&w, served, 50);
+        let report = sql.market.serve_batch(&batch).expect("valid keywords");
+        assert!(report.total.clicks > 0);
+        assert!(report.total.expected_revenue > 0.0);
+    }
+
+    /// The same equivalence through the sharded serving layer, plus
+    /// shard-invariance of the SQL population itself.
+    #[test]
+    fn sql_population_is_bit_identical_to_native_when_sharded() {
+        let w = workload();
+        let mut native =
+            programmed_sharded_market(&w, WdMethod::Reduced, Strategy::Native, 3).expect("valid");
+        let mut sql =
+            programmed_sharded_market(&w, WdMethod::Reduced, Strategy::Sql, 3).expect("valid");
+        let mut unsharded = programmed_market(&w, WdMethod::Reduced, Strategy::Sql);
+        let mut served = 0;
+        for round in 0..2 {
+            let batch = requests(&w, served, 40);
+            served += batch.len();
+            let native_report = native.market.serve_batch(&batch).expect("valid keywords");
+            let sql_report = sql.market.serve_batch(&batch).expect("valid keywords");
+            let unsharded_report = unsharded
+                .market
+                .serve_batch(&batch)
+                .expect("valid keywords");
+            assert_eq!(native_report, sql_report, "round {round} diverged");
+            assert_eq!(
+                sql_report, unsharded_report,
+                "sharding changed SQL-program outcomes at round {round}"
+            );
+            for adv in 0..w.bidders.len() {
+                for kw in 0..w.config.num_keywords {
+                    assert_eq!(native.bid_of(adv, kw), sql.bid_of(adv, kw));
+                    assert_eq!(sql.bid_of(adv, kw), unsharded.bid_of(adv, kw));
+                }
+            }
+        }
+    }
+
+    /// The prepared-statement rewrite is a pure performance change: the
+    /// reparse-per-round baseline produces identical outcomes.
+    #[test]
+    fn prepared_and_reparse_sql_populations_agree() {
+        let w = workload();
+        let mut prepared = programmed_market(&w, WdMethod::Reduced, Strategy::Sql);
+        let mut reparse = programmed_market(&w, WdMethod::Reduced, Strategy::SqlReparse);
+        let batch = requests(&w, 0, 80);
+        assert_eq!(
+            prepared.market.serve_batch(&batch).expect("valid keywords"),
+            reparse.market.serve_batch(&batch).expect("valid keywords"),
+        );
+        for adv in 0..w.bidders.len() {
+            for kw in 0..w.config.num_keywords {
+                assert_eq!(prepared.bid_of(adv, kw), reparse.bid_of(adv, kw));
+            }
+        }
+    }
+}

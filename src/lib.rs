@@ -115,6 +115,60 @@
 //! assert_eq!(response.placements.len(), 1); // paused ads are never shown
 //! ```
 //!
+//! ## SQL bidding programs (Section II-B)
+//!
+//! The paper's expressive core: advertisers submit *SQL bidding programs*
+//! — schema, state, and triggers — and the provider runs them when
+//! auctions begin. [`marketplace::CampaignSpec::sql_program`] registers
+//! one as a first-class campaign: the embedded [`minidb`] engine parses
+//! both scripts once at registration and runs them thereafter through its
+//! prepared-statement layer ([`minidb::Database::prepare`] /
+//! [`minidb::Params`] binding — no SQL text on the auction hot path).
+//! Per auction the marketplace sets the shared `time`/`keyword`
+//! variables, fires the program's `Query` trigger, submits its `Bids`
+//! table, and (if the program declares an `Outcome` table) reports
+//! settlement back through an outcome trigger — so strategies like
+//! Figure 5's "Equalize ROI", bookkeeping included, live entirely in SQL.
+//! A program that errors at auction time is excluded from the matching
+//! rather than taking serving down ([`core::SqlProgramBidder`] keeps the
+//! error for diagnosis).
+//!
+//! ```
+//! use sponsored_search::marketplace::{CampaignSpec, Marketplace, QueryRequest};
+//! use sponsored_search::minidb::Params;
+//!
+//! let mut market = Marketplace::builder()
+//!     .slots(1)
+//!     .default_click_probs(vec![0.5])
+//!     .build()
+//!     .expect("valid configuration");
+//! let adv = market.register_advertiser("programmed.example");
+//! market
+//!     .add_campaign(
+//!         adv,
+//!         0,
+//!         CampaignSpec::sql_program(
+//!             "CREATE TRIGGER bid AFTER INSERT ON Query
+//!              { UPDATE Bids SET value = value + 1; }",
+//!             "CREATE TABLE Query (kw INT);
+//!              CREATE TABLE Bids (formula TEXT, value INT);
+//!              INSERT INTO Bids VALUES ('Click', :start);",
+//!             &Params::new().bind("start", 10),
+//!         )
+//!         .expect("well-formed program"),
+//!     )
+//!     .expect("campaign accepted");
+//! let response = market.serve(QueryRequest::new(0)).expect("keyword 0 exists");
+//! assert_eq!(response.placements.len(), 1); // bid 11¢ on the first auction
+//! ```
+//!
+//! The Section II-B population runs at marketplace scale:
+//! `ssa_workload::sql` builds every Section V advertiser as a
+//! keyword-local Figure 5 ROI program — native Rust or SQL — and proves
+//! the two populations bit-identical through `serve_batch`, sharded and
+//! not (`reproduce --strategy <native|sql>` measures the interpreter's
+//! overhead; see `examples/sql_campaign.rs` for a runnable tour).
+//!
 //! ## Low-level escape hatch: driving `AuctionEngine` by hand
 //!
 //! The facade covers the service use case; the engine stays public for
