@@ -266,6 +266,12 @@ fn single_method(
             run.report.clicks,
             run.report.realized_revenue,
         );
+        if let (Some(mode), Some(stats)) = (run.planner_mode, run.planner) {
+            println!(
+                "planner {mode:?}: {} index hits, {} rows scanned, {} plans cached",
+                stats.index_hits, stats.rows_scanned, stats.plans_cached,
+            );
+        }
     }
 }
 

@@ -12,6 +12,7 @@ use ssa_bidlang::{Money, SlotId};
 use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
 use ssa_core::sharded::ShardedMarketplace;
 use ssa_core::{AuctionEngine, BatchReport, EngineConfig, PricingScheme, TableBidder, WdMethod};
+use ssa_minidb::{PlannerMode, PlannerStats};
 use ssa_workload::{
     programmed_market, programmed_sharded_market, Method, SectionVConfig, SectionVWorkload,
     Simulation, Strategy,
@@ -210,6 +211,14 @@ pub struct MethodRun {
     pub elapsed: Duration,
     /// Aggregate auction outcomes of the timed batch.
     pub report: BatchReport,
+    /// Planner mode of the campaign databases for programmed SQL runs
+    /// (`None` for native programs and the static Section V population).
+    /// `ForceScan` means the `SSA_MINIDB_FORCE_SCAN` A/B toggle was live.
+    pub planner_mode: Option<PlannerMode>,
+    /// Planner counters summed over every campaign database after the
+    /// timed batch — shows whether auctions were answered by index probes
+    /// (`index_hits`) or scans (`rows_scanned`).
+    pub planner: Option<PlannerStats>,
 }
 
 impl MethodRun {
@@ -220,7 +229,9 @@ impl MethodRun {
 
     /// Serialises the run as a single JSON object (stable keys, no
     /// dependencies) for `BENCH_*.json`-style tracking. `"shards"` is a
-    /// number for sharded runs and `null` for the single-threaded facade.
+    /// number for sharded runs and `null` for the single-threaded facade;
+    /// `"planner"` carries the mode and counters of the campaign
+    /// databases for programmed SQL runs and is `null` otherwise.
     pub fn to_json(&self) -> String {
         let shards = self
             .shards
@@ -230,13 +241,29 @@ impl MethodRun {
             .strategy
             .map(|s| format!("\"{s}\""))
             .unwrap_or_else(|| "null".to_string());
+        let planner = match (self.planner_mode, self.planner) {
+            (Some(mode), Some(stats)) => {
+                let mode = match mode {
+                    PlannerMode::Auto => "auto",
+                    PlannerMode::ForceScan => "force_scan",
+                };
+                format!(
+                    concat!(
+                        "{{\"mode\":\"{}\",\"index_hits\":{},",
+                        "\"rows_scanned\":{},\"plans_cached\":{}}}"
+                    ),
+                    mode, stats.index_hits, stats.rows_scanned, stats.plans_cached
+                )
+            }
+            _ => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"method\":\"{}\",\"pricing\":\"{}\",\"advertisers\":{},",
                 "\"slots\":{},\"shards\":{},\"strategy\":{},\"auctions\":{},",
                 "\"elapsed_ms\":{:.3},",
                 "\"auctions_per_sec\":{:.1},\"expected_revenue_cents\":{:.2},",
-                "\"clicks\":{},\"realized_revenue_cents\":{}}}"
+                "\"clicks\":{},\"realized_revenue_cents\":{},\"planner\":{}}}"
             ),
             self.method,
             self.pricing,
@@ -250,6 +277,7 @@ impl MethodRun {
             self.report.expected_revenue,
             self.report.clicks,
             self.report.realized_revenue.cents(),
+            planner,
         )
     }
 }
@@ -287,6 +315,8 @@ pub fn measure_method(
         auctions,
         elapsed,
         report,
+        planner_mode: None,
+        planner: None,
     }
 }
 
@@ -328,6 +358,8 @@ pub fn measure_method_sharded(
         auctions,
         elapsed,
         report,
+        planner_mode: None,
+        planner: None,
     }
 }
 
@@ -357,27 +389,31 @@ pub fn measure_programmed(
     let workload = SectionVWorkload::generate(SectionVConfig::paper(n, seed));
     let slots = workload.config.num_slots;
     let keywords = workload.config.num_keywords;
-    let (elapsed, report) = match shards {
+    let (elapsed, report, planner_mode, planner) = match shards {
         None => {
             let mut built = programmed_market(&workload, method, strategy);
-            timed_round_robin(keywords, auctions, warmup, |requests| {
+            let (elapsed, report) = timed_round_robin(keywords, auctions, warmup, |requests| {
                 built
                     .market
                     .serve_batch(requests)
                     .expect("round-robin keywords are in range")
                     .total
-            })
+            });
+            let (mode, stats) = planner_totals(&built.handles);
+            (elapsed, report, mode, stats)
         }
         Some(shards) => {
             let mut built = programmed_sharded_market(&workload, method, strategy, shards)
                 .expect("valid shard count");
-            timed_round_robin(keywords, auctions, warmup, |requests| {
+            let (elapsed, report) = timed_round_robin(keywords, auctions, warmup, |requests| {
                 built
                     .market
                     .serve_batch(requests)
                     .expect("round-robin keywords are in range")
                     .total
-            })
+            });
+            let (mode, stats) = planner_totals(&built.handles);
+            (elapsed, report, mode, stats)
         }
     };
     MethodRun {
@@ -390,7 +426,26 @@ pub fn measure_programmed(
         auctions,
         elapsed,
         report,
+        planner_mode,
+        planner,
     }
+}
+
+/// Sums planner counters over every campaign database of a programmed
+/// population (`(None, None)` for native programs, which have none).
+fn planner_totals(
+    handles: &[ssa_workload::ProgramHandle],
+) -> (Option<PlannerMode>, Option<PlannerStats>) {
+    let mode = handles.iter().find_map(|h| h.planner_mode());
+    let stats = handles
+        .iter()
+        .filter_map(|h| h.planner_stats())
+        .reduce(|a, b| PlannerStats {
+            index_hits: a.index_hits + b.index_hits,
+            rows_scanned: a.rows_scanned + b.rows_scanned,
+            plans_cached: a.plans_cached + b.plans_cached,
+        });
+    (mode, stats)
 }
 
 /// The shared measurement scaffold of [`measure_method`] and
@@ -446,6 +501,7 @@ mod tests {
             "\"expected_revenue_cents\":",
             "\"clicks\":",
             "\"realized_revenue_cents\":",
+            "\"planner\":null",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -469,6 +525,18 @@ mod tests {
         let sharded = run(Strategy::Sql, Some(2));
         assert_eq!(sharded.report, sql.report);
         assert!(sharded.to_json().contains("\"shards\":2"));
+        // SQL runs expose the planner counters (and took the index path);
+        // native runs have no database and report null.
+        let stats = sql.planner.expect("sql run has planner counters");
+        assert!(stats.index_hits > 0, "{stats:?}");
+        assert!(stats.plans_cached > 0, "{stats:?}");
+        let json = sql.to_json();
+        assert!(
+            json.contains("\"planner\":{\"mode\":\"auto\",\"index_hits\":"),
+            "{json}"
+        );
+        assert!(native.planner.is_none());
+        assert!(native.to_json().contains("\"planner\":null"));
     }
 
     #[test]

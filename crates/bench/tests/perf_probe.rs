@@ -1,0 +1,88 @@
+//! Manual perf probes — `#[ignore]`d paired timings for planner work.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test --release -p ssa_bench --test perf_probe -- --ignored --nocapture
+//! ```
+//!
+//! The probe drives twin programmed marketplaces (identical workload,
+//! identical RNG seeds) with the planner pipeline on one side and the
+//! forced-scan reference interpreter on the other, interleaving rounds so
+//! machine drift hits both sides equally. On a noisy box the per-side
+//! *minimum* round time is the robust estimator.
+
+use ssa_core::marketplace::QueryRequest;
+use ssa_core::WdMethod;
+use ssa_minidb::PlannerMode;
+use ssa_workload::sql::{programmed_market, ProgrammedMarket, Strategy};
+use ssa_workload::{SectionVConfig, SectionVWorkload};
+use std::time::{Duration, Instant};
+
+/// Paired planned-vs-scan timing at the reproduce `--quick` scale: 250
+/// advertisers × 10 keywords of keyword-local Figure 5 ROI programs, so
+/// every program is cold in cache by the time the round-robin stream
+/// comes back to it.
+#[test]
+#[ignore = "manual perf probe, run with --ignored --nocapture"]
+fn paired_planner_mode_rounds() {
+    const ROUNDS: usize = 40;
+    let workload = SectionVWorkload::generate(SectionVConfig::paper(250, 4242));
+    let keywords = workload.config.num_keywords.max(1);
+    let requests: Vec<QueryRequest> = (0..50).map(|i| QueryRequest::new(i % keywords)).collect();
+
+    let build = |mode: PlannerMode| -> ProgrammedMarket {
+        let mut built = programmed_market(&workload, WdMethod::Reduced, Strategy::Sql);
+        for handle in &built.handles {
+            handle.set_planner_mode(mode);
+        }
+        // Warm-up round so both sides measure steady serving state.
+        built
+            .market
+            .serve_batch(&requests)
+            .expect("keywords in range");
+        built
+    };
+    let mut sides = [
+        ("planned", build(PlannerMode::Auto)),
+        ("forced_scan", build(PlannerMode::ForceScan)),
+    ];
+
+    let mut best = [Duration::MAX; 2];
+    let mut total = [Duration::ZERO; 2];
+    let mut diffs_ms: Vec<f64> = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // Alternate which side runs first so load drift within a round
+        // biases neither side systematically.
+        let order: [usize; 2] = if round % 2 == 0 { [0, 1] } else { [1, 0] };
+        let mut round_ms = [0.0f64; 2];
+        for i in order {
+            let (label, built) = &mut sides[i];
+            let start = Instant::now();
+            built
+                .market
+                .serve_batch(&requests)
+                .expect("keywords in range");
+            let elapsed = start.elapsed();
+            best[i] = best[i].min(elapsed);
+            total[i] += elapsed;
+            round_ms[i] = elapsed.as_secs_f64() * 1e3;
+            println!("round {round:2} {label:12} {:8.3} ms", round_ms[i]);
+        }
+        diffs_ms.push(round_ms[0] - round_ms[1]);
+    }
+    for (i, (label, _)) in sides.iter().enumerate() {
+        println!(
+            "{label:12} min {:8.3} ms  mean {:8.3} ms",
+            best[i].as_secs_f64() * 1e3,
+            total[i].as_secs_f64() * 1e3 / ROUNDS as f64,
+        );
+    }
+    diffs_ms.sort_by(f64::total_cmp);
+    println!(
+        "planned - forced_scan per round: median {:+.3} ms  (p25 {:+.3}, p75 {:+.3})",
+        diffs_ms[ROUNDS / 2],
+        diffs_ms[ROUNDS / 4],
+        diffs_ms[3 * ROUNDS / 4],
+    );
+}

@@ -133,7 +133,7 @@ impl SqlProgramBidder {
     /// protocol's table contract.
     pub fn new(tables: &str, program: &str, params: &Params) -> Result<Self, SqlProgramError> {
         let mut db = Database::new();
-        let setup = db.prepare(tables)?;
+        let mut setup = db.prepare(tables)?;
         setup.execute(&mut db, params)?;
         db.run(program)?;
         let query_cols = db
@@ -175,6 +175,9 @@ impl SqlProgramBidder {
         } else {
             None
         };
+        // Lower every trigger body to a plan (and build the indexes those
+        // plans ask for) now, so the first auction pays no planning cost.
+        db.warm_plans();
         Ok(SqlProgramBidder {
             db,
             read_bids,
@@ -195,6 +198,12 @@ impl SqlProgramBidder {
     /// Read-only view of the program's private database.
     pub fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// Planner counters of the program's private database — exposes
+    /// whether trigger executions ran on index probes or full scans.
+    pub fn planner_stats(&self) -> ssa_minidb::PlannerStats {
+        self.db.planner_stats()
     }
 
     /// The first error the program hit at auction time, if any. A failed
@@ -253,7 +262,7 @@ impl SqlProgramBidder {
         self.db
             .set_var("purchased", Value::Int(i64::from(outcome.purchased)));
         self.db.set_var("price", Value::Int(outcome.price.cents()));
-        if let Some(clear) = &self.clear_outcome {
+        if let Some(clear) = &mut self.clear_outcome {
             clear.execute(&mut self.db, &Params::new())?;
         }
         self.db.insert("Outcome", vec![Value::Int(clicked)])

@@ -185,4 +185,8 @@ pub enum Statement {
         /// New value.
         value: Expr,
     },
+    /// `EXPLAIN stmt` — plans the inner statement without executing it and
+    /// returns the chosen physical access paths
+    /// ([`crate::ExecOutcome::Explain`]).
+    Explain(Box<Statement>),
 }

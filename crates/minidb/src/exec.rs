@@ -14,7 +14,9 @@
 
 use crate::ast::{AggFunc, CmpOp, ColumnRef, Expr, Select, SelectItem, Statement};
 use crate::error::{DbError, DbResult};
+use crate::index::FnvBuildHasher;
 use crate::parser::parse_script;
+use crate::plan::{self, ExplainLine, PlanCache, PlannedScript, PlannerCounters, PlannerMode};
 use crate::prepared::{Params, Prepared, NO_PARAMS};
 use crate::table::{Row, Schema, Table};
 use crate::value::Value;
@@ -23,6 +25,11 @@ use std::sync::Arc;
 
 /// Maximum depth of trigger-initiated statement nesting.
 const MAX_TRIGGER_DEPTH: usize = 16;
+
+/// Name-keyed map (catalog, host variables): FNV over short lowercase
+/// strings beats the DoS-resistant default hasher, and the names come from
+/// trusted program text, not external input.
+pub(crate) type StrMap<V> = HashMap<String, V, FnvBuildHasher>;
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,27 +48,59 @@ pub enum ExecOutcome {
     Rows(Vec<Row>),
     /// A control statement (`IF`, `SET`) completed.
     Done,
+    /// Access paths chosen for an `EXPLAIN`ed statement (nothing ran).
+    Explain(Vec<ExplainLine>),
 }
 
 #[derive(Debug, Clone)]
-struct TriggerDef {
-    name_lower: String,
-    table_lower: String,
-    body: Arc<Vec<Statement>>,
+pub(crate) struct TriggerDef {
+    pub(crate) name_lower: String,
+    pub(crate) table_lower: String,
+    pub(crate) body: Arc<Vec<Statement>>,
+    /// Cached per-statement plans for the body (shared across clones;
+    /// entries revalidate against the catalog version).
+    pub(crate) plans: Arc<PlanCache>,
+    /// Owner-local memo of the planned body. Living inside `Database`, it
+    /// needs no lock: repeat firings revalidate one version number and go.
+    /// The shared `plans` cache above stays the source of truth that
+    /// `warm_plans` and clones refill this memo from.
+    pub(crate) planned: Option<Arc<PlannedScript>>,
 }
 
 /// An in-memory database: tables, triggers, and host scalar variables.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Database {
-    tables: HashMap<String, (String, Table)>, // lowercase name → (display, table)
-    triggers: Vec<TriggerDef>,
-    vars: HashMap<String, Value>, // lowercase name
+    pub(crate) tables: StrMap<(String, Table)>, // lowercase name → (display, table)
+    pub(crate) triggers: Vec<TriggerDef>,
+    pub(crate) vars: StrMap<Value>, // lowercase name
+    pub(crate) mode: PlannerMode,
+    pub(crate) catalog_version: u64,
+    pub(crate) counters: PlannerCounters,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
 }
 
 impl Database {
-    /// Creates an empty database.
+    /// Creates an empty database. The planner starts in
+    /// [`PlannerMode::Auto`] unless the `SSA_MINIDB_FORCE_SCAN` environment
+    /// variable is set (see [`Database::set_planner_mode`]).
     pub fn new() -> Self {
-        Database::default()
+        Database {
+            tables: StrMap::default(),
+            triggers: Vec::new(),
+            vars: StrMap::default(),
+            mode: if plan::force_scan_env() {
+                PlannerMode::ForceScan
+            } else {
+                PlannerMode::Auto
+            },
+            catalog_version: plan::next_catalog_version(),
+            counters: PlannerCounters::default(),
+        }
     }
 
     /// Parses and executes a script; returns one outcome per statement.
@@ -85,10 +124,11 @@ impl Database {
     }
 
     /// Executes a prepared plan with `params` bound; one outcome per
-    /// statement. Equivalent to [`Prepared::execute`].
+    /// statement. Equivalent to [`Prepared::execute`]. The plan is `&mut`
+    /// because it memoises its planned script between executions.
     pub fn execute_prepared(
         &mut self,
-        prepared: &Prepared,
+        prepared: &mut Prepared,
         params: &Params,
     ) -> DbResult<Vec<ExecOutcome>> {
         prepared.execute(self, params)
@@ -96,7 +136,11 @@ impl Database {
 
     /// Runs a single-`SELECT` prepared plan and returns its rows.
     /// Equivalent to [`Prepared::query`].
-    pub fn query_prepared(&mut self, prepared: &Prepared, params: &Params) -> DbResult<Vec<Row>> {
+    pub fn query_prepared(
+        &mut self,
+        prepared: &mut Prepared,
+        params: &Params,
+    ) -> DbResult<Vec<Row>> {
         prepared.query(self, params)
     }
 
@@ -114,12 +158,30 @@ impl Database {
 
     /// Executes one pre-parsed statement (with no parameters bound).
     pub fn execute(&mut self, stmt: &Statement) -> DbResult<ExecOutcome> {
-        self.execute_at_depth(stmt, 0, NO_PARAMS)
+        self.execute_with_params(stmt, NO_PARAMS)
     }
 
     /// Executes one pre-parsed statement with a parameter binding
-    /// environment (the prepared-statement entry point).
+    /// environment. Under [`PlannerMode::Auto`] the statement is lowered
+    /// through the planner (plans from this entry point are transient; use
+    /// [`Database::prepare`] to cache them); under
+    /// [`PlannerMode::ForceScan`] it runs on the interpreter.
     pub(crate) fn execute_with_params(
+        &mut self,
+        stmt: &Statement,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
+        if self.mode == PlannerMode::ForceScan {
+            self.execute_at_depth(stmt, 0, params)
+        } else {
+            let plan = plan::plan_statement(self, stmt);
+            self.ensure_plan_indexes(&plan.index_reqs);
+            self.exec_planned(stmt, &plan, 0, params)
+        }
+    }
+
+    /// Interpreter entry point for the forced-scan oracle path.
+    pub(crate) fn execute_interpreted(
         &mut self,
         stmt: &Statement,
         params: &Params,
@@ -127,8 +189,27 @@ impl Database {
         self.execute_at_depth(stmt, 0, params)
     }
 
+    /// Executes a DDL statement from the planned path (DDL always runs on
+    /// the interpreter, which bumps the catalog version).
+    pub(crate) fn execute_ddl(
+        &mut self,
+        stmt: &Statement,
+        depth: usize,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
+        self.execute_at_depth(stmt, depth, params)
+    }
+
     /// Sets a host scalar variable (e.g. `amtSpent`, `time`).
     pub fn set_var(&mut self, name: &str, value: Value) {
+        // Keys are stored lowercase, and auction drivers pass lowercase
+        // names every round — overwrite in place without allocating. A
+        // mixed-case name can never equal a stored key, so the miss arm
+        // is the only one that needs to fold.
+        if let Some(slot) = self.vars.get_mut(name) {
+            *slot = value;
+            return;
+        }
         self.vars.insert(name.to_ascii_lowercase(), value);
     }
 
@@ -153,6 +234,7 @@ impl Database {
         }
         self.tables
             .insert(key, (name.to_string(), Table::new(schema)));
+        self.catalog_version = plan::next_catalog_version();
         Ok(())
     }
 
@@ -194,6 +276,7 @@ impl Database {
                     return Err(DbError::NoSuchTable(name.clone()));
                 }
                 self.triggers.retain(|t| t.table_lower != key);
+                self.catalog_version = plan::next_catalog_version();
                 Ok(ExecOutcome::Dropped)
             }
             Statement::CreateTrigger { name, table, body } => {
@@ -209,6 +292,8 @@ impl Database {
                     name_lower,
                     table_lower,
                     body: Arc::new(body.clone()),
+                    plans: plan::new_plan_cache(),
+                    planned: None,
                 });
                 Ok(ExecOutcome::Created)
             }
@@ -254,6 +339,9 @@ impl Database {
                 let v = Evaluator::global(self, params).eval(value)?;
                 self.set_var(name, v);
                 Ok(ExecOutcome::Done)
+            }
+            Statement::Explain(inner) => {
+                Ok(ExecOutcome::Explain(plan::explain_statement(self, inner)?))
             }
         }
     }
@@ -327,21 +415,69 @@ impl Database {
         Ok(count)
     }
 
-    fn fire_triggers(&mut self, table_lower: &str, depth: usize) -> DbResult<()> {
+    pub(crate) fn fire_triggers(&mut self, table_lower: &str, depth: usize) -> DbResult<()> {
         if depth >= MAX_TRIGGER_DEPTH {
             return Err(DbError::TriggerDepthExceeded);
         }
-        let bodies: Vec<Arc<Vec<Statement>>> = self
-            .triggers
-            .iter()
-            .filter(|t| t.table_lower == table_lower)
-            .map(|t| Arc::clone(&t.body))
-            .collect();
-        for body in bodies {
-            for stmt in body.iter() {
+        if self.mode == PlannerMode::ForceScan {
+            let fired: Vec<Arc<Vec<Statement>>> = self
+                .triggers
+                .iter()
+                .filter(|t| t.table_lower == table_lower)
+                .map(|t| Arc::clone(&t.body))
+                .collect();
+            for body in fired {
                 // Stored trigger bodies never see the firing statement's
                 // parameters — host scalar variables are their channel.
-                self.execute_at_depth(stmt, depth + 1, NO_PARAMS)?;
+                for stmt in body.iter() {
+                    self.execute_at_depth(stmt, depth + 1, NO_PARAMS)?;
+                }
+            }
+            return Ok(());
+        }
+        // Snapshot the firing set up front: bodies may themselves create or
+        // drop triggers, so we never touch `self.triggers` while executing.
+        // A valid owner-local memo skips the shared plan cache entirely; on
+        // a miss we also carry the trigger's slot so the freshly planned
+        // script can be memoised back (guarded by a body identity check in
+        // case a fired body rewrote the trigger list under us).
+        type Fired = (
+            usize,
+            Arc<Vec<Statement>>,
+            Option<Arc<PlanCache>>,
+            Option<Arc<PlannedScript>>,
+        );
+        let fired: Vec<Fired> = self
+            .triggers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.table_lower == table_lower)
+            .map(|(slot, t)| {
+                let memo = t
+                    .planned
+                    .as_ref()
+                    .filter(|s| s.version() == self.catalog_version)
+                    .cloned();
+                let plans = memo.is_none().then(|| Arc::clone(&t.plans));
+                (slot, Arc::clone(&t.body), plans, memo)
+            })
+            .collect();
+        for (slot, body, plans, memo) in fired {
+            let script = match memo {
+                Some(script) => script,
+                None => {
+                    let plans = plans.expect("snapshot pairs a plan cache with every memo miss");
+                    let script = self.cached_script(&plans, &body);
+                    if let Some(t) = self.triggers.get_mut(slot) {
+                        if Arc::ptr_eq(&t.body, &body) {
+                            t.planned = Some(Arc::clone(&script));
+                        }
+                    }
+                    script
+                }
+            };
+            for (stmt, plan) in body.iter().zip(script.plans()) {
+                self.exec_planned(stmt, plan, depth + 1, NO_PARAMS)?;
             }
         }
         Ok(())
@@ -373,6 +509,7 @@ impl Database {
                 })
                 .collect::<DbResult<_>>()?;
             for (ridx, row) in t.rows().iter().enumerate() {
+                PlannerCounters::bump(&self.counters.rows_scanned, 1);
                 let evaluator = Evaluator::with_row(self, display, None, schema, row, params);
                 let matches = match where_clause {
                     None => true,
@@ -413,6 +550,7 @@ impl Database {
                 .get(&key)
                 .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
             for (ridx, row) in t.rows().iter().enumerate() {
+                PlannerCounters::bump(&self.counters.rows_scanned, 1);
                 let evaluator = Evaluator::with_row(self, display, None, t.schema(), row, params);
                 let matches = match where_clause {
                     None => true,
@@ -624,6 +762,7 @@ impl<'a> Evaluator<'a> {
 
         let mut matched: Vec<&[Value]> = Vec::new();
         for row in table.rows() {
+            PlannerCounters::bump(&self.db.counters.rows_scanned, 1);
             let inner = self.child_scope(display, select.alias.as_deref(), schema, row);
             let ok = match &select.where_clause {
                 None => true,
@@ -723,51 +862,9 @@ impl<'a> Evaluator<'a> {
                 values.push(v);
             }
         }
-        match func {
-            AggFunc::Count => Ok(Value::Int(values.len() as i64)),
-            AggFunc::Sum => {
-                // Paper Figure 6 semantics: empty SUM is 0.
-                let mut acc = Value::Int(0);
-                for v in &values {
-                    acc = acc.arith(crate::value::ArithOp::Add, v)?;
-                }
-                Ok(acc)
-            }
-            AggFunc::Avg => {
-                if values.is_empty() {
-                    return Ok(Value::Null);
-                }
-                let mut sum = 0.0;
-                for v in &values {
-                    sum += v.as_f64()?;
-                }
-                Ok(Value::Float(sum / values.len() as f64))
-            }
-            AggFunc::Max | AggFunc::Min => {
-                let mut best: Option<Value> = None;
-                for v in values {
-                    best = Some(match best {
-                        None => v,
-                        Some(b) => {
-                            let ord = v.compare(&b)?.ok_or_else(|| {
-                                DbError::Type("NULL slipped into aggregate".to_string())
-                            })?;
-                            let take_new = if func == AggFunc::Max {
-                                ord.is_gt()
-                            } else {
-                                ord.is_lt()
-                            };
-                            if take_new {
-                                v
-                            } else {
-                                b
-                            }
-                        }
-                    });
-                }
-                Ok(best.unwrap_or(Value::Null))
-            }
-        }
+        // The fold itself is shared with the planned executor so the two
+        // paths cannot diverge on aggregate semantics.
+        plan::fold_aggregate(func, values)
     }
 }
 

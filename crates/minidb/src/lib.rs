@@ -24,6 +24,35 @@
 //! The paper's Figure 5 "Equalize ROI" program runs unmodified (up to the
 //! obvious typo on its line 11 — see `tests/figure5.rs`).
 //!
+//! ## Query planning and compiled triggers
+//!
+//! Execution is layered, not interpreted from the AST on every run:
+//!
+//! 1. **Logical lowering** — each statement of a [`Prepared`] script or
+//!    trigger body is lowered once into a plan ([`plan`] module) and cached
+//!    behind the statement list; clones of a [`Prepared`] or of a
+//!    [`Database`] share the cache.
+//! 2. **Secondary hash indexes** — [`Table`] maintains hash indexes on
+//!    `INT`/`TEXT` columns incrementally through every `INSERT`, `UPDATE`,
+//!    and `DELETE`. Indexes are created on demand by the planner the first
+//!    time a plan needs one.
+//! 3. **Access-path planning** — a tiny planner turns `WHERE col = key`
+//!    into an index lookup when it can prove the result (including errors)
+//!    is identical to a scan; everything else stays a full scan.
+//!    [`Database::explain`] (SQL: `EXPLAIN <stmt>`) reports the chosen
+//!    access path without executing anything.
+//! 4. **Compiled predicates** — expressions are compiled to a flat
+//!    postfix op sequence over [`Value`]s, so the per-row hot loop never
+//!    recurses through the AST.
+//!
+//! The planned pipeline is bit-for-bit equivalent to the reference
+//! interpreter — same rows, same errors, same trigger side effects — which
+//! `tests/planner_equivalence.rs` checks property-style. Set the
+//! `SSA_MINIDB_FORCE_SCAN` environment variable (or
+//! [`Database::set_planner_mode`]) to pin the interpreter for A/B runs,
+//! and read [`Database::planner_stats`] for `index_hits` / `rows_scanned` /
+//! `plans_cached` counters.
+//!
 //! ```
 //! use ssa_minidb::Database;
 //!
@@ -43,16 +72,20 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+mod compile;
 pub mod error;
 pub mod exec;
+mod index;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod prepared;
 pub mod table;
 pub mod value;
 
 pub use error::{DbError, DbResult};
 pub use exec::{Database, ExecOutcome};
+pub use plan::{ExplainAccess, ExplainLine, PlannerMode, PlannerStats};
 pub use prepared::{Params, Prepared};
 pub use table::{Column, Row, Schema, Table};
 pub use value::{Value, ValueType};

@@ -188,6 +188,14 @@ impl Parser {
                 "SET" => self.parse_set_var(),
                 other => Err(self.error(format!("unexpected keyword {other}"))),
             },
+            // `EXPLAIN` is deliberately not a reserved keyword (it stays
+            // usable as a table or column name); it is only special as the
+            // leading word of a statement.
+            Some(TokenKind::Ident(word)) if word.eq_ignore_ascii_case("EXPLAIN") => {
+                self.index += 1;
+                let inner = self.parse_statement()?;
+                Ok(Statement::Explain(Box::new(inner)))
+            }
             _ => Err(self.error("expected a statement")),
         }
     }
@@ -476,19 +484,30 @@ impl Parser {
 
     fn parse_or(&mut self) -> DbResult<Expr> {
         let mut lhs = self.parse_and()?;
+        let mut charged = 0usize;
         while self.eat_keyword("OR") {
+            // Chained operators build a left-nested tree whose spine later
+            // tree walks (lowering, evaluation) recurse down, so each term
+            // draws on the same depth budget as parenthesised nesting.
+            self.descend()?;
+            charged += 1;
             let rhs = self.parse_and()?;
             lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
         }
+        self.depth -= charged;
         Ok(lhs)
     }
 
     fn parse_and(&mut self) -> DbResult<Expr> {
         let mut lhs = self.parse_not()?;
+        let mut charged = 0usize;
         while self.eat_keyword("AND") {
+            self.descend()?;
+            charged += 1;
             let rhs = self.parse_not()?;
             lhs = Expr::And(Box::new(lhs), Box::new(rhs));
         }
+        self.depth -= charged;
         Ok(lhs)
     }
 
@@ -525,6 +544,7 @@ impl Parser {
 
     fn parse_additive(&mut self) -> DbResult<Expr> {
         let mut lhs = self.parse_multiplicative()?;
+        let mut charged = 0usize;
         loop {
             let op = match self.peek() {
                 Some(TokenKind::Symbol('+')) => ArithOp::Add,
@@ -532,14 +552,18 @@ impl Parser {
                 _ => break,
             };
             self.index += 1;
+            self.descend()?;
+            charged += 1;
             let rhs = self.parse_multiplicative()?;
             lhs = Expr::Arith(Box::new(lhs), op, Box::new(rhs));
         }
+        self.depth -= charged;
         Ok(lhs)
     }
 
     fn parse_multiplicative(&mut self) -> DbResult<Expr> {
         let mut lhs = self.parse_unary()?;
+        let mut charged = 0usize;
         loop {
             let op = match self.peek() {
                 Some(TokenKind::Symbol('*')) => ArithOp::Mul,
@@ -548,9 +572,12 @@ impl Parser {
                 _ => break,
             };
             self.index += 1;
+            self.descend()?;
+            charged += 1;
             let rhs = self.parse_unary()?;
             lhs = Expr::Arith(Box::new(lhs), op, Box::new(rhs));
         }
+        self.depth -= charged;
         Ok(lhs)
     }
 

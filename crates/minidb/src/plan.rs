@@ -1,0 +1,1629 @@
+//! Query planning: logical → physical plans, secondary-index selection,
+//! and the planned executor.
+//!
+//! [`crate::exec`] keeps the reference tree-walking interpreter; this module
+//! adds the layered pipeline in front of it:
+//!
+//! 1. **Logical plan** — `plan_statement` lowers a parsed [`Statement`]
+//!    once: the target table is resolved to its catalog key, every column
+//!    reference to a `(scope depth, offset)` pair, every expression to a
+//!    flat compiled op sequence (`crate::compile`), and parameter slots
+//!    stay symbolic so one plan serves every binding.
+//! 2. **Physical plan** — a tiny planner picks the access path per
+//!    table scan: an equality conjunct `col = key` over an `INT`/`TEXT`
+//!    column whose key is row-independent becomes an
+//!    `AccessKind::IndexEq` probe against a hash index
+//!    (`crate::index`); anything else stays a full scan.
+//! 3. **Execution** — [`Database`] methods here run the planned form,
+//!    creating requested indexes on demand (maintained incrementally by
+//!    [`crate::table::Table`] afterwards) and updating
+//!    [`PlannerStats`] counters.
+//!
+//! Plans are validated against a catalog version stamped on every
+//! `CREATE TABLE`/`DROP TABLE`; a stale plan is transparently replanned, so
+//! cached plans (in [`crate::prepared::Prepared`] and trigger definitions)
+//! never observe a renamed schema.
+//!
+//! **Equivalence guarantee**: for every script, the planned executor
+//! produces bit-identical outcomes — rows, errors, trigger effects, and
+//! final table contents — to the interpreter with
+//! [`PlannerMode::ForceScan`]. The planner only emits an index probe when
+//! it can prove the remaining conjuncts cannot raise an error the scan
+//! would have surfaced on a row the probe skips; probes whose key type
+//! does not match the column fall back to a scan at run time.
+
+use crate::ast::{AggFunc, CmpOp, Expr, Select, SelectItem, Statement};
+use crate::compile::{
+    compile_conjunction, compile_expr, infallible_type, resolve_static, scope_independent, CScope,
+    CompiledExpr, EvalCx, Resolution, STy,
+};
+use crate::error::{DbError, DbResult};
+use crate::exec::{Database, ExecOutcome};
+use crate::parser::parse_script;
+use crate::prepared::Params;
+use crate::table::{Row, Table};
+use crate::value::{ArithOp, Value, ValueType};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Modes, counters, and versions.
+// ---------------------------------------------------------------------------
+
+/// How the engine chooses physical access paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerMode {
+    /// Plan statements, use secondary indexes where eligible (default).
+    Auto,
+    /// Bypass planning entirely: every statement runs on the reference
+    /// tree-walking interpreter with full table scans. Used as the oracle
+    /// in equivalence tests and by the `SSA_MINIDB_FORCE_SCAN` env toggle.
+    ForceScan,
+}
+
+/// Monotonic planner counters for one [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlannerStats {
+    /// Number of statement executions answered by an index probe.
+    pub index_hits: u64,
+    /// Rows examined by full-scan access paths (both engines count).
+    pub rows_scanned: u64,
+    /// Statement plans built and stored in a plan cache.
+    pub plans_cached: u64,
+}
+
+/// Interior-mutability counters so read-only execution paths can count.
+/// Plain `Cell`s, not atomics: `rows_scanned` ticks once per scanned row on
+/// the serving path, where a locked read-modify-write per row is measurable
+/// at marketplace scale. A database is owned by one thread at a time (it is
+/// `Send` but not `Sync`), so unsynchronised counters are sound.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PlannerCounters {
+    pub(crate) index_hits: Cell<u64>,
+    pub(crate) rows_scanned: Cell<u64>,
+    pub(crate) plans_cached: Cell<u64>,
+}
+
+impl PlannerCounters {
+    pub(crate) fn bump(cell: &Cell<u64>, by: u64) {
+        cell.set(cell.get() + by);
+    }
+}
+
+/// Hands out globally unique catalog versions, so a plan stamped with a
+/// version is valid exactly for databases whose catalog lineage carries the
+/// same stamp (clones share plans; any DDL diverges them).
+pub(crate) fn next_catalog_version() -> u64 {
+    static CATALOG_EPOCH: AtomicU64 = AtomicU64::new(1);
+    CATALOG_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Reads the `SSA_MINIDB_FORCE_SCAN` toggle once per process: set to
+/// anything non-empty other than `0` to start every database in
+/// [`PlannerMode::ForceScan`].
+pub(crate) fn force_scan_env() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var("SSA_MINIDB_FORCE_SCAN")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// A whole script (prepared statement list or trigger body) planned at one
+/// catalog version. Caching the script as a unit means executing it costs a
+/// single lock acquisition and `Arc` bump, not one per statement — the
+/// per-statement `version` check in [`Database::exec_planned`] still
+/// catches DDL executed mid-script.
+#[derive(Debug)]
+pub(crate) struct PlannedScript {
+    version: u64,
+    /// Stored inline (not `Arc`-boxed per statement): the script is the
+    /// sharing unit, and one contiguous allocation keeps the serving path's
+    /// cold-cache footprint down.
+    plans: Vec<StmtPlan>,
+}
+
+impl PlannedScript {
+    /// The statement plans, in script order.
+    pub(crate) fn plans(&self) -> &[StmtPlan] {
+        &self.plans
+    }
+
+    /// The catalog version the script was planned at. Owners that memoise
+    /// a script (prepared statements, trigger definitions) revalidate
+    /// against [`Database::catalog_version`] before reusing it.
+    pub(crate) fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// A per-script plan cache, shared by clones of its owner. An uncontended
+/// mutex here measured *faster* than a per-database hash memo: the cache
+/// line is touched either way, and the lock is never contended on the
+/// serving path (each campaign database is driven by one thread at a time).
+pub(crate) type PlanCache = Mutex<Option<Arc<PlannedScript>>>;
+
+/// Builds an empty plan cache.
+pub(crate) fn new_plan_cache() -> Arc<PlanCache> {
+    Arc::new(Mutex::new(None))
+}
+
+fn lock_cache(cache: &PlanCache) -> std::sync::MutexGuard<'_, Option<Arc<PlannedScript>>> {
+    cache
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Explain surface.
+// ---------------------------------------------------------------------------
+
+/// The physical access path a plan line uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplainAccess {
+    /// The operation reads no table (INSERT, SET, IF, DDL).
+    None,
+    /// Every row of the table is scanned.
+    FullScan,
+    /// A hash-index equality probe on the named column.
+    IndexLookup {
+        /// Canonical (schema-cased) name of the probed column.
+        column: String,
+    },
+}
+
+/// One line of `EXPLAIN` output: an operation plus its access path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainLine {
+    /// Operation description, e.g. `SELECT FROM Keywords`.
+    pub op: String,
+    /// Chosen access path.
+    pub access: ExplainAccess,
+}
+
+// ---------------------------------------------------------------------------
+// Plan structures.
+// ---------------------------------------------------------------------------
+
+/// A fully lowered statement: the catalog version it was planned against,
+/// the executable form, and the indexes it wants materialised.
+#[derive(Debug)]
+pub(crate) struct StmtPlan {
+    version: u64,
+    kind: PlanKind,
+    /// `(table key, column ordinal)` pairs this plan probes.
+    pub(crate) index_reqs: Vec<(String, usize)>,
+}
+
+#[derive(Debug)]
+enum PlanKind {
+    /// DDL executes on the interpreter (and bumps the catalog version).
+    Ddl,
+    /// Planning already diagnosed the statement's first runtime error.
+    Raise(DbError),
+    Insert(PlannedInsert),
+    Update(PlannedUpdate),
+    Delete(PlannedDelete),
+    Select(PlannedSelect),
+    If {
+        arms: Vec<(CompiledExpr, PlannedBlock)>,
+        else_block: Option<PlannedBlock>,
+    },
+    SetVar {
+        name: String,
+        value: CompiledExpr,
+    },
+    /// `EXPLAIN stmt`: the rendered plan of the inner statement.
+    Explain(Vec<ExplainLine>),
+}
+
+#[derive(Debug)]
+struct PlannedBlock {
+    /// Source + plan pairs; nested plans revalidate their version at
+    /// execution (DDL earlier in the block may have invalidated them).
+    stmts: Vec<(Statement, StmtPlan)>,
+}
+
+#[derive(Debug)]
+struct PlannedInsert {
+    key: String,
+    from: String,
+    display: String,
+    schema_len: usize,
+    rows: Vec<PRow>,
+}
+
+#[derive(Debug)]
+struct PRow {
+    exprs: Vec<CompiledExpr>,
+    map: RowMap,
+}
+
+/// How one VALUES tuple maps onto the schema.
+#[derive(Debug)]
+enum RowMap {
+    /// No column list: values align with the schema positionally.
+    Direct,
+    /// Explicit column list: `slots[i]` is the schema offset of value `i`.
+    Mapped(Vec<usize>),
+    /// The column list itself is invalid; the error fires *after* this
+    /// tuple's expressions evaluate, matching the interpreter's order.
+    Err(DbError),
+}
+
+#[derive(Debug)]
+struct PlannedUpdate {
+    key: String,
+    from: String,
+    display: String,
+    access: AccessPlan,
+    sets: Vec<(usize, CompiledExpr)>,
+}
+
+#[derive(Debug)]
+struct PlannedDelete {
+    key: String,
+    from: String,
+    display: String,
+    access: AccessPlan,
+}
+
+/// A planned SELECT (also the body of a scalar subquery op).
+#[derive(Debug)]
+pub(crate) struct PlannedSelect {
+    /// Pre-diagnosed error (missing table, or aggregates mixed with plain
+    /// columns), raised before any row work — exactly like the interpreter.
+    error: Option<DbError>,
+    key: String,
+    from: String,
+    display: String,
+    access: AccessPlan,
+    proj: Proj,
+}
+
+#[derive(Debug)]
+enum Proj {
+    Rows(Vec<PItem>),
+    Aggs(Vec<PAgg>),
+}
+
+#[derive(Debug)]
+enum PItem {
+    Star,
+    Expr(CompiledExpr),
+}
+
+#[derive(Debug)]
+enum PAgg {
+    CountStar,
+    Over(AggFunc, CompiledExpr),
+    /// `*` under a non-COUNT aggregate: errors at this item's turn.
+    StarError,
+}
+
+#[derive(Debug)]
+struct AccessPlan {
+    kind: AccessKind,
+    /// The whole WHERE clause, compiled — used by scans and by the run-time
+    /// fallback when a probe key's type does not match the column.
+    full_pred: Option<CompiledExpr>,
+}
+
+#[derive(Debug)]
+enum AccessKind {
+    Scan,
+    IndexEq {
+        col: usize,
+        /// Row-independent probe key, evaluated once per statement (only
+        /// when the table is non-empty, matching interpreter error order).
+        key: CompiledExpr,
+        /// Remaining conjuncts (all statically infallible), evaluated on
+        /// each probed row.
+        residual: Option<CompiledExpr>,
+        column_display: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Planning.
+// ---------------------------------------------------------------------------
+
+/// Lowers one statement against the current catalog. Pure: reads the
+/// database, never mutates it (no index creation, no counters).
+pub(crate) fn plan_statement(db: &Database, stmt: &Statement) -> StmtPlan {
+    let kind = plan_kind(db, stmt);
+    let mut reqs = Vec::new();
+    collect_reqs_kind(&kind, &mut reqs);
+    reqs.sort();
+    reqs.dedup();
+    StmtPlan {
+        version: db.catalog_version,
+        kind,
+        index_reqs: reqs,
+    }
+}
+
+fn plan_kind(db: &Database, stmt: &Statement) -> PlanKind {
+    match stmt {
+        Statement::CreateTable { .. }
+        | Statement::DropTable { .. }
+        | Statement::CreateTrigger { .. } => PlanKind::Ddl,
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
+            let key = table.to_ascii_lowercase();
+            let Some((display, t)) = db.tables.get(&key) else {
+                return PlanKind::Raise(DbError::NoSuchTable(table.clone()));
+            };
+            let schema = t.schema();
+            let planned_rows = rows
+                .iter()
+                .map(|exprs| {
+                    let compiled = exprs.iter().map(|e| compile_expr(e, db, &[])).collect();
+                    let map = match columns {
+                        None => RowMap::Direct,
+                        Some(cols) => {
+                            if cols.len() != exprs.len() {
+                                RowMap::Err(DbError::Arity {
+                                    expected: cols.len(),
+                                    got: exprs.len(),
+                                })
+                            } else {
+                                match cols
+                                    .iter()
+                                    .map(|c| {
+                                        schema
+                                            .index_of(c)
+                                            .ok_or_else(|| DbError::NoSuchColumn(c.clone()))
+                                    })
+                                    .collect::<DbResult<Vec<usize>>>()
+                                {
+                                    Ok(slots) => RowMap::Mapped(slots),
+                                    Err(e) => RowMap::Err(e),
+                                }
+                            }
+                        }
+                    };
+                    PRow {
+                        exprs: compiled,
+                        map,
+                    }
+                })
+                .collect();
+            PlanKind::Insert(PlannedInsert {
+                key,
+                from: table.clone(),
+                display: display.clone(),
+                schema_len: schema.len(),
+                rows: planned_rows,
+            })
+        }
+        Statement::Update {
+            table,
+            sets,
+            where_clause,
+        } => {
+            let key = table.to_ascii_lowercase();
+            let Some((display, t)) = db.tables.get(&key) else {
+                return PlanKind::Raise(DbError::NoSuchTable(table.clone()));
+            };
+            let schema = t.schema();
+            let mut set_plans = Vec::with_capacity(sets.len());
+            let scopes = [CScope {
+                name: display,
+                alias: None,
+                schema,
+            }];
+            // Set targets resolve before any row work, like the interpreter.
+            let mut set_indices = Vec::with_capacity(sets.len());
+            for s in sets {
+                match schema.index_of(&s.column) {
+                    Some(idx) => set_indices.push(idx),
+                    None => return PlanKind::Raise(DbError::NoSuchColumn(s.column.clone())),
+                }
+            }
+            for (s, idx) in sets.iter().zip(set_indices) {
+                set_plans.push((idx, compile_expr(&s.value, db, &scopes)));
+            }
+            let access = plan_access(db, where_clause.as_ref(), &scopes, 0);
+            PlanKind::Update(PlannedUpdate {
+                key,
+                from: table.clone(),
+                display: display.clone(),
+                access,
+                sets: set_plans,
+            })
+        }
+        Statement::Delete {
+            table,
+            where_clause,
+        } => {
+            let key = table.to_ascii_lowercase();
+            let Some((display, t)) = db.tables.get(&key) else {
+                return PlanKind::Raise(DbError::NoSuchTable(table.clone()));
+            };
+            let scopes = [CScope {
+                name: display,
+                alias: None,
+                schema: t.schema(),
+            }];
+            let access = plan_access(db, where_clause.as_ref(), &scopes, 0);
+            PlanKind::Delete(PlannedDelete {
+                key,
+                from: table.clone(),
+                display: display.clone(),
+                access,
+            })
+        }
+        Statement::Select(select) => PlanKind::Select(plan_select(db, select, &[])),
+        Statement::If { arms, else_block } => PlanKind::If {
+            arms: arms
+                .iter()
+                .map(|(cond, block)| (compile_expr(cond, db, &[]), plan_block(db, block)))
+                .collect(),
+            else_block: else_block.as_ref().map(|b| plan_block(db, b)),
+        },
+        Statement::SetVar { name, value } => PlanKind::SetVar {
+            name: name.clone(),
+            value: compile_expr(value, db, &[]),
+        },
+        Statement::Explain(inner) => match explain_statement(db, inner) {
+            Ok(lines) => PlanKind::Explain(lines),
+            Err(e) => PlanKind::Raise(e),
+        },
+    }
+}
+
+fn plan_block(db: &Database, block: &[Statement]) -> PlannedBlock {
+    PlannedBlock {
+        stmts: block
+            .iter()
+            .map(|s| (s.clone(), plan_statement(db, s)))
+            .collect(),
+    }
+}
+
+/// Plans a SELECT given the statically known outer scopes (empty for a
+/// top-level statement; the enclosing rows' scopes for a subquery).
+pub(crate) fn plan_select(db: &Database, select: &Select, outer: &[CScope<'_>]) -> PlannedSelect {
+    let key = select.from.to_ascii_lowercase();
+    let dummy = |error: DbError| PlannedSelect {
+        error: Some(error),
+        key: key.clone(),
+        from: select.from.clone(),
+        display: select.from.clone(),
+        access: AccessPlan {
+            kind: AccessKind::Scan,
+            full_pred: None,
+        },
+        proj: Proj::Rows(Vec::new()),
+    };
+    let Some((display, t)) = db.tables.get(&key) else {
+        return dummy(DbError::NoSuchTable(select.from.clone()));
+    };
+    let has_agg = select
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Agg(..)));
+    if has_agg
+        && select
+            .items
+            .iter()
+            .any(|i| !matches!(i, SelectItem::Agg(..)))
+    {
+        return dummy(DbError::Type(
+            "cannot mix aggregates with plain columns (no GROUP BY)".to_string(),
+        ));
+    }
+    let mut scopes: Vec<CScope<'_>> = outer.to_vec();
+    scopes.push(CScope {
+        name: display,
+        alias: select.alias.as_deref(),
+        schema: t.schema(),
+    });
+    let scan_depth = scopes.len() - 1;
+    let access = plan_access(db, select.where_clause.as_ref(), &scopes, scan_depth);
+    let proj = if has_agg {
+        Proj::Aggs(
+            select
+                .items
+                .iter()
+                .map(|item| {
+                    let SelectItem::Agg(func, inner) = item else {
+                        unreachable!("checked homogeneous aggregates");
+                    };
+                    match (func, inner) {
+                        (AggFunc::Count, None) => PAgg::CountStar,
+                        (_, None) => PAgg::StarError,
+                        (f, Some(e)) => PAgg::Over(*f, compile_expr(e, db, &scopes)),
+                    }
+                })
+                .collect(),
+        )
+    } else {
+        Proj::Rows(
+            select
+                .items
+                .iter()
+                .map(|item| match item {
+                    SelectItem::Star => PItem::Star,
+                    SelectItem::Expr(e) => PItem::Expr(compile_expr(e, db, &scopes)),
+                    SelectItem::Agg(..) => unreachable!("handled above"),
+                })
+                .collect(),
+        )
+    };
+    PlannedSelect {
+        error: None,
+        key,
+        from: select.from.clone(),
+        display: display.clone(),
+        access,
+        proj,
+    }
+}
+
+fn plan_access(
+    db: &Database,
+    where_clause: Option<&Expr>,
+    scopes: &[CScope<'_>],
+    scan_depth: usize,
+) -> AccessPlan {
+    let Some(pred) = where_clause else {
+        return AccessPlan {
+            kind: AccessKind::Scan,
+            full_pred: None,
+        };
+    };
+    let full = compile_expr(pred, db, scopes);
+    if db.mode == PlannerMode::ForceScan {
+        return AccessPlan {
+            kind: AccessKind::Scan,
+            full_pred: Some(full),
+        };
+    }
+    let mut conjuncts = Vec::new();
+    flatten_and(pred, &mut conjuncts);
+    for i in 0..conjuncts.len() {
+        let Some((col, key_expr, column_display)) = eq_probe(conjuncts[i], scopes, scan_depth)
+        else {
+            continue;
+        };
+        // Rows the probe skips never evaluate the residual conjuncts, so
+        // every one of them must be provably error-free (and a truth value,
+        // or the interpreter's per-row condition check would have fired).
+        let others: Vec<&Expr> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, c)| *c)
+            .collect();
+        if !others
+            .iter()
+            .all(|c| matches!(infallible_type(c, scopes), Some(STy::Bool | STy::Null)))
+        {
+            continue;
+        }
+        let residual = if others.is_empty() {
+            None
+        } else {
+            Some(compile_conjunction(&others, db, scopes))
+        };
+        return AccessPlan {
+            kind: AccessKind::IndexEq {
+                col,
+                key: compile_expr(key_expr, db, scopes),
+                residual,
+                column_display,
+            },
+            full_pred: Some(full),
+        };
+    }
+    AccessPlan {
+        kind: AccessKind::Scan,
+        full_pred: Some(full),
+    }
+}
+
+fn flatten_and<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::And(a, b) = expr {
+        flatten_and(a, out);
+        flatten_and(b, out);
+    } else {
+        out.push(expr);
+    }
+}
+
+/// Checks whether a conjunct has the shape `col = key` (either side) with
+/// `col` an indexable column of the scanned table and `key` independent of
+/// the scanned row. Returns the column ordinal, the key expression, and
+/// the column's canonical (schema-cased) name.
+fn eq_probe<'e>(
+    conjunct: &'e Expr,
+    scopes: &[CScope<'_>],
+    scan_depth: usize,
+) -> Option<(usize, &'e Expr, String)> {
+    let Expr::Cmp(l, CmpOp::Eq, r) = conjunct else {
+        return None;
+    };
+    for (col_side, key_side) in [(&**l, &**r), (&**r, &**l)] {
+        let Expr::Column(cref) = col_side else {
+            continue;
+        };
+        let Resolution::Cell { depth, col } = resolve_static(cref, scopes) else {
+            continue;
+        };
+        if depth != scan_depth {
+            continue;
+        }
+        let column = &scopes[depth].schema.columns()[col];
+        if !matches!(column.ty, ValueType::Int | ValueType::Text) {
+            continue;
+        }
+        if scope_independent(key_side, scopes, scan_depth) {
+            return Some((col, key_side, column.name.clone()));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Index requirements.
+// ---------------------------------------------------------------------------
+
+fn collect_reqs_kind(kind: &PlanKind, out: &mut Vec<(String, usize)>) {
+    match kind {
+        PlanKind::Ddl | PlanKind::Raise(_) | PlanKind::Explain(_) => {}
+        PlanKind::Insert(pi) => {
+            for prow in &pi.rows {
+                for ce in &prow.exprs {
+                    collect_reqs_expr(ce, out);
+                }
+            }
+        }
+        PlanKind::Update(pu) => {
+            collect_reqs_access(&pu.key, &pu.access, out);
+            for (_, ce) in &pu.sets {
+                collect_reqs_expr(ce, out);
+            }
+        }
+        PlanKind::Delete(pd) => collect_reqs_access(&pd.key, &pd.access, out),
+        PlanKind::Select(ps) => collect_reqs_select(ps, out),
+        PlanKind::If { arms, else_block } => {
+            for (cond, block) in arms {
+                collect_reqs_expr(cond, out);
+                for (_, plan) in &block.stmts {
+                    out.extend(plan.index_reqs.iter().cloned());
+                }
+            }
+            if let Some(block) = else_block {
+                for (_, plan) in &block.stmts {
+                    out.extend(plan.index_reqs.iter().cloned());
+                }
+            }
+        }
+        PlanKind::SetVar { value, .. } => collect_reqs_expr(value, out),
+    }
+}
+
+fn collect_reqs_select(ps: &PlannedSelect, out: &mut Vec<(String, usize)>) {
+    if ps.error.is_some() {
+        return;
+    }
+    collect_reqs_access(&ps.key, &ps.access, out);
+    match &ps.proj {
+        Proj::Rows(items) => {
+            for item in items {
+                if let PItem::Expr(ce) = item {
+                    collect_reqs_expr(ce, out);
+                }
+            }
+        }
+        Proj::Aggs(aggs) => {
+            for agg in aggs {
+                if let PAgg::Over(_, ce) = agg {
+                    collect_reqs_expr(ce, out);
+                }
+            }
+        }
+    }
+}
+
+fn collect_reqs_access(table_key: &str, access: &AccessPlan, out: &mut Vec<(String, usize)>) {
+    if let AccessKind::IndexEq {
+        col, key, residual, ..
+    } = &access.kind
+    {
+        out.push((table_key.to_string(), *col));
+        collect_reqs_expr(key, out);
+        if let Some(r) = residual {
+            collect_reqs_expr(r, out);
+        }
+    }
+    if let Some(p) = &access.full_pred {
+        collect_reqs_expr(p, out);
+    }
+}
+
+fn collect_reqs_expr(ce: &CompiledExpr, out: &mut Vec<(String, usize)>) {
+    for sub in ce.subqueries() {
+        collect_reqs_select(sub, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explain rendering.
+// ---------------------------------------------------------------------------
+
+/// Plans `stmt` and renders the chosen access paths. Pure (`&Database`):
+/// never creates an index, caches a plan, or bumps a counter.
+pub(crate) fn explain_statement(db: &Database, stmt: &Statement) -> DbResult<Vec<ExplainLine>> {
+    let plan = plan_statement(db, stmt);
+    let mut out = Vec::new();
+    render_kind(&plan.kind, &mut out)?;
+    Ok(out)
+}
+
+fn access_of(access: &AccessPlan) -> ExplainAccess {
+    match &access.kind {
+        AccessKind::Scan => ExplainAccess::FullScan,
+        AccessKind::IndexEq { column_display, .. } => ExplainAccess::IndexLookup {
+            column: column_display.clone(),
+        },
+    }
+}
+
+fn render_kind(kind: &PlanKind, out: &mut Vec<ExplainLine>) -> DbResult<()> {
+    match kind {
+        PlanKind::Ddl => out.push(ExplainLine {
+            op: "DDL".to_string(),
+            access: ExplainAccess::None,
+        }),
+        PlanKind::Raise(e) => return Err(e.clone()),
+        PlanKind::Explain(lines) => out.extend(lines.iter().cloned()),
+        PlanKind::SetVar { name, value } => {
+            out.push(ExplainLine {
+                op: format!("SET {name}"),
+                access: ExplainAccess::None,
+            });
+            render_expr_subqueries(value, out)?;
+        }
+        PlanKind::If { arms, else_block } => {
+            out.push(ExplainLine {
+                op: "IF".to_string(),
+                access: ExplainAccess::None,
+            });
+            for (cond, block) in arms {
+                render_expr_subqueries(cond, out)?;
+                for (_, plan) in &block.stmts {
+                    render_kind(&plan.kind, out)?;
+                }
+            }
+            if let Some(block) = else_block {
+                for (_, plan) in &block.stmts {
+                    render_kind(&plan.kind, out)?;
+                }
+            }
+        }
+        PlanKind::Insert(pi) => {
+            out.push(ExplainLine {
+                op: format!("INSERT INTO {}", pi.display),
+                access: ExplainAccess::None,
+            });
+            for prow in &pi.rows {
+                for ce in &prow.exprs {
+                    render_expr_subqueries(ce, out)?;
+                }
+            }
+        }
+        PlanKind::Update(pu) => {
+            out.push(ExplainLine {
+                op: format!("UPDATE {}", pu.display),
+                access: access_of(&pu.access),
+            });
+            render_access_subqueries(&pu.access, out)?;
+            for (_, ce) in &pu.sets {
+                render_expr_subqueries(ce, out)?;
+            }
+        }
+        PlanKind::Delete(pd) => {
+            out.push(ExplainLine {
+                op: format!("DELETE FROM {}", pd.display),
+                access: access_of(&pd.access),
+            });
+            render_access_subqueries(&pd.access, out)?;
+        }
+        PlanKind::Select(ps) => render_select_lines(ps, "SELECT", out)?,
+    }
+    Ok(())
+}
+
+fn render_select_lines(
+    ps: &PlannedSelect,
+    label: &str,
+    out: &mut Vec<ExplainLine>,
+) -> DbResult<()> {
+    if let Some(e) = &ps.error {
+        return Err(e.clone());
+    }
+    out.push(ExplainLine {
+        op: format!("{label} FROM {}", ps.display),
+        access: access_of(&ps.access),
+    });
+    render_access_subqueries(&ps.access, out)?;
+    match &ps.proj {
+        Proj::Rows(items) => {
+            for item in items {
+                if let PItem::Expr(ce) = item {
+                    render_expr_subqueries(ce, out)?;
+                }
+            }
+        }
+        Proj::Aggs(aggs) => {
+            for agg in aggs {
+                if let PAgg::Over(_, ce) = agg {
+                    render_expr_subqueries(ce, out)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn render_access_subqueries(access: &AccessPlan, out: &mut Vec<ExplainLine>) -> DbResult<()> {
+    match &access.kind {
+        AccessKind::Scan => {
+            if let Some(p) = &access.full_pred {
+                render_expr_subqueries(p, out)?;
+            }
+        }
+        AccessKind::IndexEq { key, residual, .. } => {
+            render_expr_subqueries(key, out)?;
+            if let Some(r) = residual {
+                render_expr_subqueries(r, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn render_expr_subqueries(ce: &CompiledExpr, out: &mut Vec<ExplainLine>) -> DbResult<()> {
+    for sub in ce.subqueries() {
+        render_select_lines(sub, "SUBQUERY SELECT", out)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Planned execution.
+// ---------------------------------------------------------------------------
+
+/// Folds pre-filtered (non-NULL) aggregate inputs; shared verbatim by both
+/// the interpreter and the planned executor so the two cannot diverge.
+pub(crate) fn fold_aggregate(func: AggFunc, values: Vec<Value>) -> DbResult<Value> {
+    match func {
+        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+        AggFunc::Sum => {
+            // Paper Figure 6 semantics: empty SUM is 0.
+            let mut acc = Value::Int(0);
+            for v in &values {
+                acc = acc.arith(ArithOp::Add, v)?;
+            }
+            Ok(acc)
+        }
+        AggFunc::Avg => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut sum = 0.0;
+            for v in &values {
+                sum += v.as_f64()?;
+            }
+            Ok(Value::Float(sum / values.len() as f64))
+        }
+        AggFunc::Max | AggFunc::Min => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let ord = v.compare(&b)?.ok_or_else(|| {
+                            DbError::Type("NULL slipped into aggregate".to_string())
+                        })?;
+                        let take_new = if func == AggFunc::Max {
+                            ord.is_gt()
+                        } else {
+                            ord.is_lt()
+                        };
+                        if take_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+/// Runs the candidate rows of `access` over `table`, calling `on_match`
+/// (with the row's scope still pushed on `cx`) for every row the predicate
+/// accepts. Preserves the interpreter's row order and error order.
+fn for_each_match<'a>(
+    cx: &mut EvalCx<'a>,
+    table: &'a Table,
+    access: &AccessPlan,
+    mut on_match: impl FnMut(&mut EvalCx<'a>, usize, &'a [Value]) -> DbResult<()>,
+) -> DbResult<()> {
+    let db = cx.db;
+    match &access.kind {
+        AccessKind::Scan => scan_matches(cx, table, access.full_pred.as_ref(), &mut on_match),
+        AccessKind::IndexEq {
+            col, key, residual, ..
+        } => {
+            // An empty table evaluates nothing at all (the interpreter's
+            // per-row loop never runs), so the key must not run either.
+            if table.is_empty() {
+                return Ok(());
+            }
+            let key_value = key.eval(cx)?;
+            let Some(postings) = table.index_lookup(*col, &key_value) else {
+                // Key type ≠ column type: equality semantics across types
+                // (numeric widening, type errors) are the scan's business.
+                return scan_matches(cx, table, access.full_pred.as_ref(), &mut on_match);
+            };
+            PlannerCounters::bump(&db.counters.index_hits, 1);
+            for &ridx in postings {
+                let row = table.rows()[ridx].as_slice();
+                cx.scopes.push(row);
+                let ok = match residual {
+                    None => Ok(true),
+                    Some(r) => r.eval_predicate(cx),
+                };
+                let result = match ok {
+                    Ok(true) => on_match(cx, ridx, row),
+                    Ok(false) => Ok(()),
+                    Err(e) => Err(e),
+                };
+                cx.scopes.pop();
+                result?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn scan_matches<'a>(
+    cx: &mut EvalCx<'a>,
+    table: &'a Table,
+    pred: Option<&CompiledExpr>,
+    on_match: &mut impl FnMut(&mut EvalCx<'a>, usize, &'a [Value]) -> DbResult<()>,
+) -> DbResult<()> {
+    let db = cx.db;
+    for (ridx, row) in table.rows().iter().enumerate() {
+        PlannerCounters::bump(&db.counters.rows_scanned, 1);
+        let row = row.as_slice();
+        cx.scopes.push(row);
+        let ok = match pred {
+            None => Ok(true),
+            Some(p) => p.eval_predicate(cx),
+        };
+        let result = match ok {
+            Ok(true) => on_match(cx, ridx, row),
+            Ok(false) => Ok(()),
+            Err(e) => Err(e),
+        };
+        cx.scopes.pop();
+        result?;
+    }
+    Ok(())
+}
+
+/// Executes a planned SELECT in the given evaluation context (empty scopes
+/// for a top-level statement; the outer rows for a scalar subquery).
+pub(crate) fn run_planned_select<'a>(
+    ps: &PlannedSelect,
+    cx: &mut EvalCx<'a>,
+) -> DbResult<Vec<Row>> {
+    if let Some(e) = &ps.error {
+        return Err(e.clone());
+    }
+    let db = cx.db;
+    let Some((_, table)) = db.tables.get(&ps.key) else {
+        return Err(DbError::NoSuchTable(ps.from.clone()));
+    };
+    let mut matched: Vec<&'a [Value]> = Vec::new();
+    for_each_match(cx, table, &ps.access, |_cx, _ridx, row| {
+        matched.push(row);
+        Ok(())
+    })?;
+    match &ps.proj {
+        Proj::Aggs(aggs) => {
+            let mut out = Vec::with_capacity(aggs.len());
+            for agg in aggs {
+                match agg {
+                    PAgg::CountStar => out.push(Value::Int(matched.len() as i64)),
+                    PAgg::StarError => {
+                        return Err(DbError::Type(
+                            "only COUNT accepts '*' as its argument".to_string(),
+                        ))
+                    }
+                    PAgg::Over(func, ce) => {
+                        let mut values = Vec::with_capacity(matched.len());
+                        for row in &matched {
+                            cx.scopes.push(row);
+                            let v = ce.eval(cx);
+                            cx.scopes.pop();
+                            let v = v?;
+                            if !v.is_null() {
+                                values.push(v);
+                            }
+                        }
+                        out.push(fold_aggregate(*func, values)?);
+                    }
+                }
+            }
+            Ok(vec![out])
+        }
+        Proj::Rows(items) => {
+            let mut rows_out = Vec::with_capacity(matched.len());
+            for row in matched {
+                cx.scopes.push(row);
+                let mut out = Vec::new();
+                let mut failed = None;
+                for item in items {
+                    match item {
+                        PItem::Star => out.extend(row.iter().cloned()),
+                        PItem::Expr(ce) => match ce.eval(cx) {
+                            Ok(v) => out.push(v),
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
+                        },
+                    }
+                }
+                cx.scopes.pop();
+                if let Some(e) = failed {
+                    return Err(e);
+                }
+                rows_out.push(out);
+            }
+            Ok(rows_out)
+        }
+    }
+}
+
+impl Database {
+    /// Returns (planning if needed) the cached plan for statement `idx` of
+    /// a script, revalidating the cached entry's catalog version.
+    /// Fetches (or builds and caches) the whole-script plan, materialising
+    /// any indexes a freshly built plan requests. Cache hits — the steady
+    /// state — cost one lock acquisition and touch no table state at all.
+    pub(crate) fn cached_script(
+        &mut self,
+        cache: &PlanCache,
+        statements: &[Statement],
+    ) -> Arc<PlannedScript> {
+        let script = {
+            let mut guard = lock_cache(cache);
+            if let Some(script) = &*guard {
+                if script.version == self.catalog_version {
+                    return Arc::clone(script);
+                }
+            }
+            let plans: Vec<StmtPlan> = statements
+                .iter()
+                .map(|stmt| plan_statement(self, stmt))
+                .collect();
+            PlannerCounters::bump(&self.counters.plans_cached, plans.len() as u64);
+            let script = Arc::new(PlannedScript {
+                version: self.catalog_version,
+                plans,
+            });
+            *guard = Some(Arc::clone(&script));
+            script
+        };
+        let mut reqs: Vec<(String, usize)> = script
+            .plans
+            .iter()
+            .flat_map(|p| p.index_reqs.iter().cloned())
+            .collect();
+        reqs.sort();
+        reqs.dedup();
+        self.ensure_plan_indexes(&reqs);
+        script
+    }
+
+    /// Executes a prepared script through the plan cache (or the
+    /// interpreter under [`PlannerMode::ForceScan`]).
+    pub(crate) fn execute_prepared_script(
+        &mut self,
+        statements: &[Statement],
+        cache: &PlanCache,
+        params: &Params,
+    ) -> DbResult<Vec<ExecOutcome>> {
+        let script =
+            (self.mode != PlannerMode::ForceScan).then(|| self.cached_script(cache, statements));
+        let mut outcomes = Vec::with_capacity(statements.len());
+        for (idx, stmt) in statements.iter().enumerate() {
+            let outcome = match &script {
+                None => self.execute_interpreted(stmt, params)?,
+                Some(script) => self.exec_planned(stmt, &script.plans[idx], 0, params)?,
+            };
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+
+    /// Executes a whole pre-planned script: the lock-free fast path for
+    /// owners that memoise their [`PlannedScript`] (see
+    /// [`crate::Prepared::execute`]). The caller has already revalidated
+    /// the script's version; the per-statement check in
+    /// [`Database::exec_planned`] still catches DDL executed mid-script.
+    pub(crate) fn execute_planned_script(
+        &mut self,
+        statements: &[Statement],
+        script: &PlannedScript,
+        params: &Params,
+    ) -> DbResult<Vec<ExecOutcome>> {
+        let mut outcomes = Vec::with_capacity(statements.len());
+        for (stmt, plan) in statements.iter().zip(script.plans()) {
+            outcomes.push(self.exec_planned(stmt, plan, 0, params)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Executes a statement against a plan, transparently replanning when
+    /// the catalog has moved since the plan was built.
+    pub(crate) fn exec_planned(
+        &mut self,
+        source: &Statement,
+        plan: &StmtPlan,
+        depth: usize,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
+        if plan.version != self.catalog_version {
+            let fresh = plan_statement(self, source);
+            self.ensure_plan_indexes(&fresh.index_reqs);
+            return self.exec_plan_kind(source, &fresh, depth, params);
+        }
+        self.exec_plan_kind(source, plan, depth, params)
+    }
+
+    pub(crate) fn ensure_plan_indexes(&mut self, reqs: &[(String, usize)]) {
+        for (key, col) in reqs {
+            if let Some((_, table)) = self.tables.get_mut(key) {
+                table.ensure_index(*col);
+            }
+        }
+    }
+
+    fn exec_plan_kind(
+        &mut self,
+        source: &Statement,
+        plan: &StmtPlan,
+        depth: usize,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
+        // Indexes were materialised when the plan was built (cached_plan,
+        // warm_plans, or the replan above) — execution only probes them.
+        match &plan.kind {
+            PlanKind::Ddl => self.execute_ddl(source, depth, params),
+            PlanKind::Raise(e) => Err(e.clone()),
+            PlanKind::Explain(lines) => Ok(ExecOutcome::Explain(lines.clone())),
+            PlanKind::SetVar { name, value } => {
+                let v = {
+                    let mut cx = EvalCx::new(&*self, params);
+                    value.eval(&mut cx)?
+                };
+                self.set_var(name, v);
+                Ok(ExecOutcome::Done)
+            }
+            PlanKind::If { arms, else_block } => {
+                for (cond, block) in arms {
+                    let hit = {
+                        let mut cx = EvalCx::new(&*self, params);
+                        cond.eval_predicate(&mut cx)?
+                    };
+                    if hit {
+                        return self.exec_planned_block(block, depth, params);
+                    }
+                }
+                if let Some(block) = else_block {
+                    return self.exec_planned_block(block, depth, params);
+                }
+                Ok(ExecOutcome::Done)
+            }
+            PlanKind::Select(ps) => {
+                let rows = {
+                    let mut cx = EvalCx::new(&*self, params);
+                    run_planned_select(ps, &mut cx)?
+                };
+                Ok(ExecOutcome::Rows(rows))
+            }
+            PlanKind::Insert(pi) => self.exec_planned_insert(pi, depth, params),
+            PlanKind::Update(pu) => self.exec_planned_update(pu, params),
+            PlanKind::Delete(pd) => self.exec_planned_delete(pd, params),
+        }
+    }
+
+    fn exec_planned_block(
+        &mut self,
+        block: &PlannedBlock,
+        depth: usize,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
+        for (stmt, plan) in &block.stmts {
+            self.exec_planned(stmt, plan, depth, params)?;
+        }
+        Ok(ExecOutcome::Done)
+    }
+
+    fn exec_planned_insert(
+        &mut self,
+        pi: &PlannedInsert,
+        depth: usize,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
+        // Evaluate before mutating (expressions may read other tables),
+        // mapping each tuple onto the schema in interpreter order.
+        let mut materialised: Vec<Row> = Vec::with_capacity(pi.rows.len());
+        {
+            let mut cx = EvalCx::new(&*self, params);
+            for prow in &pi.rows {
+                let mut values = Vec::with_capacity(prow.exprs.len());
+                for ce in &prow.exprs {
+                    values.push(ce.eval(&mut cx)?);
+                }
+                let row = match &prow.map {
+                    RowMap::Direct => values,
+                    RowMap::Mapped(slots) => {
+                        let mut full = vec![Value::Null; pi.schema_len];
+                        for (slot, v) in slots.iter().zip(values) {
+                            full[*slot] = v;
+                        }
+                        full
+                    }
+                    RowMap::Err(e) => return Err(e.clone()),
+                };
+                materialised.push(row);
+            }
+        }
+        let count = materialised.len();
+        let (_, t) = self
+            .tables
+            .get_mut(&pi.key)
+            .ok_or_else(|| DbError::NoSuchTable(pi.from.clone()))?;
+        for row in materialised {
+            t.insert(row)?;
+        }
+        self.fire_triggers(&pi.key, depth)?;
+        Ok(ExecOutcome::Inserted(count))
+    }
+
+    fn exec_planned_update(
+        &mut self,
+        pu: &PlannedUpdate,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
+        // Phase 1 (immutable): snapshot semantics — find matches and compute
+        // new values, interleaved per row exactly like the interpreter.
+        let mut planned_rows: Vec<(usize, Vec<(usize, Value)>)> = Vec::new();
+        {
+            let mut cx = EvalCx::new(&*self, params);
+            let db = cx.db;
+            let (_, t) = db
+                .tables
+                .get(&pu.key)
+                .ok_or_else(|| DbError::NoSuchTable(pu.from.clone()))?;
+            for_each_match(&mut cx, t, &pu.access, |cx, ridx, _row| {
+                let mut assignments = Vec::with_capacity(pu.sets.len());
+                for (cidx, ce) in &pu.sets {
+                    assignments.push((*cidx, ce.eval(cx)?));
+                }
+                planned_rows.push((ridx, assignments));
+                Ok(())
+            })?;
+        }
+        // Phase 2 (mutable): apply.
+        let count = planned_rows.len();
+        let (_, t) = self.tables.get_mut(&pu.key).expect("checked in phase 1");
+        for (ridx, assignments) in planned_rows {
+            for (cidx, value) in assignments {
+                t.set_cell(ridx, cidx, value)?;
+            }
+        }
+        Ok(ExecOutcome::Updated(count))
+    }
+
+    fn exec_planned_delete(
+        &mut self,
+        pd: &PlannedDelete,
+        params: &Params,
+    ) -> DbResult<ExecOutcome> {
+        let mut doomed: Vec<usize> = Vec::new();
+        {
+            let mut cx = EvalCx::new(&*self, params);
+            let db = cx.db;
+            let (_, t) = db
+                .tables
+                .get(&pd.key)
+                .ok_or_else(|| DbError::NoSuchTable(pd.from.clone()))?;
+            for_each_match(&mut cx, t, &pd.access, |_cx, ridx, _row| {
+                doomed.push(ridx);
+                Ok(())
+            })?;
+        }
+        let count = doomed.len();
+        let (_, t) = self.tables.get_mut(&pd.key).expect("checked in phase 1");
+        t.delete_rows(&doomed);
+        Ok(ExecOutcome::Deleted(count))
+    }
+
+    // ---- public planner API ----------------------------------------------
+
+    /// Plans every statement of `sql` and returns the chosen physical
+    /// access paths without executing anything.
+    ///
+    /// Introspection is pure: it takes `&self`, creates no indexes, caches
+    /// no plans, and bumps no counters — serve paths draw identical RNG
+    /// streams whether or not an explain call happens between auctions.
+    /// The same output is available through SQL as `EXPLAIN <stmt>`
+    /// ([`ExecOutcome::Explain`]).
+    ///
+    /// ```
+    /// use ssa_minidb::{Database, ExplainAccess};
+    ///
+    /// let mut db = Database::new();
+    /// db.run("CREATE TABLE Keywords (text TEXT, bid INT)").unwrap();
+    /// db.run("INSERT INTO Keywords VALUES ('boot', 4)").unwrap();
+    ///
+    /// let lines = db.explain("SELECT bid FROM Keywords WHERE text = 'boot'").unwrap();
+    /// assert_eq!(lines[0].op, "SELECT FROM Keywords");
+    /// assert_eq!(
+    ///     lines[0].access,
+    ///     ExplainAccess::IndexLookup { column: "text".into() }
+    /// );
+    ///
+    /// let lines = db.explain("SELECT bid FROM Keywords WHERE bid > 2").unwrap();
+    /// assert_eq!(lines[0].access, ExplainAccess::FullScan);
+    /// ```
+    pub fn explain(&self, sql: &str) -> DbResult<Vec<ExplainLine>> {
+        let statements = parse_script(sql)?;
+        let mut lines = Vec::new();
+        for stmt in &statements {
+            lines.extend(explain_statement(self, stmt)?);
+        }
+        Ok(lines)
+    }
+
+    /// Plans every stored trigger body now (instead of on first firing)
+    /// and materialises the indexes those plans request. Campaign hosts
+    /// call this once after installing a bidding program, so the first
+    /// auction pays no planning cost. A no-op under
+    /// [`PlannerMode::ForceScan`].
+    pub fn warm_plans(&mut self) {
+        if self.mode == PlannerMode::ForceScan {
+            return;
+        }
+        let triggers: Vec<_> = self
+            .triggers
+            .iter()
+            .map(|t| (Arc::clone(&t.body), Arc::clone(&t.plans)))
+            .collect();
+        for (body, cache) in triggers {
+            self.cached_script(&cache, &body);
+        }
+    }
+
+    /// Current planner counters (monotonic since the database was created).
+    pub fn planner_stats(&self) -> PlannerStats {
+        PlannerStats {
+            index_hits: self.counters.index_hits.get(),
+            rows_scanned: self.counters.rows_scanned.get(),
+            plans_cached: self.counters.plans_cached.get(),
+        }
+    }
+
+    /// Switches between the planned pipeline and the forced-scan
+    /// interpreter. Both produce bit-identical results; the toggle exists
+    /// for equivalence tests and overhead measurements.
+    pub fn set_planner_mode(&mut self, mode: PlannerMode) {
+        self.mode = mode;
+    }
+
+    /// The active [`PlannerMode`].
+    pub fn planner_mode(&self) -> PlannerMode {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecOutcome;
+    use crate::value::Value;
+
+    fn seeded(mode: PlannerMode) -> Database {
+        let mut db = Database::new();
+        db.set_planner_mode(mode);
+        db.run("CREATE TABLE Keywords (Text TEXT, Bid INT)")
+            .unwrap();
+        for (t, b) in [("boot", 4), ("shoe", 7), ("boot", 9), ("sock", 1)] {
+            db.run(&format!("INSERT INTO Keywords VALUES ('{t}', {b})"))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn mixed_case_references_share_one_index() {
+        let mut db = seeded(PlannerMode::Auto);
+        // Same logical query under three casings of the table and column.
+        let spellings = [
+            "SELECT Bid FROM Keywords WHERE Text = 'boot'",
+            "SELECT Bid FROM keywords WHERE text = 'boot'",
+            "SELECT Bid FROM KEYWORDS WHERE TEXT = 'boot'",
+        ];
+        let before = db.planner_stats();
+        let mut results = Vec::new();
+        for sql in spellings {
+            // Explain reports the canonical, schema-cased column every time.
+            let lines = db.explain(sql).unwrap();
+            assert_eq!(
+                lines[0].access,
+                ExplainAccess::IndexLookup {
+                    column: "Text".into()
+                },
+                "spelling {sql:?} must plan an index probe"
+            );
+            results.push(db.query(sql).unwrap());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert_eq!(results[0].len(), 2);
+        let after = db.planner_stats();
+        assert_eq!(
+            after.index_hits - before.index_hits,
+            3,
+            "every casing must hit the same index"
+        );
+        assert_eq!(
+            after.rows_scanned, before.rows_scanned,
+            "index probes must not scan"
+        );
+    }
+
+    #[test]
+    fn explain_does_not_execute_or_cache() {
+        let mut db = seeded(PlannerMode::Auto);
+        db.run(
+            "CREATE TRIGGER bump AFTER INSERT ON Keywords { \
+             UPDATE Keywords SET Bid = Bid + 1 WHERE Text = 'boot' }",
+        )
+        .unwrap();
+        let rows_before = db.query("SELECT Text, Bid FROM Keywords").unwrap();
+        let stats_before = db.planner_stats();
+        for sql in [
+            "EXPLAIN SELECT * FROM Keywords WHERE Text = 'boot'",
+            "EXPLAIN INSERT INTO Keywords VALUES ('new', 1)",
+            "EXPLAIN UPDATE Keywords SET Bid = 0 WHERE Bid = 4",
+            "EXPLAIN DELETE FROM Keywords WHERE Text = 'sock'",
+        ] {
+            let out = db.run(sql).unwrap();
+            assert!(matches!(out[0], ExecOutcome::Explain(_)));
+        }
+        // Nothing ran: no rows changed, no trigger fired, no counters moved.
+        assert_eq!(
+            db.query("SELECT Text, Bid FROM Keywords").unwrap(),
+            rows_before
+        );
+        let stats_after = db.planner_stats();
+        assert_eq!(stats_after.index_hits, stats_before.index_hits);
+        assert_eq!(stats_after.plans_cached, stats_before.plans_cached);
+    }
+
+    #[test]
+    fn planned_and_interpreted_agree_on_triggers_and_errors() {
+        let script = "CREATE TABLE Stats (clicks INT, cost FLOAT);\
+                      CREATE TABLE Keywords (word TEXT, bid INT);\
+                      CREATE TRIGGER t AFTER INSERT ON Stats { \
+                        UPDATE Keywords SET bid = bid + (SELECT COUNT(*) FROM Stats) \
+                        WHERE word = 'boot' };\
+                      INSERT INTO Keywords VALUES ('boot', 10), ('shoe', 20);\
+                      INSERT INTO Stats VALUES (3, 1.5);\
+                      INSERT INTO Stats VALUES (4, 2.5)";
+        let mut auto = Database::new();
+        auto.set_planner_mode(PlannerMode::Auto);
+        let mut scan = Database::new();
+        scan.set_planner_mode(PlannerMode::ForceScan);
+        assert_eq!(auto.run(script).unwrap(), scan.run(script).unwrap());
+        let probe = "SELECT word, bid FROM Keywords WHERE word = 'boot'";
+        assert_eq!(auto.query(probe).unwrap(), scan.query(probe).unwrap());
+        assert_eq!(
+            auto.query(probe).unwrap()[0][1],
+            Value::Int(13),
+            "trigger must have fired twice (10 + 1 + 2)"
+        );
+        // Errors are identical too, down to the message.
+        for bad in [
+            "SELECT missing FROM Keywords",
+            "SELECT * FROM Keywords WHERE word = 3",
+            "UPDATE Keywords SET bid = bid + 'x' WHERE word = 'boot'",
+            "SELECT * FROM Nowhere WHERE a = 1",
+        ] {
+            assert_eq!(auto.run(bad), scan.run(bad), "statement: {bad}");
+        }
+        assert_eq!(auto.query(probe).unwrap(), scan.query(probe).unwrap());
+    }
+
+    #[test]
+    fn prepared_plans_are_cached_once() {
+        let mut db = seeded(PlannerMode::Auto);
+        let mut stmt = db
+            .prepare("SELECT Bid FROM Keywords WHERE Text = ?")
+            .unwrap();
+        let params = crate::prepared::Params::new().push("boot");
+        db.execute_prepared(&mut stmt, &params).unwrap();
+        let after_first = db.planner_stats().plans_cached;
+        for _ in 0..10 {
+            db.execute_prepared(&mut stmt, &params).unwrap();
+        }
+        assert_eq!(
+            db.planner_stats().plans_cached,
+            after_first,
+            "repeat executions must reuse the cached plan"
+        );
+    }
+
+    #[test]
+    fn type_mismatched_keys_fall_back_identically() {
+        // Float key probing an INT column: the index cannot answer, so the
+        // planned path falls back to a scan and must agree with the
+        // interpreter (numeric equality across Int/Float is true).
+        let mut auto = seeded(PlannerMode::Auto);
+        let mut scan = seeded(PlannerMode::ForceScan);
+        let float_key = "SELECT Text FROM Keywords WHERE Bid = 4.0";
+        assert_eq!(auto.run(float_key), scan.run(float_key));
+        assert_eq!(auto.query(float_key).unwrap().len(), 1);
+        // Int key probing a TEXT column: both engines raise the same error.
+        let bad_key = "SELECT Text FROM Keywords WHERE Text = 3";
+        let a = auto.run(bad_key);
+        assert!(a.is_err());
+        assert_eq!(a, scan.run(bad_key));
+    }
+
+    #[test]
+    fn ddl_invalidates_stale_plans() {
+        let mut db = seeded(PlannerMode::Auto);
+        let mut stmt = db
+            .prepare("SELECT Bid FROM Keywords WHERE Text = ?")
+            .unwrap();
+        let params = crate::prepared::Params::new().push("boot");
+        assert_eq!(
+            db.execute_prepared(&mut stmt, &params).unwrap(),
+            vec![ExecOutcome::Rows(vec![
+                vec![Value::Int(4)],
+                vec![Value::Int(9)]
+            ])]
+        );
+        db.run("DROP TABLE Keywords").unwrap();
+        db.run("CREATE TABLE Keywords (Other INT, Text TEXT, Bid INT)")
+            .unwrap();
+        db.run("INSERT INTO Keywords VALUES (0, 'boot', 42)")
+            .unwrap();
+        // The cached plan is stale (column positions moved); execution must
+        // replan against the new catalog rather than read the wrong cell.
+        assert_eq!(
+            db.execute_prepared(&mut stmt, &params).unwrap(),
+            vec![ExecOutcome::Rows(vec![vec![Value::Int(42)]])]
+        );
+    }
+}

@@ -15,10 +15,10 @@
 //! db.run("CREATE TABLE Keywords (text TEXT, bid INT)").unwrap();
 //! db.run("INSERT INTO Keywords VALUES ('boot', 4)").unwrap();
 //!
-//! let bump = db
+//! let mut bump = db
 //!     .prepare("UPDATE Keywords SET bid = bid + :delta WHERE text = ?")
 //!     .unwrap();
-//! let read = db.prepare("SELECT bid FROM Keywords WHERE text = ?").unwrap();
+//! let mut read = db.prepare("SELECT bid FROM Keywords WHERE text = ?").unwrap();
 //! for _ in 0..3 {
 //!     bump.execute(&mut db, &Params::new().push("boot").bind("delta", 2))
 //!         .unwrap();
@@ -38,6 +38,7 @@ use crate::ast::{Expr, ParamRef, Select, SelectItem, Statement};
 use crate::error::{DbError, DbResult};
 use crate::exec::{Database, ExecOutcome};
 use crate::parser::parse_script;
+use crate::plan::{new_plan_cache, PlanCache, PlannedScript};
 use crate::table::Row;
 use crate::value::Value;
 use std::collections::BTreeSet;
@@ -111,6 +112,15 @@ pub struct Prepared {
     positional: usize,
     /// Names of `:name` placeholders (lowercased, deduplicated).
     named: Vec<String>,
+    /// Per-statement plan cache, lazily filled on first execution and
+    /// shared by clones. Entries are revalidated against the database's
+    /// catalog version, so one `Prepared` can serve several databases.
+    plans: Arc<PlanCache>,
+    /// This handle's private memo of the planned script — revalidated
+    /// against the catalog version on every execution, so the serving hot
+    /// path takes no lock at all. (The shared `plans` cache above still
+    /// lets clones reuse one planning pass.)
+    planned: Option<Arc<PlannedScript>>,
 }
 
 impl Prepared {
@@ -121,10 +131,13 @@ impl Prepared {
         for stmt in &statements {
             collect_statement_params(stmt, &mut positional, &mut named);
         }
+        let plans = new_plan_cache();
         Ok(Prepared {
             statements: Arc::new(statements),
             positional,
             named: named.into_iter().collect(),
+            plans,
+            planned: None,
         })
     }
 
@@ -162,18 +175,25 @@ impl Prepared {
 
     /// Executes the script against `db` with `params` bound; returns one
     /// outcome per statement (the prepared twin of [`Database::run`]).
-    pub fn execute(&self, db: &mut Database, params: &Params) -> DbResult<Vec<ExecOutcome>> {
+    ///
+    /// Takes `&mut self` to memoise the planned script in this handle:
+    /// repeat executions — the auction serving path — revalidate one
+    /// version number and go, with no lock and no reference-count traffic.
+    pub fn execute(&mut self, db: &mut Database, params: &Params) -> DbResult<Vec<ExecOutcome>> {
         self.check(params)?;
-        let mut outcomes = Vec::with_capacity(self.statements.len());
-        for stmt in self.statements.iter() {
-            outcomes.push(db.execute_with_params(stmt, params)?);
+        if db.planner_mode() == crate::PlannerMode::ForceScan {
+            return db.execute_prepared_script(&self.statements, &self.plans, params);
         }
-        Ok(outcomes)
+        if !matches!(&self.planned, Some(s) if s.version() == db.catalog_version) {
+            self.planned = Some(db.cached_script(&self.plans, &self.statements));
+        }
+        let script = self.planned.as_ref().expect("planned above");
+        db.execute_planned_script(&self.statements, script, params)
     }
 
     /// Runs a single-`SELECT` prepared script and returns its rows (the
     /// prepared twin of [`Database::query`]).
-    pub fn query(&self, db: &mut Database, params: &Params) -> DbResult<Vec<Row>> {
+    pub fn query(&mut self, db: &mut Database, params: &Params) -> DbResult<Vec<Row>> {
         let mut outcomes = self.execute(db, params)?;
         match (outcomes.len(), outcomes.pop()) {
             (1, Some(ExecOutcome::Rows(rows))) => Ok(rows),
@@ -234,6 +254,10 @@ fn collect_statement_params(
             }
         }
         Statement::SetVar { value, .. } => on_expr(value),
+        Statement::Explain(_) => {
+            // EXPLAIN only plans its inner statement — parameters are never
+            // resolved, so they contribute nothing to the binding signature.
+        }
     }
 }
 
@@ -290,8 +314,8 @@ mod tests {
     #[test]
     fn execute_binds_positional_and_named() {
         let mut db = db();
-        let insert = db.prepare("INSERT INTO t VALUES (?, ?, :f)").unwrap();
-        let select = db
+        let mut insert = db.prepare("INSERT INTO t VALUES (?, ?, :f)").unwrap();
+        let mut select = db
             .prepare("SELECT a, c FROM t WHERE b = ? AND a >= :floor")
             .unwrap();
         for i in 0..3i64 {
@@ -331,7 +355,7 @@ mod tests {
     #[test]
     fn arity_and_unbound_are_typed_errors() {
         let mut db = db();
-        let p = db.prepare("INSERT INTO t VALUES (?, ?, :f)").unwrap();
+        let mut p = db.prepare("INSERT INTO t VALUES (?, ?, :f)").unwrap();
         assert_eq!(
             p.execute(&mut db, &Params::new().push(1).bind("f", 0.0)),
             Err(DbError::ParamArity {
@@ -361,7 +385,7 @@ mod tests {
         db.run("CREATE TRIGGER tick AFTER INSERT ON t { UPDATE Log SET n = n + inc; }")
             .unwrap();
         db.set_var("inc", Value::Int(5));
-        let insert = db.prepare("INSERT INTO t VALUES (?, 'x', 0.0)").unwrap();
+        let mut insert = db.prepare("INSERT INTO t VALUES (?, 'x', 0.0)").unwrap();
         insert.execute(&mut db, &Params::new().push(1)).unwrap();
         assert_eq!(db.query("SELECT n FROM Log").unwrap()[0][0], Value::Int(5));
         // A trigger body that *does* name a parameter is rejected up
@@ -380,7 +404,7 @@ mod tests {
         // The signature of a mixed script counts only bindable
         // placeholders — a trigger definition alongside a parameterised
         // statement does not inflate the arity.
-        let mixed = db
+        let mut mixed = db
             .prepare(
                 "CREATE TRIGGER ok AFTER INSERT ON u { UPDATE Log SET n = n + inc; }; \
                  INSERT INTO u VALUES (?)",
@@ -395,7 +419,7 @@ mod tests {
     fn prepared_if_and_setvar_bind() {
         let mut db = db();
         db.run("INSERT INTO t VALUES (1, 'x', 0.0)").unwrap();
-        let p = db
+        let mut p = db
             .prepare(
                 "SET goal = :goal; \
                  IF goal > 0 THEN UPDATE t SET a = a + :goal; \

@@ -1,6 +1,7 @@
 //! Tables, schemas, and rows.
 
 use crate::error::{DbError, DbResult};
+use crate::index::HashIndex;
 use crate::value::{Value, ValueType};
 
 /// A named, typed column.
@@ -67,11 +68,22 @@ impl Schema {
     }
 }
 
-/// An in-memory table: a schema plus rows.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// An in-memory table: a schema plus rows, plus any secondary indexes the
+/// planner has requested (see `crate::index`). Indexes are derived state
+/// and excluded from equality.
+#[derive(Debug, Clone, Default)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Row>,
+    indexes: Vec<HashIndex>,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        // Indexes are a cache over (schema, rows): two tables with the same
+        // data are equal no matter which access paths have been exercised.
+        self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl Table {
@@ -80,6 +92,7 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            indexes: Vec::new(),
         }
     }
 
@@ -127,6 +140,11 @@ impl Table {
             }
         }
         self.rows.push(coerced);
+        let ridx = self.rows.len() - 1;
+        let row = &self.rows[ridx];
+        for index in &mut self.indexes {
+            index.note_insert(ridx, row);
+        }
         Ok(())
     }
 
@@ -145,13 +163,22 @@ impl Table {
                 value = Value::Float(i as f64);
             }
         }
-        self.rows[row][col] = value;
+        let old = std::mem::replace(&mut self.rows[row][col], value);
+        let new = &self.rows[row][col];
+        for index in &mut self.indexes {
+            if index.column() == col {
+                index.note_set_cell(row, &old, new);
+            }
+        }
         Ok(())
     }
 
     /// Removes the rows at the given (sorted ascending, deduplicated)
     /// indices.
     pub(crate) fn delete_rows(&mut self, sorted_indices: &[usize]) {
+        for index in &mut self.indexes {
+            index.note_delete(sorted_indices);
+        }
         for &idx in sorted_indices.iter().rev() {
             self.rows.remove(idx);
         }
@@ -160,6 +187,35 @@ impl Table {
     /// Removes all rows.
     pub fn clear(&mut self) {
         self.rows.clear();
+        for index in &mut self.indexes {
+            index.note_clear();
+        }
+    }
+
+    /// Builds a secondary index on column `col` if one does not already
+    /// exist. Returns `false` (and builds nothing) when the column's type is
+    /// not indexable (only `INT` and `TEXT` equality is).
+    pub(crate) fn ensure_index(&mut self, col: usize) -> bool {
+        if self.indexes.iter().any(|i| i.column() == col) {
+            return true;
+        }
+        let ty = self.schema.columns()[col].ty;
+        if !matches!(ty, ValueType::Int | ValueType::Text) {
+            return false;
+        }
+        self.indexes.push(HashIndex::build(col, ty, &self.rows));
+        true
+    }
+
+    /// Probes the index on `col` for rows whose cell equals `key`, in
+    /// ascending row order. `None` means the probe cannot be answered by an
+    /// index — none exists on that column, or the key's type is not the
+    /// column's exact type — and the caller must fall back to a scan.
+    pub(crate) fn index_lookup(&self, col: usize, key: &Value) -> Option<&[usize]> {
+        self.indexes
+            .iter()
+            .find(|i| i.column() == col)
+            .and_then(|i| i.lookup(key))
     }
 }
 
@@ -218,6 +274,27 @@ mod tests {
         t.insert(vec![Value::Null, Value::Null, Value::Null])
             .unwrap();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn indexes_follow_mutations() {
+        let mut t = Table::new(schema());
+        assert!(t.ensure_index(1)); // bid INT — indexable
+        assert!(!t.ensure_index(2)); // roi FLOAT — not indexable
+        for i in 0..4 {
+            t.insert(vec!["k".into(), Value::Int(i % 2), Value::Float(0.0)])
+                .unwrap();
+        }
+        assert_eq!(t.index_lookup(1, &Value::Int(0)), Some(&[0, 2][..]));
+        assert_eq!(t.index_lookup(2, &Value::Float(0.0)), None);
+        t.set_cell(0, 1, Value::Int(1)).unwrap();
+        assert_eq!(t.index_lookup(1, &Value::Int(1)), Some(&[0, 1, 3][..]));
+        t.delete_rows(&[1]);
+        assert_eq!(t.index_lookup(1, &Value::Int(1)), Some(&[0, 2][..]));
+        t.clear();
+        assert_eq!(t.index_lookup(1, &Value::Int(1)), Some(&[][..]));
+        // Equality ignores derived index state.
+        assert_eq!(t, Table::new(schema()));
     }
 
     #[test]

@@ -43,6 +43,49 @@ fn hostile_nesting_is_a_typed_error() {
     assert!(db.run("SELECT COUNT(*) FROM t").is_ok());
 }
 
+/// Lowering-targeted hostiles: statements that parse fine but stress the
+/// planner — deep-but-legal predicates, unknown columns discovered at
+/// plan time, type-confused index keys, and `EXPLAIN` stacked on itself.
+/// Every one must come back as `Ok` or a typed error, never a panic, in
+/// both planner modes.
+#[test]
+fn hostile_lowering_is_a_typed_error() {
+    use ssa_minidb::PlannerMode;
+    let deep_pred = format!("SELECT * FROM t WHERE a = 1 {}", "AND a = 1 ".repeat(2_000));
+    let cases = [
+        deep_pred.as_str(),
+        // Unknown identifiers only detectable during lowering.
+        "UPDATE t SET ghost = 1 WHERE a = 1",
+        "SELECT * FROM t WHERE ghost = 1",
+        "SELECT * FROM t WHERE a = ghost",
+        "INSERT INTO t (ghost) VALUES (1)",
+        // Type-confused equality keys the index must refuse or fall
+        // back from.
+        "SELECT * FROM t WHERE a = 'word'",
+        "SELECT * FROM t WHERE a = 1.0 AND a = 'word'",
+        "SELECT * FROM t WHERE a = (SELECT 'word' FROM t)",
+        // EXPLAIN stacked on itself and on failing statements.
+        "EXPLAIN EXPLAIN EXPLAIN SELECT * FROM t WHERE a = 1",
+        "EXPLAIN SELECT ghost FROM t",
+        "EXPLAIN UPDATE nowhere SET a = 1",
+        "EXPLAIN IF 1 = 1 THEN UPDATE t SET a = 2 WHERE a = 1; ENDIF",
+    ];
+    for mode in [PlannerMode::Auto, PlannerMode::ForceScan] {
+        let mut db = Database::new();
+        db.set_planner_mode(mode);
+        db.run("CREATE TABLE t (a INT)").unwrap();
+        db.run("INSERT INTO t VALUES (1), (0)").unwrap();
+        for sql in cases {
+            let _ = db.run(sql);
+            // The engine must stay usable after each hostile statement.
+            assert!(
+                db.run("SELECT COUNT(*) FROM t").is_ok(),
+                "engine wedged after {sql:?} in {mode:?}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -63,6 +106,7 @@ proptest! {
                 Just("a"), Just("="), Just("1"), Just("("), Just(")"), Just(","),
                 Just("UPDATE"), Just("SET"), Just("INSERT"), Just("INTO"),
                 Just("VALUES"), Just("IF"), Just("THEN"), Just("ENDIF"),
+                Just("EXPLAIN"),
                 Just("AND"), Just("OR"), Just("NOT"), Just("MAX"), Just("'x'"),
                 Just(";"), Just("+"), Just("-"), Just("/"), Just("0"),
             ],

@@ -56,15 +56,15 @@ proptest! {
     fn prepared_matches_the_string_path(ops in proptest::collection::vec(op_strategy(), 1..40)) {
         let mut by_string = fresh_db();
         let mut by_prepared = fresh_db();
-        let insert = by_prepared.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
-        let update = by_prepared
+        let mut insert = by_prepared.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
+        let mut update = by_prepared
             .prepare("UPDATE t SET a = a + :delta WHERE a < :threshold")
             .unwrap();
-        let delete = by_prepared.prepare("DELETE FROM t WHERE a > ?").unwrap();
-        let select = by_prepared
+        let mut delete = by_prepared.prepare("DELETE FROM t WHERE a > ?").unwrap();
+        let mut select = by_prepared
             .prepare("SELECT SUM(a), COUNT(*) FROM t WHERE a >= ?")
             .unwrap();
-        let branch = by_prepared
+        let mut branch = by_prepared
             .prepare("IF :goal > :limit THEN UPDATE t SET a = a + 1; ENDIF")
             .unwrap();
 
@@ -122,7 +122,7 @@ proptest! {
             .unwrap();
         let mut by_prepared = Database::new();
         by_prepared.run("CREATE TABLE f (x FLOAT)").unwrap();
-        let insert = by_prepared.prepare("INSERT INTO f VALUES (?)").unwrap();
+        let mut insert = by_prepared.prepare("INSERT INTO f VALUES (?)").unwrap();
         insert
             .execute(&mut by_prepared, &Params::new().push(value))
             .unwrap();

@@ -132,7 +132,7 @@ impl SqlRoiBidder {
         let names: Vec<Value> = (0..keywords.len())
             .map(|i| Value::Text(format!("kw{i}")))
             .collect();
-        let seed_keyword = db
+        let mut seed_keyword = db
             .prepare("INSERT INTO Keywords VALUES (?, 'Click', ?, ?, ?, 0.0)")
             .expect("static statement parses");
         for (name, (value, bid, roi)) in names.iter().zip(keywords) {
@@ -168,6 +168,10 @@ impl SqlRoiBidder {
         let write_roi = db
             .prepare("UPDATE Keywords SET roi = :roi WHERE text = :kw")
             .expect("static statement parses");
+        // Plan the Query trigger now and build the indexes it wants (the
+        // per-round host statements key on `Keywords.text` too), so no
+        // auction pays planning or index-build cost.
+        db.warm_plans();
         SqlRoiBidder {
             db,
             clear_query,
@@ -253,6 +257,13 @@ impl SqlRoiBidder {
             )?;
         }
         Ok(())
+    }
+
+    /// Planner counters of the private database: shows whether rounds ran
+    /// on index probes (`index_hits`) or scans (`rows_scanned`), and that
+    /// plan caching converged (`plans_cached` stops growing).
+    pub fn planner_stats(&self) -> ssa_minidb::PlannerStats {
+        self.db.planner_stats()
     }
 }
 

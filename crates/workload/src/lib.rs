@@ -38,6 +38,6 @@ pub use market::{MarketSimulation, SharedRoiProgram};
 pub use sharded::ShardedMarketSimulation;
 pub use sim::{Method, Simulation, SimulationStats};
 pub use sql::{
-    programmed_market, programmed_sharded_market, ParseStrategyError, ProgrammedMarket,
-    ShardedProgrammedMarket, Strategy,
+    programmed_market, programmed_sharded_market, ParseStrategyError, ProgramHandle,
+    ProgrammedMarket, ShardedProgrammedMarket, Strategy,
 };

@@ -226,7 +226,7 @@ impl ReparseSqlProgram {
     /// binds parameters — only the per-round path re-parses).
     pub fn new(value: i64, bid: i64, roi: f64, rate: f64) -> Result<Self, DbError> {
         let mut db = Database::new();
-        let setup = db.prepare(ROI_TABLES)?;
+        let mut setup = db.prepare(ROI_TABLES)?;
         setup.execute(&mut db, &roi_params(value, bid, roi, rate))?;
         db.run(ROI_PROGRAM)?;
         Ok(ReparseSqlProgram { db, error: None })
@@ -358,6 +358,73 @@ impl ProgramHandle {
                     .unwrap_or(0)
             }
             ProgramHandle::Reparse(h) => h.lock().expect("program state poisoned").current_bid(),
+        }
+    }
+
+    /// Planner counters of the program's private database, or `None` for
+    /// native programs (no database). Lets the harness assert whether SQL
+    /// campaigns served auctions from index probes or full scans.
+    pub fn planner_stats(&self) -> Option<ssa_minidb::PlannerStats> {
+        match self {
+            ProgramHandle::Native(_) => None,
+            ProgramHandle::Sql(h) => {
+                Some(h.lock().expect("program state poisoned").planner_stats())
+            }
+            ProgramHandle::Reparse(h) => {
+                Some(h.lock().expect("program state poisoned").db.planner_stats())
+            }
+        }
+    }
+
+    /// The planner mode of the program's database (`None` for native
+    /// programs). Reflects the `SSA_MINIDB_FORCE_SCAN` toggle.
+    pub fn planner_mode(&self) -> Option<ssa_minidb::PlannerMode> {
+        match self {
+            ProgramHandle::Native(_) => None,
+            ProgramHandle::Sql(h) => Some(
+                h.lock()
+                    .expect("program state poisoned")
+                    .db()
+                    .planner_mode(),
+            ),
+            ProgramHandle::Reparse(h) => {
+                Some(h.lock().expect("program state poisoned").db.planner_mode())
+            }
+        }
+    }
+
+    /// Switches the program's database between the planned pipeline and
+    /// the forced-scan interpreter (no-op for native programs). The two
+    /// modes are bit-identical; the harness flips this for overhead
+    /// measurements and equivalence checks.
+    pub fn set_planner_mode(&self, mode: ssa_minidb::PlannerMode) {
+        match self {
+            ProgramHandle::Native(_) => {}
+            ProgramHandle::Sql(h) => h
+                .lock()
+                .expect("program state poisoned")
+                .db_mut()
+                .set_planner_mode(mode),
+            ProgramHandle::Reparse(h) => h
+                .lock()
+                .expect("program state poisoned")
+                .db
+                .set_planner_mode(mode),
+        }
+    }
+
+    /// Access paths the program's database would use for `sql`, or `None`
+    /// for native programs. Read-only: planning for `EXPLAIN` must not
+    /// perturb program state (see the RNG-invariance test).
+    pub fn explain(&self, sql: &str) -> Option<ssa_minidb::DbResult<Vec<ssa_minidb::ExplainLine>>> {
+        match self {
+            ProgramHandle::Native(_) => None,
+            ProgramHandle::Sql(h) => {
+                Some(h.lock().expect("program state poisoned").db().explain(sql))
+            }
+            ProgramHandle::Reparse(h) => {
+                Some(h.lock().expect("program state poisoned").db.explain(sql))
+            }
         }
     }
 }
@@ -620,6 +687,91 @@ mod tests {
                 for kw in 0..w.config.num_keywords {
                     assert_eq!(native.bid_of(adv, kw), sql.bid_of(adv, kw));
                     assert_eq!(sql.bid_of(adv, kw), unsharded.bid_of(adv, kw));
+                }
+            }
+        }
+    }
+
+    /// The planned, indexed, compiled pipeline is a pure performance
+    /// change: flipping every program database to the forced-scan
+    /// interpreter produces bit-identical reports and stored bids, both
+    /// unsharded (1) and sharded (4).
+    #[test]
+    fn indexed_pipeline_matches_forced_scan_across_shard_counts() {
+        use ssa_minidb::PlannerMode;
+        let w = workload();
+        for shards in [1usize, 4] {
+            let mut indexed =
+                programmed_sharded_market(&w, WdMethod::Reduced, Strategy::Sql, shards)
+                    .expect("valid");
+            let mut scanning =
+                programmed_sharded_market(&w, WdMethod::Reduced, Strategy::Sql, shards)
+                    .expect("valid");
+            for handle in &scanning.handles {
+                handle.set_planner_mode(PlannerMode::ForceScan);
+            }
+            let mut served = 0;
+            for round in 0..2 {
+                let batch = requests(&w, served, 40);
+                served += batch.len();
+                let indexed_report = indexed.market.serve_batch(&batch).expect("valid keywords");
+                let scanning_report = scanning.market.serve_batch(&batch).expect("valid keywords");
+                assert_eq!(
+                    indexed_report, scanning_report,
+                    "planner modes diverged at {shards} shards, round {round}"
+                );
+                for adv in 0..w.bidders.len() {
+                    for kw in 0..w.config.num_keywords {
+                        assert_eq!(indexed.bid_of(adv, kw), scanning.bid_of(adv, kw));
+                    }
+                }
+            }
+            // The indexed side really took the index path.
+            let stats = indexed.handles[0].planner_stats().expect("sql program");
+            assert!(
+                stats.index_hits > 0,
+                "expected index probes at {shards} shards, got {stats:?}"
+            );
+        }
+    }
+
+    /// `EXPLAIN`ing a program's statements mid-serve is invisible: the
+    /// RNG streams and program state draw identically with or without it
+    /// (extends the PR 4 shard-invariance properties to the planner).
+    #[test]
+    fn explain_mid_serve_leaves_outcomes_unchanged() {
+        let w = workload();
+        let mut plain = programmed_market(&w, WdMethod::Reduced, Strategy::Sql);
+        let mut explained = programmed_market(&w, WdMethod::Reduced, Strategy::Sql);
+        let mut served = 0;
+        for round in 0..3 {
+            let batch = requests(&w, served, 30);
+            served += batch.len();
+            let plain_report = plain.market.serve_batch(&batch).expect("valid keywords");
+            // Between batches, explain every campaign's hot statements on
+            // one side only.
+            for handle in &explained.handles {
+                let lines = handle
+                    .explain("SELECT bid FROM Keywords WHERE text = 'kw0'")
+                    .expect("sql program")
+                    .expect("valid explain");
+                assert!(!lines.is_empty());
+                handle
+                    .explain("UPDATE Keywords SET relevance = 1.0 WHERE text = 'kw0'")
+                    .expect("sql program")
+                    .expect("valid explain");
+            }
+            let explained_report = explained
+                .market
+                .serve_batch(&batch)
+                .expect("valid keywords");
+            assert_eq!(
+                plain_report, explained_report,
+                "EXPLAIN perturbed serving at round {round}"
+            );
+            for adv in 0..w.bidders.len() {
+                for kw in 0..w.config.num_keywords {
+                    assert_eq!(plain.bid_of(adv, kw), explained.bid_of(adv, kw));
                 }
             }
         }

@@ -169,6 +169,35 @@
 //! not (`reproduce --strategy <native|sql>` measures the interpreter's
 //! overhead; see `examples/sql_campaign.rs` for a runnable tour).
 //!
+//! ## Query planning and compiled triggers
+//!
+//! Below the prepared-statement surface, [`minidb`] executes through an
+//! explicit logical → physical plan split. `prepare` (and trigger
+//! installation) lowers each statement once: columns become row offsets
+//! and every predicate/SET/projection expression compiles to a flat
+//! op-sequence evaluated without AST recursion. Equality-probed
+//! `INT`/`TEXT` columns get secondary hash indexes, built on demand by a
+//! tiny planner that chooses index-lookup vs scan per statement and
+//! maintained incrementally on every mutation (posting lists stay in
+//! scan order; NULLs are never indexed, matching three-valued
+//! equality). Whole scripts are planned once per catalog version and
+//! memoised by their owners — prepared statements and trigger bodies
+//! revalidate one version number per execution, and DDL transparently
+//! replans.
+//!
+//! The planner is held to an equivalence guarantee: planned + indexed +
+//! compiled execution is bit-identical to the reference tree-walking
+//! interpreter, which stays reachable as a forced-scan mode
+//! (`SSA_MINIDB_FORCE_SCAN=1` or [`minidb::Database::set_planner_mode`])
+//! and backs a proptest equivalence suite plus the three-way
+//! (`native|sql|sql-reparse`) Section V workload check.
+//! [`minidb::Database::explain`] (and the `EXPLAIN` statement) report
+//! the chosen access path without executing — provably without
+//! disturbing RNG or trigger state — and planner counters
+//! (`index_hits`, `rows_scanned`, `plans_cached`) flow through
+//! `reproduce --strategy sql --json` so CI tracks whether the index
+//! path actually served.
+//!
 //! ## Low-level escape hatch: driving `AuctionEngine` by hand
 //!
 //! The facade covers the service use case; the engine stays public for
