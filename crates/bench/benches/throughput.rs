@@ -43,6 +43,7 @@ fn bench_throughput(c: &mut Criterion) {
         let config = EngineConfig {
             method,
             pricing: PricingScheme::Gsp,
+            ..EngineConfig::default()
         };
         group.bench_with_input(
             BenchmarkId::new(format!("{method}/loop_run_auction"), n),
@@ -90,6 +91,7 @@ fn bench_marketplace(c: &mut Criterion) {
     let config = EngineConfig {
         method: WdMethod::Reduced,
         pricing: PricingScheme::Gsp,
+        ..EngineConfig::default()
     };
     for n in [2000usize, 5000] {
         group.bench_with_input(
@@ -330,6 +332,7 @@ fn sharded_setup(n: usize, shards: usize) -> (ShardedMarketplace, Vec<QueryReque
     let config = EngineConfig {
         method: WdMethod::Reduced,
         pricing: PricingScheme::Gsp,
+        ..EngineConfig::default()
     };
     let section = SectionVConfig {
         num_advertisers: n,
@@ -409,6 +412,100 @@ fn paired_sharded_speedup() {
     }
 }
 
+/// Winner determination through the top-k `PrunedSolver` wrapper versus
+/// the full-matrix solve, on the same engines and query stream. The
+/// pruned rows run the inner solver on the union of each slot's top-k
+/// bidders (ties at the floor kept — outcomes are bit-identical), so the
+/// solve phase shrinks from `n` advertisers to `O(k²)` candidates. Method
+/// H is where the gap is widest (the full Hungarian is Θ(n·k²) per
+/// auction); RH rows show the wrapper composes with the reduced graph.
+fn bench_pruned_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruned_solve");
+    group.sample_size(10);
+    let queries: Vec<usize> = (0..BATCH).map(|i| i % 10).collect();
+    for method in [WdMethod::Hungarian, WdMethod::Reduced] {
+        for n in [1000usize, 2000] {
+            for (label, pruned) in [("full", false), ("pruned", true)] {
+                // Warm starts would skip every solve after warmup (bids
+                // never change here) and measure nothing; cold-solve each
+                // auction so the rows isolate the solve phase itself.
+                let config = EngineConfig {
+                    method,
+                    pricing: PricingScheme::Gsp,
+                    pruned,
+                    warm_start: false,
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{method}/{label}"), n),
+                    &n,
+                    |b, &n| {
+                        let mut engine = section_v_engine(n, 0xBA7C4, config);
+                        let mut rng = StdRng::seed_from_u64(1);
+                        engine.run_batch(&queries, &mut rng);
+                        b.iter(|| engine.run_batch(&queries, &mut rng))
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Paired full-vs-pruned measurement on method H: alternate rounds on twin
+/// engines so machine drift hits both equally, assert the outcomes agree,
+/// and print the speedup plus the per-phase solve times that explain it.
+fn paired_pruned_speedup() {
+    const ROUNDS: usize = 10;
+    let queries: Vec<usize> = (0..BATCH).map(|i| i % 10).collect();
+    for n in [1000usize, 2000] {
+        let build = |pruned| {
+            // Cold-solve each auction (see bench_pruned_solve) so the
+            // paired rows measure the solver, not the warm-start skip.
+            let config = EngineConfig {
+                method: WdMethod::Hungarian,
+                pricing: PricingScheme::Gsp,
+                pruned,
+                warm_start: false,
+            };
+            section_v_engine(n, 0xBA7C4, config)
+        };
+        let mut full = build(false);
+        let mut pruned = build(true);
+        let mut full_rng = StdRng::seed_from_u64(1);
+        let mut pruned_rng = StdRng::seed_from_u64(1);
+        full.run_batch(&queries, &mut full_rng);
+        pruned.run_batch(&queries, &mut pruned_rng);
+        let (mut full_time, mut pruned_time) = (Duration::ZERO, Duration::ZERO);
+        let mut reports = None;
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            let full_report = full.run_batch(&queries, &mut full_rng);
+            full_time += start.elapsed();
+            let start = Instant::now();
+            let pruned_report = pruned.run_batch(&queries, &mut pruned_rng);
+            pruned_time += start.elapsed();
+            assert_eq!(
+                full_report, pruned_report,
+                "pruned winner determination diverged at n = {n}"
+            );
+            reports = Some((full_report, pruned_report));
+        }
+        let auctions = (ROUNDS * BATCH) as f64;
+        let (full_report, pruned_report) = reports.expect("ROUNDS > 0");
+        println!(
+            "pruned_solve/h/paired/{n}: full {:.0} auctions/sec \
+             (solve {:.2} ms), pruned {:.0} auctions/sec (solve {:.2} ms, \
+             avg {:.1} of {n} candidates), speedup ×{:.3}",
+            auctions / full_time.as_secs_f64(),
+            full_report.phases.solve_ns as f64 / 1e6,
+            auctions / pruned_time.as_secs_f64(),
+            pruned_report.phases.solve_ns as f64 / 1e6,
+            pruned_report.phases.avg_candidates(),
+            full_time.as_secs_f64() / pruned_time.as_secs_f64(),
+        );
+    }
+}
+
 /// Paired measurement: alternate loop/batch rounds on twin engines so slow
 /// machine drift hits both sides equally, then print the speedup. This is
 /// the robust form of the claim the criterion rows above make.
@@ -417,6 +514,7 @@ fn paired_speedup() {
     let config = EngineConfig {
         method: WdMethod::Reduced,
         pricing: PricingScheme::Gsp,
+        ..EngineConfig::default()
     };
     let queries: Vec<usize> = (0..BATCH).map(|i| i % 10).collect();
     for n in [2000usize, 5000] {
@@ -456,6 +554,7 @@ criterion_group!(
     bench_throughput,
     bench_marketplace,
     bench_sharded,
+    bench_pruned_solve,
     bench_sql_programs,
     bench_minidb_query,
     bench_sqlprog_round
@@ -469,6 +568,7 @@ fn main() {
     // that one does not count as a user argument.
     if std::env::args().skip(1).all(|a| a == "--bench") {
         paired_speedup();
+        paired_pruned_speedup();
         paired_sharded_speedup();
         paired_sql_program_speedup();
     }

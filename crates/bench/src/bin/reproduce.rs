@@ -7,6 +7,10 @@
 //! reproduce [fig12|fig13|tables|all] [--quick]
 //! ```
 //!
+//! Single-run mode (`--method`) additionally accepts `--pruned` to route
+//! winner determination through the top-k `PrunedSolver` wrapper — same
+//! auction outcomes, smaller solves.
+//!
 //! `--quick` shrinks advertiser counts and auction counts so the whole run
 //! finishes in seconds; the default mirrors the paper's scales (Figure 12:
 //! up to 5000 advertisers, 100 auctions per point; Figure 13: up to 20000
@@ -27,7 +31,7 @@ reproduce — regenerate the paper's figures as text output
 
 Usage: reproduce [fig12|fig13|tables|all] [--quick]
        reproduce --method <lp|h|rh|rhp:<threads>> [--json] [--quick]
-                 [--shards <n>] [--load <queries>]
+                 [--shards <n>] [--load <queries>] [--pruned]
                  [--strategy <native|sql|sql-reparse>]
        reproduce --strategy <native|sql|sql-reparse> [--json] [--quick]
        reproduce --list-methods
@@ -46,6 +50,9 @@ Options:
                   facade
   --load <q>      with --method, serve q timed queries (q >= 1) instead of
                   the built-in auction count — the load-generator knob
+  --pruned        with --method/--strategy, solve on the union of each
+                  slot's top-k bidders (ties kept) instead of the full
+                  advertiser set — bit-identical outcomes, smaller solves
   --strategy <s>  measure the *programmed* Section II-B population instead
                   of the static per-click one: every advertiser a
                   keyword-local Figure 5 ROI program, run natively
@@ -111,7 +118,7 @@ fn main() {
     // positional target (skipping the value-carrying flags' values).
     let value_flag =
         |a: &str| a == "--method" || a == "--shards" || a == "--load" || a == "--strategy";
-    let known_flag = |a: &str| a == "--quick" || a == "--json" || value_flag(a);
+    let known_flag = |a: &str| a == "--quick" || a == "--json" || a == "--pruned" || value_flag(a);
     let mut target: Option<&str> = None;
     let mut skip_value = false;
     for a in &args {
@@ -134,14 +141,15 @@ fn main() {
     }
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let pruned = args.iter().any(|a| a == "--pruned");
     // --strategy implies single-run mode with the rh default method.
     let single_run = method.is_some() || strategy.is_some();
     if json && !single_run {
         eprintln!("--json requires --method or --strategy\n{USAGE}");
         std::process::exit(2);
     }
-    if (shards.is_some() || load.is_some()) && !single_run {
-        eprintln!("--shards/--load require --method or --strategy\n{USAGE}");
+    if (shards.is_some() || load.is_some() || pruned) && !single_run {
+        eprintln!("--shards/--load/--pruned require --method or --strategy\n{USAGE}");
         std::process::exit(2);
     }
 
@@ -151,7 +159,7 @@ fn main() {
             std::process::exit(2);
         }
         let method = method.unwrap_or(WdMethod::Reduced);
-        single_method(method, json, quick, shards, load, strategy);
+        single_method(method, json, quick, shards, load, strategy, pruned);
         return;
     }
 
@@ -221,12 +229,15 @@ fn single_method(
     shards: Option<usize>,
     load: Option<usize>,
     strategy: Option<Strategy>,
+    pruned: bool,
 ) {
     let (n, default_auctions) = if quick { (250, 50) } else { (1000, 200) };
     let auctions = load.unwrap_or(default_auctions);
     let warmup = auctions / 10 + 1;
     let run = match strategy {
-        Some(strategy) => measure_programmed(strategy, method, n, auctions, warmup, 4242, shards),
+        Some(strategy) => {
+            measure_programmed(strategy, method, n, auctions, warmup, 4242, shards, pruned)
+        }
         None => match shards {
             Some(shards) => measure_method_sharded(
                 method,
@@ -236,8 +247,17 @@ fn single_method(
                 warmup,
                 4242,
                 shards,
+                pruned,
             ),
-            None => measure_method(method, PricingScheme::Gsp, n, auctions, warmup, 4242),
+            None => measure_method(
+                method,
+                PricingScheme::Gsp,
+                n,
+                auctions,
+                warmup,
+                4242,
+                pruned,
+            ),
         },
     };
     if json {
@@ -251,13 +271,15 @@ fn single_method(
             Some(s) => format!(", {s} programs"),
             None => String::new(),
         };
+        let pruning = if run.pruned { ", pruned" } else { "" };
         println!(
-            "method {} ({} pricing{}{}): n = {}, k = {}, {} auctions in {:.2} ms \
+            "method {} ({} pricing{}{}{}): n = {}, k = {}, {} auctions in {:.2} ms \
              ({:.0} auctions/sec, {} clicks, {} realized)",
             run.method,
             run.pricing,
             sharding,
             population,
+            pruning,
             run.advertisers,
             run.slots,
             run.auctions,
@@ -265,6 +287,20 @@ fn single_method(
             run.auctions_per_sec(),
             run.report.clicks,
             run.report.realized_revenue,
+        );
+        let p = run.report.phases;
+        println!(
+            "phases: program-eval {:.2} ms, matrix-fill {:.2} ms, solve {:.2} ms, \
+             pricing {:.2} ms, settlement {:.2} ms ({} solves, {} warm, \
+             avg {:.1} candidates)",
+            p.program_eval_ns as f64 / 1e6,
+            p.matrix_fill_ns as f64 / 1e6,
+            p.solve_ns as f64 / 1e6,
+            p.pricing_ns as f64 / 1e6,
+            p.settlement_ns as f64 / 1e6,
+            p.solves,
+            p.warm_solves,
+            p.avg_candidates(),
         );
         if let (Some(mode), Some(stats)) = (run.planner_mode, run.planner) {
             println!(

@@ -122,7 +122,18 @@ fn section_v_builder(
         .keywords(workload.config.num_keywords)
         .method(config.method)
         .pricing(config.pricing)
+        .pruned(config.pruned)
+        .warm_start(config.warm_start)
         .seed(seed ^ 0xD1CE_D1CE)
+}
+
+/// Logical cores available to this process — recorded in every
+/// [`MethodRun`] so throughput rows from different machines are
+/// comparable.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 /// Registers the Section V population — one advertiser, one per-click
@@ -207,6 +218,11 @@ pub struct MethodRun {
     pub strategy: Option<Strategy>,
     /// Timed auctions (after warm-up).
     pub auctions: usize,
+    /// Logical cores available to the process during the run.
+    pub cores: usize,
+    /// Whether the engines solved through the top-k
+    /// [`PrunedSolver`](ssa_matching::PrunedSolver) wrapper.
+    pub pruned: bool,
     /// Wall-clock time of the timed batch.
     pub elapsed: Duration,
     /// Aggregate auction outcomes of the timed batch.
@@ -257,12 +273,30 @@ impl MethodRun {
             }
             _ => "null".to_string(),
         };
+        let p = &self.report.phases;
+        let phases = format!(
+            concat!(
+                "{{\"program_eval_ms\":{:.3},\"matrix_fill_ms\":{:.3},",
+                "\"solve_ms\":{:.3},\"pricing_ms\":{:.3},",
+                "\"settlement_ms\":{:.3},\"solves\":{},\"warm_solves\":{},",
+                "\"avg_candidates\":{:.1}}}"
+            ),
+            p.program_eval_ns as f64 / 1e6,
+            p.matrix_fill_ns as f64 / 1e6,
+            p.solve_ns as f64 / 1e6,
+            p.pricing_ns as f64 / 1e6,
+            p.settlement_ns as f64 / 1e6,
+            p.solves,
+            p.warm_solves,
+            p.avg_candidates(),
+        );
         format!(
             concat!(
                 "{{\"method\":\"{}\",\"pricing\":\"{}\",\"advertisers\":{},",
                 "\"slots\":{},\"shards\":{},\"strategy\":{},\"auctions\":{},",
                 "\"elapsed_ms\":{:.3},",
-                "\"auctions_per_sec\":{:.1},\"expected_revenue_cents\":{:.2},",
+                "\"auctions_per_sec\":{:.1},\"cores\":{},\"pruned\":{},",
+                "\"phases\":{},\"expected_revenue_cents\":{:.2},",
                 "\"clicks\":{},\"realized_revenue_cents\":{},\"planner\":{}}}"
             ),
             self.method,
@@ -274,6 +308,9 @@ impl MethodRun {
             self.auctions,
             ms(self.elapsed),
             self.auctions_per_sec(),
+            self.cores,
+            self.pruned,
+            phases,
             self.report.expected_revenue,
             self.report.clicks,
             self.report.realized_revenue.cents(),
@@ -295,8 +332,15 @@ pub fn measure_method(
     auctions: usize,
     warmup: usize,
     seed: u64,
+    pruned: bool,
 ) -> MethodRun {
-    let mut market = section_v_market(n, seed, EngineConfig { method, pricing });
+    let config = EngineConfig {
+        method,
+        pricing,
+        pruned,
+        ..EngineConfig::default()
+    };
+    let mut market = section_v_market(n, seed, config);
     let slots = market.num_slots();
     let keywords = market.num_keywords();
     let (elapsed, report) = timed_round_robin(keywords, auctions, warmup, |requests| {
@@ -313,6 +357,8 @@ pub fn measure_method(
         shards: None,
         strategy: None,
         auctions,
+        cores: available_cores(),
+        pruned,
         elapsed,
         report,
         planner_mode: None,
@@ -326,6 +372,7 @@ pub fn measure_method(
 /// round serves `auctions` queries with
 /// [`ShardedMarketplace::serve_batch`], fanning the same round-robin
 /// multi-keyword stream out across `shards` worker threads.
+#[allow(clippy::too_many_arguments)] // the workload shape plus two toggles
 pub fn measure_method_sharded(
     method: WdMethod,
     pricing: PricingScheme,
@@ -334,12 +381,15 @@ pub fn measure_method_sharded(
     warmup: usize,
     seed: u64,
     shards: usize,
+    pruned: bool,
 ) -> MethodRun {
-    let mut market = section_v_sharded_market(
-        SectionVConfig::paper(n, seed),
-        EngineConfig { method, pricing },
-        shards,
-    );
+    let config = EngineConfig {
+        method,
+        pricing,
+        pruned,
+        ..EngineConfig::default()
+    };
+    let mut market = section_v_sharded_market(SectionVConfig::paper(n, seed), config, shards);
     let slots = market.num_slots();
     let keywords = market.num_keywords();
     let (elapsed, report) = timed_round_robin(keywords, auctions, warmup, |requests| {
@@ -356,6 +406,8 @@ pub fn measure_method_sharded(
         shards: Some(shards),
         strategy: None,
         auctions,
+        cores: available_cores(),
+        pruned,
         elapsed,
         report,
         planner_mode: None,
@@ -376,6 +428,7 @@ pub fn measure_method_sharded(
 /// shard-invariant). Pricing is always the paper's GSP — the programmed
 /// populations are defined (and equivalence-tested) under GSP settlement,
 /// whose click charges are the feedback the ROI programs consume.
+#[allow(clippy::too_many_arguments)] // the workload shape plus two toggles
 pub fn measure_programmed(
     strategy: Strategy,
     method: WdMethod,
@@ -384,6 +437,7 @@ pub fn measure_programmed(
     warmup: usize,
     seed: u64,
     shards: Option<usize>,
+    pruned: bool,
 ) -> MethodRun {
     let pricing = PricingScheme::Gsp;
     let workload = SectionVWorkload::generate(SectionVConfig::paper(n, seed));
@@ -392,6 +446,7 @@ pub fn measure_programmed(
     let (elapsed, report, planner_mode, planner) = match shards {
         None => {
             let mut built = programmed_market(&workload, method, strategy);
+            built.market.set_pruned(pruned);
             let (elapsed, report) = timed_round_robin(keywords, auctions, warmup, |requests| {
                 built
                     .market
@@ -405,6 +460,7 @@ pub fn measure_programmed(
         Some(shards) => {
             let mut built = programmed_sharded_market(&workload, method, strategy, shards)
                 .expect("valid shard count");
+            built.market.set_pruned(pruned);
             let (elapsed, report) = timed_round_robin(keywords, auctions, warmup, |requests| {
                 built
                     .market
@@ -424,6 +480,8 @@ pub fn measure_programmed(
         shards,
         strategy: Some(strategy),
         auctions,
+        cores: available_cores(),
+        pruned,
         elapsed,
         report,
         planner_mode,
@@ -482,10 +540,11 @@ mod tests {
 
     #[test]
     fn method_run_json_shape() {
-        let run = measure_method(WdMethod::Reduced, PricingScheme::Gsp, 40, 6, 2, 11);
+        let run = measure_method(WdMethod::Reduced, PricingScheme::Gsp, 40, 6, 2, 11, false);
         assert_eq!(run.auctions, 6);
         assert_eq!(run.report.auctions, 6);
         assert!(run.auctions_per_sec() > 0.0);
+        assert!(run.cores >= 1);
         let json = run.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         for key in [
@@ -498,6 +557,13 @@ mod tests {
             "\"auctions\":6",
             "\"elapsed_ms\":",
             "\"auctions_per_sec\":",
+            "\"cores\":",
+            "\"pruned\":false",
+            "\"phases\":{\"program_eval_ms\":",
+            "\"solve_ms\":",
+            "\"solves\":",
+            "\"warm_solves\":",
+            "\"avg_candidates\":",
             "\"expected_revenue_cents\":",
             "\"clicks\":",
             "\"realized_revenue_cents\":",
@@ -508,12 +574,35 @@ mod tests {
     }
 
     #[test]
+    fn pruned_run_matches_unpruned_and_reports_fewer_candidates() {
+        // Top-k pruning is an execution strategy: identical auction
+        // outcomes, smaller candidate sets fed to the solver.
+        let full = measure_method(
+            WdMethod::Hungarian,
+            PricingScheme::Gsp,
+            60,
+            10,
+            2,
+            13,
+            false,
+        );
+        let pruned = measure_method(WdMethod::Hungarian, PricingScheme::Gsp, 60, 10, 2, 13, true);
+        assert_eq!(full.report, pruned.report);
+        assert!(pruned.to_json().contains("\"pruned\":true"));
+        let p = pruned.report.phases;
+        assert!(
+            p.solves == 0 || p.avg_candidates() < 60.0,
+            "pruning never engaged: {p:?}"
+        );
+    }
+
+    #[test]
     fn programmed_runs_are_strategy_invariant() {
         // Native, prepared-SQL, and reparse-SQL populations must produce
         // identical auction outcomes (only their speed differs) — here
         // through the measurement harness itself, sharded and not.
         let run = |strategy, shards| {
-            measure_programmed(strategy, WdMethod::Reduced, 30, 12, 3, 7, shards)
+            measure_programmed(strategy, WdMethod::Reduced, 30, 12, 3, 7, shards, false)
         };
         let native = run(Strategy::Native, None);
         let sql = run(Strategy::Sql, None);
@@ -540,9 +629,61 @@ mod tests {
     }
 
     #[test]
+    fn pruned_warm_programmed_runs_match_unpruned_cold() {
+        // The acceptance bar for the solver fast path: pruned + warm-started
+        // serving of the programmed three-way workload (native / sql /
+        // sql-reparse) is bit-identical to the unpruned cold solve,
+        // unsharded and at 1 and 4 shards.
+        let workload = SectionVWorkload::generate(SectionVConfig::paper(40, 4242));
+        let keywords = workload.config.num_keywords.max(1);
+        let requests: Vec<QueryRequest> =
+            (0..24).map(|i| QueryRequest::new(i % keywords)).collect();
+        for strategy in [Strategy::Native, Strategy::Sql, Strategy::SqlReparse] {
+            let mut cold = programmed_market(&workload, WdMethod::Reduced, strategy);
+            cold.market.set_pruned(false);
+            cold.market.set_warm_start(false);
+            let want = cold.market.serve_batch(&requests).expect("in range");
+
+            let mut fast = programmed_market(&workload, WdMethod::Reduced, strategy);
+            fast.market.set_pruned(true);
+            fast.market.set_warm_start(true);
+            let got = fast.market.serve_batch(&requests).expect("in range");
+            assert_eq!(got, want, "{strategy} unsharded");
+
+            for shards in [1, 4] {
+                let mut sharded =
+                    programmed_sharded_market(&workload, WdMethod::Reduced, strategy, shards)
+                        .expect("valid shard count");
+                sharded.market.set_pruned(true);
+                sharded.market.set_warm_start(true);
+                let got = sharded.market.serve_batch(&requests).expect("in range");
+                assert_eq!(got, want, "{strategy} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
     fn sharded_method_run_is_shard_count_invariant() {
-        let one = measure_method_sharded(WdMethod::Reduced, PricingScheme::Gsp, 40, 12, 3, 11, 1);
-        let four = measure_method_sharded(WdMethod::Reduced, PricingScheme::Gsp, 40, 12, 3, 11, 4);
+        let one = measure_method_sharded(
+            WdMethod::Reduced,
+            PricingScheme::Gsp,
+            40,
+            12,
+            3,
+            11,
+            1,
+            false,
+        );
+        let four = measure_method_sharded(
+            WdMethod::Reduced,
+            PricingScheme::Gsp,
+            40,
+            12,
+            3,
+            11,
+            4,
+            false,
+        );
         assert_eq!(one.shards, Some(1));
         assert_eq!(four.shards, Some(4));
         assert!(one.to_json().contains("\"shards\":1"), "{}", one.to_json());

@@ -67,8 +67,15 @@ fn zero_load_is_a_clear_error() {
 
 #[test]
 fn shards_and_load_require_method() {
-    assert_usage_error(&["--shards", "2"], "--shards/--load require --method");
-    assert_usage_error(&["--load", "10"], "--shards/--load require --method");
+    assert_usage_error(
+        &["--shards", "2"],
+        "--shards/--load/--pruned require --method",
+    );
+    assert_usage_error(
+        &["--load", "10"],
+        "--shards/--load/--pruned require --method",
+    );
+    assert_usage_error(&["--pruned"], "--shards/--load/--pruned require --method");
 }
 
 #[test]

@@ -1,29 +1,37 @@
 //! The auction engine: program evaluation → winner determination → user
 //! action → pricing, per Section I-B's six-step flow.
 //!
-//! Two execution paths share the same auction logic:
+//! All execution paths share one persistent auction pipeline:
 //!
-//! * [`AuctionEngine::run_auction`] — the one-shot convenience path. It
-//!   builds a fresh revenue matrix and solver scratch per call and returns
-//!   a fully materialised [`AuctionReport`].
+//! * [`AuctionEngine::run_auction`] — the single-auction convenience path;
+//!   it runs the same in-place hot step as the batched paths and
+//!   materialises a fully-owned [`AuctionReport`] from the scratch buffers.
 //! * [`AuctionEngine::run_batch`] / [`AuctionEngine::stream`] — the hot
 //!   path. The engine owns a boxed [`WdSolver`] plus preallocated matrix,
 //!   assignment, and charge buffers; each auction refills them in place
 //!   (via [`revenue_matrix_into`]), so a batch performs **no per-auction
 //!   revenue-matrix allocation**. `run_batch` aggregates into a
 //!   [`BatchReport`]; `stream` lazily materialises per-auction reports.
+//!
+//! Every hot step is instrumented with per-phase wall-clock tallies
+//! ([`PhaseStats`]), and two exactness-preserving optimisations ride the
+//! persistent state: top-k candidate pruning
+//! ([`EngineConfig::pruned`]) and warm-started assignments
+//! ([`EngineConfig::warm_start`], which skips the matrix refill and solve
+//! outright when no bid changed since the previous auction on the engine).
 
 use crate::bidder::{Bidder, BidderOutcome, QueryContext};
 use crate::pricing::{gsp_prices_into, vcg_prices, PricingScheme, SlotPrice};
 use crate::prob::{ClickModel, PurchaseModel};
-use crate::revenue::{revenue_matrix, revenue_matrix_into, NoSlotValues};
+use crate::revenue::{revenue_matrix_into, revenue_matrix_refresh_row, NoSlotValues};
 use rand::Rng;
 use ssa_bidlang::{AdvertiserView, BidsTable, Money, SlotId};
 use ssa_matching::{
-    max_weight_assignment, reduced_assignment, Assignment, HungarianSolver, ParallelReducedSolver,
-    ReducedSolver, RevenueMatrix, WdSolver,
+    Assignment, HungarianSolver, ParallelReducedSolver, PrunedSolver, ReducedSolver, RevenueMatrix,
+    WdSolver,
 };
-use ssa_simplex::{network_simplex_assignment, NetworkSimplexSolver};
+use ssa_simplex::NetworkSimplexSolver;
+use std::time::Instant;
 
 /// Which winner-determination algorithm the engine runs (the four methods
 /// of Section V, minus the program-evaluation reductions which live in the
@@ -145,6 +153,17 @@ pub struct EngineConfig {
     pub method: WdMethod,
     /// Pricing rule.
     pub pricing: PricingScheme,
+    /// Wrap the solver in the Section III-E top-k
+    /// [`PrunedSolver`](ssa_matching::PrunedSolver): winner determination
+    /// runs on the union of each slot's top-k bidders (ties at the floor
+    /// kept), which is bit-identical to the full solve but touches
+    /// `O(k²)` rather than `n` advertisers when bids are dispersed.
+    pub pruned: bool,
+    /// Skip the matrix refill and solve entirely when no bidder's table
+    /// changed since the engine's previous auction (the previous
+    /// assignment is provably identical: solvers are deterministic and
+    /// draw no randomness). Exactness-preserving; on by default.
+    pub warm_start: bool,
 }
 
 impl Default for EngineConfig {
@@ -152,6 +171,8 @@ impl Default for EngineConfig {
         EngineConfig {
             method: WdMethod::Reduced,
             pricing: PricingScheme::Gsp,
+            pruned: false,
+            warm_start: true,
         }
     }
 }
@@ -174,9 +195,69 @@ pub struct AuctionReport {
     pub realized_revenue: Money,
 }
 
+/// Per-phase wall-clock tallies and solve diagnostics for a batched run,
+/// following the paper's Section I-B step names: program evaluation,
+/// revenue-matrix fill, winner-determination solve, pricing, and settlement
+/// (user-action sampling plus bidder notification). Timings are cheap
+/// [`Instant`] differences taken once per phase per auction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStats {
+    /// Nanoseconds evaluating bidding programs.
+    pub program_eval_ns: u64,
+    /// Nanoseconds diffing bids and (re)filling the revenue matrix.
+    pub matrix_fill_ns: u64,
+    /// Nanoseconds in the winner-determination solver.
+    pub solve_ns: u64,
+    /// Nanoseconds computing charges.
+    pub pricing_ns: u64,
+    /// Nanoseconds sampling user actions and notifying bidders.
+    pub settlement_ns: u64,
+    /// Winner-determination solves actually executed.
+    pub solves: u64,
+    /// Auctions whose solve was skipped because no bid changed since the
+    /// engine's previous auction (warm start).
+    pub warm_solves: u64,
+    /// Summed over executed solves: the number of advertisers the solver
+    /// actually considered (`n` for unpruned full-matrix methods, the
+    /// candidate-set size for pruned/reduced ones).
+    pub candidates: u64,
+}
+
+impl PhaseStats {
+    /// Folds another tally into this one.
+    pub fn absorb(&mut self, other: &PhaseStats) {
+        self.program_eval_ns += other.program_eval_ns;
+        self.matrix_fill_ns += other.matrix_fill_ns;
+        self.solve_ns += other.solve_ns;
+        self.pricing_ns += other.pricing_ns;
+        self.settlement_ns += other.settlement_ns;
+        self.solves += other.solves;
+        self.warm_solves += other.warm_solves;
+        self.candidates += other.candidates;
+    }
+
+    /// Total instrumented nanoseconds across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.program_eval_ns
+            + self.matrix_fill_ns
+            + self.solve_ns
+            + self.pricing_ns
+            + self.settlement_ns
+    }
+
+    /// Mean candidate-set size per executed solve (0 when none ran).
+    pub fn avg_candidates(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.candidates as f64 / self.solves as f64
+        }
+    }
+}
+
 /// Aggregate outcome of a batched run: everything the serving layer needs
 /// for accounting without materialising per-auction reports.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BatchReport {
     /// Auctions run.
     pub auctions: u64,
@@ -190,6 +271,21 @@ pub struct BatchReport {
     pub purchases: u64,
     /// Total realised revenue.
     pub realized_revenue: Money,
+    /// Per-phase timings and solve diagnostics. Excluded from `PartialEq`:
+    /// two runs with identical auction outcomes compare equal no matter how
+    /// long each phase took or which exactness-preserving shortcuts fired.
+    pub phases: PhaseStats,
+}
+
+impl PartialEq for BatchReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.auctions == other.auctions
+            && self.expected_revenue == other.expected_revenue
+            && self.filled_slots == other.filled_slots
+            && self.clicks == other.clicks
+            && self.purchases == other.purchases
+            && self.realized_revenue == other.realized_revenue
+    }
 }
 
 impl BatchReport {
@@ -203,6 +299,7 @@ impl BatchReport {
         self.clicks += other.clicks;
         self.purchases += other.purchases;
         self.realized_revenue += other.realized_revenue;
+        self.phases.absorb(&other.phases);
     }
 }
 
@@ -211,6 +308,14 @@ impl BatchReport {
 #[derive(Debug)]
 struct BatchScratch {
     bids: Vec<BidsTable>,
+    /// The previous auction's bid tables, kept for the warm-start diff.
+    prev_bids: Vec<BidsTable>,
+    /// `matrix`/`base` reflect `bids` from a completed hot step, so the
+    /// warm-start path may refresh only the rows whose bids changed.
+    have_prev: bool,
+    /// `assignment` is the current solver's output for `matrix`, so an
+    /// unchanged auction may skip the solve outright.
+    solved: bool,
     matrix: RevenueMatrix,
     base: NoSlotValues,
     assignment: Assignment,
@@ -220,12 +325,16 @@ struct BatchScratch {
     prices: Vec<SlotPrice>,
     adv_to_slot: Vec<Option<usize>>,
     price_by_adv: Vec<Money>,
+    phases: PhaseStats,
 }
 
 impl BatchScratch {
     fn new(num_slots: usize) -> Self {
         BatchScratch {
             bids: Vec::new(),
+            prev_bids: Vec::new(),
+            have_prev: false,
+            solved: false,
             matrix: RevenueMatrix::zeros(0, num_slots.max(1)),
             base: NoSlotValues::default(),
             assignment: Assignment::default(),
@@ -235,6 +344,7 @@ impl BatchScratch {
             prices: Vec::new(),
             adv_to_slot: Vec::new(),
             price_by_adv: Vec::new(),
+            phases: PhaseStats::default(),
         }
     }
 }
@@ -255,7 +365,18 @@ pub struct AuctionEngine<B: Bidder> {
     time: u64,
     solver: Box<dyn WdSolver>,
     solver_method: WdMethod,
+    solver_pruned: bool,
     scratch: BatchScratch,
+}
+
+/// The solver a config asks for: the method's own solver, optionally
+/// wrapped in the top-k [`PrunedSolver`].
+fn build_solver(config: EngineConfig) -> Box<dyn WdSolver> {
+    if config.pruned {
+        Box::new(PrunedSolver::new(config.method.new_solver()))
+    } else {
+        config.method.new_solver()
+    }
 }
 
 impl<B: Bidder> AuctionEngine<B> {
@@ -277,8 +398,9 @@ impl<B: Bidder> AuctionEngine<B> {
             config,
             num_keywords,
             time: 0,
-            solver: config.method.new_solver(),
+            solver: build_solver(config),
             solver_method: config.method,
+            solver_pruned: config.pruned,
             scratch,
         }
     }
@@ -311,90 +433,33 @@ impl<B: Bidder> AuctionEngine<B> {
     }
 
     fn ensure_solver(&mut self) {
-        if self.solver_method != self.config.method {
-            self.solver = self.config.method.new_solver();
+        if self.solver_method != self.config.method || self.solver_pruned != self.config.pruned {
+            self.solver = build_solver(self.config);
             self.solver_method = self.config.method;
+            self.solver_pruned = self.config.pruned;
+            // A different solver may break ties differently: the retained
+            // assignment no longer counts as this solver's output.
+            self.scratch.solved = false;
         }
     }
 
     /// Runs one complete auction for a query on `keyword`.
     ///
-    /// This is the stateless convenience path: it rebuilds the revenue
-    /// matrix and solver scratch per call. Use [`AuctionEngine::run_batch`]
-    /// or [`AuctionEngine::stream`] on the hot path.
+    /// Runs the same persistent in-place pipeline as
+    /// [`AuctionEngine::run_batch`] (no per-auction matrix or solver
+    /// scratch allocation), then materialises an owned [`AuctionReport`]
+    /// from the scratch buffers — the only allocation this path adds.
     pub fn run_auction<R: Rng>(&mut self, keyword: usize, rng: &mut R) -> AuctionReport {
-        self.time += 1;
-        let ctx = QueryContext {
-            time: self.time,
-            keyword,
-            num_keywords: self.num_keywords,
-        };
-
-        // Step 3: program evaluation.
-        let bids: Vec<_> = self.bidders.iter_mut().map(|b| b.on_query(&ctx)).collect();
-
-        // Step 4: winner determination.
-        let (matrix, base) = revenue_matrix(&bids, &self.clicks, &self.purchases);
-        let assignment = match self.config.method {
-            WdMethod::Lp => network_simplex_assignment(&matrix).0,
-            WdMethod::Hungarian => max_weight_assignment(&matrix),
-            WdMethod::Reduced => reduced_assignment(&matrix).assignment,
-            WdMethod::ReducedParallel(threads) => {
-                ssa_matching::parallel::threaded_reduced_assignment(&matrix, threads).assignment
-            }
-        };
-        let expected_revenue = base.total_base + assignment.total_weight;
-
-        // Step 5: user action — sample clicks and purchases.
-        let k = matrix.num_slots();
-        let mut clicked = vec![false; k];
-        let mut purchased = vec![false; k];
-        for (j, adv) in assignment.slot_to_adv.iter().enumerate() {
-            let Some(adv) = *adv else { continue };
-            let slot = SlotId::from_index0(j);
-            clicked[j] = rng.gen::<f64>() < self.clicks.p_click(adv, slot);
-            // Impossible purchases consume no randomness, so pure click
-            // auctions draw exactly once per filled slot (the contract the
-            // Section V equivalence between facade and Simulation rests on).
-            let p_buy = self.purchases.p_purchase(adv, slot, clicked[j]);
-            purchased[j] = p_buy > 0.0 && rng.gen::<f64>() < p_buy;
-        }
-
-        // Step 6: pricing.
-        let adv_to_slot = assignment.adv_to_slot(self.bidders.len());
-        let mut charges = Vec::new();
-        compute_charges_into(
-            self.config.pricing,
-            &self.clicks,
-            &bids,
-            &matrix,
-            &assignment,
-            &adv_to_slot,
-            &clicked,
-            &purchased,
-            &mut Vec::new(),
-            &mut charges,
-        );
-        let realized_revenue = charges.iter().map(|(_, m)| *m).sum();
-
-        // Notify bidders.
-        notify_bidders(
-            &mut self.bidders,
-            &ctx,
-            &adv_to_slot,
-            &clicked,
-            &purchased,
-            &charges,
-            &mut Vec::new(),
-        );
-
+        self.ensure_solver();
+        let expected_revenue = self.hot_step(keyword, rng);
+        let scratch = &self.scratch;
         AuctionReport {
-            assignment,
+            assignment: scratch.assignment.clone(),
             expected_revenue,
-            clicked,
-            purchased,
-            charges,
-            realized_revenue,
+            clicked: scratch.clicked.clone(),
+            purchased: scratch.purchased.clone(),
+            charges: scratch.charges.clone(),
+            realized_revenue: scratch.charges.iter().map(|(_, m)| *m).sum(),
         }
     }
 
@@ -409,23 +474,77 @@ impl<B: Bidder> AuctionEngine<B> {
             num_keywords: self.num_keywords,
         };
 
-        // Step 3: program evaluation into the reused bids buffer.
+        // Step 3: program evaluation into the reused bids buffer; the
+        // previous auction's tables rotate into `prev_bids` for the
+        // warm-start diff.
+        let t_eval = Instant::now();
+        std::mem::swap(&mut self.scratch.bids, &mut self.scratch.prev_bids);
         self.scratch.bids.clear();
         for b in self.bidders.iter_mut() {
             self.scratch.bids.push(b.on_query(&ctx));
         }
+        let t_fill = Instant::now();
+        self.scratch.phases.program_eval_ns += (t_fill - t_eval).as_nanos() as u64;
 
-        // Step 4: winner determination, matrix refilled in place.
-        revenue_matrix_into(
-            &self.scratch.bids,
-            &self.clicks,
-            &self.purchases,
-            &mut self.scratch.matrix,
-            &mut self.scratch.base,
-        );
-        self.solver
-            .solve(&self.scratch.matrix, &mut self.scratch.assignment);
+        // Step 4a: revenue matrix. With warm starts enabled and a valid
+        // previous fill, refresh only the rows whose bids changed (the
+        // Section IV-B adjustment lists guarantee few do between
+        // consecutive auctions); the row refresh plus the in-order base
+        // re-sum is bit-identical to a full rebuild.
+        let warm = self.config.warm_start;
+        let mut dirty = 0usize;
+        if warm && self.scratch.have_prev && self.scratch.prev_bids.len() == self.scratch.bids.len()
+        {
+            for (i, bids) in self.scratch.bids.iter().enumerate() {
+                if *bids != self.scratch.prev_bids[i] {
+                    revenue_matrix_refresh_row(
+                        bids,
+                        i,
+                        &self.clicks,
+                        &self.purchases,
+                        &mut self.scratch.matrix,
+                        &mut self.scratch.base,
+                    );
+                    dirty += 1;
+                }
+            }
+            if dirty > 0 {
+                self.scratch.base.resum();
+            }
+        } else {
+            revenue_matrix_into(
+                &self.scratch.bids,
+                &self.clicks,
+                &self.purchases,
+                &mut self.scratch.matrix,
+                &mut self.scratch.base,
+            );
+            dirty = self.scratch.bids.len().max(1);
+            self.scratch.have_prev = true;
+        }
+        let t_solve = Instant::now();
+        self.scratch.phases.matrix_fill_ns += (t_solve - t_fill).as_nanos() as u64;
+
+        // Step 4b: winner determination. An unchanged matrix with a valid
+        // previous assignment needs no solve: solvers are deterministic
+        // functions of the matrix and draw no randomness, so the retained
+        // assignment is exactly what a fresh solve would produce.
+        if warm && dirty == 0 && self.scratch.solved {
+            self.scratch.phases.warm_solves += 1;
+        } else {
+            self.solver
+                .solve(&self.scratch.matrix, &mut self.scratch.assignment);
+            self.scratch.solved = true;
+            self.scratch.phases.solves += 1;
+            self.scratch.phases.candidates += self
+                .solver
+                .last_candidates()
+                .unwrap_or_else(|| self.scratch.matrix.num_advertisers())
+                as u64;
+        }
         let expected_revenue = self.scratch.base.total_base + self.scratch.assignment.total_weight;
+        let t_action = Instant::now();
+        self.scratch.phases.solve_ns += (t_action - t_solve).as_nanos() as u64;
 
         // Step 5: user action.
         let k = self.scratch.matrix.num_slots();
@@ -451,6 +570,8 @@ impl<B: Bidder> AuctionEngine<B> {
                 self.scratch.adv_to_slot[*i] = Some(j);
             }
         }
+        let t_pricing = Instant::now();
+        self.scratch.phases.settlement_ns += (t_pricing - t_action).as_nanos() as u64;
 
         // Step 6: pricing into the reused charge/price buffers.
         compute_charges_into(
@@ -465,6 +586,8 @@ impl<B: Bidder> AuctionEngine<B> {
             &mut self.scratch.prices,
             &mut self.scratch.charges,
         );
+        let t_notify = Instant::now();
+        self.scratch.phases.pricing_ns += (t_notify - t_pricing).as_nanos() as u64;
 
         // Notify bidders.
         notify_bidders(
@@ -476,6 +599,7 @@ impl<B: Bidder> AuctionEngine<B> {
             &self.scratch.charges,
             &mut self.scratch.price_by_adv,
         );
+        self.scratch.phases.settlement_ns += t_notify.elapsed().as_nanos() as u64;
 
         expected_revenue
     }
@@ -485,6 +609,7 @@ impl<B: Bidder> AuctionEngine<B> {
     /// revenue-matrix (or solver-scratch) allocation after warm-up.
     pub fn run_batch<R: Rng>(&mut self, queries: &[usize], rng: &mut R) -> BatchReport {
         self.ensure_solver();
+        self.scratch.phases = PhaseStats::default();
         let mut report = BatchReport::default();
         for &keyword in queries {
             let expected = self.hot_step(keyword, rng);
@@ -495,6 +620,7 @@ impl<B: Bidder> AuctionEngine<B> {
             report.purchases += self.scratch.purchased.iter().filter(|p| **p).count() as u64;
             report.realized_revenue += self.scratch.charges.iter().map(|(_, m)| *m).sum();
         }
+        report.phases = self.scratch.phases;
         report
     }
 
@@ -665,7 +791,11 @@ mod tests {
             clicks,
             purchases,
             1,
-            EngineConfig { method, pricing },
+            EngineConfig {
+                method,
+                pricing,
+                ..EngineConfig::default()
+            },
         )
     }
 
@@ -868,6 +998,7 @@ mod tests {
             EngineConfig {
                 method: WdMethod::Hungarian,
                 pricing: PricingScheme::PayYourBid,
+                ..EngineConfig::default()
             },
         );
         let mut rng = StdRng::seed_from_u64(1);

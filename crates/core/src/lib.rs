@@ -62,7 +62,7 @@ pub mod sqlprog;
 pub use bidder::{Bidder, BidderOutcome, QueryContext, TableBidder};
 pub use engine::{
     AuctionEngine, AuctionReport, AuctionStream, BatchReport, EngineConfig, ParseMethodError,
-    WdMethod,
+    PhaseStats, WdMethod,
 };
 pub use heavyweight::{solve_heavyweight, HeavyweightInstance, HeavyweightSolution};
 pub use marketplace::{

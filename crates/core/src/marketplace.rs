@@ -552,12 +552,15 @@ pub struct MarketplaceBuilder {
     num_keywords: usize,
     seed: u64,
     keyword_local_rng: bool,
+    pruned: bool,
+    warm_start: bool,
     default_click_probs: Option<Vec<f64>>,
     default_purchase_probs: Option<Vec<(f64, f64)>>,
 }
 
 impl Default for MarketplaceBuilder {
     fn default() -> Self {
+        let engine_defaults = EngineConfig::default();
         MarketplaceBuilder {
             method: WdMethod::Reduced,
             pricing: PricingScheme::Gsp,
@@ -565,6 +568,8 @@ impl Default for MarketplaceBuilder {
             num_keywords: 1,
             seed: 0,
             keyword_local_rng: false,
+            pruned: engine_defaults.pruned,
+            warm_start: engine_defaults.warm_start,
             default_click_probs: None,
             default_purchase_probs: None,
         }
@@ -618,6 +623,22 @@ impl MarketplaceBuilder {
         self
     }
 
+    /// Run winner determination through the Section III-E top-k
+    /// [`ssa_matching::PrunedSolver`] (default: off). Bit-identical
+    /// outcomes; see [`EngineConfig::pruned`].
+    pub fn pruned(mut self, enabled: bool) -> Self {
+        self.pruned = enabled;
+        self
+    }
+
+    /// Skip the matrix refill and solve when no bid changed since a
+    /// keyword's previous auction (default: on). Bit-identical outcomes;
+    /// see [`EngineConfig::warm_start`].
+    pub fn warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
+        self
+    }
+
     /// Click model applied to campaigns that do not supply their own
     /// [`CampaignSpec::click_probs`].
     pub fn default_click_probs(mut self, probs: Vec<f64>) -> Self {
@@ -660,6 +681,8 @@ impl MarketplaceBuilder {
             config: EngineConfig {
                 method: self.method,
                 pricing: self.pricing,
+                pruned: self.pruned,
+                warm_start: self.warm_start,
             },
             num_slots: self.num_slots,
             num_keywords: self.num_keywords,
@@ -786,6 +809,40 @@ impl Marketplace {
     /// The pricing rule in force.
     pub fn pricing(&self) -> PricingScheme {
         self.config.pricing
+    }
+
+    /// Whether winner determination runs through the top-k
+    /// [`ssa_matching::PrunedSolver`].
+    pub fn pruned(&self) -> bool {
+        self.config.pruned
+    }
+
+    /// Whether unchanged auctions skip the matrix refill and solve.
+    pub fn warm_start(&self) -> bool {
+        self.config.warm_start
+    }
+
+    /// Enables or disables top-k pruned winner determination on every
+    /// keyword engine (built and future). Outcomes are bit-identical either
+    /// way; only the solve cost changes.
+    pub fn set_pruned(&mut self, enabled: bool) {
+        self.config.pruned = enabled;
+        for book in &mut self.books {
+            if let Some(engine) = &mut book.engine {
+                engine.config.pruned = enabled;
+            }
+        }
+    }
+
+    /// Enables or disables warm-started assignments on every keyword engine
+    /// (built and future). Outcomes are bit-identical either way.
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.config.warm_start = enabled;
+        for book in &mut self.books {
+            if let Some(engine) = &mut book.engine {
+                engine.config.warm_start = enabled;
+            }
+        }
     }
 
     /// The global market clock: total auctions served.

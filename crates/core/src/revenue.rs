@@ -77,6 +77,15 @@ pub struct NoSlotValues {
     pub total_base: f64,
 }
 
+impl NoSlotValues {
+    /// Rebuilds `total_base` by summing `base` in index order — the same
+    /// order [`revenue_matrix_into`] sums in, so a partial refresh via
+    /// [`revenue_matrix_refresh_row`] stays bit-identical to a full rebuild.
+    pub fn resum(&mut self) {
+        self.total_base = self.base.iter().sum();
+    }
+}
+
 /// Builds the adjusted expected-revenue matrix for winner determination,
 /// together with the no-slot normalisation values.
 ///
@@ -127,6 +136,31 @@ pub fn revenue_matrix_into(
             expected_revenue(&bids[i], i, SlotId::from_index0(j), clicks, purchases) - base[i]
         }
     });
+}
+
+/// Recomputes one advertiser's matrix row and no-slot base value in place,
+/// cell for cell exactly as [`revenue_matrix_into`] would. The warm-start
+/// path in the auction engine calls this for each row whose bids changed
+/// since the previous auction, then [`NoSlotValues::resum`] once, which
+/// together reproduce a full rebuild bit for bit.
+pub fn revenue_matrix_refresh_row(
+    bids: &BidsTable,
+    adv: usize,
+    clicks: &ClickModel,
+    purchases: &PurchaseModel,
+    matrix: &mut RevenueMatrix,
+    no_slot: &mut NoSlotValues,
+) {
+    let base = no_slot_revenue(bids);
+    no_slot.base[adv] = base;
+    for j in 0..matrix.num_slots() {
+        let weight = if bids.is_empty() {
+            ssa_matching::EXCLUDED
+        } else {
+            expected_revenue(bids, adv, SlotId::from_index0(j), clicks, purchases) - base
+        };
+        matrix.set(adv, j, weight);
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +312,35 @@ mod tests {
         // a zero-weight row could win tie-breaks against an empty slot.
         let a = max_weight_assignment(&matrix);
         assert_eq!(a.slot_to_adv.iter().filter(|s| **s == Some(0)).count(), 0);
+    }
+
+    #[test]
+    fn row_refresh_matches_full_rebuild() {
+        let (clicks, purchases) = uniform_models(3, 2, 0.4);
+        let before = vec![
+            BidsTable::single_feature(Money::from_cents(10)),
+            BidsTable::single_feature(Money::from_cents(7)),
+            BidsTable::new(vec![(Formula::no_slot(2), Money::from_cents(3))]),
+        ];
+        let (mut matrix, mut no_slot) = revenue_matrix(&before, &clicks, &purchases);
+        // Change rows 1 (new bid) and 2 (paused: empty table) only.
+        let mut after = before.clone();
+        after[1] = BidsTable::single_feature(Money::from_cents(55));
+        after[2] = BidsTable::empty();
+        for adv in [1usize, 2] {
+            revenue_matrix_refresh_row(
+                &after[adv],
+                adv,
+                &clicks,
+                &purchases,
+                &mut matrix,
+                &mut no_slot,
+            );
+        }
+        no_slot.resum();
+        let (full_matrix, full_base) = revenue_matrix(&after, &clicks, &purchases);
+        assert_eq!(matrix, full_matrix);
+        assert_eq!(no_slot, full_base);
     }
 
     #[test]

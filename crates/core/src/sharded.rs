@@ -209,6 +209,33 @@ impl ShardedMarketplace {
         self.shards[0].pricing()
     }
 
+    /// Whether winner determination runs through the top-k
+    /// [`ssa_matching::PrunedSolver`].
+    pub fn pruned(&self) -> bool {
+        self.shards[0].pruned()
+    }
+
+    /// Whether unchanged auctions skip the matrix refill and solve.
+    pub fn warm_start(&self) -> bool {
+        self.shards[0].warm_start()
+    }
+
+    /// Enables or disables top-k pruned winner determination on every
+    /// shard; see [`Marketplace::set_pruned`].
+    pub fn set_pruned(&mut self, enabled: bool) {
+        for shard in &mut self.shards {
+            shard.set_pruned(enabled);
+        }
+    }
+
+    /// Enables or disables warm-started assignments on every shard; see
+    /// [`Marketplace::set_warm_start`].
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        for shard in &mut self.shards {
+            shard.set_warm_start(enabled);
+        }
+    }
+
     /// The global market clock: total auctions served across all shards.
     pub fn now(&self) -> u64 {
         self.clock

@@ -17,6 +17,9 @@
 //! * [`threshold`] — the Fagin–Lotem–Naor threshold algorithm used in
 //!   Section IV-A to find the top-k bidders per slot without scanning all
 //!   advertisers, over incrementally-maintained sorted parameter indexes.
+//! * [`pruned`] — [`PrunedSolver`], the Section III-E top-k reduction as a
+//!   wrapper around *any* inner solver, keeping weight ties at the per-slot
+//!   floor so the pruned solve stays bit-identical to the unpruned one.
 //! * [`exhaustive`] — brute-force reference solvers used to validate
 //!   optimality in tests.
 //! * [`solver`] — the [`WdSolver`] trait: every method above as a reusable
@@ -37,6 +40,7 @@ pub mod hungarian;
 pub mod matrix;
 pub mod ordered;
 pub mod parallel;
+pub mod pruned;
 pub mod reduced;
 pub mod solver;
 pub mod threshold;
@@ -46,6 +50,7 @@ pub use hungarian::{max_weight_assignment, HungarianSolver};
 pub use matrix::{Assignment, RevenueMatrix, EXCLUDED};
 pub use ordered::OrderedF64;
 pub use parallel::ParallelReducedSolver;
+pub use pruned::PrunedSolver;
 pub use reduced::{reduced_assignment, reduced_candidates, ReducedSolution, ReducedSolver};
 pub use solver::{BoxedWdSolver, WdSolver};
 pub use threshold::{threshold_top_k, MaintainedIndex, TaInstrumentation, TaSource};

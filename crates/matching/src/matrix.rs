@@ -8,11 +8,18 @@ use std::fmt;
 /// weight after no-slot normalisation is negative).
 pub const EXCLUDED: f64 = f64::NEG_INFINITY;
 
-/// Dense row-major `n × k` matrix of expected revenues: `get(i, j)` is the
-/// expected revenue from assigning slot `j` (zero-based) to advertiser `i`.
+/// Dense `n × k` matrix of expected revenues: `get(i, j)` is the expected
+/// revenue from assigning slot `j` (zero-based) to advertiser `i`.
 ///
 /// This is the paper's Figure 9 "revenue matrix". Entries are finite floats
 /// or [`EXCLUDED`]; NaN and `+∞` are rejected at insertion.
+///
+/// Storage is slot-major (`data[slot * n + adv]`): the solvers' inner loops
+/// — the Jonker–Volgenant cost scan, top-k column collection, and the
+/// pruning pass — all walk *one slot across every advertiser*, so keeping a
+/// slot's weights contiguous turns those scans into linear slice walks (see
+/// [`RevenueMatrix::column`]). Logical indexing everywhere else stays
+/// `(advertiser, slot)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RevenueMatrix {
     n: usize,
@@ -72,7 +79,7 @@ impl RevenueMatrix {
     /// The weight of assigning slot `j` to advertiser `i`.
     #[inline]
     pub fn get(&self, adv: usize, slot: usize) -> f64 {
-        self.data[adv * self.k + slot]
+        self.data[slot * self.n + adv]
     }
 
     /// Sets a weight.
@@ -87,21 +94,20 @@ impl RevenueMatrix {
             weight.is_finite() || weight == EXCLUDED,
             "revenue weights must be finite or EXCLUDED, got {weight}"
         );
-        self.data[adv * self.k + slot] = weight;
+        self.data[slot * self.n + adv] = weight;
     }
 
-    /// Iterates `(advertiser, slot, weight)` over all finite entries.
+    /// Iterates `(advertiser, slot, weight)` over all entries, advertiser-
+    /// major (the historical row-major order — the network-simplex arc
+    /// builder depends on it for deterministic arc numbering).
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.data
-            .iter()
-            .enumerate()
-            .map(move |(idx, &w)| (idx / self.k, idx % self.k, w))
+        (0..self.n).flat_map(move |i| (0..self.k).map(move |j| (i, j, self.get(i, j))))
     }
 
-    /// The row of weights for one advertiser.
+    /// The contiguous column of weights for one slot, indexed by advertiser.
     #[inline]
-    pub fn row(&self, adv: usize) -> &[f64] {
-        &self.data[adv * self.k..(adv + 1) * self.k]
+    pub fn column(&self, slot: usize) -> &[f64] {
+        &self.data[slot * self.n..(slot + 1) * self.n]
     }
 
     /// Reshapes the matrix to `n × k` in place, reusing the existing
@@ -117,7 +123,9 @@ impl RevenueMatrix {
         self.n = n;
         self.k = k;
         self.data.clear();
-        self.data.reserve(n * k);
+        self.data.resize(n * k, 0.0);
+        // `f` is still called advertiser-major (i outer, j inner) so that
+        // stateful closures observe the same call order as `from_fn`.
         for i in 0..n {
             for j in 0..k {
                 let weight = f(i, j);
@@ -125,7 +133,7 @@ impl RevenueMatrix {
                     weight.is_finite() || weight == EXCLUDED,
                     "revenue weights must be finite or EXCLUDED, got {weight}"
                 );
-                self.data.push(weight);
+                self.data[j * n + i] = weight;
             }
         }
     }
@@ -253,8 +261,12 @@ mod tests {
         assert_eq!(m.num_advertisers(), 2);
         assert_eq!(m.num_slots(), 2);
         assert_eq!(m.get(0, 1), 5.0);
-        assert_eq!(m.row(1), &[8.0, 7.0]);
+        assert_eq!(m.column(0), &[9.0, 8.0]);
+        assert_eq!(m.column(1), &[5.0, 7.0]);
         assert_eq!(m.iter().count(), 4);
+        // `iter` yields advertiser-major order regardless of storage layout.
+        let order: Vec<(usize, usize)> = m.iter().map(|(i, j, _)| (i, j)).collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
     }
 
     #[test]

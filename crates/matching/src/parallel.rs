@@ -118,14 +118,14 @@ pub fn threaded_top_k(matrix: &RevenueMatrix, k: usize, threads: usize) -> Vec<V
     let partials: Vec<Vec<Vec<(usize, f64)>>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
-            let lo = t * chunk;
+            let lo = (t * chunk).min(n);
             let hi = ((t + 1) * chunk).min(n);
             let matrix_ref = &matrix;
             handles.push(scope.spawn(move || {
                 let mut collectors: Vec<TopK> = (0..slots).map(|_| TopK::new(k)).collect();
-                for adv in lo..hi {
-                    for (slot, &w) in matrix_ref.row(adv).iter().enumerate() {
-                        collectors[slot].offer(adv, w);
+                for (slot, collector) in collectors.iter_mut().enumerate() {
+                    for (adv, &w) in matrix_ref.column(slot)[lo..hi].iter().enumerate() {
+                        collector.offer(lo + adv, w);
                     }
                 }
                 collectors
@@ -205,6 +205,10 @@ impl WdSolver for ParallelReducedSolver {
         for (j, local) in self.sub_out.slot_to_adv.iter().enumerate() {
             out.slot_to_adv[j] = local.map(|l| self.candidates[l]);
         }
+    }
+
+    fn last_candidates(&self) -> Option<usize> {
+        Some(self.candidates.len())
     }
 }
 

@@ -89,9 +89,9 @@ impl WdSolver for ReducedSolver {
         for c in &mut self.collectors {
             c.reset(k);
         }
-        for adv in 0..matrix.num_advertisers() {
-            for (slot, &w) in matrix.row(adv).iter().enumerate() {
-                self.collectors[slot].offer(adv, w);
+        for (slot, collector) in self.collectors.iter_mut().enumerate() {
+            for (adv, &w) in matrix.column(slot).iter().enumerate() {
+                collector.offer(adv, w);
             }
         }
 
@@ -112,6 +112,10 @@ impl WdSolver for ReducedSolver {
         for (j, local) in self.sub_out.slot_to_adv.iter().enumerate() {
             out.slot_to_adv[j] = local.map(|l| self.candidates[l]);
         }
+    }
+
+    fn last_candidates(&self) -> Option<usize> {
+        Some(self.candidates.len())
     }
 }
 

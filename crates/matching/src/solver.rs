@@ -47,6 +47,14 @@ pub trait WdSolver: std::fmt::Debug + Send {
         self.solve(revenue, &mut out);
         out
     }
+
+    /// Number of advertisers the most recent [`WdSolver::solve`] call
+    /// actually considered, when the solver prunes the matrix first
+    /// ([`PrunedSolver`](crate::pruned::PrunedSolver), the reduced methods).
+    /// `None` means the solver always works on the full matrix.
+    fn last_candidates(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The trait-object form used by engines that pick a method at runtime.
@@ -59,6 +67,10 @@ impl WdSolver for BoxedWdSolver {
 
     fn solve(&mut self, revenue: &RevenueMatrix, out: &mut Assignment) {
         self.as_mut().solve(revenue, out);
+    }
+
+    fn last_candidates(&self) -> Option<usize> {
+        self.as_ref().last_candidates()
     }
 }
 

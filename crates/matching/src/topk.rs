@@ -100,10 +100,9 @@ impl TopK {
 pub fn top_k_indices(matrix: &RevenueMatrix, k: usize) -> Vec<Vec<(usize, f64)>> {
     let slots = matrix.num_slots();
     let mut collectors: Vec<TopK> = (0..slots).map(|_| TopK::new(k)).collect();
-    for adv in 0..matrix.num_advertisers() {
-        let row = matrix.row(adv);
-        for (slot, &w) in row.iter().enumerate() {
-            collectors[slot].offer(adv, w);
+    for (slot, collector) in collectors.iter_mut().enumerate() {
+        for (adv, &w) in matrix.column(slot).iter().enumerate() {
+            collector.offer(adv, w);
         }
     }
     collectors.into_iter().map(TopK::into_sorted_desc).collect()

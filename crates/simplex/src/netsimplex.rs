@@ -142,8 +142,18 @@ impl NetworkSimplexSolver {
                 // assignment.
                 if w > 0.0 {
                     out.slot_to_adv[arc.sink] = Some(arc.source);
-                    out.total_weight += w;
                 }
+            }
+        }
+        // Sum the objective in slot order rather than basis-arc order: the
+        // basis ordering depends on the pivot history, and float addition
+        // is not associative — slot-order summation makes `total_weight` a
+        // deterministic function of the assignment alone, so identical
+        // assignments (e.g. full vs top-k-pruned solves) report
+        // bit-identical totals.
+        for (j, adv) in out.slot_to_adv.iter().enumerate() {
+            if let Some(i) = adv {
+                out.total_weight += matrix.get(*i, j);
             }
         }
         self.stats

@@ -60,6 +60,7 @@ fn main() {
         EngineConfig {
             method: WdMethod::Hungarian,
             pricing: PricingScheme::PayYourBid,
+            ..EngineConfig::default()
         },
     );
 

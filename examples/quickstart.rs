@@ -65,6 +65,7 @@ fn main() {
         EngineConfig {
             method: WdMethod::Reduced,
             pricing: PricingScheme::Gsp,
+            ..EngineConfig::default()
         },
     );
 

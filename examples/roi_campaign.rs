@@ -57,6 +57,7 @@ fn main() {
         EngineConfig {
             method: WdMethod::Reduced,
             pricing: PricingScheme::Gsp,
+            ..EngineConfig::default()
         },
     );
 

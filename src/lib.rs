@@ -224,7 +224,11 @@
 //!     clicks,
 //!     purchases,
 //!     1,
-//!     EngineConfig { method: WdMethod::Reduced, pricing: PricingScheme::Gsp },
+//!     EngineConfig {
+//!         method: WdMethod::Reduced,
+//!         pricing: PricingScheme::Gsp,
+//!         ..EngineConfig::default()
+//!     },
 //! );
 //! let report = engine.run_auction(0, &mut StdRng::seed_from_u64(1));
 //! assert_eq!(report.assignment.slot_to_adv.len(), 2);
@@ -261,6 +265,40 @@
 //! assert_eq!(engine.now(), 500); // the clock advances per auction
 //! assert!(report.expected_revenue > 0.0);
 //! ```
+//!
+//! ## Solver hot path: phase metrics, pruning, warm starts
+//!
+//! The batch loop is instrumented and optimised around one invariant:
+//! **every fast path is bit-identical to the full cold solve**.
+//!
+//! * **Phase metrics** — every [`core::BatchReport`] carries a
+//!   [`core::PhaseStats`]: nanoseconds spent in program evaluation,
+//!   matrix fill, the solve itself, pricing, and settlement, plus solve /
+//!   warm-solve / candidate counters. Shards absorb their workers' stats,
+//!   and `reproduce --json` (and the text mode's `phases:` line) surface
+//!   them so a regression names the phase that slowed down. Timings are
+//!   excluded from report equality — two runs compare on outcomes.
+//! * **Top-k pruning** ([`marketplace::MarketplaceBuilder::pruned`],
+//!   `EngineConfig::pruned`) — [`matching::PrunedSolver`] wraps any inner
+//!   solver: with `k` slots, only advertisers reaching a per-slot top-k
+//!   floor can win, so it solves the candidate submatrix instead of all
+//!   `n` rows. Ties at the floor are kept, candidate reindexing is
+//!   monotone, and duplicate candidate rows force a full-matrix fallback
+//!   (a dominated row's augmenting pass can re-route *tied* winners), so
+//!   outcomes are bit-identical — property-tested across all four
+//!   methods, sharded and not.
+//! * **Warm starts** (`EngineConfig::warm_start`, default on) — the
+//!   engine diffs the bid table between auctions, refreshes only dirty
+//!   rows of the persistent revenue matrix, and skips the solve entirely
+//!   when nothing changed; solvers are deterministic, so the previous
+//!   assignment *is* the solution.
+//! * **Slot-major matrix layout** — [`matching::RevenueMatrix`] stores
+//!   `data[slot * n + adv]`, so the per-slot column scans of the solvers
+//!   (and the pruning floor pass) walk contiguous memory.
+//!
+//! `reproduce --method h --quick --pruned --json` runs the paired
+//! configuration CI tracks: identical outcome fields, smaller
+//! `avg_candidates`, and a shrunken `solve_ms`.
 
 #![forbid(unsafe_code)]
 

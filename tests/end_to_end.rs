@@ -41,7 +41,11 @@ fn random_engine(
         clicks,
         purchases,
         1,
-        EngineConfig { method, pricing },
+        EngineConfig {
+            method,
+            pricing,
+            ..EngineConfig::default()
+        },
     )
 }
 
@@ -115,6 +119,7 @@ fn separable_case_matches_sort_allocation() {
         EngineConfig {
             method: WdMethod::Hungarian,
             pricing: PricingScheme::Gsp,
+            ..EngineConfig::default()
         },
     );
     let mut rng = StdRng::seed_from_u64(5);

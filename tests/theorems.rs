@@ -144,7 +144,11 @@ proptest! {
                 tables.iter().cloned().map(TableBidder::new).collect();
             let mut engine = AuctionEngine::new(
                 bidders, clicks, purchases, 1,
-                EngineConfig { method, pricing: PricingScheme::PayYourBid },
+                EngineConfig {
+                    method,
+                    pricing: PricingScheme::PayYourBid,
+                    ..EngineConfig::default()
+                },
             );
             let report = engine.run_auction(0, &mut StdRng::seed_from_u64(seed));
             match reference {
