@@ -17,7 +17,8 @@
 //! advertisers, 1000 auctions per point).
 
 use ssa_bench::{
-    format_table, measure_method, measure_method_sharded, measure_programmed, measure_series,
+    format_table, measure_method, measure_method_remote, measure_method_sharded,
+    measure_programmed, measure_series,
 };
 use ssa_bidlang::{BidsTable, Formula, Money, SlotId};
 use ssa_core::prob::ClickModel;
@@ -33,6 +34,7 @@ Usage: reproduce [fig12|fig13|tables|all] [--quick]
        reproduce --method <lp|h|rh|rhp:<threads>> [--json] [--quick]
                  [--shards <n>] [--load <queries>] [--pruned]
                  [--strategy <native|sql|sql-reparse>]
+                 [--server <host:port>]
        reproduce --strategy <native|sql|sql-reparse> [--json] [--quick]
        reproduce --list-methods
 
@@ -60,6 +62,11 @@ Options:
                   statements (sql), or as the reparse-per-round SQL
                   baseline (sql-reparse). Implies single-run mode; the
                   method defaults to rh when --method is omitted
+  --server <a>    with --method, serve the run through a running ssa-server
+                  at <a> (host:port) over the ssa_net wire protocol instead
+                  of in process; --shards sets the server-side shard count
+                  (default 1). Bit-identical outcomes to the in-process
+                  run; the JSON gains \"server\":\"<a>\"
   --list-methods  print the accepted --method names with their paper
                   sections, then exit
   --json          with --method, emit one machine-readable JSON object
@@ -114,10 +121,18 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let server = match parse_value_flag(&args, "--server", ssa_net::parse_addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     // Walk the arguments once: reject unknown flags and find the first
     // positional target (skipping the value-carrying flags' values).
-    let value_flag =
-        |a: &str| a == "--method" || a == "--shards" || a == "--load" || a == "--strategy";
+    let value_flag = |a: &str| {
+        a == "--method" || a == "--shards" || a == "--load" || a == "--strategy" || a == "--server"
+    };
     let known_flag = |a: &str| a == "--quick" || a == "--json" || a == "--pruned" || value_flag(a);
     let mut target: Option<&str> = None;
     let mut skip_value = false;
@@ -152,6 +167,17 @@ fn main() {
         eprintln!("--shards/--load/--pruned require --method or --strategy\n{USAGE}");
         std::process::exit(2);
     }
+    if server.is_some() && method.is_none() {
+        eprintln!("--server requires --method\n{USAGE}");
+        std::process::exit(2);
+    }
+    if server.is_some() && strategy.is_some() {
+        eprintln!(
+            "--server cannot be combined with --strategy: programmed populations \
+             run in process only\n{USAGE}"
+        );
+        std::process::exit(2);
+    }
 
     if single_run {
         if let Some(target) = target {
@@ -159,7 +185,7 @@ fn main() {
             std::process::exit(2);
         }
         let method = method.unwrap_or(WdMethod::Reduced);
-        single_method(method, json, quick, shards, load, strategy, pruned);
+        single_method(method, json, quick, shards, load, strategy, server, pruned);
         return;
     }
 
@@ -222,6 +248,9 @@ fn parse_value_flag<T, E: std::fmt::Display>(
 /// into a load generator. `--strategy` swaps the static per-click
 /// population for the programmed Section II-B one (native vs SQL ROI
 /// programs), which is how CI tracks the SQL interpreter's overhead.
+/// `--server` routes the whole run through a live `ssa-server` over the
+/// ssa_net wire protocol instead — bit-identical outcomes, real sockets.
+#[allow(clippy::too_many_arguments)] // one parameter per CLI flag
 fn single_method(
     method: WdMethod,
     json: bool,
@@ -229,16 +258,37 @@ fn single_method(
     shards: Option<usize>,
     load: Option<usize>,
     strategy: Option<Strategy>,
+    server: Option<std::net::SocketAddr>,
     pruned: bool,
 ) {
     let (n, default_auctions) = if quick { (250, 50) } else { (1000, 200) };
     let auctions = load.unwrap_or(default_auctions);
     let warmup = auctions / 10 + 1;
-    let run = match strategy {
-        Some(strategy) => {
+    let run = match (server, strategy) {
+        (Some(addr), _) => {
+            let sharding = shards.unwrap_or(1);
+            match measure_method_remote(
+                addr,
+                method,
+                PricingScheme::Gsp,
+                n,
+                auctions,
+                warmup,
+                4242,
+                sharding,
+                pruned,
+            ) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("error: remote run against {addr} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (None, Some(strategy)) => {
             measure_programmed(strategy, method, n, auctions, warmup, 4242, shards, pruned)
         }
-        None => match shards {
+        (None, None) => match shards {
             Some(shards) => measure_method_sharded(
                 method,
                 PricingScheme::Gsp,
@@ -272,14 +322,19 @@ fn single_method(
             None => String::new(),
         };
         let pruning = if run.pruned { ", pruned" } else { "" };
+        let via = match &run.server {
+            Some(addr) => format!(", via {addr}"),
+            None => String::new(),
+        };
         println!(
-            "method {} ({} pricing{}{}{}): n = {}, k = {}, {} auctions in {:.2} ms \
+            "method {} ({} pricing{}{}{}{}): n = {}, k = {}, {} auctions in {:.2} ms \
              ({:.0} auctions/sec, {} clicks, {} realized)",
             run.method,
             run.pricing,
             sharding,
             population,
             pruning,
+            via,
             run.advertisers,
             run.slots,
             run.auctions,

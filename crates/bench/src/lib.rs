@@ -13,10 +13,12 @@ use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
 use ssa_core::sharded::ShardedMarketplace;
 use ssa_core::{AuctionEngine, BatchReport, EngineConfig, PricingScheme, TableBidder, WdMethod};
 use ssa_minidb::{PlannerMode, PlannerStats};
+use ssa_net::{market_config_for, populate_remote, Client, NetError};
 use ssa_workload::{
     programmed_market, programmed_sharded_market, Method, SectionVConfig, SectionVWorkload,
     Simulation, Strategy,
 };
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 /// One measured point of a figure series.
@@ -198,7 +200,7 @@ pub fn section_v_sharded_market(
 
 /// Outcome of a single-method batched throughput run (the machine-readable
 /// record behind `reproduce --method <m> --json`).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodRun {
     /// Winner-determination method measured.
     pub method: WdMethod,
@@ -227,6 +229,10 @@ pub struct MethodRun {
     pub elapsed: Duration,
     /// Aggregate auction outcomes of the timed batch.
     pub report: BatchReport,
+    /// Address of the `ssa-server` the run was served through, for runs
+    /// driven over the wire (`reproduce --server <addr>`); `None` for
+    /// in-process runs.
+    pub server: Option<String>,
     /// Planner mode of the campaign databases for programmed SQL runs
     /// (`None` for native programs and the static Section V population).
     /// `ForceScan` means the `SSA_MINIDB_FORCE_SCAN` A/B toggle was live.
@@ -256,6 +262,11 @@ impl MethodRun {
         let strategy = self
             .strategy
             .map(|s| format!("\"{s}\""))
+            .unwrap_or_else(|| "null".to_string());
+        let server = self
+            .server
+            .as_deref()
+            .map(|a| format!("\"{a}\""))
             .unwrap_or_else(|| "null".to_string());
         let planner = match (self.planner_mode, self.planner) {
             (Some(mode), Some(stats)) => {
@@ -293,8 +304,8 @@ impl MethodRun {
         format!(
             concat!(
                 "{{\"method\":\"{}\",\"pricing\":\"{}\",\"advertisers\":{},",
-                "\"slots\":{},\"shards\":{},\"strategy\":{},\"auctions\":{},",
-                "\"elapsed_ms\":{:.3},",
+                "\"slots\":{},\"shards\":{},\"strategy\":{},\"server\":{},",
+                "\"auctions\":{},\"elapsed_ms\":{:.3},",
                 "\"auctions_per_sec\":{:.1},\"cores\":{},\"pruned\":{},",
                 "\"phases\":{},\"expected_revenue_cents\":{:.2},",
                 "\"clicks\":{},\"realized_revenue_cents\":{},\"planner\":{}}}"
@@ -305,6 +316,7 @@ impl MethodRun {
             self.slots,
             shards,
             strategy,
+            server,
             self.auctions,
             ms(self.elapsed),
             self.auctions_per_sec(),
@@ -361,6 +373,7 @@ pub fn measure_method(
         pruned,
         elapsed,
         report,
+        server: None,
         planner_mode: None,
         planner: None,
     }
@@ -410,9 +423,80 @@ pub fn measure_method_sharded(
         pruned,
         elapsed,
         report,
+        server: None,
         planner_mode: None,
         planner: None,
     }
+}
+
+/// Measures one method's batched serving throughput **over the wire**: the
+/// same Section V population and round-robin stream as
+/// [`measure_method_sharded`], but configured, populated, and served
+/// through an `ssa-server` at `server` via [`ssa_net::Client`] — the
+/// engine behind `reproduce --server <addr>`.
+///
+/// The server is rebuilt to the run's configuration (`Configure`), so
+/// consecutive runs against one long-lived server are independent. The
+/// `f64` aggregates travel as raw bits, so the returned
+/// [`MethodRun::report`] is **bit-identical** to the in-process
+/// [`measure_method_sharded`] report for the same parameters — only
+/// `elapsed` (and the absent per-phase timings) differ.
+#[allow(clippy::too_many_arguments)] // mirrors measure_method_sharded plus the address
+pub fn measure_method_remote(
+    server: SocketAddr,
+    method: WdMethod,
+    pricing: PricingScheme,
+    n: usize,
+    auctions: usize,
+    warmup: usize,
+    seed: u64,
+    shards: usize,
+    pruned: bool,
+) -> Result<MethodRun, NetError> {
+    let section_config = SectionVConfig::paper(n, seed);
+    let workload = SectionVWorkload::generate(section_config);
+    let market_config = market_config_for(&section_config, method, pricing, shards, pruned);
+
+    let mut client = Client::connect(server)?;
+    client.configure(&market_config)?;
+    populate_remote(&mut client, &workload)?;
+
+    // The same stream shape as `timed_round_robin`: serve the warm-up
+    // prefix unmeasured, then time the `auctions`-query batch.
+    let keywords = section_config.num_keywords.max(1);
+    let stream: Vec<usize> = (0..auctions.max(warmup)).map(|i| i % keywords).collect();
+    client.serve_batch(&stream[..warmup])?;
+    let start = Instant::now();
+    let summary = client.serve_batch(&stream[..auctions])?;
+    let elapsed = start.elapsed();
+
+    let report = BatchReport {
+        auctions: summary.auctions,
+        expected_revenue: summary.expected_revenue,
+        filled_slots: summary.filled_slots,
+        clicks: summary.clicks,
+        purchases: summary.purchases,
+        realized_revenue: Money::from_cents(summary.realized_cents),
+        // Per-phase solver timings do not travel over the wire; the
+        // aggregate outcome fields above are the equivalence surface.
+        phases: Default::default(),
+    };
+    Ok(MethodRun {
+        method,
+        pricing,
+        advertisers: n,
+        slots: section_config.num_slots,
+        shards: Some(shards),
+        strategy: None,
+        auctions,
+        cores: available_cores(),
+        pruned,
+        elapsed,
+        report,
+        server: Some(server.to_string()),
+        planner_mode: None,
+        planner: None,
+    })
 }
 
 /// Measures the *programmed* Section II-B population: every advertiser a
@@ -484,6 +568,7 @@ pub fn measure_programmed(
         pruned,
         elapsed,
         report,
+        server: None,
         planner_mode,
         planner,
     }

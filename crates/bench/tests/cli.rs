@@ -129,6 +129,101 @@ fn native_and_sql_strategies_report_identical_outcomes() {
 }
 
 #[test]
+fn bad_server_address_is_a_clear_error_not_a_panic() {
+    assert_usage_error(
+        &["--method", "rh", "--server", "not an address"],
+        "invalid server address",
+    );
+    assert_usage_error(&["--method", "rh", "--server"], "--server requires a value");
+    assert_usage_error(
+        &["--server", "127.0.0.1:7878"],
+        "--server requires --method",
+    );
+    assert_usage_error(
+        &[
+            "--method",
+            "rh",
+            "--server",
+            "127.0.0.1:7878",
+            "--strategy",
+            "sql",
+        ],
+        "--server cannot be combined with --strategy",
+    );
+}
+
+#[test]
+fn unreachable_server_is_a_typed_runtime_error() {
+    // Grab a port the OS just handed out, then close it: connecting is
+    // refused, and the failure is a typed error with exit code 1 — a
+    // runtime failure, not a usage error, and never a panic.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe port");
+        listener.local_addr().expect("local addr").to_string()
+    };
+    let out = reproduce(&["--method", "rh", "--quick", "--server", &addr]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("remote run against") && err.contains(&addr),
+        "stderr {err:?} does not name the failed server"
+    );
+}
+
+#[test]
+fn server_runs_report_the_in_process_outcomes() {
+    // Boot a real ssa_net server in this process and drive the reproduce
+    // binary against it: the CLI-visible outcome fields must match the
+    // in-process sharded run exactly (only timings may differ).
+    let market = ssa_core::Marketplace::builder()
+        .slots(1)
+        .keywords(1)
+        .default_click_probs(vec![0.1])
+        .build_sharded(1)
+        .expect("bootstrap marketplace");
+    let server = ssa_net::Server::bind("127.0.0.1:0", market, ssa_net::ServerConfig::default())
+        .expect("bind")
+        .spawn();
+    let addr = server.addr().to_string();
+
+    let outcomes = |args: &[&str]| {
+        let out = reproduce(args);
+        assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+        let json = stdout_of(&out);
+        json.split("\"expected_revenue_cents\":")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no outcome keys in {json}"))
+            .split("\"planner\":")
+            .next()
+            .expect("planner key present")
+            .to_string()
+    };
+
+    let common = [
+        "--method", "rh", "--json", "--quick", "--shards", "2", "--load", "10",
+    ];
+    let mut remote_args: Vec<&str> = common.to_vec();
+    remote_args.extend_from_slice(&["--server", &addr]);
+
+    let out = reproduce(&remote_args);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let remote_json = stdout_of(&out);
+    for key in [
+        &format!("\"server\":\"{addr}\"") as &str,
+        "\"shards\":2",
+        "\"auctions\":10",
+    ] {
+        assert!(remote_json.contains(key), "missing {key} in {remote_json}");
+    }
+
+    assert_eq!(outcomes(&remote_args), outcomes(&common));
+
+    let mut client = ssa_net::Client::connect(server.addr()).expect("connect");
+    client.shutdown_server().expect("graceful shutdown");
+    server.join();
+}
+
+#[test]
 fn sharded_load_generator_emits_json() {
     let out = reproduce(&[
         "--method", "rh", "--json", "--quick", "--shards", "2", "--load", "10",

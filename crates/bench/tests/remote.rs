@@ -1,0 +1,70 @@
+//! `measure_method_remote` against a live in-process server: the wire run
+//! reproduces the in-process sharded run bit for bit — same auctions,
+//! clicks, purchases, realised revenue, and raw `expected_revenue` bits —
+//! and records the server address in the run and its JSON.
+
+use ssa_bench::{measure_method_remote, measure_method_sharded};
+use ssa_core::{Marketplace, PricingScheme, WdMethod};
+use ssa_net::{Client, Server, ServerConfig};
+
+#[test]
+fn remote_run_is_bit_identical_to_the_in_process_run() {
+    let bootstrap = Marketplace::builder()
+        .slots(1)
+        .keywords(1)
+        .default_click_probs(vec![0.1])
+        .build_sharded(1)
+        .expect("bootstrap marketplace");
+    let server = Server::bind("127.0.0.1:0", bootstrap, ServerConfig::default())
+        .expect("bind")
+        .spawn();
+
+    let (n, auctions, warmup, seed, shards) = (40, 30, 4, 11, 2);
+    let remote = measure_method_remote(
+        server.addr(),
+        WdMethod::Reduced,
+        PricingScheme::Gsp,
+        n,
+        auctions,
+        warmup,
+        seed,
+        shards,
+        false,
+    )
+    .expect("remote run succeeds");
+    let local = measure_method_sharded(
+        WdMethod::Reduced,
+        PricingScheme::Gsp,
+        n,
+        auctions,
+        warmup,
+        seed,
+        shards,
+        false,
+    );
+
+    assert_eq!(
+        remote.report.expected_revenue.to_bits(),
+        local.report.expected_revenue.to_bits(),
+        "expected_revenue bits diverged between wire and in-process serving"
+    );
+    // BatchReport's PartialEq covers the outcome fields (auctions, revenue,
+    // clicks, purchases, filled slots) and ignores phase timings.
+    assert_eq!(remote.report, local.report);
+    assert_eq!(remote.advertisers, local.advertisers);
+    assert_eq!(remote.slots, local.slots);
+    assert_eq!(remote.shards, Some(shards));
+
+    assert_eq!(remote.server.as_deref(), Some(&*server.addr().to_string()));
+    assert!(
+        remote
+            .to_json()
+            .contains(&format!("\"server\":\"{}\"", server.addr())),
+        "remote JSON must carry the server address"
+    );
+    assert!(local.to_json().contains("\"server\":null"));
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.shutdown_server().expect("graceful shutdown");
+    server.join();
+}

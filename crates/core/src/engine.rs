@@ -154,7 +154,7 @@ pub struct EngineConfig {
     /// Pricing rule.
     pub pricing: PricingScheme,
     /// Wrap the solver in the Section III-E top-k
-    /// [`PrunedSolver`](ssa_matching::PrunedSolver): winner determination
+    /// [`ssa_matching::PrunedSolver`]: winner determination
     /// runs on the union of each slot's top-k bidders (ties at the floor
     /// kept), which is bit-identical to the full solve but touches
     /// `O(k²)` rather than `n` advertisers when bids are dispersed.

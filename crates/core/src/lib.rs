@@ -67,10 +67,10 @@ pub use engine::{
 pub use heavyweight::{solve_heavyweight, HeavyweightInstance, HeavyweightSolution};
 pub use marketplace::{
     AdvertiserHandle, AuctionResponse, CampaignId, CampaignSpec, MarketBatchReport, MarketError,
-    Marketplace, MarketplaceBuilder, Placement, QueryRequest,
+    MarketSnapshot, Marketplace, MarketplaceBuilder, Placement, QueryRequest,
 };
 pub use pricing::{ParsePricingError, PricingScheme, SlotPrice};
 pub use prob::{ClickModel, PurchaseModel, SeparableClickModel};
 pub use revenue::{expected_revenue, revenue_matrix, revenue_matrix_into, NoSlotValues};
-pub use sharded::{parse_shards, ParseShardsError, ShardedMarketplace};
+pub use sharded::{parse_shards, shard_of_keyword, ParseShardsError, ShardedMarketplace};
 pub use sqlprog::{SqlProgramBidder, SqlProgramError};

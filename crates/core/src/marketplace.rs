@@ -73,6 +73,16 @@ impl AdvertiserHandle {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Reassembles a handle from a registration index.
+    ///
+    /// Intended for external routing layers (e.g. a wire protocol carrying
+    /// advertiser references between processes); a handle naming no
+    /// registered advertiser is rejected with
+    /// [`MarketError::UnknownAdvertiser`] by every API taking one.
+    pub fn from_index(index: usize) -> Self {
+        AdvertiserHandle(index)
+    }
 }
 
 /// Opaque identifier of a campaign: one bidding program on one keyword.
@@ -83,8 +93,17 @@ pub struct CampaignId {
 }
 
 impl CampaignId {
-    /// Test-only constructor (the public API only hands out ids via
-    /// [`Marketplace::add_campaign`]).
+    /// Reassembles a campaign id from its `(keyword, index)` coordinates.
+    ///
+    /// Intended for external routing layers (e.g. a wire protocol carrying
+    /// campaign references between processes): a fabricated id that names
+    /// no registered campaign is rejected with
+    /// [`MarketError::UnknownCampaign`] by every API taking one, so
+    /// round-tripping ids through this constructor is safe.
+    pub fn from_parts(keyword: usize, index: usize) -> Self {
+        CampaignId { keyword, index }
+    }
+
     #[cfg(test)]
     pub(crate) fn new(keyword: usize, index: usize) -> Self {
         CampaignId { keyword, index }
@@ -739,6 +758,27 @@ fn validate_purchase_probs(probs: &[(f64, f64)], num_slots: usize) -> Result<(),
 // The marketplace itself.
 // ---------------------------------------------------------------------------
 
+/// A point-in-time summary of a marketplace's shape and serving progress:
+/// the payload behind an operational `Stats` call (e.g. the network
+/// front-end's stats response). Cheap to produce — counts only, no
+/// per-campaign detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MarketSnapshot {
+    /// Registered advertisers.
+    pub advertisers: usize,
+    /// Campaigns registered across all keywords.
+    pub campaigns: usize,
+    /// Size of the keyword universe.
+    pub keywords: usize,
+    /// Ad slots per results page.
+    pub slots: usize,
+    /// Shards the keyword universe is partitioned across (1 for the
+    /// single-threaded facade).
+    pub shards: usize,
+    /// Total auctions served so far (the global market clock).
+    pub auctions: u64,
+}
+
 /// A long-lived sponsored-search marketplace: registered advertisers,
 /// per-keyword campaigns, one persistent engine+solver per keyword, a typed
 /// query-serving API, and an incremental update API. See the
@@ -848,6 +888,23 @@ impl Marketplace {
     /// The global market clock: total auctions served.
     pub fn now(&self) -> u64 {
         self.clock
+    }
+
+    /// Total campaigns registered across every keyword.
+    pub fn num_campaigns_total(&self) -> usize {
+        self.books.iter().map(|b| b.campaigns.len()).sum()
+    }
+
+    /// A point-in-time summary of market shape and progress.
+    pub fn snapshot(&self) -> MarketSnapshot {
+        MarketSnapshot {
+            advertisers: self.advertisers.len(),
+            campaigns: self.num_campaigns_total(),
+            keywords: self.num_keywords,
+            slots: self.num_slots,
+            shards: 1,
+            auctions: self.clock,
+        }
     }
 
     fn check_keyword(&self, keyword: usize) -> Result<usize, MarketError> {

@@ -108,6 +108,15 @@ pub fn parse_shards(s: &str) -> Result<usize, ParseShardsError> {
     Ok(n)
 }
 
+/// The shard that owns `keyword` in a marketplace partitioned across
+/// `num_shards` shards: a stable SplitMix64 hash of the keyword index
+/// modulo the shard count. Stable across runs, processes, and machines, so
+/// external routers (e.g. a network front-end's admission control) can
+/// compute placement without holding the marketplace itself.
+pub fn shard_of_keyword(keyword: usize, num_shards: usize) -> usize {
+    (splitmix64(keyword as u64) % num_shards.max(1) as u64) as usize
+}
+
 /// One maximal same-keyword run of a request stream, tagged with its
 /// position so per-shard results can be merged back in stream order.
 #[derive(Debug, Clone, Copy)]
@@ -164,7 +173,7 @@ impl ShardedMarketplace {
     /// index modulo the shard count. Stable across runs and processes, so
     /// external routers can precompute placement.
     pub fn shard_of(&self, keyword: usize) -> usize {
-        (splitmix64(keyword as u64) % self.shards.len() as u64) as usize
+        shard_of_keyword(keyword, self.shards.len())
     }
 
     fn check_keyword(&self, keyword: usize) -> Result<usize, MarketError> {
@@ -239,6 +248,25 @@ impl ShardedMarketplace {
     /// The global market clock: total auctions served across all shards.
     pub fn now(&self) -> u64 {
         self.clock
+    }
+
+    /// Total campaigns registered across every shard (each campaign lives
+    /// on exactly one shard — the one owning its keyword).
+    pub fn num_campaigns_total(&self) -> usize {
+        self.shards.iter().map(|s| s.num_campaigns_total()).sum()
+    }
+
+    /// A point-in-time summary of market shape and progress across all
+    /// shards.
+    pub fn snapshot(&self) -> crate::marketplace::MarketSnapshot {
+        crate::marketplace::MarketSnapshot {
+            advertisers: self.num_advertisers(),
+            campaigns: self.num_campaigns_total(),
+            keywords: self.num_keywords,
+            slots: self.num_slots(),
+            shards: self.shards.len(),
+            auctions: self.clock,
+        }
     }
 
     // -- control plane ------------------------------------------------------

@@ -1,0 +1,431 @@
+//! `ssa-load` — drive a remote `ssa-server` with the Section V workload
+//! and report QPS + latency percentiles.
+//!
+//! Two modes:
+//!
+//! * **verify** (`--verify`): one connection replays the seeded query
+//!   stream strictly in order and compares every wire-served auction —
+//!   winners, clicks, charges, bit-for-bit — against an in-process
+//!   [`ssa_net::local_twin`] serving the same stream. Exit code 1 on any
+//!   divergence.
+//! * **throughput** (default): `--connections` worker connections split
+//!   the stream and hammer the data plane concurrently, recording
+//!   per-request latency; `Overloaded` refusals are counted separately
+//!   and never poison the latency distribution.
+//!
+//! Either way the run ends with one `"metric":"net_load"` JSON line
+//! (QPS, p50/p99/max latency, cores, overload count, verification
+//! verdict) on stdout with `--json` and/or appended to `--report <path>`.
+
+use std::io::Write as _;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use ssa_core::{parse_shards, PricingScheme, WdMethod};
+use ssa_net::client::{Client, NetError};
+use ssa_net::load::{
+    available_cores, local_twin, market_config_for, populate_remote, LatencyRecorder, LoadReport,
+};
+use ssa_workload::{SectionVConfig, SectionVWorkload};
+
+const USAGE: &str = "\
+Usage: ssa-load --addr <host:port> [options]
+
+Options:
+  --addr <host:port>   Server to drive (required)
+  --advertisers <n>    Section V advertiser count (default 50)
+  --queries <n>        Measured queries (default 4096)
+  --warmup <n>         Unmeasured warm-up queries (default 512)
+  --connections <n>    Concurrent connections in throughput mode (default 4)
+  --seed <n>           Workload seed (default 42)
+  --method <m>         Winner determination: lp | h | rh | rhp:<threads> (default rh)
+  --pricing <p>        Pricing: pay-your-bid | gsp | vcg (default gsp)
+  --shards <n>         Shard count the server should run (default 4)
+  --pruned             Enable top-k pruned winner determination
+  --verify             Replay in order and compare against an in-process twin
+  --quick              Small preset (20 advertisers, 1024 queries, 128 warm-up)
+  --json               Print the JSON report line to stdout
+  --report <path>      Append the JSON report line to a file
+  --shutdown           Ask the server to shut down gracefully after the run
+";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    exit(2);
+}
+
+fn fatal(message: &str) -> ! {
+    eprintln!("error: {message}");
+    exit(1);
+}
+
+struct Options {
+    addr: std::net::SocketAddr,
+    advertisers: usize,
+    queries: usize,
+    warmup: usize,
+    connections: usize,
+    seed: u64,
+    method: WdMethod,
+    pricing: PricingScheme,
+    shards: usize,
+    pruned: bool,
+    verify: bool,
+    json: bool,
+    report: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_options() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut advertisers = 50usize;
+    let mut queries = 4096usize;
+    let mut warmup = 512usize;
+    let mut connections = 4usize;
+    let mut seed = 42u64;
+    let mut method = WdMethod::Reduced;
+    let mut pricing = PricingScheme::Gsp;
+    let mut shards = 4usize;
+    let mut pruned = false;
+    let mut verify = false;
+    let mut json = false;
+    let mut report = None;
+    let mut shutdown = false;
+    let mut quick = false;
+    let mut sized = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |what: &str| -> String {
+            i += 1;
+            match args.get(i) {
+                Some(v) => v.clone(),
+                None => usage_error(&format!("{what} expects a value")),
+            }
+        };
+        match flag {
+            "--addr" => {
+                let raw = value("--addr");
+                match ssa_net::parse_addr(&raw) {
+                    Ok(a) => addr = Some(a),
+                    Err(e) => usage_error(&e.to_string()),
+                }
+            }
+            "--advertisers" => match value("--advertisers").parse() {
+                Ok(n) if n > 0 => {
+                    advertisers = n;
+                    sized = true;
+                }
+                _ => usage_error("--advertisers expects a positive integer"),
+            },
+            "--queries" => match value("--queries").parse() {
+                Ok(n) if n > 0 => {
+                    queries = n;
+                    sized = true;
+                }
+                _ => usage_error("--queries expects a positive integer"),
+            },
+            "--warmup" => match value("--warmup").parse() {
+                Ok(n) => {
+                    warmup = n;
+                    sized = true;
+                }
+                Err(_) => usage_error("--warmup expects an unsigned integer"),
+            },
+            "--connections" => match value("--connections").parse() {
+                Ok(n) if n > 0 => connections = n,
+                _ => usage_error("--connections expects a positive integer"),
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(n) => seed = n,
+                Err(_) => usage_error("--seed expects an unsigned integer"),
+            },
+            "--method" => match value("--method").parse() {
+                Ok(m) => method = m,
+                Err(e) => usage_error(&format!("{e}")),
+            },
+            "--pricing" => match value("--pricing").parse() {
+                Ok(p) => pricing = p,
+                Err(e) => usage_error(&format!("{e}")),
+            },
+            "--shards" => match parse_shards(&value("--shards")) {
+                Ok(n) => shards = n,
+                Err(e) => usage_error(&e.to_string()),
+            },
+            "--pruned" => pruned = true,
+            "--verify" => verify = true,
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--report" => report = Some(value("--report")),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            other => usage_error(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    if quick && !sized {
+        advertisers = 20;
+        queries = 1024;
+        warmup = 128;
+    }
+    let Some(addr) = addr else {
+        usage_error("--addr is required");
+    };
+    Options {
+        addr,
+        advertisers,
+        queries,
+        warmup,
+        connections,
+        seed,
+        method,
+        pricing,
+        shards,
+        pruned,
+        verify,
+        json,
+        report,
+        shutdown,
+    }
+}
+
+/// The measured query stream: the workload's pre-drawn stream, cycled out
+/// to `len` queries.
+fn stream_of(workload: &SectionVWorkload, len: usize) -> Vec<usize> {
+    (0..len)
+        .map(|i| workload.query_stream[i % workload.query_stream.len()])
+        .collect()
+}
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => fatal(&format!("cannot connect to {addr}: {e}")),
+    }
+}
+
+/// Verify mode: ordered replay against the in-process twin.
+fn run_verify(opts: &Options, workload: &SectionVWorkload) -> LoadReport {
+    let config = market_config_for(
+        &workload.config,
+        opts.method,
+        opts.pricing,
+        opts.shards,
+        opts.pruned,
+    );
+    let mut client = connect(opts.addr);
+    if let Err(e) = client.configure(&config) {
+        fatal(&format!("configure failed: {e}"));
+    }
+    if let Err(e) = populate_remote(&mut client, workload) {
+        fatal(&format!("population failed: {e}"));
+    }
+    let mut twin = local_twin(workload, &config);
+
+    let stream = stream_of(workload, opts.queries);
+    let mut latencies = LatencyRecorder::new();
+    let mut verified = true;
+    let started = Instant::now();
+    for (t, &keyword) in stream.iter().enumerate() {
+        let sent = Instant::now();
+        let remote = match client.serve(keyword) {
+            Ok(auction) => auction,
+            Err(e) => fatal(&format!("serve failed at query {t}: {e}")),
+        };
+        latencies.record(sent.elapsed());
+        let local = twin
+            .serve(ssa_core::QueryRequest::new(keyword))
+            .expect("twin keyword in range");
+        if remote != local || remote.expected_revenue.to_bits() != local.expected_revenue.to_bits()
+        {
+            eprintln!(
+                "MISMATCH at query {t} (keyword {keyword}):\n  remote: {remote:?}\n  local:  {local:?}"
+            );
+            verified = false;
+        }
+    }
+    let elapsed = started.elapsed();
+    if verified {
+        eprintln!(
+            "verified: {} wire-served auctions bit-identical to in-process serve",
+            stream.len()
+        );
+    }
+
+    LoadReport {
+        advertisers: opts.advertisers,
+        keywords: workload.config.num_keywords,
+        slots: workload.config.num_slots,
+        method: opts.method,
+        shards: opts.shards,
+        seed: opts.seed,
+        connections: 1,
+        queries: stream.len() as u64,
+        warmup: 0,
+        elapsed,
+        latencies,
+        overloaded: 0,
+        cores: available_cores(),
+        verified: Some(verified),
+    }
+}
+
+/// Throughput mode: concurrent connections splitting the stream.
+fn run_throughput(opts: &Options, workload: &SectionVWorkload) -> LoadReport {
+    let config = market_config_for(
+        &workload.config,
+        opts.method,
+        opts.pricing,
+        opts.shards,
+        opts.pruned,
+    );
+    let mut control = connect(opts.addr);
+    if let Err(e) = control.configure(&config) {
+        fatal(&format!("configure failed: {e}"));
+    }
+    if let Err(e) = populate_remote(&mut control, workload) {
+        fatal(&format!("population failed: {e}"));
+    }
+
+    // Warm-up: unmeasured, single connection, so engines and solver
+    // scratch exist before the clock starts.
+    for &keyword in &stream_of(workload, opts.warmup) {
+        match control.serve(keyword) {
+            Ok(_) | Err(NetError::Overloaded { .. }) => {}
+            Err(e) => fatal(&format!("warm-up serve failed: {e}")),
+        }
+    }
+
+    let stream = stream_of(workload, opts.queries);
+    let shares: Vec<Vec<usize>> = (0..opts.connections)
+        .map(|w| {
+            stream
+                .iter()
+                .skip(w)
+                .step_by(opts.connections)
+                .copied()
+                .collect()
+        })
+        .collect();
+
+    let started = Instant::now();
+    let worker_results: Vec<(LatencyRecorder, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| {
+                let addr = opts.addr;
+                scope.spawn(move || {
+                    let mut client = connect(addr);
+                    let mut latencies = LatencyRecorder::new();
+                    let mut served = 0u64;
+                    let mut overloaded = 0u64;
+                    for &keyword in share {
+                        let sent = Instant::now();
+                        match client.serve(keyword) {
+                            Ok(_) => {
+                                latencies.record(sent.elapsed());
+                                served += 1;
+                            }
+                            Err(NetError::Overloaded { retry_after_ms }) => {
+                                overloaded += 1;
+                                std::thread::sleep(Duration::from_millis(retry_after_ms as u64));
+                            }
+                            Err(e) => fatal(&format!("serve failed: {e}")),
+                        }
+                    }
+                    (latencies, served, overloaded)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies = LatencyRecorder::new();
+    let mut served = 0u64;
+    let mut overloaded = 0u64;
+    for (worker_latencies, worker_served, worker_overloaded) in &worker_results {
+        latencies.merge(worker_latencies);
+        served += worker_served;
+        overloaded += worker_overloaded;
+    }
+
+    LoadReport {
+        advertisers: opts.advertisers,
+        keywords: workload.config.num_keywords,
+        slots: workload.config.num_slots,
+        method: opts.method,
+        shards: opts.shards,
+        seed: opts.seed,
+        connections: opts.connections,
+        queries: served,
+        warmup: opts.warmup as u64,
+        elapsed,
+        latencies,
+        overloaded,
+        cores: available_cores(),
+        verified: None,
+    }
+}
+
+fn main() {
+    let opts = parse_options();
+    let workload = SectionVWorkload::generate(SectionVConfig {
+        num_advertisers: opts.advertisers,
+        num_slots: 15,
+        num_keywords: 10,
+        seed: opts.seed,
+    });
+
+    let report = if opts.verify {
+        run_verify(&opts, &workload)
+    } else {
+        run_throughput(&opts, &workload)
+    };
+
+    eprintln!(
+        "{} queries over {} connection(s) in {:.1} ms: {:.0} qps, p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms, {} overloaded",
+        report.queries,
+        report.connections,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.qps(),
+        report.latencies.quantile_ms(0.50),
+        report.latencies.quantile_ms(0.99),
+        report.latencies.max_ms(),
+        report.overloaded,
+    );
+
+    let json = report.to_json();
+    if opts.json {
+        println!("{json}");
+        let _ = std::io::stdout().flush();
+    }
+    if let Some(path) = &opts.report {
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{json}"));
+        if let Err(e) = result {
+            fatal(&format!("cannot append report to {path}: {e}"));
+        }
+    }
+    if opts.shutdown {
+        let mut client = connect(opts.addr);
+        if let Err(e) = client.shutdown_server() {
+            fatal(&format!("shutdown request failed: {e}"));
+        }
+    }
+    if report.verified == Some(false) {
+        exit(1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Section V load-driving over the wire: population, verification twins,
+//! and latency reporting for the `ssa-load` binary and the bench driver.
+//!
+//! The helpers here mirror `ssa_bench`'s Section V conventions *exactly*
+//! (builder seed `workload seed ^ 0xD1CE_D1CE`, `advertiser-{i}` names,
+//! one per-click campaign per keyword at the workload-initial bid), so a
+//! remote marketplace configured through [`market_config_for`] +
+//! [`populate_remote`] is bit-for-bit the market the bench harness builds
+//! in process — which is what lets [`local_twin`] act as the equivalence
+//! oracle for wire-served auctions.
+
+use std::time::Duration;
+
+use ssa_bidlang::{Money, SlotId};
+use ssa_core::{PricingScheme, ShardedMarketplace, WdMethod};
+use ssa_workload::{SectionVConfig, SectionVWorkload};
+
+use crate::client::{Client, NetError};
+use crate::proto::MarketConfig;
+use crate::server::build_market;
+
+/// The bench harness's marketplace-seed convention: the builder is seeded
+/// with the *workload* seed XOR this tag, so user-action randomness and
+/// bid randomness stay decoupled.
+pub const MARKET_SEED_TAG: u64 = 0xD1CE_D1CE;
+
+/// The [`MarketConfig`] matching `ssa_bench`'s Section V marketplace for a
+/// given workload: same slots/keywords, same derived seed, caller-chosen
+/// method, pricing, shard count, and solver toggles.
+pub fn market_config_for(
+    config: &SectionVConfig,
+    method: WdMethod,
+    pricing: PricingScheme,
+    shards: usize,
+    pruned: bool,
+) -> MarketConfig {
+    MarketConfig {
+        slots: config.num_slots as u64,
+        keywords: config.num_keywords as u64,
+        seed: config.seed ^ MARKET_SEED_TAG,
+        method,
+        pricing,
+        shards: shards as u64,
+        pruned,
+        warm_start: true,
+    }
+}
+
+/// Per-slot click probabilities of advertiser `i` under the workload's
+/// click model.
+fn click_probs_of(workload: &SectionVWorkload, advertiser: usize) -> Vec<f64> {
+    (0..workload.config.num_slots)
+        .map(|j| workload.clicks.p_click(advertiser, SlotId::from_index0(j)))
+        .collect()
+}
+
+/// Registers the Section V population over the wire: one advertiser
+/// (`advertiser-{i}`) and one per-click campaign per keyword, at the
+/// workload-initial bid and click value — the same population
+/// `ssa_bench`'s in-process builders register.
+pub fn populate_remote(client: &mut Client, workload: &SectionVWorkload) -> Result<(), NetError> {
+    for (i, bidder) in workload.bidders.iter().enumerate() {
+        let advertiser = client.register_advertiser(&format!("advertiser-{i}"))?;
+        let click_probs = click_probs_of(workload, i);
+        for (keyword, &(value, bid, _)) in bidder.keywords.iter().enumerate() {
+            client.add_campaign(
+                advertiser,
+                keyword,
+                Money::from_cents(bid.max(0)),
+                Money::from_cents(value),
+                None,
+                Some(click_probs.clone()),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds the in-process marketplace a remote server holds after
+/// [`crate::proto::Request::Configure`]\(`config`\) + [`populate_remote`]:
+/// the oracle for equivalence checks. Thanks to the keyword-local-RNG
+/// guarantee, outcomes do not depend on `config.shards`, so the twin may
+/// run any shard count.
+pub fn local_twin(workload: &SectionVWorkload, config: &MarketConfig) -> ShardedMarketplace {
+    let mut market = build_market(config).expect("twin configuration is valid");
+    for (i, bidder) in workload.bidders.iter().enumerate() {
+        let advertiser = market.register_advertiser(format!("advertiser-{i}"));
+        let click_probs = click_probs_of(workload, i);
+        for (keyword, &(value, bid, _)) in bidder.keywords.iter().enumerate() {
+            market
+                .add_campaign(
+                    advertiser,
+                    keyword,
+                    ssa_core::marketplace::CampaignSpec::per_click(Money::from_cents(bid.max(0)))
+                        .click_value(Money::from_cents(value))
+                        .click_probs(click_probs.clone()),
+                )
+                .expect("Section V campaign is valid");
+        }
+    }
+    market
+}
+
+/// Collects request latencies and reports percentiles.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one request's latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_us.push(latency.as_micros() as u64);
+    }
+
+    /// Merges another recorder's samples in (per-worker recorders are
+    /// folded into one before reporting).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) latency in milliseconds, by the
+    /// nearest-rank method; 0 if empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[rank] as f64 / 1e3
+    }
+
+    /// Maximum latency in milliseconds; 0 if empty.
+    pub fn max_ms(&self) -> f64 {
+        self.samples_us.iter().copied().max().unwrap_or(0) as f64 / 1e3
+    }
+
+    /// Mean latency in milliseconds; 0 if empty.
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.samples_us.iter().sum();
+        sum as f64 / self.samples_us.len() as f64 / 1e3
+    }
+}
+
+/// Aggregate outcome of an `ssa-load` run, serialisable as one JSON line
+/// in the bench-report stream.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Advertisers in the Section V population.
+    pub advertisers: usize,
+    /// Keyword universe size.
+    pub keywords: usize,
+    /// Slots per page.
+    pub slots: usize,
+    /// Winner-determination method the server ran.
+    pub method: WdMethod,
+    /// Shard count the server ran.
+    pub shards: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Queries answered successfully (excludes refused ones).
+    pub queries: u64,
+    /// Unmeasured warm-up queries.
+    pub warmup: u64,
+    /// Wall-clock time of the measured phase.
+    pub elapsed: Duration,
+    /// Per-request latencies of the measured phase.
+    pub latencies: LatencyRecorder,
+    /// Requests refused with `Overloaded`.
+    pub overloaded: u64,
+    /// Logical cores available to the *client* process.
+    pub cores: usize,
+    /// Outcome of the bit-exactness check against the local twin:
+    /// `Some(true)` verified, `Some(false)` mismatch, `None` not checked.
+    pub verified: Option<bool>,
+}
+
+impl LoadReport {
+    /// Queries per second over the measured phase.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// One JSON object (stable keys, no dependencies) in the style of
+    /// `ssa_bench::MethodRun::to_json`, tagged `"metric":"net_load"`.
+    pub fn to_json(&self) -> String {
+        let verified = match self.verified {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"metric\":\"net_load\",\"method\":\"{}\",\"advertisers\":{},",
+                "\"keywords\":{},\"slots\":{},\"shards\":{},\"seed\":{},",
+                "\"connections\":{},\"queries\":{},\"warmup\":{},",
+                "\"elapsed_ms\":{:.3},\"qps\":{:.1},\"p50_ms\":{:.3},",
+                "\"p99_ms\":{:.3},\"max_ms\":{:.3},\"mean_ms\":{:.3},",
+                "\"overloaded\":{},\"cores\":{},\"verified\":{}}}"
+            ),
+            self.method,
+            self.advertisers,
+            self.keywords,
+            self.slots,
+            self.shards,
+            self.seed,
+            self.connections,
+            self.queries,
+            self.warmup,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.qps(),
+            self.latencies.quantile_ms(0.50),
+            self.latencies.quantile_ms(0.99),
+            self.latencies.max_ms(),
+            self.latencies.mean_ms(),
+            self.overloaded,
+            self.cores,
+            verified,
+        )
+    }
+}
+
+/// Logical cores available to this process.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let mut rec = LatencyRecorder::new();
+        for us in [1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10_000] {
+            rec.record(Duration::from_micros(us));
+        }
+        assert_eq!(rec.quantile_ms(0.5), 5.0);
+        assert_eq!(rec.quantile_ms(0.99), 10.0);
+        assert_eq!(rec.max_ms(), 10.0);
+        assert_eq!(rec.mean_ms(), 5.5);
+        assert_eq!(LatencyRecorder::new().quantile_ms(0.5), 0.0);
+    }
+
+    #[test]
+    fn report_json_has_the_contract_fields() {
+        let mut latencies = LatencyRecorder::new();
+        latencies.record(Duration::from_micros(1500));
+        let report = LoadReport {
+            advertisers: 50,
+            keywords: 10,
+            slots: 15,
+            method: WdMethod::Reduced,
+            shards: 4,
+            seed: 42,
+            connections: 2,
+            queries: 4096,
+            warmup: 512,
+            elapsed: Duration::from_millis(100),
+            latencies,
+            overloaded: 0,
+            cores: available_cores(),
+            verified: Some(true),
+        };
+        let json = report.to_json();
+        for key in [
+            "\"metric\":\"net_load\"",
+            "\"qps\":",
+            "\"p50_ms\":",
+            "\"p99_ms\":",
+            "\"max_ms\":",
+            "\"cores\":",
+            "\"verified\":true",
+            "\"method\":\"rh\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

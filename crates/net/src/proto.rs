@@ -1,0 +1,1295 @@
+//! Typed wire messages and their binary payload encoding.
+//!
+//! The protocol splits a **data plane** ([`Request::Serve`],
+//! [`Request::ServeBatch`]) from a **control plane** (advertiser and
+//! campaign management, [`Request::Stats`], [`Request::Configure`]): data
+//! requests pass through bounded per-shard admission
+//! ([`crate::admission`]) and may be refused with
+//! [`Response::Overloaded`], while control requests always queue.
+//!
+//! Payloads are hand-rolled little-endian binary: fixed-width integers,
+//! `f64` via [`f64::to_bits`] (so expected-revenue values survive the wire
+//! *bit-exactly* — the server↔in-process equivalence tests depend on it),
+//! `u32`-length-prefixed UTF-8 strings, and `u32`-counted vectors. Every
+//! decode error is a typed [`ProtoError`]; hostile payloads (truncated,
+//! trailing garbage, absurd counts) must never panic or over-allocate —
+//! claimed element counts are validated against the bytes actually present
+//! before any buffer is reserved.
+
+use crate::frame::FrameError;
+use ssa_bidlang::{Money, SlotId};
+use ssa_core::marketplace::{
+    AdvertiserHandle, AuctionResponse, CampaignId, MarketBatchReport, MarketError, Placement,
+};
+use ssa_core::{PricingScheme, WdMethod};
+
+/// Typed payload decode failure. Like [`FrameError`], carrying only
+/// `Clone + PartialEq` data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before the named field.
+    Truncated {
+        /// Which field was being decoded.
+        what: &'static str,
+    },
+    /// An enum tag byte had no meaning.
+    UnknownTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// Bytes remained after a complete message.
+    Trailing {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A count or length field exceeded what the payload could possibly
+    /// hold; rejected before allocating.
+    Oversized {
+        /// Which field was being decoded.
+        what: &'static str,
+        /// The claimed count.
+        len: u64,
+    },
+    /// The enclosing frame was itself malformed.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated { what } => write!(f, "payload truncated decoding {what}"),
+            ProtoError::UnknownTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag:#04x}")
+            }
+            ProtoError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+            ProtoError::InvalidUtf8 => f.write_str("string field is not valid UTF-8"),
+            ProtoError::Oversized { what, len } => {
+                write!(
+                    f,
+                    "{what} claims {len} elements, more than the payload holds"
+                )
+            }
+            ProtoError::Frame(e) => write!(f, "framing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for ProtoError {
+    fn from(e: FrameError) -> Self {
+        ProtoError::Frame(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader / writer primitives.
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() < n {
+            return Err(ProtoError::Truncated { what });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, ProtoError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, ProtoError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(ProtoError::UnknownTag { what, tag }),
+        }
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self, what: &'static str) -> Result<i64, ProtoError> {
+        Ok(self.u64(what)? as i64)
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// An element count, validated against the bytes still present: a
+    /// hostile count cannot reserve more memory than the payload it rode
+    /// in on could justify.
+    fn count(&mut self, what: &'static str, min_elem_size: usize) -> Result<usize, ProtoError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_elem_size.max(1)) > self.buf.len() {
+            return Err(ProtoError::Oversized {
+                what,
+                len: n as u64,
+            });
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, ProtoError> {
+        let n = self.count(what, 1)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::InvalidUtf8)
+    }
+
+    fn option<T>(
+        &mut self,
+        what: &'static str,
+        read: impl FnOnce(&mut Self) -> Result<T, ProtoError>,
+    ) -> Result<Option<T>, ProtoError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(read(self)?)),
+            tag => Err(ProtoError::UnknownTag { what, tag }),
+        }
+    }
+
+    fn f64_vec(&mut self, what: &'static str) -> Result<Vec<f64>, ProtoError> {
+        let n = self.count(what, 8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64(what)?);
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::Trailing {
+                extra: self.buf.len(),
+            })
+        }
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    put_u64(buf, v as u64);
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_option<T>(buf: &mut Vec<u8>, v: &Option<T>, write: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        None => buf.push(0),
+        Some(inner) => {
+            buf.push(1);
+            write(buf, inner);
+        }
+    }
+}
+
+fn put_f64_vec(buf: &mut Vec<u8>, v: &[f64]) {
+    put_u32(buf, v.len() as u32);
+    for x in v {
+        put_f64(buf, *x);
+    }
+}
+
+fn read_method(r: &mut Reader<'_>) -> Result<WdMethod, ProtoError> {
+    match r.u8("method")? {
+        0 => Ok(WdMethod::Lp),
+        1 => Ok(WdMethod::Hungarian),
+        2 => Ok(WdMethod::Reduced),
+        3 => Ok(WdMethod::ReducedParallel(r.u32("method threads")? as usize)),
+        tag => Err(ProtoError::UnknownTag {
+            what: "method",
+            tag,
+        }),
+    }
+}
+
+fn put_method(buf: &mut Vec<u8>, m: WdMethod) {
+    match m {
+        WdMethod::Lp => buf.push(0),
+        WdMethod::Hungarian => buf.push(1),
+        WdMethod::Reduced => buf.push(2),
+        WdMethod::ReducedParallel(threads) => {
+            buf.push(3);
+            put_u32(buf, threads as u32);
+        }
+    }
+}
+
+fn read_pricing(r: &mut Reader<'_>) -> Result<PricingScheme, ProtoError> {
+    match r.u8("pricing")? {
+        0 => Ok(PricingScheme::PayYourBid),
+        1 => Ok(PricingScheme::Gsp),
+        2 => Ok(PricingScheme::Vickrey),
+        tag => Err(ProtoError::UnknownTag {
+            what: "pricing",
+            tag,
+        }),
+    }
+}
+
+fn put_pricing(buf: &mut Vec<u8>, p: PricingScheme) {
+    buf.push(match p {
+        PricingScheme::PayYourBid => 0,
+        PricingScheme::Gsp => 1,
+        PricingScheme::Vickrey => 2,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+/// Marketplace configuration carried by [`Request::Configure`]: the server
+/// tears down its marketplace and rebuilds it to this shape, so a client
+/// (the load driver, the equivalence tests) fully controls the market it
+/// measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketConfig {
+    /// Ad slots per results page.
+    pub slots: u64,
+    /// Size of the keyword universe.
+    pub keywords: u64,
+    /// Marketplace RNG seed (keyword-local streams derive from it).
+    pub seed: u64,
+    /// Winner-determination method.
+    pub method: WdMethod,
+    /// Pricing rule.
+    pub pricing: PricingScheme,
+    /// Shard count for the rebuilt [`ssa_core::ShardedMarketplace`].
+    pub shards: u64,
+    /// Top-k pruned winner determination.
+    pub pruned: bool,
+    /// Warm-started assignments.
+    pub warm_start: bool,
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness + session probe; answered with [`Response::Pong`].
+    Ping,
+    /// Data plane: run one auction on a keyword.
+    Serve {
+        /// Keyword index.
+        keyword: u64,
+    },
+    /// Data plane: run a mixed-keyword query stream through
+    /// [`ssa_core::ShardedMarketplace::serve_batch`].
+    ServeBatch {
+        /// Keyword index per query, in stream order.
+        keywords: Vec<u64>,
+    },
+    /// Control plane: register an advertiser.
+    RegisterAdvertiser {
+        /// Display name.
+        name: String,
+    },
+    /// Control plane: open a per-click campaign.
+    AddCampaign {
+        /// Advertiser handle index (from
+        /// [`Response::AdvertiserRegistered`]).
+        advertiser: u64,
+        /// Keyword the campaign bids on.
+        keyword: u64,
+        /// Initial bid, in cents.
+        bid_cents: i64,
+        /// Value the advertiser attaches to a click, in cents.
+        click_value_cents: i64,
+        /// Optional ROI target (Section II-C).
+        roi_target: Option<f64>,
+        /// Optional per-slot click probabilities.
+        click_probs: Option<Vec<f64>>,
+    },
+    /// Control plane: set a per-click campaign's bid.
+    UpdateBid {
+        /// Campaign keyword coordinate.
+        keyword: u64,
+        /// Campaign index coordinate.
+        index: u64,
+        /// New bid, in cents.
+        bid_cents: i64,
+    },
+    /// Control plane: pause a campaign.
+    PauseCampaign {
+        /// Campaign keyword coordinate.
+        keyword: u64,
+        /// Campaign index coordinate.
+        index: u64,
+    },
+    /// Control plane: resume a paused campaign.
+    ResumeCampaign {
+        /// Campaign keyword coordinate.
+        keyword: u64,
+        /// Campaign index coordinate.
+        index: u64,
+    },
+    /// Control plane: set or clear a per-click campaign's ROI target.
+    SetRoiTarget {
+        /// Campaign keyword coordinate.
+        keyword: u64,
+        /// Campaign index coordinate.
+        index: u64,
+        /// `None` clears the target.
+        target: Option<f64>,
+    },
+    /// Control plane: the highest effective bids on a keyword.
+    TopBids {
+        /// Keyword index.
+        keyword: u64,
+        /// Maximum entries to return.
+        limit: u64,
+    },
+    /// Control plane: server + marketplace counters.
+    Stats,
+    /// Control plane: rebuild the marketplace to a new configuration.
+    Configure(MarketConfig),
+    /// Ask the server to shut down gracefully (drain, then exit).
+    Shutdown,
+}
+
+impl Request {
+    /// Whether the request runs auctions (and therefore passes through
+    /// bounded admission) rather than managing state.
+    pub fn is_data_plane(&self) -> bool {
+        matches!(self, Request::Serve { .. } | Request::ServeBatch { .. })
+    }
+
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Ping => buf.push(0),
+            Request::Serve { keyword } => {
+                buf.push(1);
+                put_u64(&mut buf, *keyword);
+            }
+            Request::ServeBatch { keywords } => {
+                buf.push(2);
+                put_u32(&mut buf, keywords.len() as u32);
+                for kw in keywords {
+                    put_u64(&mut buf, *kw);
+                }
+            }
+            Request::RegisterAdvertiser { name } => {
+                buf.push(3);
+                put_string(&mut buf, name);
+            }
+            Request::AddCampaign {
+                advertiser,
+                keyword,
+                bid_cents,
+                click_value_cents,
+                roi_target,
+                click_probs,
+            } => {
+                buf.push(4);
+                put_u64(&mut buf, *advertiser);
+                put_u64(&mut buf, *keyword);
+                put_i64(&mut buf, *bid_cents);
+                put_i64(&mut buf, *click_value_cents);
+                put_option(&mut buf, roi_target, |b, t| put_f64(b, *t));
+                put_option(&mut buf, click_probs, |b, p| put_f64_vec(b, p));
+            }
+            Request::UpdateBid {
+                keyword,
+                index,
+                bid_cents,
+            } => {
+                buf.push(5);
+                put_u64(&mut buf, *keyword);
+                put_u64(&mut buf, *index);
+                put_i64(&mut buf, *bid_cents);
+            }
+            Request::PauseCampaign { keyword, index } => {
+                buf.push(6);
+                put_u64(&mut buf, *keyword);
+                put_u64(&mut buf, *index);
+            }
+            Request::ResumeCampaign { keyword, index } => {
+                buf.push(7);
+                put_u64(&mut buf, *keyword);
+                put_u64(&mut buf, *index);
+            }
+            Request::SetRoiTarget {
+                keyword,
+                index,
+                target,
+            } => {
+                buf.push(8);
+                put_u64(&mut buf, *keyword);
+                put_u64(&mut buf, *index);
+                put_option(&mut buf, target, |b, t| put_f64(b, *t));
+            }
+            Request::TopBids { keyword, limit } => {
+                buf.push(9);
+                put_u64(&mut buf, *keyword);
+                put_u64(&mut buf, *limit);
+            }
+            Request::Stats => buf.push(10),
+            Request::Configure(config) => {
+                buf.push(11);
+                put_u64(&mut buf, config.slots);
+                put_u64(&mut buf, config.keywords);
+                put_u64(&mut buf, config.seed);
+                put_method(&mut buf, config.method);
+                put_pricing(&mut buf, config.pricing);
+                put_u64(&mut buf, config.shards);
+                put_bool(&mut buf, config.pruned);
+                put_bool(&mut buf, config.warm_start);
+            }
+            Request::Shutdown => buf.push(12),
+        }
+        buf
+    }
+
+    /// Decodes a request from a frame payload; the whole payload must be
+    /// consumed.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8("request tag")? {
+            0 => Request::Ping,
+            1 => Request::Serve {
+                keyword: r.u64("keyword")?,
+            },
+            2 => {
+                let n = r.count("serve-batch keywords", 8)?;
+                let mut keywords = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keywords.push(r.u64("keyword")?);
+                }
+                Request::ServeBatch { keywords }
+            }
+            3 => Request::RegisterAdvertiser {
+                name: r.string("advertiser name")?,
+            },
+            4 => Request::AddCampaign {
+                advertiser: r.u64("advertiser")?,
+                keyword: r.u64("keyword")?,
+                bid_cents: r.i64("bid")?,
+                click_value_cents: r.i64("click value")?,
+                roi_target: r.option("roi target", |r| r.f64("roi target"))?,
+                click_probs: r.option("click probs", |r| r.f64_vec("click probs"))?,
+            },
+            5 => Request::UpdateBid {
+                keyword: r.u64("keyword")?,
+                index: r.u64("campaign index")?,
+                bid_cents: r.i64("bid")?,
+            },
+            6 => Request::PauseCampaign {
+                keyword: r.u64("keyword")?,
+                index: r.u64("campaign index")?,
+            },
+            7 => Request::ResumeCampaign {
+                keyword: r.u64("keyword")?,
+                index: r.u64("campaign index")?,
+            },
+            8 => Request::SetRoiTarget {
+                keyword: r.u64("keyword")?,
+                index: r.u64("campaign index")?,
+                target: r.option("roi target", |r| r.f64("roi target"))?,
+            },
+            9 => Request::TopBids {
+                keyword: r.u64("keyword")?,
+                limit: r.u64("limit")?,
+            },
+            10 => Request::Stats,
+            11 => Request::Configure(MarketConfig {
+                slots: r.u64("slots")?,
+                keywords: r.u64("keywords")?,
+                seed: r.u64("seed")?,
+                method: read_method(&mut r)?,
+                pricing: read_pricing(&mut r)?,
+                shards: r.u64("shards")?,
+                pruned: r.bool("pruned")?,
+                warm_start: r.bool("warm start")?,
+            }),
+            12 => Request::Shutdown,
+            tag => {
+                return Err(ProtoError::UnknownTag {
+                    what: "request",
+                    tag,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------------
+
+/// One placement inside a [`WireAuction`]: slot, winner, user actions,
+/// charge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePlacement {
+    /// 1-based slot position.
+    pub slot_position: u16,
+    /// Winning campaign's keyword coordinate.
+    pub campaign_keyword: u64,
+    /// Winning campaign's index coordinate.
+    pub campaign_index: u64,
+    /// Owning advertiser's handle index.
+    pub advertiser: u64,
+    /// Whether the user clicked.
+    pub clicked: bool,
+    /// Whether the user purchased.
+    pub purchased: bool,
+    /// Charge, in cents.
+    pub charge_cents: i64,
+}
+
+/// Wire form of [`AuctionResponse`]: the complete outcome of one auction,
+/// convertible back to the in-process type without loss (the conversion
+/// round-trip is what the equivalence tests compare bit-for-bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAuction {
+    /// The queried keyword.
+    pub keyword: u64,
+    /// Global market clock value of the auction (1-based).
+    pub time: u64,
+    /// Expected revenue of the winning allocation (bit-exact over the
+    /// wire).
+    pub expected_revenue: f64,
+    /// Realised revenue, in cents.
+    pub realized_cents: i64,
+    /// Ads shown, in slot order.
+    pub placements: Vec<WirePlacement>,
+    /// Every charge of the auction as `(keyword, index, cents)`.
+    pub charges: Vec<(u64, u64, i64)>,
+}
+
+impl From<&AuctionResponse> for WireAuction {
+    fn from(a: &AuctionResponse) -> Self {
+        WireAuction {
+            keyword: a.keyword as u64,
+            time: a.time,
+            expected_revenue: a.expected_revenue,
+            realized_cents: a.realized_revenue.cents(),
+            placements: a
+                .placements
+                .iter()
+                .map(|p| WirePlacement {
+                    slot_position: p.slot.position(),
+                    campaign_keyword: p.campaign.keyword() as u64,
+                    campaign_index: p.campaign.index() as u64,
+                    advertiser: p.advertiser.index() as u64,
+                    clicked: p.clicked,
+                    purchased: p.purchased,
+                    charge_cents: p.charge.cents(),
+                })
+                .collect(),
+            charges: a
+                .charges
+                .iter()
+                .map(|(id, m)| (id.keyword() as u64, id.index() as u64, m.cents()))
+                .collect(),
+        }
+    }
+}
+
+impl WireAuction {
+    /// Rebuilds the in-process [`AuctionResponse`] this wire auction
+    /// describes.
+    pub fn to_response(&self) -> AuctionResponse {
+        AuctionResponse {
+            keyword: self.keyword as usize,
+            time: self.time,
+            expected_revenue: self.expected_revenue,
+            realized_revenue: Money::from_cents(self.realized_cents),
+            placements: self
+                .placements
+                .iter()
+                .map(|p| Placement {
+                    slot: SlotId::new(p.slot_position),
+                    campaign: CampaignId::from_parts(
+                        p.campaign_keyword as usize,
+                        p.campaign_index as usize,
+                    ),
+                    advertiser: AdvertiserHandle::from_index(p.advertiser as usize),
+                    clicked: p.clicked,
+                    purchased: p.purchased,
+                    charge: Money::from_cents(p.charge_cents),
+                })
+                .collect(),
+            charges: self
+                .charges
+                .iter()
+                .map(|&(kw, idx, cents)| {
+                    (
+                        CampaignId::from_parts(kw as usize, idx as usize),
+                        Money::from_cents(cents),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Aggregate outcome of a [`Request::ServeBatch`]: the outcome fields of a
+/// [`MarketBatchReport`] total (the fields its `PartialEq` compares),
+/// without the per-keyword breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BatchSummary {
+    /// Auctions run.
+    pub auctions: u64,
+    /// Sum of winner-determination objectives (bit-exact over the wire).
+    pub expected_revenue: f64,
+    /// Slots that received an advertiser.
+    pub filled_slots: u64,
+    /// Realised clicks.
+    pub clicks: u64,
+    /// Realised purchases.
+    pub purchases: u64,
+    /// Realised revenue, in cents.
+    pub realized_cents: i64,
+    /// Same-keyword chunks the stream was split into.
+    pub chunks: u64,
+}
+
+impl BatchSummary {
+    /// Summarises a full in-process batch report.
+    pub fn from_report(report: &MarketBatchReport) -> Self {
+        BatchSummary {
+            auctions: report.total.auctions,
+            expected_revenue: report.total.expected_revenue,
+            filled_slots: report.total.filled_slots,
+            clicks: report.total.clicks,
+            purchases: report.total.purchases,
+            realized_cents: report.total.realized_revenue.cents(),
+            chunks: report.chunks,
+        }
+    }
+
+    /// Folds another summary in (used when a long stream is shipped as
+    /// several `ServeBatch` frames). Floating-point summation order
+    /// matches the in-process `BatchReport::absorb` chain, keeping the
+    /// aggregate bit-exact.
+    pub fn absorb(&mut self, other: &BatchSummary) {
+        self.auctions += other.auctions;
+        self.expected_revenue += other.expected_revenue;
+        self.filled_slots += other.filled_slots;
+        self.clicks += other.clicks;
+        self.purchases += other.purchases;
+        self.realized_cents += other.realized_cents;
+        self.chunks += other.chunks;
+    }
+}
+
+/// Server + marketplace counters returned by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Registered advertisers.
+    pub advertisers: u64,
+    /// Campaigns across all keywords.
+    pub campaigns: u64,
+    /// Keyword universe size.
+    pub keywords: u64,
+    /// Slots per results page.
+    pub slots: u64,
+    /// Shards the marketplace runs.
+    pub shards: u64,
+    /// Total auctions served (the market clock).
+    pub auctions: u64,
+    /// Sessions ever accepted.
+    pub sessions: u64,
+    /// Requests executed (admitted and run, any plane).
+    pub requests: u64,
+    /// Data-plane requests refused with [`Response::Overloaded`].
+    pub overloaded: u64,
+}
+
+/// Machine-readable failure category carried by [`Response::Failed`];
+/// mirrors [`MarketError`] plus server-side conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// No such advertiser handle.
+    UnknownAdvertiser,
+    /// Keyword outside the configured universe.
+    UnknownKeyword,
+    /// No such campaign.
+    UnknownCampaign,
+    /// Per-slot model length mismatch.
+    ModelDimension,
+    /// Probability outside `[0, 1]`.
+    InvalidProbability,
+    /// No click model available for the campaign.
+    MissingClickModel,
+    /// The campaign is not per-click incremental.
+    NotIncremental,
+    /// Negative bid.
+    NegativeBid,
+    /// Non-finite or non-positive ROI target.
+    InvalidRoiTarget,
+    /// Configuration rejected (zero slots/keywords/shards or equivalent).
+    InvalidConfig,
+    /// The server is draining and no longer accepts this request.
+    ShuttingDown,
+    /// The request is valid but this server does not support it.
+    Unsupported,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::UnknownAdvertiser => 0,
+            ErrorCode::UnknownKeyword => 1,
+            ErrorCode::UnknownCampaign => 2,
+            ErrorCode::ModelDimension => 3,
+            ErrorCode::InvalidProbability => 4,
+            ErrorCode::MissingClickModel => 5,
+            ErrorCode::NotIncremental => 6,
+            ErrorCode::NegativeBid => 7,
+            ErrorCode::InvalidRoiTarget => 8,
+            ErrorCode::InvalidConfig => 9,
+            ErrorCode::ShuttingDown => 10,
+            ErrorCode::Unsupported => 11,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => ErrorCode::UnknownAdvertiser,
+            1 => ErrorCode::UnknownKeyword,
+            2 => ErrorCode::UnknownCampaign,
+            3 => ErrorCode::ModelDimension,
+            4 => ErrorCode::InvalidProbability,
+            5 => ErrorCode::MissingClickModel,
+            6 => ErrorCode::NotIncremental,
+            7 => ErrorCode::NegativeBid,
+            8 => ErrorCode::InvalidRoiTarget,
+            9 => ErrorCode::InvalidConfig,
+            10 => ErrorCode::ShuttingDown,
+            11 => ErrorCode::Unsupported,
+            tag => {
+                return Err(ProtoError::UnknownTag {
+                    what: "error code",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl From<&MarketError> for ErrorCode {
+    fn from(e: &MarketError) -> Self {
+        match e {
+            MarketError::UnknownAdvertiser(_) => ErrorCode::UnknownAdvertiser,
+            MarketError::UnknownKeyword { .. } => ErrorCode::UnknownKeyword,
+            MarketError::UnknownCampaign(_) => ErrorCode::UnknownCampaign,
+            MarketError::ModelDimension { .. } => ErrorCode::ModelDimension,
+            MarketError::InvalidProbability(_) => ErrorCode::InvalidProbability,
+            MarketError::MissingClickModel => ErrorCode::MissingClickModel,
+            MarketError::NotIncremental(_) => ErrorCode::NotIncremental,
+            MarketError::NegativeBid(_) => ErrorCode::NegativeBid,
+            MarketError::InvalidRoiTarget(_) => ErrorCode::InvalidRoiTarget,
+            MarketError::NoSlots | MarketError::NoKeywords | MarketError::NoShards => {
+                ErrorCode::InvalidConfig
+            }
+        }
+    }
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// Server-assigned session id of this connection.
+        session: u64,
+        /// Protocol version the server speaks.
+        proto_version: u8,
+    },
+    /// Answer to [`Request::Serve`]: the full auction outcome.
+    Served(WireAuction),
+    /// Answer to [`Request::ServeBatch`]: the aggregate outcome.
+    BatchServed(BatchSummary),
+    /// Answer to [`Request::RegisterAdvertiser`].
+    AdvertiserRegistered {
+        /// Handle index of the new advertiser.
+        advertiser: u64,
+    },
+    /// Answer to [`Request::AddCampaign`].
+    CampaignAdded {
+        /// Campaign keyword coordinate.
+        keyword: u64,
+        /// Campaign index coordinate.
+        index: u64,
+    },
+    /// Answer to fire-and-forget control calls (update/pause/resume/ROI,
+    /// configure, shutdown).
+    Ack,
+    /// Answer to [`Request::TopBids`]: `(keyword, index, cents)`
+    /// descending by bid.
+    TopBids {
+        /// The bids.
+        bids: Vec<(u64, u64, i64)>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(ServerStats),
+    /// The request was understood but failed.
+    Failed {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail (the in-process error's `Display`).
+        message: String,
+    },
+    /// Data-plane backpressure: the owning shard's admission lane is full.
+    /// The request was **not** executed; retry after the hint.
+    Overloaded {
+        /// Suggested client back-off, in milliseconds.
+        retry_after_ms: u32,
+    },
+}
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Pong {
+                session,
+                proto_version,
+            } => {
+                buf.push(0);
+                put_u64(&mut buf, *session);
+                buf.push(*proto_version);
+            }
+            Response::Served(a) => {
+                buf.push(1);
+                put_u64(&mut buf, a.keyword);
+                put_u64(&mut buf, a.time);
+                put_f64(&mut buf, a.expected_revenue);
+                put_i64(&mut buf, a.realized_cents);
+                put_u32(&mut buf, a.placements.len() as u32);
+                for p in &a.placements {
+                    put_u16(&mut buf, p.slot_position);
+                    put_u64(&mut buf, p.campaign_keyword);
+                    put_u64(&mut buf, p.campaign_index);
+                    put_u64(&mut buf, p.advertiser);
+                    put_bool(&mut buf, p.clicked);
+                    put_bool(&mut buf, p.purchased);
+                    put_i64(&mut buf, p.charge_cents);
+                }
+                put_u32(&mut buf, a.charges.len() as u32);
+                for (kw, idx, cents) in &a.charges {
+                    put_u64(&mut buf, *kw);
+                    put_u64(&mut buf, *idx);
+                    put_i64(&mut buf, *cents);
+                }
+            }
+            Response::BatchServed(s) => {
+                buf.push(2);
+                put_u64(&mut buf, s.auctions);
+                put_f64(&mut buf, s.expected_revenue);
+                put_u64(&mut buf, s.filled_slots);
+                put_u64(&mut buf, s.clicks);
+                put_u64(&mut buf, s.purchases);
+                put_i64(&mut buf, s.realized_cents);
+                put_u64(&mut buf, s.chunks);
+            }
+            Response::AdvertiserRegistered { advertiser } => {
+                buf.push(3);
+                put_u64(&mut buf, *advertiser);
+            }
+            Response::CampaignAdded { keyword, index } => {
+                buf.push(4);
+                put_u64(&mut buf, *keyword);
+                put_u64(&mut buf, *index);
+            }
+            Response::Ack => buf.push(5),
+            Response::TopBids { bids } => {
+                buf.push(6);
+                put_u32(&mut buf, bids.len() as u32);
+                for (kw, idx, cents) in bids {
+                    put_u64(&mut buf, *kw);
+                    put_u64(&mut buf, *idx);
+                    put_i64(&mut buf, *cents);
+                }
+            }
+            Response::Stats(s) => {
+                buf.push(7);
+                put_u64(&mut buf, s.advertisers);
+                put_u64(&mut buf, s.campaigns);
+                put_u64(&mut buf, s.keywords);
+                put_u64(&mut buf, s.slots);
+                put_u64(&mut buf, s.shards);
+                put_u64(&mut buf, s.auctions);
+                put_u64(&mut buf, s.sessions);
+                put_u64(&mut buf, s.requests);
+                put_u64(&mut buf, s.overloaded);
+            }
+            Response::Failed { code, message } => {
+                buf.push(8);
+                buf.push(code.to_byte());
+                put_string(&mut buf, message);
+            }
+            Response::Overloaded { retry_after_ms } => {
+                buf.push(9);
+                put_u32(&mut buf, *retry_after_ms);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a response from a frame payload; the whole payload must be
+    /// consumed.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8("response tag")? {
+            0 => Response::Pong {
+                session: r.u64("session")?,
+                proto_version: r.u8("proto version")?,
+            },
+            1 => {
+                let keyword = r.u64("keyword")?;
+                let time = r.u64("time")?;
+                let expected_revenue = r.f64("expected revenue")?;
+                let realized_cents = r.i64("realized revenue")?;
+                let np = r.count("placements", 29)?;
+                let mut placements = Vec::with_capacity(np);
+                for _ in 0..np {
+                    placements.push(WirePlacement {
+                        slot_position: r.u16("slot")?,
+                        campaign_keyword: r.u64("campaign keyword")?,
+                        campaign_index: r.u64("campaign index")?,
+                        advertiser: r.u64("advertiser")?,
+                        clicked: r.bool("clicked")?,
+                        purchased: r.bool("purchased")?,
+                        charge_cents: r.i64("charge")?,
+                    });
+                }
+                let nc = r.count("charges", 24)?;
+                let mut charges = Vec::with_capacity(nc);
+                for _ in 0..nc {
+                    charges.push((
+                        r.u64("charge keyword")?,
+                        r.u64("charge index")?,
+                        r.i64("charge cents")?,
+                    ));
+                }
+                Response::Served(WireAuction {
+                    keyword,
+                    time,
+                    expected_revenue,
+                    realized_cents,
+                    placements,
+                    charges,
+                })
+            }
+            2 => Response::BatchServed(BatchSummary {
+                auctions: r.u64("auctions")?,
+                expected_revenue: r.f64("expected revenue")?,
+                filled_slots: r.u64("filled slots")?,
+                clicks: r.u64("clicks")?,
+                purchases: r.u64("purchases")?,
+                realized_cents: r.i64("realized revenue")?,
+                chunks: r.u64("chunks")?,
+            }),
+            3 => Response::AdvertiserRegistered {
+                advertiser: r.u64("advertiser")?,
+            },
+            4 => Response::CampaignAdded {
+                keyword: r.u64("keyword")?,
+                index: r.u64("campaign index")?,
+            },
+            5 => Response::Ack,
+            6 => {
+                let n = r.count("top bids", 24)?;
+                let mut bids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bids.push((r.u64("keyword")?, r.u64("index")?, r.i64("cents")?));
+                }
+                Response::TopBids { bids }
+            }
+            7 => Response::Stats(ServerStats {
+                advertisers: r.u64("advertisers")?,
+                campaigns: r.u64("campaigns")?,
+                keywords: r.u64("keywords")?,
+                slots: r.u64("slots")?,
+                shards: r.u64("shards")?,
+                auctions: r.u64("auctions")?,
+                sessions: r.u64("sessions")?,
+                requests: r.u64("requests")?,
+                overloaded: r.u64("overloaded")?,
+            }),
+            8 => Response::Failed {
+                code: ErrorCode::from_byte(r.u8("error code")?)?,
+                message: r.string("error message")?,
+            },
+            9 => Response::Overloaded {
+                retry_after_ms: r.u32("retry hint")?,
+            },
+            tag => {
+                return Err(ProtoError::UnknownTag {
+                    what: "response",
+                    tag,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// Keyword/index pairs cross the wire as u64 but live as usize in-process;
+// decode-side helpers for the server.
+pub(crate) fn keyword_of(v: u64) -> usize {
+    v as usize
+}
+
+/// Rebuilds a [`CampaignId`] from its wire coordinates.
+pub(crate) fn campaign_of(keyword: u64, index: u64) -> CampaignId {
+    CampaignId::from_parts(keyword_of(keyword), index as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Serve { keyword: 3 },
+            Request::ServeBatch {
+                keywords: vec![0, 1, 1, 2, 9],
+            },
+            Request::RegisterAdvertiser {
+                name: "books.example".into(),
+            },
+            Request::AddCampaign {
+                advertiser: 2,
+                keyword: 7,
+                bid_cents: 150,
+                click_value_cents: 400,
+                roi_target: Some(1.25),
+                click_probs: Some(vec![0.6, 0.3, 0.15]),
+            },
+            Request::UpdateBid {
+                keyword: 1,
+                index: 4,
+                bid_cents: -3,
+            },
+            Request::PauseCampaign {
+                keyword: 0,
+                index: 0,
+            },
+            Request::ResumeCampaign {
+                keyword: 0,
+                index: 0,
+            },
+            Request::SetRoiTarget {
+                keyword: 5,
+                index: 1,
+                target: None,
+            },
+            Request::TopBids {
+                keyword: 2,
+                limit: 10,
+            },
+            Request::Stats,
+            Request::Configure(MarketConfig {
+                slots: 15,
+                keywords: 10,
+                seed: 42,
+                method: WdMethod::ReducedParallel(4),
+                pricing: PricingScheme::Gsp,
+                shards: 4,
+                pruned: true,
+                warm_start: false,
+            }),
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Pong {
+                session: 9,
+                proto_version: 1,
+            },
+            Response::Served(WireAuction {
+                keyword: 4,
+                time: 77,
+                expected_revenue: 12.345,
+                realized_cents: 210,
+                placements: vec![WirePlacement {
+                    slot_position: 1,
+                    campaign_keyword: 4,
+                    campaign_index: 2,
+                    advertiser: 0,
+                    clicked: true,
+                    purchased: false,
+                    charge_cents: 35,
+                }],
+                charges: vec![(4, 2, 35)],
+            }),
+            Response::BatchServed(BatchSummary {
+                auctions: 100,
+                expected_revenue: 1.5e3,
+                filled_slots: 180,
+                clicks: 40,
+                purchases: 3,
+                realized_cents: 1234,
+                chunks: 17,
+            }),
+            Response::AdvertiserRegistered { advertiser: 12 },
+            Response::CampaignAdded {
+                keyword: 3,
+                index: 0,
+            },
+            Response::Ack,
+            Response::TopBids {
+                bids: vec![(3, 0, 90), (3, 2, 40)],
+            },
+            Response::Stats(ServerStats {
+                advertisers: 10,
+                campaigns: 100,
+                keywords: 10,
+                slots: 15,
+                shards: 4,
+                auctions: 4096,
+                sessions: 3,
+                requests: 4200,
+                overloaded: 9,
+            }),
+            Response::Failed {
+                code: ErrorCode::UnknownKeyword,
+                message: "keyword 99 outside the configured universe of 10".into(),
+            },
+            Response::Overloaded { retry_after_ms: 10 },
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn hostile_count_rejected_before_allocation() {
+        // A ServeBatch claiming u32::MAX keywords inside a 9-byte payload.
+        let mut buf = vec![2u8];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+        assert_eq!(
+            Request::decode(&buf),
+            Err(ProtoError::Oversized {
+                what: "serve-batch keywords",
+                len: u32::MAX as u64,
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Request::Ping.encode();
+        buf.push(0);
+        assert_eq!(
+            Request::decode(&buf),
+            Err(ProtoError::Trailing { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_tags_are_typed() {
+        assert_eq!(
+            Request::decode(&[200]),
+            Err(ProtoError::UnknownTag {
+                what: "request",
+                tag: 200,
+            })
+        );
+        assert_eq!(
+            Response::decode(&[250]),
+            Err(ProtoError::UnknownTag {
+                what: "response",
+                tag: 250,
+            })
+        );
+    }
+
+    #[test]
+    fn f64_is_bit_exact() {
+        let tricky = [0.1 + 0.2, f64::MIN_POSITIVE, 1.0e308, -0.0];
+        for v in tricky {
+            let resp = Response::BatchServed(BatchSummary {
+                expected_revenue: v,
+                ..BatchSummary::default()
+            });
+            match Response::decode(&resp.encode()).unwrap() {
+                Response::BatchServed(s) => {
+                    assert_eq!(s.expected_revenue.to_bits(), v.to_bits());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

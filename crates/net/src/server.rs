@@ -1,0 +1,522 @@
+//! The TCP serving front-end: accept loop, per-connection reader/writer
+//! threads, and the single executor thread that owns the marketplace.
+//!
+//! # Threading model
+//!
+//! * **One executor thread** owns the
+//!   [`ShardedMarketplace`] outright — no locks on
+//!   market state; requests are serialised through an [`mpsc`] channel and
+//!   executed in submission order. (`serve_batch` still fans out across
+//!   shard worker threads *inside* a request, so multi-core throughput
+//!   comes from batching, exactly as in-process callers get it.)
+//! * **Per connection**: a reader thread (decode → admit → submit) and a
+//!   writer thread (encode → write), joined by a per-connection response
+//!   channel. Responses to pipelined requests come back in execution
+//!   order, each carrying its request id.
+//! * **Backpressure**: data-plane requests take a bounded
+//!   [`crate::admission`] slot per involved shard before entering the
+//!   executor queue and hold it until execution finishes; a full lane is
+//!   answered immediately with [`Response::Overloaded`] — the request is
+//!   never queued.
+//!
+//! # Graceful shutdown
+//!
+//! [`Request::Shutdown`] (or [`ServerHandle::shutdown`]) flips the
+//! shutdown flag, half-closes the read side of every live connection
+//! ([`crate::session::SessionRegistry::shutdown_reads`]), and nudges the
+//! accept loop awake. Readers see EOF and stop submitting; jobs already
+//! queued drain through the executor (an [`mpsc`] channel delivers
+//! everything buffered before reporting disconnection); writers flush the
+//! responses; then the threads unwind. In-flight requests are *completed*,
+//! never dropped.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use ssa_bidlang::Money;
+use ssa_core::marketplace::{AdvertiserHandle, CampaignSpec, Marketplace, QueryRequest};
+use ssa_core::{shard_of_keyword, ShardedMarketplace};
+
+use crate::admission::{Admission, Ticket};
+use crate::frame::{read_frame, write_frame, FrameKind, PROTO_VERSION};
+use crate::proto::{
+    campaign_of, keyword_of, BatchSummary, ErrorCode, MarketConfig, Request, Response, ServerStats,
+    WireAuction,
+};
+use crate::session::{Session, SessionRegistry};
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Queued-or-in-flight data-plane requests allowed per shard lane
+    /// before new ones are refused with [`Response::Overloaded`].
+    pub admission_per_shard: usize,
+    /// Back-off hint, in milliseconds, attached to every `Overloaded`.
+    pub retry_after_ms: u32,
+    /// Fault injection for tests: sleep this long in the executor before
+    /// running each *data-plane* job, so admission lanes can be saturated
+    /// deterministically. `None` (the default) adds no delay.
+    pub executor_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            admission_per_shard: 256,
+            retry_after_ms: 10,
+            executor_delay: None,
+        }
+    }
+}
+
+/// One unit of executor work: a decoded request plus everything needed to
+/// answer it. The admission ticket rides along so its lane slots are
+/// released only when execution has finished.
+struct Job {
+    request_id: u64,
+    session: Arc<Session>,
+    request: Request,
+    reply: mpsc::Sender<(u64, Response)>,
+    _ticket: Option<Ticket>,
+}
+
+/// State shared by the accept loop, connection threads, and executor.
+struct Shared {
+    local_addr: SocketAddr,
+    sessions: Arc<SessionRegistry>,
+    admission: Arc<Admission>,
+    shutdown: AtomicBool,
+    /// Shard count of the *current* marketplace; connection readers route
+    /// admission through it, the executor updates it on `Configure`.
+    num_shards: AtomicUsize,
+    /// Requests executed (any plane). Refused requests are counted by
+    /// [`Admission::overloaded_count`] instead.
+    requests: AtomicU64,
+    executor_delay: Option<Duration>,
+}
+
+impl Shared {
+    fn shards_of_request(&self, request: &Request) -> Option<Vec<usize>> {
+        let num_shards = self.num_shards.load(Ordering::Relaxed);
+        match request {
+            Request::Serve { keyword } => {
+                Some(vec![shard_of_keyword(keyword_of(*keyword), num_shards)])
+            }
+            Request::ServeBatch { keywords } => Some(
+                keywords
+                    .iter()
+                    .map(|kw| shard_of_keyword(keyword_of(*kw), num_shards))
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+}
+
+/// A bound, not-yet-running server; obtained from [`Server::bind`].
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    jobs: mpsc::Sender<Job>,
+    executor: std::thread::JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds the listener and starts the executor thread that owns
+    /// `market`. The server does not accept connections until
+    /// [`Server::run`] (or [`Server::spawn`]) is called.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        market: ShardedMarketplace,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            local_addr: listener.local_addr()?,
+            sessions: SessionRegistry::new(),
+            admission: Admission::new(config.admission_per_shard, config.retry_after_ms),
+            shutdown: AtomicBool::new(false),
+            num_shards: AtomicUsize::new(market.num_shards()),
+            requests: AtomicU64::new(0),
+            executor_delay: config.executor_delay,
+        });
+        let (jobs, job_rx) = mpsc::channel::<Job>();
+        let executor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || executor_loop(market, job_rx, &shared))
+        };
+        Ok(Server {
+            listener,
+            shared,
+            jobs,
+            executor,
+        })
+    }
+
+    /// The address the listener actually bound (resolves `:0` port
+    /// requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Runs the accept loop on the calling thread until graceful shutdown,
+    /// then drains the executor and returns.
+    pub fn run(self) {
+        let Server {
+            listener,
+            shared,
+            jobs,
+            executor,
+        } = self;
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let Ok(session) = shared.sessions.register(&stream) else {
+                continue;
+            };
+            if shared.shutdown.load(Ordering::SeqCst) {
+                // This accept raced with graceful shutdown: the drain
+                // pass may have run before this session was registered,
+                // so half-close the registry again (idempotent) to make
+                // sure this reader sees EOF too.
+                shared.sessions.shutdown_reads();
+            }
+            let shared = Arc::clone(&shared);
+            let jobs = jobs.clone();
+            connections.retain(|handle| !handle.is_finished());
+            connections.push(std::thread::spawn(move || {
+                serve_connection(stream, session, shared, jobs)
+            }));
+        }
+        // Dropping the accept loop's job sender lets the executor's
+        // receive loop end once every connection reader has exited and
+        // released its clone; buffered jobs drain first.
+        drop(jobs);
+        let _ = executor.join();
+        // The drain contract: every response for admitted work reaches
+        // the wire before the server reports itself stopped. Each reader
+        // joins its paired writer, so joining the connection threads
+        // flushes the final replies (the shutdown Ack included).
+        for handle in connections {
+            let _ = handle.join();
+        }
+    }
+
+    /// Runs the accept loop on a new thread, returning a handle for
+    /// clients in the same process (tests, examples, the bench driver).
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            shared,
+            thread,
+        }
+    }
+}
+
+/// A running server spawned on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the server is serving on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown without a client connection: flips the
+    /// flag, half-closes live sessions, and wakes the accept loop.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Waits for the server to finish draining and exit.
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}
+
+/// Flips the shutdown flag, EOFs every live reader, and nudges the accept
+/// loop so it observes the flag. Idempotent.
+fn begin_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.sessions.shutdown_reads();
+    // The accept loop is parked in `accept`; a throwaway connection wakes
+    // it to check the flag.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+/// Per-connection reader: decode frames, admit data-plane work, submit
+/// jobs; plus the paired writer thread that serialises responses back out.
+fn serve_connection(
+    stream: TcpStream,
+    session: Arc<Session>,
+    shared: Arc<Shared>,
+    jobs: mpsc::Sender<Job>,
+) {
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Response)>();
+    let writer = {
+        let mut stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                shared.sessions.unregister(session.id);
+                return;
+            }
+        };
+        std::thread::spawn(move || {
+            while let Ok((request_id, response)) = reply_rx.recv() {
+                if write_frame(
+                    &mut stream,
+                    FrameKind::Response,
+                    request_id,
+                    &response.encode(),
+                )
+                .is_err()
+                {
+                    break;
+                }
+                let _ = stream.flush();
+            }
+        })
+    };
+
+    let mut reader = stream;
+    // Clean EOF, mid-frame truncation, or transport error all end the
+    // loop: there is nothing further to decode on this connection.
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        if frame.kind != FrameKind::Request {
+            // A response frame sent *to* a server is a peer bug; drop the
+            // connection rather than guess.
+            break;
+        }
+        session.note_request();
+        let request = match Request::decode(&frame.payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // Well-framed but undecodable payload: answer with a typed
+                // failure (the request id is known) and keep the
+                // connection — the peer may just be newer than us.
+                let _ = reply_tx.send((
+                    frame.request_id,
+                    Response::Failed {
+                        code: ErrorCode::Unsupported,
+                        message: e.to_string(),
+                    },
+                ));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            let _ = reply_tx.send((
+                frame.request_id,
+                Response::Failed {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is draining".into(),
+                },
+            ));
+            continue;
+        }
+        let ticket = match shared.shards_of_request(&request) {
+            Some(shards) => match shared.admission.try_admit_shards(shards) {
+                Some(ticket) => Some(ticket),
+                None => {
+                    let _ = reply_tx.send((
+                        frame.request_id,
+                        Response::Overloaded {
+                            retry_after_ms: shared.admission.retry_after_ms(),
+                        },
+                    ));
+                    continue;
+                }
+            },
+            None => None,
+        };
+        if jobs
+            .send(Job {
+                request_id: frame.request_id,
+                session: Arc::clone(&session),
+                request,
+                reply: reply_tx.clone(),
+                _ticket: ticket,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+    shared.sessions.unregister(session.id);
+    // Drop our reply sender; the writer exits once the executor has
+    // answered (or dropped) every job this connection submitted.
+    drop(reply_tx);
+    drop(jobs);
+    let _ = writer.join();
+}
+
+/// The executor: single owner of the marketplace, draining the job queue
+/// in submission order until every sender is gone.
+fn executor_loop(mut market: ShardedMarketplace, jobs: mpsc::Receiver<Job>, shared: &Shared) {
+    while let Ok(job) = jobs.recv() {
+        if let (Some(delay), true) = (shared.executor_delay, job.request.is_data_plane()) {
+            std::thread::sleep(delay);
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let response = execute(&mut market, &job, shared);
+        let _ = job.reply.send((job.request_id, response));
+        // `job` (and its admission ticket) drops here: the lane slot is
+        // released only after the request fully executed.
+    }
+}
+
+fn execute(market: &mut ShardedMarketplace, job: &Job, shared: &Shared) -> Response {
+    match &job.request {
+        Request::Ping => Response::Pong {
+            session: job.session.id,
+            proto_version: PROTO_VERSION,
+        },
+        Request::Serve { keyword } => match market.serve(QueryRequest::new(keyword_of(*keyword))) {
+            Ok(auction) => Response::Served(WireAuction::from(&auction)),
+            Err(e) => failed(&e),
+        },
+        Request::ServeBatch { keywords } => {
+            let requests: Vec<QueryRequest> = keywords
+                .iter()
+                .map(|kw| QueryRequest::new(keyword_of(*kw)))
+                .collect();
+            match market.serve_batch(&requests) {
+                Ok(report) => Response::BatchServed(BatchSummary::from_report(&report)),
+                Err(e) => failed(&e),
+            }
+        }
+        Request::RegisterAdvertiser { name } => Response::AdvertiserRegistered {
+            advertiser: market.register_advertiser(name.clone()).index() as u64,
+        },
+        Request::AddCampaign {
+            advertiser,
+            keyword,
+            bid_cents,
+            click_value_cents,
+            roi_target,
+            click_probs,
+        } => {
+            let mut spec = CampaignSpec::per_click(Money::from_cents(*bid_cents))
+                .click_value(Money::from_cents(*click_value_cents));
+            if let Some(target) = roi_target {
+                spec = spec.roi_target(*target);
+            }
+            if let Some(probs) = click_probs {
+                spec = spec.click_probs(probs.clone());
+            }
+            match market.add_campaign(
+                AdvertiserHandle::from_index(*advertiser as usize),
+                keyword_of(*keyword),
+                spec,
+            ) {
+                Ok(id) => Response::CampaignAdded {
+                    keyword: id.keyword() as u64,
+                    index: id.index() as u64,
+                },
+                Err(e) => failed(&e),
+            }
+        }
+        Request::UpdateBid {
+            keyword,
+            index,
+            bid_cents,
+        } => ack_or_fail(
+            market.update_bid(campaign_of(*keyword, *index), Money::from_cents(*bid_cents)),
+        ),
+        Request::PauseCampaign { keyword, index } => {
+            ack_or_fail(market.pause_campaign(campaign_of(*keyword, *index)))
+        }
+        Request::ResumeCampaign { keyword, index } => {
+            ack_or_fail(market.resume_campaign(campaign_of(*keyword, *index)))
+        }
+        Request::SetRoiTarget {
+            keyword,
+            index,
+            target,
+        } => ack_or_fail(market.set_roi_target(campaign_of(*keyword, *index), *target)),
+        Request::TopBids { keyword, limit } => {
+            match market.top_bids(keyword_of(*keyword), *limit as usize) {
+                Ok(bids) => Response::TopBids {
+                    bids: bids
+                        .into_iter()
+                        .map(|(id, m)| (id.keyword() as u64, id.index() as u64, m.cents()))
+                        .collect(),
+                },
+                Err(e) => failed(&e),
+            }
+        }
+        Request::Stats => {
+            let snapshot = market.snapshot();
+            Response::Stats(ServerStats {
+                advertisers: snapshot.advertisers as u64,
+                campaigns: snapshot.campaigns as u64,
+                keywords: snapshot.keywords as u64,
+                slots: snapshot.slots as u64,
+                shards: snapshot.shards as u64,
+                auctions: snapshot.auctions,
+                sessions: shared.sessions.total_count(),
+                requests: shared.requests.load(Ordering::Relaxed),
+                overloaded: shared.admission.overloaded_count(),
+            })
+        }
+        Request::Configure(config) => match build_market(config) {
+            Ok(new_market) => {
+                shared
+                    .num_shards
+                    .store(new_market.num_shards(), Ordering::Relaxed);
+                *market = new_market;
+                Response::Ack
+            }
+            Err(e) => Response::Failed {
+                code: ErrorCode::InvalidConfig,
+                message: e.to_string(),
+            },
+        },
+        Request::Shutdown => {
+            begin_shutdown(shared);
+            Response::Ack
+        }
+    }
+}
+
+/// Builds the marketplace a [`Request::Configure`] describes.
+pub fn build_market(config: &MarketConfig) -> Result<ShardedMarketplace, ssa_core::MarketError> {
+    Marketplace::builder()
+        .slots(config.slots as usize)
+        .keywords(config.keywords as usize)
+        .seed(config.seed)
+        .method(config.method)
+        .pricing(config.pricing)
+        .pruned(config.pruned)
+        .warm_start(config.warm_start)
+        .build_sharded(config.shards as usize)
+}
+
+fn failed(e: &ssa_core::MarketError) -> Response {
+    Response::Failed {
+        code: ErrorCode::from(e),
+        message: e.to_string(),
+    }
+}
+
+fn ack_or_fail(result: Result<(), ssa_core::MarketError>) -> Response {
+    match result {
+        Ok(()) => Response::Ack,
+        Err(e) => failed(&e),
+    }
+}

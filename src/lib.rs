@@ -19,7 +19,11 @@
 //!   [`marketplace`] service facade;
 //! * [`workload`] — the Section V experimental workload and the
 //!   four-method simulation (legacy harness and facade-native
-//!   `MarketSimulation`).
+//!   `MarketSimulation`);
+//! * [`net`] — the TCP serving front-end: a framed wire protocol over
+//!   `std::net`, the `ssa-server` binary wrapping
+//!   [`sharded::ShardedMarketplace`], and the `ssa-load` latency-reporting
+//!   load driver.
 //!
 //! ## Architecture: the `Marketplace` facade over the `WdSolver` pipeline
 //!
@@ -299,6 +303,38 @@
 //! `reproduce --method h --quick --pruned --json` runs the paired
 //! configuration CI tracks: identical outcome fields, smaller
 //! `avg_candidates`, and a shrunken `solve_ms`.
+//!
+//! ## Serving over the network: `ssa_net`
+//!
+//! [`net`] puts the sharded marketplace behind a TCP socket with nothing
+//! but `std::net` — no async runtime. Messages travel in length-prefixed
+//! frames (`[len][version][kind][request_id][payload]`, little-endian,
+//! capped at [`net::MAX_FRAME`]) whose payloads encode a typed
+//! [`net::Request`]/[`net::Response`] pair; malformed input — truncated
+//! frames, oversized length prefixes, unknown tags — comes back as a
+//! typed [`net::ProtoError`], never a panic or an unbounded allocation.
+//!
+//! The server ([`net::Server`], shipped as the `ssa-server` binary) keeps
+//! a single executor thread that owns the marketplace; per-connection
+//! reader threads decode and *admit* requests through bounded per-shard
+//! admission lanes ([`net::Admission`]), so a flood of data-plane traffic
+//! degrades into typed `Overloaded { retry_after_ms }` responses instead
+//! of unbounded queueing. Control-plane calls (campaign registration, bid
+//! updates, pause/resume, ROI targets, stats) bypass the data-plane lanes.
+//! Graceful shutdown drains every in-flight request before the socket
+//! closes. The serving contract is the same equivalence guarantee the
+//! sharded marketplace proves in-process: a seeded Section V stream served
+//! over the wire is **bit-identical** to `serve_batch` in process, at any
+//! shard count (`ssa-load --verify` checks exactly this; so does
+//! `reproduce --server <addr>`).
+//!
+//! ```text
+//! cargo run --release --bin ssa-server -- --listen 127.0.0.1:7878
+//! cargo run --release --bin ssa-load -- --server 127.0.0.1:7878 --quick \
+//!     --report bench-report.json       # QPS + p50/p99/max latency
+//! ```
+//!
+//! See `examples/net_quickstart.rs` for the client API end to end.
 
 #![forbid(unsafe_code)]
 
@@ -314,6 +350,9 @@ pub use ssa_core::marketplace;
 pub use ssa_core::sharded;
 pub use ssa_matching as matching;
 pub use ssa_minidb as minidb;
+/// The TCP serving front-end: framed wire protocol, `Server`/`Client`,
+/// bounded admission, and the load-driver library behind `ssa-load`.
+pub use ssa_net as net;
 pub use ssa_simplex as simplex;
 pub use ssa_strategy as strategy;
 pub use ssa_workload as workload;
