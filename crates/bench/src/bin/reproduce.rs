@@ -17,8 +17,8 @@
 //! advertisers, 1000 auctions per point).
 
 use ssa_bench::{
-    format_table, measure_method, measure_method_remote, measure_method_sharded,
-    measure_programmed, measure_series,
+    format_table, measure_method, measure_method_durable, measure_method_remote,
+    measure_method_sharded, measure_programmed, measure_series,
 };
 use ssa_bidlang::{BidsTable, Formula, Money, SlotId};
 use ssa_core::prob::ClickModel;
@@ -32,7 +32,7 @@ reproduce — regenerate the paper's figures as text output
 
 Usage: reproduce [fig12|fig13|tables|all] [--quick]
        reproduce --method <lp|h|rh|rhp:<threads>> [--json] [--quick]
-                 [--shards <n>] [--load <queries>] [--pruned]
+                 [--shards <n>] [--load <queries>] [--pruned] [--durable]
                  [--strategy <native|sql|sql-reparse>]
                  [--server <host:port>]
        reproduce --strategy <native|sql|sql-reparse> [--json] [--quick]
@@ -55,6 +55,13 @@ Options:
   --pruned        with --method/--strategy, solve on the union of each
                   slot's top-k bidders (ties kept) instead of the full
                   advertiser set — bit-identical outcomes, smaller solves
+  --durable       with --method, attach a write-ahead log to the sharded
+                  run (a throw-away data directory under the system temp
+                  dir): every mutation and batch is journalled while the
+                  clock runs, and after the run the store is recovered and
+                  verified bit-identical to the served marketplace. The
+                  output gains a recovery line; the JSON emits a second
+                  {\"metric\":\"recovery\",...} object
   --strategy <s>  measure the *programmed* Section II-B population instead
                   of the static per-click one: every advertiser a
                   keyword-local Figure 5 ROI program, run natively
@@ -133,7 +140,9 @@ fn main() {
     let value_flag = |a: &str| {
         a == "--method" || a == "--shards" || a == "--load" || a == "--strategy" || a == "--server"
     };
-    let known_flag = |a: &str| a == "--quick" || a == "--json" || a == "--pruned" || value_flag(a);
+    let known_flag = |a: &str| {
+        a == "--quick" || a == "--json" || a == "--pruned" || a == "--durable" || value_flag(a)
+    };
     let mut target: Option<&str> = None;
     let mut skip_value = false;
     for a in &args {
@@ -157,6 +166,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let pruned = args.iter().any(|a| a == "--pruned");
+    let durable = args.iter().any(|a| a == "--durable");
     // --strategy implies single-run mode with the rh default method.
     let single_run = method.is_some() || strategy.is_some();
     if json && !single_run {
@@ -178,6 +188,17 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if durable && method.is_none() {
+        eprintln!("--durable requires --method\n{USAGE}");
+        std::process::exit(2);
+    }
+    if durable && (server.is_some() || strategy.is_some()) {
+        eprintln!(
+            "--durable cannot be combined with --server or --strategy: the journal \
+             attaches to the in-process sharded run only\n{USAGE}"
+        );
+        std::process::exit(2);
+    }
 
     if single_run {
         if let Some(target) = target {
@@ -185,7 +206,9 @@ fn main() {
             std::process::exit(2);
         }
         let method = method.unwrap_or(WdMethod::Reduced);
-        single_method(method, json, quick, shards, load, strategy, server, pruned);
+        single_method(
+            method, json, quick, shards, load, strategy, server, pruned, durable,
+        );
         return;
     }
 
@@ -250,6 +273,8 @@ fn parse_value_flag<T, E: std::fmt::Display>(
 /// programs), which is how CI tracks the SQL interpreter's overhead.
 /// `--server` routes the whole run through a live `ssa-server` over the
 /// ssa_net wire protocol instead — bit-identical outcomes, real sockets.
+/// `--durable` attaches a write-ahead log to the sharded run and verifies
+/// post-run recovery, reporting the replay cost alongside the throughput.
 #[allow(clippy::too_many_arguments)] // one parameter per CLI flag
 fn single_method(
     method: WdMethod,
@@ -260,11 +285,68 @@ fn single_method(
     strategy: Option<Strategy>,
     server: Option<std::net::SocketAddr>,
     pruned: bool,
+    durable: bool,
 ) {
     let (n, default_auctions) = if quick { (250, 50) } else { (1000, 200) };
     let auctions = load.unwrap_or(default_auctions);
     let warmup = auctions / 10 + 1;
-    let run = match (server, strategy) {
+    let mut recovery = None;
+    let run = if durable {
+        let dir =
+            std::env::temp_dir().join(format!("ssa-reproduce-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (run, report) = measure_method_durable(
+            &dir,
+            method,
+            PricingScheme::Gsp,
+            n,
+            auctions,
+            warmup,
+            4242,
+            shards.unwrap_or(1),
+            pruned,
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        recovery = Some(report);
+        run
+    } else {
+        dispatch_plain(
+            method, quick, shards, load, strategy, server, pruned, n, auctions, warmup,
+        )
+    };
+    if json {
+        println!("{}", run.to_json());
+        if let Some(report) = &recovery {
+            println!("{}", report.to_json());
+        }
+    } else {
+        print_run(&run);
+        if let Some(report) = &recovery {
+            println!(
+                "recovery: {} wal records replayed in {:.2} ms ({} snapshot bytes)",
+                report.wal_records, report.replay_ms, report.snapshot_bytes,
+            );
+        }
+    }
+}
+
+/// The non-durable single-run dispatch: remote, programmed, sharded, or
+/// the single-threaded facade, by flag.
+#[allow(clippy::too_many_arguments)] // one parameter per CLI flag
+fn dispatch_plain(
+    method: WdMethod,
+    quick: bool,
+    shards: Option<usize>,
+    load: Option<usize>,
+    strategy: Option<Strategy>,
+    server: Option<std::net::SocketAddr>,
+    pruned: bool,
+    n: usize,
+    auctions: usize,
+    warmup: usize,
+) -> ssa_bench::MethodRun {
+    let _ = (quick, load);
+    match (server, strategy) {
         (Some(addr), _) => {
             let sharding = shards.unwrap_or(1);
             match measure_method_remote(
@@ -309,10 +391,12 @@ fn single_method(
                 pruned,
             ),
         },
-    };
-    if json {
-        println!("{}", run.to_json());
-    } else {
+    }
+}
+
+/// Prints the human-readable form of a single run.
+fn print_run(run: &ssa_bench::MethodRun) {
+    {
         let sharding = match run.shards {
             Some(s) => format!(", {s} shards"),
             None => String::new(),
@@ -322,18 +406,20 @@ fn single_method(
             None => String::new(),
         };
         let pruning = if run.pruned { ", pruned" } else { "" };
+        let journalled = if run.durable { ", journalled" } else { "" };
         let via = match &run.server {
             Some(addr) => format!(", via {addr}"),
             None => String::new(),
         };
         println!(
-            "method {} ({} pricing{}{}{}{}): n = {}, k = {}, {} auctions in {:.2} ms \
+            "method {} ({} pricing{}{}{}{}{}): n = {}, k = {}, {} auctions in {:.2} ms \
              ({:.0} auctions/sec, {} clicks, {} realized)",
             run.method,
             run.pricing,
             sharding,
             population,
             pruning,
+            journalled,
             via,
             run.advertisers,
             run.slots,

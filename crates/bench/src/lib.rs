@@ -225,6 +225,10 @@ pub struct MethodRun {
     /// Whether the engines solved through the top-k
     /// [`PrunedSolver`](ssa_matching::PrunedSolver) wrapper.
     pub pruned: bool,
+    /// Whether the run served with a write-ahead log attached
+    /// ([`measure_method_durable`]) — `true` means every mutation and
+    /// serve was journalled to disk while the clock ran.
+    pub durable: bool,
     /// Wall-clock time of the timed batch.
     pub elapsed: Duration,
     /// Aggregate auction outcomes of the timed batch.
@@ -307,7 +311,7 @@ impl MethodRun {
                 "\"slots\":{},\"shards\":{},\"strategy\":{},\"server\":{},",
                 "\"auctions\":{},\"elapsed_ms\":{:.3},",
                 "\"auctions_per_sec\":{:.1},\"cores\":{},\"pruned\":{},",
-                "\"phases\":{},\"expected_revenue_cents\":{:.2},",
+                "\"durable\":{},\"phases\":{},\"expected_revenue_cents\":{:.2},",
                 "\"clicks\":{},\"realized_revenue_cents\":{},\"planner\":{}}}"
             ),
             self.method,
@@ -322,6 +326,7 @@ impl MethodRun {
             self.auctions_per_sec(),
             self.cores,
             self.pruned,
+            self.durable,
             phases,
             self.report.expected_revenue,
             self.report.clicks,
@@ -371,6 +376,7 @@ pub fn measure_method(
         auctions,
         cores: available_cores(),
         pruned,
+        durable: false,
         elapsed,
         report,
         server: None,
@@ -421,12 +427,106 @@ pub fn measure_method_sharded(
         auctions,
         cores: available_cores(),
         pruned,
+        durable: false,
         elapsed,
         report,
         server: None,
         planner_mode: None,
         planner: None,
     }
+}
+
+/// Measures one method's batched serving throughput with a write-ahead
+/// log attached: the same Section V population and round-robin stream as
+/// [`measure_method_sharded`], but every control-plane mutation and every
+/// timed batch is journalled to a [`ssa_durable::Durability`] store in
+/// `dir` while the clock runs — the engine behind `reproduce --durable`,
+/// which is how CI tracks the journalling overhead next to the plain
+/// sharded row.
+///
+/// After the timed batch the store is recovered from disk and the
+/// recovered marketplace is asserted **bit-identical** to the served one
+/// (captured state equality), so every reported number also certifies the
+/// recovery path. Returns the run (with [`MethodRun::durable`] set)
+/// alongside the [`ssa_durable::RecoveryReport`] of the post-run
+/// recovery. No snapshot is taken, so the report's `wal_records` counts
+/// every journalled operation of the run.
+///
+/// # Panics
+///
+/// Panics if the store cannot be opened or recovered, or if the recovered
+/// state diverges from the served one — a durability bug, not a
+/// measurement artefact.
+#[allow(clippy::too_many_arguments)] // mirrors measure_method_sharded plus the directory
+pub fn measure_method_durable(
+    dir: &std::path::Path,
+    method: WdMethod,
+    pricing: PricingScheme,
+    n: usize,
+    auctions: usize,
+    warmup: usize,
+    seed: u64,
+    shards: usize,
+    pruned: bool,
+) -> (MethodRun, ssa_durable::RecoveryReport) {
+    let config = EngineConfig {
+        method,
+        pricing,
+        pruned,
+        ..EngineConfig::default()
+    };
+    let (recovered, durability) =
+        ssa_durable::Durability::open(dir, ssa_durable::FsyncPolicy::Off, 0)
+            .expect("durable store opens");
+    assert!(
+        recovered.is_none(),
+        "measure_method_durable requires an empty data directory"
+    );
+    // The market starts *empty* (the paper config fixes slots and
+    // keywords independently of `n`) and the whole population registers
+    // through the journal, so recovery replays it.
+    let mut market = section_v_sharded_market(SectionVConfig::paper(0, seed), config, shards);
+    durability
+        .log_configure(&market.capture_state().expect("journalable").config)
+        .expect("configure journalled");
+    market.set_journal(durability.journal());
+    let workload = SectionVWorkload::generate(SectionVConfig::paper(n, seed));
+    populate_section_v!(market, workload);
+    let slots = market.num_slots();
+    let keywords = market.num_keywords();
+    let (elapsed, report) = timed_round_robin(keywords, auctions, warmup, |requests| {
+        market
+            .serve_batch(requests)
+            .expect("round-robin keywords are in range")
+            .total
+    });
+    drop(durability);
+    let (recovered, recovery) = ssa_durable::recover(dir)
+        .expect("recovery succeeds")
+        .expect("the run journalled state");
+    assert_eq!(
+        recovered.capture_state().expect("journalable"),
+        market.capture_state().expect("journalable"),
+        "recovered marketplace diverged from the served one"
+    );
+    let run = MethodRun {
+        method,
+        pricing,
+        advertisers: n,
+        slots,
+        shards: Some(shards),
+        strategy: None,
+        auctions,
+        cores: available_cores(),
+        pruned,
+        durable: true,
+        elapsed,
+        report,
+        server: None,
+        planner_mode: None,
+        planner: None,
+    };
+    (run, recovery)
 }
 
 /// Measures one method's batched serving throughput **over the wire**: the
@@ -491,6 +591,7 @@ pub fn measure_method_remote(
         auctions,
         cores: available_cores(),
         pruned,
+        durable: false,
         elapsed,
         report,
         server: Some(server.to_string()),
@@ -566,6 +667,7 @@ pub fn measure_programmed(
         auctions,
         cores: available_cores(),
         pruned,
+        durable: false,
         elapsed,
         report,
         server: None,
@@ -644,6 +746,7 @@ mod tests {
             "\"auctions_per_sec\":",
             "\"cores\":",
             "\"pruned\":false",
+            "\"durable\":false",
             "\"phases\":{\"program_eval_ms\":",
             "\"solve_ms\":",
             "\"solves\":",
@@ -745,6 +848,49 @@ mod tests {
                 assert_eq!(got, want, "{strategy} shards={shards}");
             }
         }
+    }
+
+    #[test]
+    fn durable_run_recovers_and_matches_the_plain_sharded_run() {
+        let dir = std::env::temp_dir().join(format!("ssa-bench-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (run, recovery) = measure_method_durable(
+            &dir,
+            WdMethod::Reduced,
+            PricingScheme::Gsp,
+            30,
+            8,
+            2,
+            17,
+            2,
+            false,
+        );
+        assert!(run.durable);
+        assert!(
+            run.to_json().contains("\"durable\":true"),
+            "{}",
+            run.to_json()
+        );
+        // 1 configure + 30 registers + 300 campaigns + 2 batches.
+        assert!(recovery.wal_records > 0, "{recovery:?}");
+        let json = recovery.to_json();
+        assert!(json.contains("\"metric\":\"recovery\""), "{json}");
+        assert!(json.contains("\"wal_records\":"), "{json}");
+        assert!(json.contains("\"replay_ms\":"), "{json}");
+        // Journalling is observation, not behaviour: the durable run's
+        // outcomes are bit-identical to the plain sharded run's.
+        let plain = measure_method_sharded(
+            WdMethod::Reduced,
+            PricingScheme::Gsp,
+            30,
+            8,
+            2,
+            17,
+            2,
+            false,
+        );
+        assert_eq!(run.report, plain.report);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

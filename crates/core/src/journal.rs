@@ -1,0 +1,174 @@
+//! The mutation-journal hook: how a durability layer observes a
+//! [`ShardedMarketplace`] without the marketplace knowing about files.
+//!
+//! A [`MutationJournal`] attached via
+//! [`ShardedMarketplace::set_journal`] receives one [`MutationRecord`]
+//! *after* every successfully applied control-plane mutation and every
+//! served query. Two properties make this sufficient for exact recovery:
+//!
+//! * **Journal-after-apply**: a record is only emitted once the mutation
+//!   succeeded, so a crash between apply and journal loses an operation
+//!   that was never acknowledged — the recovered state is always a
+//!   consistent prefix of the acknowledged history.
+//! * **Determinism**: auction outcomes are a pure function of the campaign
+//!   book, the clock, and the per-keyword RNG streams, so journaling just
+//!   the *keywords served* (not the outcomes) is enough — replaying the
+//!   serves re-draws the identical clicks, purchases, and charges, and
+//!   leaves the RNG streams at the identical positions.
+//!
+//! When no journal is attached the hot serve path pays a single
+//! `Option::is_some` branch and nothing else.
+
+use crate::marketplace::{AdvertiserHandle, CampaignId, CampaignSpec, MarketError, QueryRequest};
+use crate::sharded::ShardedMarketplace;
+use ssa_bidlang::Money;
+
+/// One journalled marketplace operation.
+///
+/// The set mirrors the wire protocol's mutating requests: per-click
+/// campaigns only (the kind [`CampaignSpec::per_click`] builds). Campaigns
+/// running custom programs or fixed tables cannot be serialized and are
+/// rejected with [`MarketError::NotDurable`] while a journal is attached.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationRecord {
+    /// [`ShardedMarketplace::register_advertiser`].
+    RegisterAdvertiser {
+        /// Display name registered.
+        name: String,
+    },
+    /// [`ShardedMarketplace::add_campaign`] with a per-click spec, exactly
+    /// as supplied (models left `None` resolve through builder defaults at
+    /// replay, same as at first application).
+    AddCampaign {
+        /// Registration index of the advertiser.
+        advertiser: usize,
+        /// Keyword the campaign bids on.
+        keyword: usize,
+        /// Nominal per-click bid, in cents.
+        bid_cents: i64,
+        /// Click value, in cents.
+        click_value_cents: i64,
+        /// Initial ROI target, if supplied.
+        roi_target: Option<f64>,
+        /// Per-slot click probabilities, if supplied.
+        click_probs: Option<Vec<f64>>,
+        /// Per-slot purchase probabilities, if supplied.
+        purchase_probs: Option<Vec<(f64, f64)>>,
+    },
+    /// [`ShardedMarketplace::update_bid`].
+    UpdateBid {
+        /// Campaign's keyword.
+        keyword: usize,
+        /// Campaign's index within the keyword.
+        index: usize,
+        /// New nominal bid, in cents.
+        bid_cents: i64,
+    },
+    /// [`ShardedMarketplace::pause_campaign`].
+    PauseCampaign {
+        /// Campaign's keyword.
+        keyword: usize,
+        /// Campaign's index within the keyword.
+        index: usize,
+    },
+    /// [`ShardedMarketplace::resume_campaign`].
+    ResumeCampaign {
+        /// Campaign's keyword.
+        keyword: usize,
+        /// Campaign's index within the keyword.
+        index: usize,
+    },
+    /// [`ShardedMarketplace::set_roi_target`].
+    SetRoiTarget {
+        /// Campaign's keyword.
+        keyword: usize,
+        /// Campaign's index within the keyword.
+        index: usize,
+        /// New target (`None` clears it).
+        target: Option<f64>,
+    },
+    /// One [`ShardedMarketplace::serve`] call (outcome re-derived at
+    /// replay).
+    Serve {
+        /// The keyword queried.
+        keyword: usize,
+    },
+    /// One [`ShardedMarketplace::serve_batch`] call, in stream order.
+    ServeBatch {
+        /// The keywords queried, in order.
+        keywords: Vec<usize>,
+    },
+}
+
+/// A sink for [`MutationRecord`]s; see the [module docs](self).
+///
+/// `Send` so a journalled marketplace can still move to a serving thread;
+/// `Debug` so the marketplace keeps its derived `Debug`.
+pub trait MutationJournal: Send + std::fmt::Debug {
+    /// Called once per successfully applied operation, in application
+    /// order. Implementations that cannot persist the record must fail
+    /// loudly (panic): continuing would silently break the recovery
+    /// guarantee.
+    fn record(&mut self, record: &MutationRecord);
+}
+
+/// Replays one journalled operation against a marketplace, discarding any
+/// auction output. Recovery applies records to a journal-free marketplace;
+/// applying to a journalled one would re-journal the operation.
+pub fn apply(market: &mut ShardedMarketplace, record: &MutationRecord) -> Result<(), MarketError> {
+    match record {
+        MutationRecord::RegisterAdvertiser { name } => {
+            market.register_advertiser(name.clone());
+            Ok(())
+        }
+        MutationRecord::AddCampaign {
+            advertiser,
+            keyword,
+            bid_cents,
+            click_value_cents,
+            roi_target,
+            click_probs,
+            purchase_probs,
+        } => {
+            let mut spec = CampaignSpec::per_click(Money::from_cents(*bid_cents))
+                .click_value(Money::from_cents(*click_value_cents));
+            if let Some(target) = roi_target {
+                spec = spec.roi_target(*target);
+            }
+            if let Some(probs) = click_probs {
+                spec = spec.click_probs(probs.clone());
+            }
+            if let Some(probs) = purchase_probs {
+                spec = spec.purchase_probs(probs.clone());
+            }
+            market
+                .add_campaign(AdvertiserHandle::from_index(*advertiser), *keyword, spec)
+                .map(|_| ())
+        }
+        MutationRecord::UpdateBid {
+            keyword,
+            index,
+            bid_cents,
+        } => market.update_bid(
+            CampaignId::from_parts(*keyword, *index),
+            Money::from_cents(*bid_cents),
+        ),
+        MutationRecord::PauseCampaign { keyword, index } => {
+            market.pause_campaign(CampaignId::from_parts(*keyword, *index))
+        }
+        MutationRecord::ResumeCampaign { keyword, index } => {
+            market.resume_campaign(CampaignId::from_parts(*keyword, *index))
+        }
+        MutationRecord::SetRoiTarget {
+            keyword,
+            index,
+            target,
+        } => market.set_roi_target(CampaignId::from_parts(*keyword, *index), *target),
+        MutationRecord::Serve { keyword } => market.serve(QueryRequest::new(*keyword)).map(|_| ()),
+        MutationRecord::ServeBatch { keywords } => {
+            let requests: Vec<QueryRequest> =
+                keywords.iter().map(|&kw| QueryRequest::new(kw)).collect();
+            market.serve_batch(&requests).map(|_| ())
+        }
+    }
+}

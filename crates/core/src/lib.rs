@@ -51,6 +51,7 @@
 pub mod bidder;
 pub mod engine;
 pub mod heavyweight;
+pub mod journal;
 pub mod logical;
 pub mod marketplace;
 pub mod pricing;
@@ -58,6 +59,7 @@ pub mod prob;
 pub mod revenue;
 pub mod sharded;
 pub mod sqlprog;
+pub mod state;
 
 pub use bidder::{Bidder, BidderOutcome, QueryContext, TableBidder};
 pub use engine::{
@@ -65,6 +67,7 @@ pub use engine::{
     PhaseStats, WdMethod,
 };
 pub use heavyweight::{solve_heavyweight, HeavyweightInstance, HeavyweightSolution};
+pub use journal::{MutationJournal, MutationRecord};
 pub use marketplace::{
     AdvertiserHandle, AuctionResponse, CampaignId, CampaignSpec, MarketBatchReport, MarketError,
     MarketSnapshot, Marketplace, MarketplaceBuilder, Placement, QueryRequest,
@@ -74,3 +77,4 @@ pub use prob::{ClickModel, PurchaseModel, SeparableClickModel};
 pub use revenue::{expected_revenue, revenue_matrix, revenue_matrix_into, NoSlotValues};
 pub use sharded::{parse_shards, shard_of_keyword, ParseShardsError, ShardedMarketplace};
 pub use sqlprog::{SqlProgramBidder, SqlProgramError};
+pub use state::{CampaignState, MarketConfigState, MarketState};

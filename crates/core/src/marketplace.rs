@@ -159,6 +159,11 @@ pub enum MarketError {
     NegativeBid(Money),
     /// ROI targets must be finite and strictly positive.
     InvalidRoiTarget(f64),
+    /// The campaign runs a custom bidding program or fixed table, which
+    /// cannot be serialized by the durability layer; the operation was
+    /// rejected because a mutation journal is attached (or a state capture
+    /// was requested). Only per-click campaigns are durable.
+    NotDurable(CampaignId),
     /// A marketplace needs at least one slot.
     NoSlots,
     /// A marketplace needs at least one keyword.
@@ -199,6 +204,12 @@ impl std::fmt::Display for MarketError {
                 f,
                 "campaign {}/{} runs a custom bidding program; \
                  the per-click incremental update API does not apply",
+                id.keyword, id.index
+            ),
+            MarketError::NotDurable(id) => write!(
+                f,
+                "campaign {}/{} runs a non-per-click program, which cannot \
+                 be journalled for durability",
                 id.keyword, id.index
             ),
             MarketError::NegativeBid(m) => write!(f, "bid {m} is negative"),
@@ -336,6 +347,32 @@ impl CampaignSpec {
         self.roi_target = Some(target);
         self
     }
+
+    /// The journalable pieces of a per-click spec, exactly as supplied
+    /// (`None` for table/program specs, which cannot be serialized). Used
+    /// by the sharded facade to journal `add_campaign` for durability.
+    pub(crate) fn per_click_parts(&self) -> Option<PerClickParts> {
+        match &self.program {
+            ProgramSpec::PerClick(bid) => Some(PerClickParts {
+                bid: *bid,
+                click_value: self.click_value,
+                roi_target: self.roi_target,
+                click_probs: self.click_probs.clone(),
+                purchase_probs: self.purchase_probs.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The serializable content of a per-click [`CampaignSpec`]; see
+/// [`CampaignSpec::per_click_parts`].
+pub(crate) struct PerClickParts {
+    pub(crate) bid: Money,
+    pub(crate) click_value: Money,
+    pub(crate) roi_target: Option<f64>,
+    pub(crate) click_probs: Option<Vec<f64>>,
+    pub(crate) purchase_probs: Option<Vec<(f64, f64)>>,
 }
 
 impl std::fmt::Debug for CampaignSpec {
@@ -714,6 +751,7 @@ impl MarketplaceBuilder {
             default_click_probs: self.default_click_probs,
             default_purchase_probs: self.default_purchase_probs,
             rng: StdRng::seed_from_u64(self.seed),
+            seed: self.seed,
             keyword_local_rng: self.keyword_local_rng,
             clock: 0,
             query_buf: Vec::new(),
@@ -793,6 +831,9 @@ pub struct Marketplace {
     default_click_probs: Option<Vec<f64>>,
     default_purchase_probs: Option<Vec<(f64, f64)>>,
     rng: StdRng,
+    /// The builder seed, retained so a state capture can reproduce the
+    /// build (per-keyword RNG streams are seeded from it).
+    seed: u64,
     /// See [`MarketplaceBuilder::keyword_local_rng`].
     keyword_local_rng: bool,
     clock: u64,
@@ -888,6 +929,65 @@ impl Marketplace {
     /// The global market clock: total auctions served.
     pub fn now(&self) -> u64 {
         self.clock
+    }
+
+    /// The seed the marketplace was built with (user-action randomness).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    // -- durable state capture (crate-internal; the public surface is
+    // `ShardedMarketplace::capture_state` / `from_state`) ------------------
+
+    /// Builder-level default click model, if one was configured.
+    pub(crate) fn default_click_probs(&self) -> Option<&Vec<f64>> {
+        self.default_click_probs.as_ref()
+    }
+
+    /// Builder-level default purchase model, if one was configured.
+    pub(crate) fn default_purchase_probs(&self) -> Option<&Vec<(f64, f64)>> {
+        self.default_purchase_probs.as_ref()
+    }
+
+    /// Appends the durable state of every campaign on `keyword` to `out`
+    /// in registration order; [`MarketError::NotDurable`] if any campaign
+    /// is not per-click.
+    pub(crate) fn capture_campaigns_into(
+        &self,
+        keyword: usize,
+        out: &mut Vec<crate::state::CampaignState>,
+    ) -> Result<(), MarketError> {
+        for campaign in &self.books[keyword].campaigns {
+            let CampaignKind::PerClick {
+                nominal,
+                click_value,
+                roi_target,
+            } = campaign.kind
+            else {
+                return Err(MarketError::NotDurable(campaign.id));
+            };
+            out.push(crate::state::CampaignState {
+                keyword,
+                advertiser: campaign.advertiser.index(),
+                bid_cents: nominal.cents(),
+                click_value_cents: click_value.cents(),
+                roi_target,
+                click_probs: campaign.click_probs.clone(),
+                purchase_probs: campaign.purchase_probs.clone(),
+                paused: campaign.paused,
+            });
+        }
+        Ok(())
+    }
+
+    /// Exact stream position of a keyword's user-action RNG.
+    pub(crate) fn rng_state(&self, keyword: usize) -> [u64; 4] {
+        self.books[keyword].rng.state()
+    }
+
+    /// Rewinds a keyword's user-action RNG to a captured stream position.
+    pub(crate) fn set_rng_state(&mut self, keyword: usize, state: [u64; 4]) {
+        self.books[keyword].rng = StdRng::from_state(state);
     }
 
     /// Total campaigns registered across every keyword.

@@ -66,11 +66,13 @@
 //! ```
 
 use crate::engine::{BatchReport, WdMethod};
+use crate::journal::{MutationJournal, MutationRecord};
 use crate::marketplace::{
     splitmix64, AdvertiserHandle, AuctionResponse, CampaignId, CampaignSpec, MarketBatchReport,
     MarketError, Marketplace, MarketplaceBuilder, QueryRequest,
 };
 use crate::pricing::PricingScheme;
+use crate::state::{MarketConfigState, MarketState};
 use ssa_bidlang::Money;
 
 /// Error returned when parsing a shard count (the `--shards` CLI flag)
@@ -139,6 +141,10 @@ pub struct ShardedMarketplace {
     shards: Vec<Marketplace>,
     num_keywords: usize,
     clock: u64,
+    /// Durability hook: receives every applied mutation and served query
+    /// (see [`crate::journal`]). `None` — the default — costs the hot
+    /// serve path a single branch.
+    journal: Option<Box<dyn MutationJournal>>,
 }
 
 impl ShardedMarketplace {
@@ -161,7 +167,138 @@ impl ShardedMarketplace {
             shards,
             num_keywords,
             clock: 0,
+            journal: None,
         })
+    }
+
+    // -- durability hook ----------------------------------------------------
+
+    /// Attaches a mutation journal: from now on every successfully applied
+    /// control-plane mutation and every served query is reported to it
+    /// (see [`crate::journal`]). While a journal is attached,
+    /// [`ShardedMarketplace::add_campaign`] rejects non-per-click specs
+    /// with [`MarketError::NotDurable`] — they cannot be serialized, so
+    /// accepting one would silently break recovery.
+    pub fn set_journal(&mut self, journal: Box<dyn MutationJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// Detaches and returns the journal, if one is attached. Used by the
+    /// serving layer to carry the journal across a marketplace rebuild
+    /// (`Configure`).
+    pub fn take_journal(&mut self) -> Option<Box<dyn MutationJournal>> {
+        self.journal.take()
+    }
+
+    /// Whether a mutation journal is attached.
+    pub fn journal_attached(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    fn record(&mut self, record: &MutationRecord) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.record(record);
+        }
+    }
+
+    // -- durable state capture ----------------------------------------------
+
+    /// Captures the marketplace's complete durable state: configuration,
+    /// advertisers, per-click campaign book, clock, and the exact position
+    /// of every keyword's RNG stream. [`MarketError::NotDurable`] if any
+    /// campaign runs a custom program or fixed table.
+    ///
+    /// [`ShardedMarketplace::from_state`] rebuilds a marketplace from the
+    /// capture that serves **bit-identical** auctions from the next query
+    /// on (engines and solver scratch are execution state and rebuild
+    /// lazily with identical outcomes).
+    pub fn capture_state(&self) -> Result<MarketState, MarketError> {
+        let shard0 = &self.shards[0];
+        let config = MarketConfigState {
+            slots: shard0.num_slots(),
+            keywords: self.num_keywords,
+            seed: shard0.seed(),
+            method: shard0.method(),
+            pricing: shard0.pricing(),
+            shards: self.shards.len(),
+            pruned: shard0.pruned(),
+            warm_start: shard0.warm_start(),
+            default_click_probs: shard0.default_click_probs().cloned(),
+            default_purchase_probs: shard0.default_purchase_probs().cloned(),
+        };
+        let advertisers = (0..shard0.num_advertisers())
+            .map(|i| {
+                shard0
+                    .advertiser_name(AdvertiserHandle::from_index(i))
+                    .expect("advertiser indexes are dense")
+                    .to_string()
+            })
+            .collect();
+        let mut campaigns = Vec::with_capacity(self.num_campaigns_total());
+        let mut rng_states = Vec::with_capacity(self.num_keywords);
+        for kw in 0..self.num_keywords {
+            let owner = self.owner(kw);
+            owner.capture_campaigns_into(kw, &mut campaigns)?;
+            rng_states.push(owner.rng_state(kw));
+        }
+        Ok(MarketState {
+            config,
+            advertisers,
+            campaigns,
+            clock: self.clock,
+            rng_states,
+        })
+    }
+
+    /// Rebuilds a marketplace from a [`ShardedMarketplace::capture_state`]
+    /// capture; see there for the bit-identity guarantee. The restored
+    /// marketplace has no journal attached.
+    pub fn from_state(state: &MarketState) -> Result<Self, MarketError> {
+        let config = &state.config;
+        let mut builder = Marketplace::builder()
+            .slots(config.slots)
+            .keywords(config.keywords)
+            .seed(config.seed)
+            .method(config.method)
+            .pricing(config.pricing)
+            .pruned(config.pruned)
+            .warm_start(config.warm_start);
+        if let Some(probs) = &config.default_click_probs {
+            builder = builder.default_click_probs(probs.clone());
+        }
+        if let Some(probs) = &config.default_purchase_probs {
+            builder = builder.default_purchase_probs(probs.clone());
+        }
+        let mut market = builder.build_sharded(config.shards)?;
+        for name in &state.advertisers {
+            market.register_advertiser(name.clone());
+        }
+        for campaign in &state.campaigns {
+            let mut spec = CampaignSpec::per_click(Money::from_cents(campaign.bid_cents))
+                .click_value(Money::from_cents(campaign.click_value_cents))
+                .click_probs(campaign.click_probs.clone())
+                .purchase_probs(campaign.purchase_probs.clone());
+            if let Some(target) = campaign.roi_target {
+                spec = spec.roi_target(target);
+            }
+            let id = market.add_campaign(
+                AdvertiserHandle::from_index(campaign.advertiser),
+                campaign.keyword,
+                spec,
+            )?;
+            if campaign.paused {
+                market.pause_campaign(id)?;
+            }
+        }
+        market.clock = state.clock;
+        for (kw, rng_state) in state.rng_states.iter().enumerate() {
+            if kw >= market.num_keywords {
+                break;
+            }
+            let shard = market.shard_of(kw);
+            market.shards[shard].set_rng_state(kw, *rng_state);
+        }
+        Ok(market)
     }
 
     /// Number of shards the keyword universe is partitioned across.
@@ -281,6 +418,9 @@ impl ShardedMarketplace {
             debug_assert!(handle.is_none() || handle == Some(h), "shards diverged");
             handle = Some(h);
         }
+        if self.journal.is_some() {
+            self.record(&MutationRecord::RegisterAdvertiser { name });
+        }
         handle.expect("a sharded marketplace has at least one shard")
     }
 
@@ -304,8 +444,37 @@ impl ShardedMarketplace {
         spec: CampaignSpec,
     ) -> Result<CampaignId, MarketError> {
         self.check_keyword(keyword)?;
-        self.owner_mut(keyword)
-            .add_campaign(advertiser, keyword, spec)
+        // Extract the journalable parts *before* the spec is consumed; a
+        // spec the journal cannot represent is rejected up front so the
+        // market and its journal never diverge.
+        let parts = if self.journal.is_some() {
+            match spec.per_click_parts() {
+                Some(parts) => Some(parts),
+                None => {
+                    let next = self.owner(keyword).num_campaigns(keyword)?;
+                    return Err(MarketError::NotDurable(CampaignId::from_parts(
+                        keyword, next,
+                    )));
+                }
+            }
+        } else {
+            None
+        };
+        let id = self
+            .owner_mut(keyword)
+            .add_campaign(advertiser, keyword, spec)?;
+        if let Some(parts) = parts {
+            self.record(&MutationRecord::AddCampaign {
+                advertiser: advertiser.index(),
+                keyword,
+                bid_cents: parts.bid.cents(),
+                click_value_cents: parts.click_value.cents(),
+                roi_target: parts.roi_target,
+                click_probs: parts.click_probs,
+                purchase_probs: parts.purchase_probs,
+            });
+        }
+        Ok(id)
     }
 
     /// Number of campaigns registered on a keyword.
@@ -333,7 +502,13 @@ impl ShardedMarketplace {
     pub fn update_bid(&mut self, id: CampaignId, bid: Money) -> Result<(), MarketError> {
         self.check_keyword(id.keyword())
             .map_err(|_| MarketError::UnknownCampaign(id))?;
-        self.owner_mut(id.keyword()).update_bid(id, bid)
+        self.owner_mut(id.keyword()).update_bid(id, bid)?;
+        self.record(&MutationRecord::UpdateBid {
+            keyword: id.keyword(),
+            index: id.index(),
+            bid_cents: bid.cents(),
+        });
+        Ok(())
     }
 
     /// Sets or clears a per-click campaign's ROI target; see
@@ -345,7 +520,13 @@ impl ShardedMarketplace {
     ) -> Result<(), MarketError> {
         self.check_keyword(id.keyword())
             .map_err(|_| MarketError::UnknownCampaign(id))?;
-        self.owner_mut(id.keyword()).set_roi_target(id, target)
+        self.owner_mut(id.keyword()).set_roi_target(id, target)?;
+        self.record(&MutationRecord::SetRoiTarget {
+            keyword: id.keyword(),
+            index: id.index(),
+            target,
+        });
+        Ok(())
     }
 
     /// Pauses a campaign on its owning shard; see
@@ -353,14 +534,24 @@ impl ShardedMarketplace {
     pub fn pause_campaign(&mut self, id: CampaignId) -> Result<(), MarketError> {
         self.check_keyword(id.keyword())
             .map_err(|_| MarketError::UnknownCampaign(id))?;
-        self.owner_mut(id.keyword()).pause_campaign(id)
+        self.owner_mut(id.keyword()).pause_campaign(id)?;
+        self.record(&MutationRecord::PauseCampaign {
+            keyword: id.keyword(),
+            index: id.index(),
+        });
+        Ok(())
     }
 
     /// Resumes a paused campaign.
     pub fn resume_campaign(&mut self, id: CampaignId) -> Result<(), MarketError> {
         self.check_keyword(id.keyword())
             .map_err(|_| MarketError::UnknownCampaign(id))?;
-        self.owner_mut(id.keyword()).resume_campaign(id)
+        self.owner_mut(id.keyword()).resume_campaign(id)?;
+        self.record(&MutationRecord::ResumeCampaign {
+            keyword: id.keyword(),
+            index: id.index(),
+        });
+        Ok(())
     }
 
     /// A per-click campaign's current effective bid, read from the owning
@@ -391,7 +582,9 @@ impl ShardedMarketplace {
         let keyword = self.check_keyword(request.keyword)?;
         self.clock += 1;
         let time = self.clock;
-        Ok(self.owner_mut(keyword).serve_at(keyword, time))
+        let response = self.owner_mut(keyword).serve_at(keyword, time);
+        self.record(&MutationRecord::Serve { keyword });
+        Ok(response)
     }
 
     /// Serves a mixed-keyword query stream across all shards in parallel.
@@ -489,6 +682,10 @@ impl ShardedMarketplace {
             out.per_keyword[*keyword].absorb(report);
             out.total.absorb(report);
             out.chunks += 1;
+        }
+        if self.journal.is_some() {
+            let keywords = requests.iter().map(|r| r.keyword).collect();
+            self.record(&MutationRecord::ServeBatch { keywords });
         }
         Ok(out)
     }
@@ -684,6 +881,131 @@ mod tests {
         );
         let err: Box<dyn std::error::Error> = Box::new(ParseShardsError::Zero);
         assert!(err.to_string().contains("positive"));
+    }
+
+    /// Test journal: records into a shared Vec so the test can inspect
+    /// what the marketplace reported.
+    #[derive(Debug, Default, Clone)]
+    struct VecJournal(std::sync::Arc<std::sync::Mutex<Vec<MutationRecord>>>);
+
+    impl MutationJournal for VecJournal {
+        fn record(&mut self, record: &MutationRecord) {
+            self.0.lock().unwrap().push(record.clone());
+        }
+    }
+
+    #[test]
+    fn capture_state_round_trips_bit_identically() {
+        for shards in [1, 2, 4] {
+            let (mut live, ids) = populated_sharded(9, shards);
+            // Advance mid-stream: every RNG stream and the clock move.
+            live.serve_batch(&mixed_stream(9, 120)).expect("in range");
+            live.update_bid(ids[2], Money::from_cents(77)).unwrap();
+            live.pause_campaign(ids[5]).unwrap();
+            live.set_roi_target(ids[0], Some(1.5)).unwrap();
+
+            let state = live.capture_state().expect("per-click campaigns only");
+            let mut restored = ShardedMarketplace::from_state(&state).expect("valid state");
+
+            assert_eq!(restored.now(), live.now());
+            assert_eq!(restored.snapshot(), live.snapshot());
+            for kw in 0..9 {
+                assert_eq!(
+                    restored.top_bids(kw, 8).unwrap(),
+                    live.top_bids(kw, 8).unwrap()
+                );
+            }
+            for &id in &ids {
+                assert_eq!(restored.current_bid(id), live.current_bid(id));
+                assert_eq!(restored.is_paused(id), live.is_paused(id));
+            }
+            // Future auctions are bit-identical: same winners, clicks,
+            // purchases, and charges.
+            for (t, request) in mixed_stream(9, 80).into_iter().enumerate() {
+                let want = live.serve(request).expect("in range");
+                let got = restored.serve(request).expect("in range");
+                assert_eq!(got, want, "shards={shards} t={t}");
+            }
+            // And the re-captured state matches a fresh capture exactly.
+            assert_eq!(
+                restored.capture_state().unwrap(),
+                live.capture_state().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn journal_replay_reproduces_the_market() {
+        let journal = VecJournal::default();
+        let mut live = builder(6).build_sharded(3).expect("valid");
+        live.set_journal(Box::new(journal.clone()));
+        assert!(live.journal_attached());
+
+        let ids = populate(
+            &mut live,
+            6,
+            |m, n| m.register_advertiser(n),
+            |m, a, kw, s| m.add_campaign(a, kw, s).expect("accepted"),
+        );
+        for request in mixed_stream(6, 30) {
+            live.serve(request).expect("in range");
+        }
+        live.update_bid(ids[1], Money::from_cents(3)).unwrap();
+        live.pause_campaign(ids[4]).unwrap();
+        live.serve_batch(&mixed_stream(6, 40)).expect("in range");
+        live.resume_campaign(ids[4]).unwrap();
+        live.set_roi_target(ids[2], Some(2.0)).unwrap();
+        live.set_roi_target(ids[2], None).unwrap();
+
+        // Replay the journal into a fresh market of the same build.
+        let mut replayed = builder(6).build_sharded(3).expect("valid");
+        for record in journal.0.lock().unwrap().iter() {
+            crate::journal::apply(&mut replayed, record).expect("replay applies cleanly");
+        }
+        assert_eq!(replayed.now(), live.now());
+        assert_eq!(
+            replayed.capture_state().unwrap(),
+            live.capture_state().unwrap()
+        );
+        // Journaled serves replayed the RNG streams to the same position:
+        // the next auctions agree bit for bit.
+        for request in mixed_stream(6, 25) {
+            assert_eq!(
+                replayed.serve(request).unwrap(),
+                live.serve(request).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn journalled_markets_reject_non_durable_campaigns() {
+        let mut m = builder(4).build_sharded(2).expect("valid");
+        m.set_journal(Box::new(VecJournal::default()));
+        let a = m.register_advertiser("a");
+        let err = m
+            .add_campaign(
+                a,
+                1,
+                CampaignSpec::table(ssa_bidlang::BidsTable::single_feature(Money::from_cents(2))),
+            )
+            .expect_err("table campaigns are not durable");
+        assert!(matches!(err, MarketError::NotDurable(_)), "{err:?}");
+        // The rejection was a pure no-op.
+        assert_eq!(m.num_campaigns(1).unwrap(), 0);
+        // Without a journal the same spec is accepted.
+        let mut free = builder(4).build_sharded(2).expect("valid");
+        let a = free.register_advertiser("a");
+        free.add_campaign(
+            a,
+            1,
+            CampaignSpec::table(ssa_bidlang::BidsTable::single_feature(Money::from_cents(2))),
+        )
+        .expect("accepted without a journal");
+        // But capture then refuses: the campaign cannot be serialized.
+        assert!(matches!(
+            free.capture_state(),
+            Err(MarketError::NotDurable(_))
+        ));
     }
 
     #[test]

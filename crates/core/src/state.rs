@@ -1,0 +1,95 @@
+//! Full-fidelity marketplace state capture for the durability layer.
+//!
+//! [`MarketState`] is everything needed to rebuild a
+//! [`crate::sharded::ShardedMarketplace`] **bit-identically**: the build
+//! configuration, the advertiser roster, every per-click campaign's
+//! nominal bid state, the global clock, and the exact stream position of
+//! each keyword's user-action RNG. It is produced by
+//! [`crate::sharded::ShardedMarketplace::capture_state`] and consumed by
+//! [`crate::sharded::ShardedMarketplace::from_state`]; the `ssa_durable`
+//! crate serializes it as the snapshot half of its snapshot + WAL scheme.
+//!
+//! # Why this is sufficient
+//!
+//! The marketplace is deterministic apart from the user-action RNG
+//! streams, and a sharded marketplace draws those streams *per keyword*
+//! (see [`crate::marketplace::MarketplaceBuilder::keyword_local_rng`]).
+//! Engines, solver scratch, and warm-start caches are pure execution
+//! state — rebuilding them lazily from the campaign book reproduces the
+//! same auctions bit for bit (the repository's solver-equivalence
+//! guarantee). So campaigns + clock + RNG positions pin down every future
+//! auction outcome exactly.
+
+use crate::engine::WdMethod;
+use crate::pricing::PricingScheme;
+
+/// The build-time configuration of a sharded marketplace, as needed to
+/// reconstruct it via [`crate::marketplace::MarketplaceBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketConfigState {
+    /// Ad slots per results page.
+    pub slots: usize,
+    /// Size of the keyword universe.
+    pub keywords: usize,
+    /// Marketplace RNG seed (keyword stream seeds derive from it).
+    pub seed: u64,
+    /// Winner-determination method.
+    pub method: WdMethod,
+    /// Pricing rule.
+    pub pricing: PricingScheme,
+    /// Shard count.
+    pub shards: usize,
+    /// Whether winner determination runs the top-k pruned solver.
+    pub pruned: bool,
+    /// Whether unchanged auctions skip the refill + solve.
+    pub warm_start: bool,
+    /// Builder-level default click model, if one was configured.
+    pub default_click_probs: Option<Vec<f64>>,
+    /// Builder-level default purchase model, if one was configured.
+    pub default_purchase_probs: Option<Vec<(f64, f64)>>,
+}
+
+/// One per-click campaign's durable state: enough to re-register it via
+/// [`crate::marketplace::CampaignSpec::per_click`] and reproduce its
+/// [`crate::marketplace::CampaignId`], effective bid, and outcome models
+/// exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignState {
+    /// The keyword the campaign bids on.
+    pub keyword: usize,
+    /// Registration index of the owning advertiser.
+    pub advertiser: usize,
+    /// Nominal per-click bid, in cents (the ROI cap is re-derived).
+    pub bid_cents: i64,
+    /// Advertiser's value of a click, in cents.
+    pub click_value_cents: i64,
+    /// ROI target, if one is set.
+    pub roi_target: Option<f64>,
+    /// Per-slot click probabilities (always resolved, never defaulted).
+    pub click_probs: Vec<f64>,
+    /// Per-slot purchase probabilities `(p | click, p | no click)`.
+    pub purchase_probs: Vec<(f64, f64)>,
+    /// Whether the campaign is currently paused.
+    pub paused: bool,
+}
+
+/// A complete, bit-identical checkpoint of a
+/// [`crate::sharded::ShardedMarketplace`].
+///
+/// Campaigns appear grouped by keyword in ascending keyword order and, within
+/// a keyword, in registration order — replaying them through
+/// `add_campaign` reproduces every [`crate::marketplace::CampaignId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketState {
+    /// Build configuration.
+    pub config: MarketConfigState,
+    /// Advertiser display names in registration order.
+    pub advertisers: Vec<String>,
+    /// Every campaign's durable state (keyword-major registration order).
+    pub campaigns: Vec<CampaignState>,
+    /// Global market clock: auctions served so far.
+    pub clock: u64,
+    /// Exact xoshiro256** state of each keyword's user-action RNG stream,
+    /// indexed by keyword (read from the owning shard).
+    pub rng_states: Vec<[u64; 4]>,
+}

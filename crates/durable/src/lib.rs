@@ -1,0 +1,255 @@
+//! # ssa-durable — write-ahead log + snapshot recovery
+//!
+//! Crash durability for the serving marketplace, built on two marketplace
+//! properties the core crate guarantees (see [`ssa_core::journal`] and
+//! [`ssa_core::state`]):
+//!
+//! * every control-plane mutation and every served query is observable
+//!   through the [`ssa_core::MutationJournal`] hook, and
+//! * auction outcomes are a deterministic function of the campaign book,
+//!   the clock, and the per-keyword RNG streams.
+//!
+//! So durability needs only an ordered, checksummed log of the *operations*
+//! — never the outcomes. Replaying the log re-draws the identical clicks,
+//! purchases, and charges, bit for bit, and leaves every RNG stream at the
+//! identical position.
+//!
+//! ## On-disk format
+//!
+//! A log directory holds WAL segments and snapshots:
+//!
+//! ```text
+//! data/
+//! ├── wal-00000000000000000001.log      segments of framed records:
+//! │     [magic 8B][version u32][first_seq u64]          <- 20B header
+//! │     [len u32][crc32 u32][seq u64 ++ op bytes]...    <- records
+//! └── snapshot-00000000000000000517.snap
+//!       [magic 8B][version u32][last_seq u64]
+//!       [body_len u32][crc32 u32][MarketState body]
+//! ```
+//!
+//! Records carry contiguous sequence numbers from 1. A snapshot at
+//! sequence `S` captures the complete marketplace state after record `S`;
+//! taking one rotates the WAL to a fresh segment starting at `S + 1` and
+//! deletes everything older (log compaction). Recovery is
+//! `snapshot ∘ WAL suffix`: load the newest valid snapshot, then replay
+//! every record past it.
+//!
+//! ## Crash semantics
+//!
+//! * A crash mid-append leaves a *torn tail*: a record whose frame is
+//!   short or whose checksum fails, necessarily at the very end of the
+//!   final segment. Recovery truncates it — losing exactly the operations
+//!   that were never acknowledged, never an acknowledged one.
+//! * A snapshot is written to a temp file and renamed, so a half-written
+//!   snapshot is never visible; a damaged one falls back to its
+//!   predecessor.
+//! * Damage anywhere else (mid-log checksum failure, a sequence gap) is
+//!   reported as [`DurableError::Corrupt`], never silently skipped.
+//!
+//! ## Fsync trade-offs
+//!
+//! [`FsyncPolicy`] picks the failure domain:
+//!
+//! * [`FsyncPolicy::Off`] — records are `write(2)`-flushed per operation.
+//!   Survives process death (including `kill -9`): the bytes are in the
+//!   OS page cache. Does *not* survive kernel panic or power loss.
+//! * [`FsyncPolicy::Always`] — additionally `fdatasync`s every record and
+//!   syncs directory entries on rotation. Survives power loss, at the
+//!   cost of one sync per operation.
+//!
+//! ## Quick use
+//!
+//! ```no_run
+//! use ssa_durable::{Durability, FsyncPolicy};
+//! use std::path::Path;
+//!
+//! let dir = Path::new("data");
+//! let (recovered, dur) = Durability::open(dir, FsyncPolicy::Off, 10_000)?;
+//! let mut market = match recovered {
+//!     Some((market, report)) => {
+//!         eprintln!("{}", report.to_json());
+//!         market
+//!     }
+//!     None => {
+//!         let builder = ssa_core::Marketplace::builder().slots(4).keywords(100);
+//!         let market = ssa_core::ShardedMarketplace::new(builder, 4)?;
+//!         dur.log_configure(&market.capture_state()?.config)?;
+//!         market
+//!     }
+//! };
+//! market.set_journal(dur.journal());
+//! // ... serve; call dur.maybe_snapshot(&market) between requests ...
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod snapshot;
+mod store;
+mod wal;
+
+pub use codec::{crc32, CodecError, WalOp};
+pub use snapshot::SNAPSHOT_MAGIC;
+pub use store::{recover, Durability, RecoveryReport};
+pub use wal::WAL_MAGIC;
+
+use std::str::FromStr;
+
+/// Version stamped into every WAL segment and snapshot header. Bump it
+/// when the record or snapshot encoding changes; recovery refuses files
+/// from a different version rather than misreading them. The golden
+/// fixture test (`tests/durable_golden.rs` in the umbrella crate) pins
+/// the format at this version — a deliberate bump regenerates it.
+pub const WAL_VERSION: u32 = 1;
+
+/// When WAL appends reach stable storage; see the
+/// [crate docs](self#fsync-trade-offs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` every record: survives power loss.
+    Always,
+    /// Flush to the OS per record: survives process death only.
+    Off,
+}
+
+/// A [`FsyncPolicy`] string didn't parse; lists the accepted spellings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFsyncError(String);
+
+impl std::fmt::Display for ParseFsyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bad fsync policy '{}': expected 'always' or 'off'",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFsyncError {}
+
+impl FromStr for FsyncPolicy {
+    type Err = ParseFsyncError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "off" => Ok(FsyncPolicy::Off),
+            other => Err(ParseFsyncError(other.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Off => "off",
+        })
+    }
+}
+
+/// Anything that can go wrong opening, writing, or recovering a log
+/// directory.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A checksum-valid byte sequence failed to decode.
+    Codec(CodecError),
+    /// A WAL segment or snapshot was written by a different format
+    /// version.
+    Version {
+        /// Which file kind mismatched.
+        what: &'static str,
+        /// Version found in the header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The log is damaged in a way a crash cannot explain (bad magic,
+    /// sequence gap, mid-log checksum failure, lost snapshot).
+    Corrupt(String),
+    /// Replaying a record against the marketplace failed — the log
+    /// disagrees with the marketplace's own validation, so the log is
+    /// not one this marketplace wrote.
+    Market(ssa_core::MarketError),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(err) => write!(f, "durability I/O error: {err}"),
+            DurableError::Codec(err) => write!(f, "durability decode error: {err}"),
+            DurableError::Version {
+                what,
+                found,
+                expected,
+            } => write!(
+                f,
+                "{what} has format version {found}, this build expects {expected}"
+            ),
+            DurableError::Corrupt(msg) => write!(f, "durability log corrupt: {msg}"),
+            DurableError::Market(err) => write!(f, "replay rejected: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(err) => Some(err),
+            DurableError::Codec(err) => Some(err),
+            DurableError::Market(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DurableError {
+    fn from(err: std::io::Error) -> Self {
+        DurableError::Io(err)
+    }
+}
+
+impl From<CodecError> for DurableError {
+    fn from(err: CodecError) -> Self {
+        DurableError::Codec(err)
+    }
+}
+
+impl From<ssa_core::MarketError> for DurableError {
+    fn from(err: ssa_core::MarketError) -> Self {
+        DurableError::Market(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        assert_eq!("always".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Always));
+        assert_eq!("off".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Off));
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::Always.to_string(), "always");
+        assert_eq!(FsyncPolicy::Off.to_string(), "off");
+    }
+
+    #[test]
+    fn recovery_report_json_shape() {
+        let report = RecoveryReport {
+            wal_records: 12,
+            snapshot_bytes: 3400,
+            replay_ms: 1.5,
+        };
+        assert_eq!(
+            report.to_json(),
+            "{\"metric\":\"recovery\",\"wal_records\":12,\"snapshot_bytes\":3400,\"replay_ms\":1.500}"
+        );
+    }
+}

@@ -1,0 +1,484 @@
+//! The durability store: recovery, the live [`Durability`] handle, and
+//! snapshot rotation/compaction.
+//!
+//! One [`Durability`] wraps one log directory. [`Durability::open`]
+//! recovers whatever the directory holds, positions the WAL writer after
+//! the last valid record (truncating a torn tail in place), and hands
+//! back a cloneable handle. [`Durability::journal`] adapts the handle to
+//! the marketplace's [`MutationJournal`] hook; the serving layer calls
+//! [`Durability::maybe_snapshot`] between requests, from the same thread
+//! that owns the marketplace, so a snapshot always observes a state that
+//! exactly covers every journalled record.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::codec::WalOp;
+use crate::wal::{self, WalWriter, HEADER_LEN};
+use crate::{snapshot, DurableError, FsyncPolicy};
+use ssa_core::sharded::ShardedMarketplace;
+use ssa_core::{MarketConfigState, MarketState, MutationJournal, MutationRecord};
+
+/// What [`recover`] (and [`Durability::open`]) replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// WAL records replayed on top of the snapshot (0 if the snapshot was
+    /// current through the end of the log).
+    pub wal_records: u64,
+    /// Size of the snapshot file restored from, in bytes (0 without one).
+    pub snapshot_bytes: u64,
+    /// Wall-clock time of the whole recovery, in milliseconds.
+    pub replay_ms: f64,
+}
+
+impl RecoveryReport {
+    /// One JSON line in the repository's bench-report idiom
+    /// (`"metric":"recovery"`), consumed by the perf-smoke and
+    /// crash-recovery CI jobs.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"metric\":\"recovery\",\"wal_records\":{},\"snapshot_bytes\":{},\"replay_ms\":{:.3}}}",
+            self.wal_records, self.snapshot_bytes, self.replay_ms
+        )
+    }
+}
+
+struct Recovered {
+    market: Option<(ShardedMarketplace, RecoveryReport)>,
+    /// Sequence number of the last valid record on disk (snapshot or WAL,
+    /// whichever is newer); the next append is `last_seq + 1`.
+    last_seq: u64,
+    snapshot_seq: u64,
+    tail: Option<wal::Tail>,
+}
+
+fn recover_inner(dir: &Path) -> Result<Recovered, DurableError> {
+    let start = Instant::now();
+    let snap = snapshot::load_latest(dir)?;
+    let (mut market, base_seq, snapshot_bytes) = match snap {
+        Some((state, seq, bytes)) => (Some(ShardedMarketplace::from_state(&state)?), seq, bytes),
+        None => (None, 0, 0),
+    };
+    let scan = wal::scan(dir, base_seq)?;
+    if let Some(&(first, _)) = scan.records.first() {
+        // The log must resume exactly where the snapshot left off; a gap
+        // means records were lost (e.g. the newest snapshot rotted away
+        // after its WAL prefix was already compacted).
+        if first != base_seq + 1 {
+            return Err(DurableError::Corrupt(format!(
+                "first WAL record past the snapshot is seq {first}, expected {}",
+                base_seq + 1
+            )));
+        }
+    }
+    let mut wal_records = 0u64;
+    for (seq, op) in &scan.records {
+        match op {
+            WalOp::Configure(config) => {
+                market = Some(build_market(config)?);
+            }
+            WalOp::Mutation(record) => {
+                let market = market.as_mut().ok_or_else(|| {
+                    DurableError::Corrupt(format!(
+                        "record seq {seq} precedes any configure record or snapshot"
+                    ))
+                })?;
+                ssa_core::journal::apply(market, record)?;
+            }
+        }
+        wal_records += 1;
+    }
+    let last_seq = scan.last_seq.unwrap_or(base_seq).max(base_seq);
+    let report = RecoveryReport {
+        wal_records,
+        snapshot_bytes,
+        replay_ms: start.elapsed().as_secs_f64() * 1e3,
+    };
+    Ok(Recovered {
+        market: market.map(|m| (m, report)),
+        last_seq,
+        snapshot_seq: base_seq,
+        tail: scan.tail,
+    })
+}
+
+fn build_market(config: &MarketConfigState) -> Result<ShardedMarketplace, DurableError> {
+    // An empty checkpoint of `config`: building via `from_state` keeps the
+    // builder wiring (keyword-local RNG, defaults) in exactly one place.
+    let empty = MarketState {
+        config: config.clone(),
+        advertisers: Vec::new(),
+        campaigns: Vec::new(),
+        clock: 0,
+        rng_states: Vec::new(),
+    };
+    Ok(ShardedMarketplace::from_state(&empty)?)
+}
+
+/// Rebuilds the marketplace persisted in `dir` by loading the newest
+/// valid snapshot and replaying the WAL suffix past it.
+///
+/// Returns `Ok(None)` when the directory holds no snapshot and no
+/// records — a fresh start. Read-only: torn tail bytes are *ignored* here
+/// and truncated only when [`Durability::open`] takes over the directory
+/// for writing.
+pub fn recover(dir: &Path) -> Result<Option<(ShardedMarketplace, RecoveryReport)>, DurableError> {
+    if !dir.is_dir() {
+        return Ok(None);
+    }
+    Ok(recover_inner(dir)?.market)
+}
+
+#[derive(Debug)]
+struct Inner {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    snapshot_every: u64,
+    writer: WalWriter,
+    next_seq: u64,
+    snapshot_seq: u64,
+    records_since_snapshot: u64,
+}
+
+impl Inner {
+    fn append(&mut self, op: &WalOp) -> Result<(), DurableError> {
+        self.writer.append(self.next_seq, op)?;
+        if self.policy == FsyncPolicy::Always {
+            self.writer.sync()?;
+        }
+        self.next_seq += 1;
+        self.records_since_snapshot += 1;
+        Ok(())
+    }
+}
+
+/// A handle on one durable log directory.
+///
+/// Cheap to clone (all clones share the same writer); every operation
+/// takes an internal lock, serializing appends with snapshot rotation.
+#[derive(Debug, Clone)]
+pub struct Durability {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Durability {
+    /// Opens (creating if needed) the log directory `dir`: recovers any
+    /// persisted marketplace, truncates a torn WAL tail in place, and
+    /// positions the writer after the last valid record.
+    ///
+    /// `snapshot_every` is the snapshot cadence in WAL records for
+    /// [`Durability::maybe_snapshot`]; `0` disables automatic snapshots.
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+        snapshot_every: u64,
+    ) -> Result<(Option<(ShardedMarketplace, RecoveryReport)>, Durability), DurableError> {
+        std::fs::create_dir_all(dir)?;
+        let recovered = recover_inner(dir)?;
+        let next_seq = recovered.last_seq + 1;
+        let writer = match &recovered.tail {
+            // A tail whose header itself was cut off can't be appended to;
+            // recreate it (it contains no valid records by construction).
+            Some(tail) if tail.valid_len >= HEADER_LEN => {
+                WalWriter::open_tail(&tail.path, tail.valid_len)?
+            }
+            Some(tail) => WalWriter::create(dir, tail.first_seq)?,
+            None => WalWriter::create(dir, next_seq)?,
+        };
+        let inner = Inner {
+            dir: dir.to_path_buf(),
+            policy,
+            snapshot_every,
+            writer,
+            next_seq,
+            snapshot_seq: recovered.snapshot_seq,
+            records_since_snapshot: recovered.last_seq - recovered.snapshot_seq,
+        };
+        let handle = Durability {
+            inner: Arc::new(Mutex::new(inner)),
+        };
+        Ok((recovered.market, handle))
+    }
+
+    /// Appends a [`WalOp::Configure`] record. The serving layer calls this
+    /// when it builds a marketplace from scratch (fresh boot or a
+    /// `Configure` request), *before* attaching the journal to it.
+    pub fn log_configure(&self, config: &MarketConfigState) -> Result<(), DurableError> {
+        self.lock().append(&WalOp::Configure(config.clone()))
+    }
+
+    /// Adapts this handle to the marketplace's journal hook. The returned
+    /// journal panics if a record cannot be persisted — continuing would
+    /// silently break the recovery guarantee.
+    pub fn journal(&self) -> Box<dyn MutationJournal> {
+        Box::new(DurableJournal(self.clone()))
+    }
+
+    /// Takes a snapshot if at least `snapshot_every` records accumulated
+    /// since the last one. Returns whether a snapshot was taken.
+    ///
+    /// Must be called from the thread that owns `market`, after its
+    /// journalled operations completed — so the captured state covers
+    /// exactly the records appended so far.
+    pub fn maybe_snapshot(&self, market: &ShardedMarketplace) -> Result<bool, DurableError> {
+        {
+            let inner = self.lock();
+            if inner.snapshot_every == 0 || inner.records_since_snapshot < inner.snapshot_every {
+                return Ok(false);
+            }
+        }
+        self.snapshot_now(market)?;
+        Ok(true)
+    }
+
+    /// Takes a snapshot unconditionally (no-op if no records arrived since
+    /// the last one), then rotates the WAL to a fresh segment and deletes
+    /// segments and snapshots the new snapshot supersedes.
+    pub fn snapshot_now(&self, market: &ShardedMarketplace) -> Result<(), DurableError> {
+        let state = market.capture_state()?;
+        let mut inner = self.lock();
+        if inner.records_since_snapshot == 0 {
+            return Ok(());
+        }
+        let last_seq = inner.next_seq - 1;
+        snapshot::write_snapshot(&inner.dir, last_seq, &state, inner.policy)?;
+        // Rotate: further appends go to a fresh segment starting past the
+        // snapshot, then drop everything the snapshot supersedes.
+        inner.writer = WalWriter::create(&inner.dir, last_seq + 1)?;
+        if inner.policy == FsyncPolicy::Always {
+            std::fs::File::open(&inner.dir)?.sync_all()?;
+        }
+        let keep = inner.writer.path().to_path_buf();
+        for segment in wal::list_segments(&inner.dir)? {
+            if segment.path != keep {
+                std::fs::remove_file(&segment.path)?;
+            }
+        }
+        for (seq, path) in snapshot::list_snapshots(&inner.dir)? {
+            if seq < last_seq {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        inner.snapshot_seq = last_seq;
+        inner.records_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Total records appended to the WAL over the directory's lifetime
+    /// (`= the sequence number of the newest record`).
+    pub fn wal_records(&self) -> u64 {
+        self.lock().next_seq - 1
+    }
+
+    /// Sequence number the newest snapshot covers through (0 if none).
+    pub fn snapshot_seq(&self) -> u64 {
+        self.lock().snapshot_seq
+    }
+
+    /// The log directory this handle writes to.
+    pub fn dir(&self) -> PathBuf {
+        self.lock().dir.clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock means an append already panicked; durability is
+        // gone either way, so propagate the panic.
+        self.inner.lock().expect("durability lock poisoned")
+    }
+}
+
+/// [`MutationJournal`] adapter over [`Durability`]; see
+/// [`Durability::journal`].
+#[derive(Debug)]
+struct DurableJournal(Durability);
+
+impl MutationJournal for DurableJournal {
+    fn record(&mut self, record: &MutationRecord) {
+        if let Err(err) = self.0.lock().append(&WalOp::Mutation(record.clone())) {
+            // Contract of MutationJournal: fail loudly. Acknowledging an
+            // operation the log did not accept would break recovery.
+            panic!("write-ahead log append failed: {err}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_bidlang::Money;
+    use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ssa-store-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        dir
+    }
+
+    fn fresh_market(dur: &Durability, shards: usize) -> ShardedMarketplace {
+        let builder = Marketplace::builder()
+            .slots(2)
+            .keywords(5)
+            .seed(99)
+            .default_click_probs(vec![0.6, 0.3]);
+        let mut market = ShardedMarketplace::new(builder, shards).unwrap();
+        dur.log_configure(&market.capture_state().unwrap().config)
+            .unwrap();
+        market.set_journal(dur.journal());
+        market
+    }
+
+    fn populate(market: &mut ShardedMarketplace) {
+        let a = market.register_advertiser("a");
+        let b = market.register_advertiser("b");
+        for kw in 0..5 {
+            market
+                .add_campaign(
+                    a,
+                    kw,
+                    CampaignSpec::per_click(Money::from_cents(40 + kw as i64))
+                        .click_value(Money::from_cents(90)),
+                )
+                .unwrap();
+            market
+                .add_campaign(
+                    b,
+                    kw,
+                    CampaignSpec::per_click(Money::from_cents(55))
+                        .click_value(Money::from_cents(120))
+                        .roi_target(1.1),
+                )
+                .unwrap();
+        }
+    }
+
+    fn serve_n(market: &mut ShardedMarketplace, n: usize) {
+        for i in 0..n {
+            market.serve(QueryRequest::new(i % 5)).unwrap();
+        }
+    }
+
+    #[test]
+    fn open_recover_reopen_is_bit_identical() {
+        let dir = temp_dir("reopen");
+        let (recovered, dur) = Durability::open(&dir, FsyncPolicy::Off, 0).unwrap();
+        assert!(recovered.is_none());
+        let mut market = fresh_market(&dur, 2);
+        populate(&mut market);
+        serve_n(&mut market, 40);
+        let live_state = market.capture_state().unwrap();
+        // 1 configure + 2 registers + 10 add_campaigns + the serves.
+        assert_eq!(dur.wal_records(), market.now() + 13);
+        drop(dur);
+        drop(market);
+
+        let (recovered, dur) = Durability::open(&dir, FsyncPolicy::Off, 0).unwrap();
+        let (mut back, report) = recovered.expect("state persisted");
+        assert_eq!(report.wal_records, 53); // 1 configure + 12 mutations + 40 serves
+        assert_eq!(report.snapshot_bytes, 0);
+        assert_eq!(back.capture_state().unwrap(), live_state);
+        // The reopened log keeps counting from where it left off.
+        back.set_journal(dur.journal());
+        back.serve(QueryRequest::new(0)).unwrap();
+        assert_eq!(dur.wal_records(), 54);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovery_uses_it() {
+        let dir = temp_dir("compact");
+        let (_, dur) = Durability::open(&dir, FsyncPolicy::Off, 0).unwrap();
+        let mut market = fresh_market(&dur, 4);
+        populate(&mut market);
+        serve_n(&mut market, 30);
+        dur.snapshot_now(&market).unwrap();
+        assert_eq!(dur.snapshot_seq(), 43);
+        serve_n(&mut market, 7);
+        let live_state = market.capture_state().unwrap();
+        drop(dur);
+
+        // Only one (fresh) segment and one snapshot remain on disk.
+        assert_eq!(wal::list_segments(&dir).unwrap().len(), 1);
+        assert_eq!(snapshot::list_snapshots(&dir).unwrap().len(), 1);
+        let (recovered, dur) = Durability::open(&dir, FsyncPolicy::Off, 0).unwrap();
+        let (back, report) = recovered.expect("state persisted");
+        assert_eq!(report.wal_records, 7);
+        assert!(report.snapshot_bytes > 0);
+        assert_eq!(back.capture_state().unwrap(), live_state);
+        assert_eq!(dur.snapshot_seq(), 43);
+        assert_eq!(dur.wal_records(), 50);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn maybe_snapshot_honours_cadence() {
+        let dir = temp_dir("cadence");
+        let (_, dur) = Durability::open(&dir, FsyncPolicy::Off, 10).unwrap();
+        let mut market = fresh_market(&dur, 1);
+        populate(&mut market);
+        assert!(dur.maybe_snapshot(&market).unwrap()); // 13 records >= 10
+        assert!(!dur.maybe_snapshot(&market).unwrap()); // 0 since last
+        serve_n(&mut market, 9);
+        assert!(!dur.maybe_snapshot(&market).unwrap()); // 9 < 10
+        serve_n(&mut market, 1);
+        assert!(dur.maybe_snapshot(&market).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reconfigure_resets_the_replayed_market() {
+        let dir = temp_dir("reconfig");
+        let (_, dur) = Durability::open(&dir, FsyncPolicy::Off, 0).unwrap();
+        let mut market = fresh_market(&dur, 2);
+        populate(&mut market);
+        serve_n(&mut market, 10);
+        // Serving layer behaviour on Configure: build fresh, journal the
+        // config, move the journal over.
+        let journal = market.take_journal().unwrap();
+        let builder = Marketplace::builder().slots(1).keywords(3).seed(7);
+        let mut market = ShardedMarketplace::new(builder, 1).unwrap();
+        dur.log_configure(&market.capture_state().unwrap().config)
+            .unwrap();
+        market.set_journal(journal);
+        let a = market.register_advertiser("fresh");
+        market
+            .add_campaign(
+                a,
+                1,
+                CampaignSpec::per_click(Money::from_cents(33))
+                    .click_value(Money::from_cents(70))
+                    .click_probs(vec![0.5]),
+            )
+            .unwrap();
+        market.serve(QueryRequest::new(1)).unwrap();
+        let live_state = market.capture_state().unwrap();
+        drop(dur);
+
+        let (recovered, _dur) = Durability::open(&dir, FsyncPolicy::Off, 0).unwrap();
+        let (back, _) = recovered.expect("state persisted");
+        assert_eq!(back.capture_state().unwrap(), live_state);
+        assert_eq!(back.num_keywords(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_always_policy_round_trips() {
+        let dir = temp_dir("fsync");
+        let (_, dur) = Durability::open(&dir, FsyncPolicy::Always, 0).unwrap();
+        let mut market = fresh_market(&dur, 1);
+        populate(&mut market);
+        serve_n(&mut market, 3);
+        dur.snapshot_now(&market).unwrap();
+        serve_n(&mut market, 2);
+        let live_state = market.capture_state().unwrap();
+        drop(dur);
+        let (recovered, _) = Durability::open(&dir, FsyncPolicy::Always, 0).unwrap();
+        assert_eq!(recovered.unwrap().0.capture_state().unwrap(), live_state);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

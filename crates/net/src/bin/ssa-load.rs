@@ -6,8 +6,14 @@
 //! * **verify** (`--verify`): one connection replays the seeded query
 //!   stream strictly in order and compares every wire-served auction —
 //!   winners, clicks, charges, bit-for-bit — against an in-process
-//!   [`ssa_net::local_twin`] serving the same stream. Exit code 1 on any
-//!   divergence.
+//!   [`ssa_net::local_twin`] serving the same stream, finishing with a
+//!   bit-for-bit `top_bids` comparison on every keyword. Exit code 1 on
+//!   any divergence. With `--skip <n>` the remote is assumed to already
+//!   hold the marketplace (e.g. recovered from a write-ahead log after a
+//!   crash): configuration and population are skipped, the twin serves
+//!   the first `n` queries silently to catch up, and the wire comparison
+//!   covers the next `--queries` — which is exactly how the
+//!   crash-recovery CI job proves a restarted server is bit-identical.
 //! * **throughput** (default): `--connections` worker connections split
 //!   the stream and hammer the data plane concurrently, recording
 //!   per-request latency; `Overloaded` refusals are counted separately
@@ -43,6 +49,9 @@ Options:
   --shards <n>         Shard count the server should run (default 4)
   --pruned             Enable top-k pruned winner determination
   --verify             Replay in order and compare against an in-process twin
+  --skip <n>           Verify mode: assume the server already holds the market
+                       (skip configure/populate) and fast-forward the twin past
+                       the first <n> queries before comparing (default 0)
   --quick              Small preset (20 advertisers, 1024 queries, 128 warm-up)
   --json               Print the JSON report line to stdout
   --report <path>      Append the JSON report line to a file
@@ -71,6 +80,7 @@ struct Options {
     shards: usize,
     pruned: bool,
     verify: bool,
+    skip: usize,
     json: bool,
     report: Option<String>,
     shutdown: bool,
@@ -89,6 +99,7 @@ fn parse_options() -> Options {
     let mut shards = 4usize;
     let mut pruned = false;
     let mut verify = false;
+    let mut skip = 0usize;
     let mut json = false;
     let mut report = None;
     let mut shutdown = false;
@@ -156,6 +167,10 @@ fn parse_options() -> Options {
             },
             "--pruned" => pruned = true,
             "--verify" => verify = true,
+            "--skip" => match value("--skip").parse() {
+                Ok(n) => skip = n,
+                Err(_) => usage_error("--skip expects an unsigned integer"),
+            },
             "--quick" => quick = true,
             "--json" => json = true,
             "--report" => report = Some(value("--report")),
@@ -189,6 +204,7 @@ fn parse_options() -> Options {
         shards,
         pruned,
         verify,
+        skip,
         json,
         report,
         shutdown,
@@ -220,15 +236,24 @@ fn run_verify(opts: &Options, workload: &SectionVWorkload) -> LoadReport {
         opts.pruned,
     );
     let mut client = connect(opts.addr);
-    if let Err(e) = client.configure(&config) {
-        fatal(&format!("configure failed: {e}"));
-    }
-    if let Err(e) = populate_remote(&mut client, workload) {
-        fatal(&format!("population failed: {e}"));
+    if opts.skip == 0 {
+        if let Err(e) = client.configure(&config) {
+            fatal(&format!("configure failed: {e}"));
+        }
+        if let Err(e) = populate_remote(&mut client, workload) {
+            fatal(&format!("population failed: {e}"));
+        }
     }
     let mut twin = local_twin(workload, &config);
 
-    let stream = stream_of(workload, opts.queries);
+    let full = stream_of(workload, opts.skip + opts.queries);
+    // Fast-forward the twin past the queries the server already served
+    // (before it crashed / was restarted); the wire never sees them.
+    for &keyword in &full[..opts.skip] {
+        twin.serve(ssa_core::QueryRequest::new(keyword))
+            .expect("twin keyword in range");
+    }
+    let stream = &full[opts.skip..];
     let mut latencies = LatencyRecorder::new();
     let mut verified = true;
     let started = Instant::now();
@@ -251,10 +276,27 @@ fn run_verify(opts: &Options, workload: &SectionVWorkload) -> LoadReport {
         }
     }
     let elapsed = started.elapsed();
+
+    // The stored control-plane state must match too, not just the served
+    // outcomes: compare the full top-bid order of every keyword.
+    for keyword in 0..workload.config.num_keywords {
+        let remote = match client.top_bids(keyword, 64) {
+            Ok(bids) => bids,
+            Err(e) => fatal(&format!("top_bids failed for keyword {keyword}: {e}")),
+        };
+        let local = twin.top_bids(keyword, 64).expect("twin keyword in range");
+        if remote != local {
+            eprintln!(
+                "TOP-BIDS MISMATCH at keyword {keyword}:\n  remote: {remote:?}\n  local:  {local:?}"
+            );
+            verified = false;
+        }
+    }
     if verified {
         eprintln!(
-            "verified: {} wire-served auctions bit-identical to in-process serve",
-            stream.len()
+            "verified: {} wire-served auctions and {} top-bid lists bit-identical to in-process serve",
+            stream.len(),
+            workload.config.num_keywords
         );
     }
 

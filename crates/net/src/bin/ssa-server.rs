@@ -9,11 +9,18 @@
 //! replace it anyway with a `Configure` request (the load driver and the
 //! equivalence tests do), so the flags only matter for servers driven by
 //! hand.
+//!
+//! With `--data-dir` the server journals every mutation and serve to a
+//! write-ahead log in that directory and, on restart, recovers the
+//! persisted marketplace — bit-identical, RNG streams included — instead
+//! of building one from the flags. A `recovered ...` status line goes to
+//! stderr (stdout's first line stays the address-discovery contract).
 
 use std::io::Write as _;
 use std::process::exit;
 
 use ssa_core::{parse_shards, PricingScheme, WdMethod};
+use ssa_durable::{Durability, FsyncPolicy};
 use ssa_net::proto::MarketConfig;
 use ssa_net::server::{build_market, Server, ServerConfig};
 
@@ -31,6 +38,12 @@ Options:
   --pruned             Enable top-k pruned winner determination
   --admission <n>      Data-plane requests queued-or-in-flight per shard lane (default 256)
   --retry-ms <n>       Back-off hint attached to Overloaded responses (default 10)
+  --data-dir <path>    Durability: journal to a write-ahead log in <path> and
+                       recover any marketplace persisted there (default: off)
+  --fsync <policy>     WAL sync policy: always | off (default off; 'off' still
+                       survives process kills, 'always' survives power loss)
+  --snapshot-every <n> Snapshot + compact the log every <n> records (default
+                       10000; 0 disables automatic snapshots)
 ";
 
 fn usage_error(message: &str) -> ! {
@@ -50,6 +63,9 @@ fn main() {
     let mut pruned = false;
     let mut admission = 256usize;
     let mut retry_ms = 10u32;
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut fsync = FsyncPolicy::Off;
+    let mut snapshot_every = 10_000u64;
 
     let mut i = 0;
     while i < args.len() {
@@ -96,6 +112,15 @@ fn main() {
                 Ok(n) => retry_ms = n,
                 Err(_) => usage_error("--retry-ms expects an unsigned integer"),
             },
+            "--data-dir" => data_dir = Some(value("--data-dir").into()),
+            "--fsync" => match value("--fsync").parse() {
+                Ok(policy) => fsync = policy,
+                Err(e) => usage_error(&format!("{e}")),
+            },
+            "--snapshot-every" => match value("--snapshot-every").parse() {
+                Ok(n) => snapshot_every = n,
+                Err(_) => usage_error("--snapshot-every expects an unsigned integer"),
+            },
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
@@ -115,9 +140,50 @@ fn main() {
         pruned,
         warm_start: true,
     };
-    let market = match build_market(&config) {
-        Ok(market) => market,
-        Err(e) => usage_error(&format!("invalid marketplace configuration: {e}")),
+
+    let (market, durability) = match &data_dir {
+        None => {
+            let market = match build_market(&config) {
+                Ok(market) => market,
+                Err(e) => usage_error(&format!("invalid marketplace configuration: {e}")),
+            };
+            (market, None)
+        }
+        Some(dir) => {
+            let (recovered, durability) = match Durability::open(dir, fsync, snapshot_every) {
+                Ok(opened) => opened,
+                Err(e) => {
+                    eprintln!("error: cannot open data dir {}: {e}", dir.display());
+                    exit(1);
+                }
+            };
+            let market = match recovered {
+                Some((market, report)) => {
+                    // Parsed by the crash-recovery CI job; keep the
+                    // key=value fields stable.
+                    eprintln!(
+                        "ssa-server recovered wal_records={} snapshot_bytes={} replay_ms={:.3}",
+                        report.wal_records, report.snapshot_bytes, report.replay_ms
+                    );
+                    market
+                }
+                None => {
+                    let market = match build_market(&config) {
+                        Ok(market) => market,
+                        Err(e) => usage_error(&format!("invalid marketplace configuration: {e}")),
+                    };
+                    let state = market
+                        .capture_state()
+                        .expect("a freshly built marketplace is always journalable");
+                    if let Err(e) = durability.log_configure(&state.config) {
+                        eprintln!("error: cannot write to data dir {}: {e}", dir.display());
+                        exit(1);
+                    }
+                    market
+                }
+            };
+            (market, Some(durability))
+        }
     };
 
     let server = match Server::bind(
@@ -127,6 +193,7 @@ fn main() {
             admission_per_shard: admission,
             retry_after_ms: retry_ms,
             executor_delay: None,
+            durability,
         },
     ) {
         Ok(server) => server,

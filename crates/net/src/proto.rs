@@ -761,6 +761,12 @@ pub struct ServerStats {
     pub requests: u64,
     /// Data-plane requests refused with [`Response::Overloaded`].
     pub overloaded: u64,
+    /// Records appended to the write-ahead log over its lifetime (0 when
+    /// the server runs without durability).
+    pub wal_records: u64,
+    /// WAL sequence number the newest snapshot covers through (0 when no
+    /// snapshot exists or durability is off).
+    pub snapshot_seq: u64,
 }
 
 /// Machine-readable failure category carried by [`Response::Failed`];
@@ -847,6 +853,10 @@ impl From<&MarketError> for ErrorCode {
             MarketError::NotIncremental(_) => ErrorCode::NotIncremental,
             MarketError::NegativeBid(_) => ErrorCode::NegativeBid,
             MarketError::InvalidRoiTarget(_) => ErrorCode::InvalidRoiTarget,
+            // A non-per-click campaign on a journalled marketplace: the
+            // wire protocol cannot submit one, but the mapping must be
+            // total.
+            MarketError::NotDurable(_) => ErrorCode::Unsupported,
             MarketError::NoSlots | MarketError::NoKeywords | MarketError::NoShards => {
                 ErrorCode::InvalidConfig
             }
@@ -982,6 +992,8 @@ impl Response {
                 put_u64(&mut buf, s.sessions);
                 put_u64(&mut buf, s.requests);
                 put_u64(&mut buf, s.overloaded);
+                put_u64(&mut buf, s.wal_records);
+                put_u64(&mut buf, s.snapshot_seq);
             }
             Response::Failed { code, message } => {
                 buf.push(8);
@@ -1076,6 +1088,8 @@ impl Response {
                 sessions: r.u64("sessions")?,
                 requests: r.u64("requests")?,
                 overloaded: r.u64("overloaded")?,
+                wal_records: r.u64("wal_records")?,
+                snapshot_seq: r.u64("snapshot_seq")?,
             }),
             8 => Response::Failed {
                 code: ErrorCode::from_byte(r.u8("error code")?)?,
@@ -1221,6 +1235,8 @@ mod tests {
                 sessions: 3,
                 requests: 4200,
                 overloaded: 9,
+                wal_records: 5100,
+                snapshot_seq: 4096,
             }),
             Response::Failed {
                 code: ErrorCode::UnknownKeyword,

@@ -47,6 +47,7 @@ use crate::proto::{
     WireAuction,
 };
 use crate::session::{Session, SessionRegistry};
+use ssa_durable::Durability;
 
 /// Tunables for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -60,6 +61,13 @@ pub struct ServerConfig {
     /// running each *data-plane* job, so admission lanes can be saturated
     /// deterministically. `None` (the default) adds no delay.
     pub executor_delay: Option<Duration>,
+    /// Write-ahead log to journal the marketplace through. The caller
+    /// opens it (recovering any prior state into the `market` passed to
+    /// [`Server::bind`]) and must already have logged the configure
+    /// record for a freshly built marketplace; `bind` attaches the
+    /// journal and the executor snapshots on the durability handle's
+    /// cadence between requests. `None` serves memory-only.
+    pub durability: Option<Durability>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +76,7 @@ impl Default for ServerConfig {
             admission_per_shard: 256,
             retry_after_ms: 10,
             executor_delay: None,
+            durability: None,
         }
     }
 }
@@ -96,6 +105,7 @@ struct Shared {
     /// [`Admission::overloaded_count`] instead.
     requests: AtomicU64,
     executor_delay: Option<Duration>,
+    durability: Option<Durability>,
 }
 
 impl Shared {
@@ -130,10 +140,13 @@ impl Server {
     /// [`Server::run`] (or [`Server::spawn`]) is called.
     pub fn bind(
         addr: impl ToSocketAddrs,
-        market: ShardedMarketplace,
+        mut market: ShardedMarketplace,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        if let Some(durability) = &config.durability {
+            market.set_journal(durability.journal());
+        }
         let shared = Arc::new(Shared {
             local_addr: listener.local_addr()?,
             sessions: SessionRegistry::new(),
@@ -142,6 +155,7 @@ impl Server {
             num_shards: AtomicUsize::new(market.num_shards()),
             requests: AtomicU64::new(0),
             executor_delay: config.executor_delay,
+            durability: config.durability,
         });
         let (jobs, job_rx) = mpsc::channel::<Job>();
         let executor = {
@@ -374,6 +388,14 @@ fn executor_loop(mut market: ShardedMarketplace, jobs: mpsc::Receiver<Job>, shar
         }
         shared.requests.fetch_add(1, Ordering::Relaxed);
         let response = execute(&mut market, &job, shared);
+        if let Some(durability) = &shared.durability {
+            // Snapshotting needs `&market` while the journal half of the
+            // handle lives inside it, so the trigger sits here — on the
+            // thread that owns the marketplace, between requests.
+            if let Err(e) = durability.maybe_snapshot(&market) {
+                eprintln!("ssa-server: snapshot failed (log continues): {e}");
+            }
+        }
         let _ = job.reply.send((job.request_id, response));
         // `job` (and its admission ticket) drops here: the lane slot is
         // released only after the request fully executed.
@@ -472,10 +494,31 @@ fn execute(market: &mut ShardedMarketplace, job: &Job, shared: &Shared) -> Respo
                 sessions: shared.sessions.total_count(),
                 requests: shared.requests.load(Ordering::Relaxed),
                 overloaded: shared.admission.overloaded_count(),
+                wal_records: shared
+                    .durability
+                    .as_ref()
+                    .map_or(0, |durability| durability.wal_records()),
+                snapshot_seq: shared
+                    .durability
+                    .as_ref()
+                    .map_or(0, |durability| durability.snapshot_seq()),
             })
         }
         Request::Configure(config) => match build_market(config) {
-            Ok(new_market) => {
+            Ok(mut new_market) => {
+                if let Some(durability) = &shared.durability {
+                    let state = new_market
+                        .capture_state()
+                        .expect("a freshly built marketplace is always journalable");
+                    if let Err(e) = durability.log_configure(&state.config) {
+                        // Same contract as the journal: an unloggable
+                        // reconfiguration must not be acknowledged.
+                        panic!("write-ahead log append failed: {e}");
+                    }
+                    if let Some(journal) = market.take_journal() {
+                        new_market.set_journal(journal);
+                    }
+                }
                 shared
                     .num_shards
                     .store(new_market.num_shards(), Ordering::Relaxed);

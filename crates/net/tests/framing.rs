@@ -184,11 +184,13 @@ fn arb_stats() -> BoxedStrategy<ServerStats> {
             any::<u64>(),
             any::<u64>(),
         ),
+        (any::<u64>(), any::<u64>()),
     )
         .prop_map(
             |(
                 (advertisers, campaigns, keywords, slots),
                 (shards, auctions, sessions, requests, overloaded),
+                (wal_records, snapshot_seq),
             )| ServerStats {
                 advertisers,
                 campaigns,
@@ -199,6 +201,8 @@ fn arb_stats() -> BoxedStrategy<ServerStats> {
                 sessions,
                 requests,
                 overloaded,
+                wal_records,
+                snapshot_seq,
             },
         )
         .boxed()

@@ -54,6 +54,7 @@ fn saturation_yields_typed_overloaded_and_admitted_work_completes() {
         // Pin the first admitted job in the executor long enough for the
         // reader to classify all 12 pipelined requests first.
         executor_delay: Some(Duration::from_millis(150)),
+        durability: None,
     });
     let mut client = Client::connect(server.addr()).expect("connect");
     populate_one_campaign(&mut client);
@@ -111,6 +112,7 @@ fn shutdown_completes_in_flight_requests() {
         admission_per_shard: 64,
         retry_after_ms: 1,
         executor_delay: Some(Duration::from_millis(100)),
+        durability: None,
     });
     let mut client = Client::connect(server.addr()).expect("connect");
     populate_one_campaign(&mut client);

@@ -23,7 +23,10 @@
 //! * [`net`] — the TCP serving front-end: a framed wire protocol over
 //!   `std::net`, the `ssa-server` binary wrapping
 //!   [`sharded::ShardedMarketplace`], and the `ssa-load` latency-reporting
-//!   load driver.
+//!   load driver;
+//! * [`durable`] — crash recovery: a checksummed write-ahead log of every
+//!   control-plane mutation and serve, periodic snapshots, and
+//!   bit-identical replay.
 //!
 //! ## Architecture: the `Marketplace` facade over the `WdSolver` pipeline
 //!
@@ -335,6 +338,57 @@
 //! ```
 //!
 //! See `examples/net_quickstart.rs` for the client API end to end.
+//!
+//! ## Durability: write-ahead log + snapshot recovery
+//!
+//! [`durable`] makes a served marketplace survive crashes. The key
+//! observation is that serving is already deterministic — clicks,
+//! purchases, and charges are drawn from seeded per-keyword RNG streams —
+//! so the journal records *operations*, not outcomes, and replay
+//! re-derives every outcome (and every RNG position) bit-identically.
+//!
+//! A data directory holds two kinds of files:
+//!
+//! ```text
+//! data/
+//! ├── snapshot-00000000000000004096.snap   # full MarketState at seq 4096
+//! └── wal-00000000000000004097.log         # every operation since
+//!
+//! segment  = [magic "SSAWAL\0\0"][version u32][first_seq u64]  (20 bytes)
+//!            followed by records:
+//! record   = [payload_len u32][crc32 u32][payload]
+//! payload  = [seq u64][op: Configure | Register | AddCampaign |
+//!                          UpdateBid | Pause | Resume | SetRoi |
+//!                          Serve | ServeBatch]
+//! ```
+//!
+//! Every control-plane mutation and every serve appends one checksummed
+//! record ([`durable::Durability::journal`] plugs into
+//! [`sharded::ShardedMarketplace::set_journal`]). A crash can tear at
+//! most the final record; recovery ([`durable::recover`]) truncates the
+//! torn tail, replays snapshot ∘ log, and returns a marketplace whose
+//! stored bids, top-bid indexes, and *future auction outcomes* are
+//! bit-identical to the pre-crash instance — property-tested across
+//! every byte-level truncation point and shard counts 1/2/4. Floats
+//! travel as raw IEEE-754 bits end to end, so "bit-identical" is meant
+//! literally.
+//!
+//! Two fsync policies trade durability for latency
+//! ([`durable::FsyncPolicy`]): `Off` (default) flushes each record to the
+//! OS page cache — it survives process kills (`kill -9`) but not power
+//! loss; `Always` issues `fdatasync` per record plus directory syncs on
+//! rotation — it survives power loss at a large per-record cost. Periodic
+//! snapshots ([`durable::Durability::maybe_snapshot`]) bound replay time
+//! and compact the log: after a snapshot lands, older segments and
+//! snapshots are deleted.
+//!
+//! `ssa-server --data-dir <dir>` wires this into the TCP front-end
+//! (`--fsync always|off`, `--snapshot-every <n>`); on boot it prints a
+//! `ssa-server recovered wal_records=… snapshot_bytes=… replay_ms=…`
+//! line that the crash-recovery CI job asserts on, and `ssa-load
+//! --verify --skip <n>` replays a workload's tail against the recovered
+//! server to prove the restart lost nothing. See
+//! `examples/durable_restart.rs` for the library-level loop.
 
 #![forbid(unsafe_code)]
 
@@ -348,6 +402,9 @@ pub use ssa_core::marketplace;
 /// `sponsored_search::sharded::ShardedMarketplace` scales the facade
 /// across worker threads with bit-identical auction outcomes.
 pub use ssa_core::sharded;
+/// Crash recovery: the write-ahead log, snapshots, and `recover` — see
+/// the "Durability" section above.
+pub use ssa_durable as durable;
 pub use ssa_matching as matching;
 pub use ssa_minidb as minidb;
 /// The TCP serving front-end: framed wire protocol, `Server`/`Client`,

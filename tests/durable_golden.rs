@@ -1,0 +1,189 @@
+//! Golden-fixture test pinning the on-disk durability format.
+//!
+//! `tests/fixtures/golden-wal/` holds a committed snapshot + WAL segment
+//! produced by a fixed recipe (below). This test proves two things:
+//!
+//! 1. **Byte stability** — re-running the recipe today produces exactly
+//!    the committed bytes. Any change to the WAL or snapshot encoding
+//!    fails here first; a *deliberate* format change must bump
+//!    [`sponsored_search::durable::WAL_VERSION`] and regenerate the
+//!    fixture with `SSA_REGEN_GOLDEN=1 cargo test --test durable_golden`.
+//! 2. **Recoverability** — the committed fixture recovers into a
+//!    marketplace bit-identical to an in-process twin that applied the
+//!    same operations, including the next auctions it would serve.
+
+use sponsored_search::bidlang::Money;
+use sponsored_search::durable::{recover, Durability, FsyncPolicy, WAL_VERSION};
+use sponsored_search::marketplace::{CampaignSpec, Marketplace, QueryRequest};
+use sponsored_search::sharded::ShardedMarketplace;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-wal")
+}
+
+fn build_market() -> ShardedMarketplace {
+    Marketplace::builder()
+        .slots(2)
+        .keywords(3)
+        .seed(2008)
+        .default_click_probs(vec![0.6, 0.3])
+        .build_sharded(2)
+        .expect("valid golden configuration")
+}
+
+/// The fixed operation recipe. `pre` runs before the mid-way snapshot,
+/// `post` after it — so the fixture exercises snapshot ∘ WAL recovery,
+/// not just one of the two.
+fn drive_pre(market: &mut ShardedMarketplace) -> Vec<sponsored_search::core::CampaignId> {
+    let shoes = market.register_advertiser("shoes.example");
+    let books = market.register_advertiser("books.example");
+    let mut ids = Vec::new();
+    for kw in 0..3 {
+        ids.push(
+            market
+                .add_campaign(
+                    shoes,
+                    kw,
+                    CampaignSpec::per_click(Money::from_cents(25 + kw as i64))
+                        .click_value(Money::from_cents(80)),
+                )
+                .expect("campaign"),
+        );
+        ids.push(
+            market
+                .add_campaign(
+                    books,
+                    kw,
+                    CampaignSpec::per_click(Money::from_cents(40))
+                        .click_value(Money::from_cents(95))
+                        .roi_target(1.25),
+                )
+                .expect("campaign"),
+        );
+    }
+    for t in 0..10 {
+        market.serve(QueryRequest::new(t % 3)).expect("serve");
+    }
+    ids
+}
+
+fn drive_post(market: &mut ShardedMarketplace, ids: &[sponsored_search::core::CampaignId]) {
+    market
+        .update_bid(ids[0], Money::from_cents(33))
+        .expect("update");
+    market.pause_campaign(ids[1]).expect("pause");
+    market
+        .serve_batch(&[
+            QueryRequest::new(0),
+            QueryRequest::new(2),
+            QueryRequest::new(1),
+        ])
+        .expect("batch");
+    market.resume_campaign(ids[1]).expect("resume");
+    market.set_roi_target(ids[2], Some(1.5)).expect("roi");
+    for t in 0..5 {
+        market.serve(QueryRequest::new((t * 2) % 3)).expect("serve");
+    }
+}
+
+/// Runs the recipe journalled into `dir` (which must not exist yet),
+/// snapshotting between the two halves.
+fn generate(dir: &Path) {
+    let (recovered, durability) =
+        Durability::open(dir, FsyncPolicy::Off, 0).expect("open fixture dir");
+    assert!(recovered.is_none(), "fixture dir must start empty");
+    let mut market = build_market();
+    durability
+        .log_configure(&market.capture_state().expect("journalable").config)
+        .expect("configure");
+    market.set_journal(durability.journal());
+    let ids = drive_pre(&mut market);
+    durability.snapshot_now(&market).expect("mid-way snapshot");
+    drive_post(&mut market, &ids);
+}
+
+/// The in-process twin: the same recipe with no journal attached.
+fn twin() -> ShardedMarketplace {
+    let mut market = build_market();
+    let ids = drive_pre(&mut market);
+    drive_post(&mut market, &ids);
+    market
+}
+
+/// Filename → contents for every file in a directory.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .expect("fixture dir exists")
+        .map(|e| {
+            let e = e.expect("entry");
+            let name = e.file_name().to_string_lossy().into_owned();
+            (name, std::fs::read(e.path()).expect("readable"))
+        })
+        .collect()
+}
+
+#[test]
+fn golden_fixture_is_byte_stable_and_recovers_exactly() {
+    let fixture = fixture_dir();
+    if std::env::var_os("SSA_REGEN_GOLDEN").is_some() {
+        std::fs::remove_dir_all(&fixture).ok();
+        generate(&fixture);
+        eprintln!("regenerated {}", fixture.display());
+    }
+
+    // Byte stability: the recipe reproduces the committed files exactly.
+    let scratch = std::env::temp_dir().join(format!("ssa-golden-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    generate(&scratch);
+    let want = dir_bytes(&fixture);
+    let got = dir_bytes(&scratch);
+    std::fs::remove_dir_all(&scratch).ok();
+    let names = |m: &BTreeMap<String, Vec<u8>>| m.keys().cloned().collect::<Vec<_>>();
+    assert_eq!(
+        names(&want),
+        names(&got),
+        "fixture file set changed — if the format change is deliberate, bump \
+         WAL_VERSION (now {WAL_VERSION}) and regenerate with SSA_REGEN_GOLDEN=1"
+    );
+    for (name, bytes) in &want {
+        assert_eq!(
+            bytes, &got[name],
+            "{name} bytes changed — if the format change is deliberate, bump \
+             WAL_VERSION (now {WAL_VERSION}) and regenerate with SSA_REGEN_GOLDEN=1"
+        );
+    }
+    // The fixture exercises both recovery sources.
+    assert!(
+        want.keys().any(|n| n.starts_with("snapshot-")),
+        "fixture must contain a snapshot"
+    );
+    assert!(
+        want.keys().any(|n| n.starts_with("wal-")),
+        "fixture must contain a WAL segment"
+    );
+
+    // Recoverability: the committed bytes rebuild the exact marketplace.
+    let (mut recovered, report) = recover(&fixture)
+        .expect("fixture recovers")
+        .expect("fixture holds state");
+    assert!(report.wal_records > 0, "{report:?}");
+    assert!(report.snapshot_bytes > 0, "{report:?}");
+    let mut want_market = twin();
+    assert_eq!(
+        recovered.capture_state().expect("journalable"),
+        want_market.capture_state().expect("journalable")
+    );
+    // Future auctions — RNG positions included — are bit-identical.
+    for kw in 0..3 {
+        let a = recovered.serve(QueryRequest::new(kw)).expect("serve");
+        let b = want_market.serve(QueryRequest::new(kw)).expect("serve");
+        assert_eq!(
+            a.expected_revenue.to_bits(),
+            b.expected_revenue.to_bits(),
+            "revenue bits diverged at keyword {kw}"
+        );
+        assert_eq!(a, b, "divergence at keyword {kw}");
+    }
+}
