@@ -18,14 +18,15 @@
 
 use ssa_bench::{
     format_table, measure_method, measure_method_durable, measure_method_remote,
-    measure_method_sharded, measure_programmed, measure_series,
+    measure_method_sharded, measure_method_targeted, measure_method_workload, measure_programmed,
+    measure_series,
 };
 use ssa_bidlang::{BidsTable, Formula, Money, SlotId};
 use ssa_core::prob::ClickModel;
 use ssa_core::sharded::parse_shards;
 use ssa_core::{PricingScheme, WdMethod};
 use ssa_matching::{reduced_assignment, RevenueMatrix};
-use ssa_workload::{Method, Strategy};
+use ssa_workload::{Method, Strategy, WorkloadShape};
 
 const USAGE: &str = "\
 reproduce — regenerate the paper's figures as text output
@@ -36,6 +37,10 @@ Usage: reproduce [fig12|fig13|tables|all] [--quick]
                  [--strategy <native|sql|sql-reparse>]
                  [--server <host:port>]
        reproduce --strategy <native|sql|sql-reparse> [--json] [--quick]
+       reproduce --workload <uniform|zipf:<s>|flash|churn> [--json] [--quick]
+                 [--shards <n>] [--load <queries>] [--pruned]
+       reproduce --targeted [--json] [--quick] [--shards <n>]
+                 [--load <queries>] [--pruned]
        reproduce --list-methods
 
 Targets:
@@ -69,6 +74,22 @@ Options:
                   statements (sql), or as the reparse-per-round SQL
                   baseline (sql-reparse). Implies single-run mode; the
                   method defaults to rh when --method is omitted
+  --workload <w>  swap the round-robin query stream for a hostile one:
+                  uniform (seeded uniform draws), zipf:<s> (rank-frequency
+                  skew with exponent s > 0, e.g. zipf:1.1), flash (a flash
+                  crowd pinning the middle half of the stream to one hot
+                  keyword — one shard), or churn (uniform queries while
+                  advertisers exhaust budgets, rebid, and return
+                  mid-stream). Implies single-run mode (the method
+                  defaults to rh); the output gains a per-shard skew
+                  summary and the JSON a \"shard_skew\" object
+  --targeted      serve the *targeted* Section V population: every even
+                  advertiser's campaigns carry the targeting program
+                  device = 'mobile', and the stream alternates mobile and
+                  desktop queries, so half the queries exclude half the
+                  advertisers before the matrix fill. Implies single-run
+                  mode (the method defaults to rh); the JSON gains
+                  \"targeted\":true
   --server <a>    with --method, serve the run through a running ssa-server
                   at <a> (host:port) over the ssa_net wire protocol instead
                   of in process; --shards sets the server-side shard count
@@ -135,13 +156,32 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let workload = match parse_value_flag(&args, "--workload", |v| {
+        v.parse::<WorkloadShape>().map_err(|e| e.to_string())
+    }) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     // Walk the arguments once: reject unknown flags and find the first
     // positional target (skipping the value-carrying flags' values).
     let value_flag = |a: &str| {
-        a == "--method" || a == "--shards" || a == "--load" || a == "--strategy" || a == "--server"
+        a == "--method"
+            || a == "--shards"
+            || a == "--load"
+            || a == "--strategy"
+            || a == "--server"
+            || a == "--workload"
     };
     let known_flag = |a: &str| {
-        a == "--quick" || a == "--json" || a == "--pruned" || a == "--durable" || value_flag(a)
+        a == "--quick"
+            || a == "--json"
+            || a == "--pruned"
+            || a == "--durable"
+            || a == "--targeted"
+            || value_flag(a)
     };
     let mut target: Option<&str> = None;
     let mut skip_value = false;
@@ -167,8 +207,10 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let pruned = args.iter().any(|a| a == "--pruned");
     let durable = args.iter().any(|a| a == "--durable");
-    // --strategy implies single-run mode with the rh default method.
-    let single_run = method.is_some() || strategy.is_some();
+    let targeted = args.iter().any(|a| a == "--targeted");
+    // --strategy/--workload/--targeted imply single-run mode with the rh
+    // default method.
+    let single_run = method.is_some() || strategy.is_some() || workload.is_some() || targeted;
     if json && !single_run {
         eprintln!("--json requires --method or --strategy\n{USAGE}");
         std::process::exit(2);
@@ -199,6 +241,21 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if workload.is_some() && targeted {
+        eprintln!(
+            "--workload cannot be combined with --targeted: pick one population \
+             per run\n{USAGE}"
+        );
+        std::process::exit(2);
+    }
+    if (workload.is_some() || targeted) && (server.is_some() || strategy.is_some() || durable) {
+        eprintln!(
+            "--workload/--targeted cannot be combined with --server, --strategy, \
+             or --durable: hostile and targeted runs serve the in-process sharded \
+             marketplace only\n{USAGE}"
+        );
+        std::process::exit(2);
+    }
 
     if single_run {
         if let Some(target) = target {
@@ -207,7 +264,8 @@ fn main() {
         }
         let method = method.unwrap_or(WdMethod::Reduced);
         single_method(
-            method, json, quick, shards, load, strategy, server, pruned, durable,
+            method, json, quick, shards, load, strategy, server, pruned, durable, workload,
+            targeted,
         );
         return;
     }
@@ -275,6 +333,10 @@ fn parse_value_flag<T, E: std::fmt::Display>(
 /// ssa_net wire protocol instead — bit-identical outcomes, real sockets.
 /// `--durable` attaches a write-ahead log to the sharded run and verifies
 /// post-run recovery, reporting the replay cost alongside the throughput.
+/// `--workload` swaps the round-robin stream for a hostile shape (Zipf
+/// skew, a flash crowd, or advertiser churn) and reports the per-shard
+/// skew it induced; `--targeted` serves the targeted population whose
+/// campaigns carry attribute-targeting programs.
 #[allow(clippy::too_many_arguments)] // one parameter per CLI flag
 fn single_method(
     method: WdMethod,
@@ -286,6 +348,8 @@ fn single_method(
     server: Option<std::net::SocketAddr>,
     pruned: bool,
     durable: bool,
+    workload: Option<WorkloadShape>,
+    targeted: bool,
 ) {
     let (n, default_auctions) = if quick { (250, 50) } else { (1000, 200) };
     let auctions = load.unwrap_or(default_auctions);
@@ -309,6 +373,29 @@ fn single_method(
         std::fs::remove_dir_all(&dir).ok();
         recovery = Some(report);
         run
+    } else if let Some(shape) = workload {
+        measure_method_workload(
+            method,
+            PricingScheme::Gsp,
+            n,
+            auctions,
+            warmup,
+            4242,
+            shards.unwrap_or(1),
+            pruned,
+            shape,
+        )
+    } else if targeted {
+        measure_method_targeted(
+            method,
+            PricingScheme::Gsp,
+            n,
+            auctions,
+            warmup,
+            4242,
+            shards.unwrap_or(1),
+            pruned,
+        )
     } else {
         dispatch_plain(
             method, quick, shards, load, strategy, server, pruned, n, auctions, warmup,
@@ -407,12 +494,17 @@ fn print_run(run: &ssa_bench::MethodRun) {
         };
         let pruning = if run.pruned { ", pruned" } else { "" };
         let journalled = if run.durable { ", journalled" } else { "" };
+        let shaping = match run.workload {
+            Some(shape) => format!(", {shape} stream"),
+            None => String::new(),
+        };
+        let targeting = if run.targeted { ", targeted" } else { "" };
         let via = match &run.server {
             Some(addr) => format!(", via {addr}"),
             None => String::new(),
         };
         println!(
-            "method {} ({} pricing{}{}{}{}{}): n = {}, k = {}, {} auctions in {:.2} ms \
+            "method {} ({} pricing{}{}{}{}{}{}{}): n = {}, k = {}, {} auctions in {:.2} ms \
              ({:.0} auctions/sec, {} clicks, {} realized)",
             run.method,
             run.pricing,
@@ -420,6 +512,8 @@ fn print_run(run: &ssa_bench::MethodRun) {
             population,
             pruning,
             journalled,
+            shaping,
+            targeting,
             via,
             run.advertisers,
             run.slots,
@@ -443,6 +537,15 @@ fn print_run(run: &ssa_bench::MethodRun) {
             p.warm_solves,
             p.avg_candidates(),
         );
+        if let Some(skew) = &run.skew {
+            println!(
+                "skew: {:?} queries per shard (p50 {}, p99 {}, max/mean {:.3})",
+                skew.queries_per_shard,
+                skew.p50(),
+                skew.p99(),
+                skew.max_over_mean(),
+            );
+        }
         if let (Some(mode), Some(stats)) = (run.planner_mode, run.planner) {
             println!(
                 "planner {mode:?}: {} index hits, {} rows scanned, {} plans cached",

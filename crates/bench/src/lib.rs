@@ -9,14 +9,16 @@
 #![warn(missing_docs)]
 
 use ssa_bidlang::{Money, SlotId};
-use ssa_core::marketplace::{CampaignSpec, Marketplace, QueryRequest};
+use ssa_core::marketplace::{CampaignId, CampaignSpec, Marketplace, QueryRequest};
 use ssa_core::sharded::ShardedMarketplace;
-use ssa_core::{AuctionEngine, BatchReport, EngineConfig, PricingScheme, TableBidder, WdMethod};
+use ssa_core::{
+    AuctionEngine, BatchReport, EngineConfig, PricingScheme, TableBidder, UserAttrs, WdMethod,
+};
 use ssa_minidb::{PlannerMode, PlannerStats};
 use ssa_net::{market_config_for, populate_remote, Client, NetError};
 use ssa_workload::{
-    programmed_market, programmed_sharded_market, Method, SectionVConfig, SectionVWorkload,
-    Simulation, Strategy,
+    programmed_market, programmed_sharded_market, ChurnAction, Method, SectionVConfig,
+    SectionVWorkload, ShardSkew, Simulation, Strategy, WorkloadShape,
 };
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -229,6 +231,19 @@ pub struct MethodRun {
     /// ([`measure_method_durable`]) — `true` means every mutation and
     /// serve was journalled to disk while the clock ran.
     pub durable: bool,
+    /// Traffic shape of the timed stream: `Some(shape)` for hostile-world
+    /// runs ([`measure_method_workload`]), `None` for the legacy
+    /// round-robin stream.
+    pub workload: Option<WorkloadShape>,
+    /// Per-shard queue-depth skew of the timed stream under
+    /// keyword-affinity routing — recorded for shaped sharded runs,
+    /// `None` otherwise.
+    pub skew: Option<ShardSkew>,
+    /// Whether the population carried targeting programs
+    /// ([`measure_method_targeted`]): half the campaigns accept only
+    /// mobile queries, so desktop queries drop them from the candidate
+    /// set before the matrix fill.
+    pub targeted: bool,
     /// Wall-clock time of the timed batch.
     pub elapsed: Duration,
     /// Aggregate auction outcomes of the timed batch.
@@ -288,6 +303,15 @@ impl MethodRun {
             }
             _ => "null".to_string(),
         };
+        let workload = self
+            .workload
+            .map(|w| format!("\"{w}\""))
+            .unwrap_or_else(|| "null".to_string());
+        let skew = self
+            .skew
+            .as_ref()
+            .map(|s| s.to_json())
+            .unwrap_or_else(|| "null".to_string());
         let p = &self.report.phases;
         let phases = format!(
             concat!(
@@ -311,8 +335,10 @@ impl MethodRun {
                 "\"slots\":{},\"shards\":{},\"strategy\":{},\"server\":{},",
                 "\"auctions\":{},\"elapsed_ms\":{:.3},",
                 "\"auctions_per_sec\":{:.1},\"cores\":{},\"pruned\":{},",
-                "\"durable\":{},\"phases\":{},\"expected_revenue_cents\":{:.2},",
-                "\"clicks\":{},\"realized_revenue_cents\":{},\"planner\":{}}}"
+                "\"durable\":{},\"workload\":{},\"targeted\":{},",
+                "\"phases\":{},\"expected_revenue_cents\":{:.2},",
+                "\"clicks\":{},\"realized_revenue_cents\":{},\"planner\":{},",
+                "\"shard_skew\":{}}}"
             ),
             self.method,
             self.pricing,
@@ -327,11 +353,14 @@ impl MethodRun {
             self.cores,
             self.pruned,
             self.durable,
+            workload,
+            self.targeted,
             phases,
             self.report.expected_revenue,
             self.report.clicks,
             self.report.realized_revenue.cents(),
             planner,
+            skew,
         )
     }
 }
@@ -377,6 +406,9 @@ pub fn measure_method(
         cores: available_cores(),
         pruned,
         durable: false,
+        workload: None,
+        skew: None,
+        targeted: false,
         elapsed,
         report,
         server: None,
@@ -428,6 +460,205 @@ pub fn measure_method_sharded(
         cores: available_cores(),
         pruned,
         durable: false,
+        workload: None,
+        skew: None,
+        targeted: false,
+        elapsed,
+        report,
+        server: None,
+        planner_mode: None,
+        planner: None,
+    }
+}
+
+/// Applies one churn event to a sharded marketplace. The plan's
+/// coordinates are generated within the population's bounds, so failures
+/// are harness bugs, not workload outcomes.
+fn apply_churn(market: &mut ShardedMarketplace, event: &ssa_workload::ChurnEvent) {
+    let id = CampaignId::from_parts(event.keyword, event.index);
+    match event.action {
+        ChurnAction::Exhaust => market
+            .pause_campaign(id)
+            .expect("churn coordinates are in range"),
+        ChurnAction::Return => market
+            .resume_campaign(id)
+            .expect("churn coordinates are in range"),
+        ChurnAction::Rebid { bid_cents } => market
+            .update_bid(id, Money::from_cents(bid_cents))
+            .expect("churn coordinates are in range"),
+    }
+}
+
+/// Measures one method's batched serving throughput under a hostile-world
+/// traffic shape: the same Section V population as
+/// [`measure_method_sharded`], but the timed stream is drawn by `shape`
+/// ([`WorkloadShape::query_stream`]) instead of round-robin — Zipf skew,
+/// a flash crowd pinned to one shard, or advertiser churn applied
+/// *while the clock runs* ([`WorkloadShape::churn_plan`]).
+///
+/// The run records the stream's per-shard queue-depth skew
+/// ([`MethodRun::skew`]) next to the throughput, which is what the
+/// perf-smoke CI row asserts on: a skewed stream must still serve, and
+/// the imbalance must be visible in the report rather than averaged away.
+#[allow(clippy::too_many_arguments)] // mirrors measure_method_sharded plus the shape
+pub fn measure_method_workload(
+    method: WdMethod,
+    pricing: PricingScheme,
+    n: usize,
+    auctions: usize,
+    warmup: usize,
+    seed: u64,
+    shards: usize,
+    pruned: bool,
+    shape: WorkloadShape,
+) -> MethodRun {
+    let config = EngineConfig {
+        method,
+        pricing,
+        pruned,
+        ..EngineConfig::default()
+    };
+    let mut market = section_v_sharded_market(SectionVConfig::paper(n, seed), config, shards);
+    let slots = market.num_slots();
+    let keywords = market.num_keywords();
+    // The stream seed is decoupled from the population seed so the shape
+    // owns traffic randomness and the population stays comparable across
+    // shapes.
+    let stream = shape.query_stream(keywords, auctions.max(warmup), seed ^ 0x7AFF_1C5E);
+    let requests: Vec<QueryRequest> = stream.iter().map(|&k| QueryRequest::new(k)).collect();
+    market
+        .serve_batch(&requests[..warmup])
+        .expect("shaped keywords are in range");
+    let plan = shape.churn_plan(keywords, n, auctions, seed);
+    let start = Instant::now();
+    let mut report = BatchReport::default();
+    let mut served = 0usize;
+    let mut next_event = 0usize;
+    while served < auctions {
+        let until = plan
+            .events
+            .get(next_event)
+            .map(|e| e.after_query.clamp(served, auctions))
+            .unwrap_or(auctions);
+        if until > served {
+            let segment = market
+                .serve_batch(&requests[served..until])
+                .expect("shaped keywords are in range");
+            report.absorb(&segment.total);
+            served = until;
+        }
+        while let Some(event) = plan.events.get(next_event) {
+            if event.after_query > served {
+                break;
+            }
+            apply_churn(&mut market, event);
+            next_event += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    MethodRun {
+        method,
+        pricing,
+        advertisers: n,
+        slots,
+        shards: Some(shards),
+        strategy: None,
+        auctions,
+        cores: available_cores(),
+        pruned,
+        durable: false,
+        workload: Some(shape),
+        skew: Some(ShardSkew::from_stream(&stream[..auctions], shards)),
+        targeted: false,
+        elapsed,
+        report,
+        server: None,
+        planner_mode: None,
+        planner: None,
+    }
+}
+
+/// Measures one method's batched serving throughput over a *targeted*
+/// Section V population: every even-indexed advertiser's campaigns carry
+/// the targeting program `device = 'mobile'`, and the round-robin stream
+/// alternates mobile and desktop queries — so desktop queries exclude
+/// half the advertisers from the candidate set before the matrix fill.
+///
+/// With `method = rh` the drop is visible in
+/// [`PhaseStats::avg_candidates`](ssa_core::PhaseStats::avg_candidates)
+/// (the perf-smoke CI row asserts it sits strictly below the advertiser
+/// count), which certifies that targeting prunes work rather than merely
+/// zeroing bids.
+#[allow(clippy::too_many_arguments)] // mirrors measure_method_sharded
+pub fn measure_method_targeted(
+    method: WdMethod,
+    pricing: PricingScheme,
+    n: usize,
+    auctions: usize,
+    warmup: usize,
+    seed: u64,
+    shards: usize,
+    pruned: bool,
+) -> MethodRun {
+    let config = EngineConfig {
+        method,
+        pricing,
+        pruned,
+        ..EngineConfig::default()
+    };
+    let workload = SectionVWorkload::generate(SectionVConfig::paper(n, seed));
+    let mut market = section_v_builder(&workload, seed, config)
+        .build_sharded(shards)
+        .expect("Section V sharded configuration is valid");
+    let k = workload.config.num_slots;
+    for (i, b) in workload.bidders.iter().enumerate() {
+        let advertiser = market.register_advertiser(format!("advertiser-{i}"));
+        let click_probs: Vec<f64> = (0..k)
+            .map(|j| workload.clicks.p_click(i, SlotId::from_index0(j)))
+            .collect();
+        for (keyword, &(value, bid, _)) in b.keywords.iter().enumerate() {
+            let mut spec = CampaignSpec::per_click(Money::from_cents(bid.max(0)))
+                .click_value(Money::from_cents(value))
+                .click_probs(click_probs.clone());
+            if i % 2 == 0 {
+                spec = spec.targeting("device = 'mobile'");
+            }
+            market
+                .add_campaign(advertiser, keyword, spec)
+                .expect("targeted Section V campaign is valid");
+        }
+    }
+    let slots = market.num_slots();
+    let keywords = market.num_keywords().max(1);
+    let requests: Vec<QueryRequest> = (0..auctions.max(warmup))
+        .map(|i| {
+            let device = if i % 2 == 0 { "mobile" } else { "desktop" };
+            QueryRequest::with_attrs(i % keywords, UserAttrs::new().device(device))
+        })
+        .collect();
+    market
+        .serve_batch(&requests[..warmup])
+        .expect("round-robin keywords are in range");
+    let start = Instant::now();
+    let report = market
+        .serve_batch(&requests[..auctions])
+        .expect("round-robin keywords are in range")
+        .total;
+    let elapsed = start.elapsed();
+    MethodRun {
+        method,
+        pricing,
+        advertisers: n,
+        slots,
+        shards: Some(shards),
+        strategy: None,
+        auctions,
+        cores: available_cores(),
+        pruned,
+        durable: false,
+        workload: None,
+        skew: None,
+        targeted: true,
         elapsed,
         report,
         server: None,
@@ -520,6 +751,9 @@ pub fn measure_method_durable(
         cores: available_cores(),
         pruned,
         durable: true,
+        workload: None,
+        skew: None,
+        targeted: false,
         elapsed,
         report,
         server: None,
@@ -592,6 +826,9 @@ pub fn measure_method_remote(
         cores: available_cores(),
         pruned,
         durable: false,
+        workload: None,
+        skew: None,
+        targeted: false,
         elapsed,
         report,
         server: Some(server.to_string()),
@@ -668,6 +905,9 @@ pub fn measure_programmed(
         cores: available_cores(),
         pruned,
         durable: false,
+        workload: None,
+        skew: None,
+        targeted: false,
         elapsed,
         report,
         server: None,
@@ -747,6 +987,9 @@ mod tests {
             "\"cores\":",
             "\"pruned\":false",
             "\"durable\":false",
+            "\"workload\":null",
+            "\"targeted\":false",
+            "\"shard_skew\":null",
             "\"phases\":{\"program_eval_ms\":",
             "\"solve_ms\":",
             "\"solves\":",
@@ -759,6 +1002,132 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn shaped_run_reports_workload_and_skew() {
+        let run = measure_method_workload(
+            WdMethod::Reduced,
+            PricingScheme::Gsp,
+            30,
+            40,
+            4,
+            17,
+            4,
+            false,
+            WorkloadShape::Zipf { s: 1.1 },
+        );
+        assert_eq!(run.report.auctions, 40);
+        assert_eq!(run.workload, Some(WorkloadShape::Zipf { s: 1.1 }));
+        let skew = run.skew.as_ref().expect("shaped runs record skew");
+        assert_eq!(skew.queries_per_shard.len(), 4);
+        assert_eq!(skew.queries_per_shard.iter().sum::<u64>(), 40);
+        let json = run.to_json();
+        for key in [
+            "\"workload\":\"zipf:1.1\"",
+            "\"targeted\":false",
+            "\"shard_skew\":{\"queries_per_shard\":[",
+            "\"p50\":",
+            "\"p99\":",
+            "\"max_over_mean\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn churn_run_applies_the_plan_and_accounts_every_auction() {
+        // Churn pauses, rebids, and revives campaigns mid-stream; every
+        // query must still be served exactly once around the events.
+        let run = measure_method_workload(
+            WdMethod::Reduced,
+            PricingScheme::Gsp,
+            25,
+            64,
+            4,
+            23,
+            2,
+            false,
+            WorkloadShape::Churn,
+        );
+        assert_eq!(run.report.auctions, 64);
+        assert!(run.to_json().contains("\"workload\":\"churn\""));
+    }
+
+    #[test]
+    fn uniform_shaped_run_matches_the_plain_sharded_run_outcomes() {
+        // The uniform shape draws the same kind of stream as the classic
+        // round-robin harness but from the seeded generator; its outcomes
+        // must be shard-invariant like everything else.
+        let shape = WorkloadShape::Uniform;
+        let one = measure_method_workload(
+            WdMethod::Reduced,
+            PricingScheme::Gsp,
+            30,
+            48,
+            4,
+            31,
+            1,
+            false,
+            shape,
+        );
+        let four = measure_method_workload(
+            WdMethod::Reduced,
+            PricingScheme::Gsp,
+            30,
+            48,
+            4,
+            31,
+            4,
+            false,
+            shape,
+        );
+        assert_eq!(one.report, four.report, "shape outcomes depend on shards");
+    }
+
+    #[test]
+    fn targeted_run_prunes_candidates_and_diverges_from_untargeted() {
+        // The targeted population serves the same round-robin keyword
+        // stream as `measure_method_sharded`, so if the desktop queries
+        // actually exclude the mobile-only advertisers the two runs must
+        // place (and click) differently — and the reduced solver's
+        // candidate count must sit below the advertiser count.
+        let n = 40;
+        let run = measure_method_targeted(
+            WdMethod::Reduced,
+            PricingScheme::Gsp,
+            n,
+            32,
+            4,
+            19,
+            2,
+            false,
+        );
+        assert_eq!(run.report.auctions, 32);
+        assert!(run.targeted);
+        let p = run.report.phases;
+        assert!(p.solves > 0);
+        assert!(
+            p.avg_candidates() < n as f64,
+            "targeting excluded nobody: {p:?}"
+        );
+        let untargeted = measure_method_sharded(
+            WdMethod::Reduced,
+            PricingScheme::Gsp,
+            n,
+            32,
+            4,
+            19,
+            2,
+            false,
+        );
+        assert_ne!(
+            run.report, untargeted.report,
+            "targeting changed no outcome on a mixed mobile/desktop stream"
+        );
+        let json = run.to_json();
+        assert!(json.contains("\"targeted\":true"), "{json}");
+        assert!(json.contains("\"workload\":null"), "{json}");
     }
 
     #[test]

@@ -224,6 +224,88 @@ fn server_runs_report_the_in_process_outcomes() {
 }
 
 #[test]
+fn workload_runs_standalone_and_reports_the_skew() {
+    // The CI perf-smoke invocation: --workload implies single-run mode at
+    // the rh default, and the JSON row carries the shape plus the
+    // per-shard skew summary.
+    let out = reproduce(&[
+        "--workload",
+        "zipf:1.1",
+        "--shards",
+        "4",
+        "--json",
+        "--quick",
+        "--load",
+        "40",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let json = stdout_of(&out);
+    for key in [
+        "\"method\":\"rh\"",
+        "\"workload\":\"zipf:1.1\"",
+        "\"shards\":4",
+        "\"auctions\":40",
+        "\"shard_skew\":{\"queries_per_shard\":[",
+        "\"p50\":",
+        "\"p99\":",
+        "\"max_over_mean\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn targeted_runs_standalone_and_reports_it() {
+    let out = reproduce(&[
+        "--targeted",
+        "--shards",
+        "2",
+        "--json",
+        "--quick",
+        "--load",
+        "20",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let json = stdout_of(&out);
+    for key in [
+        "\"method\":\"rh\"",
+        "\"targeted\":true",
+        "\"workload\":null",
+        "\"shards\":2",
+        "\"auctions\":20",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn bogus_workload_is_a_clear_error() {
+    assert_usage_error(&["--workload", "pareto"], "invalid workload \"pareto\"");
+    assert_usage_error(&["--workload", "zipf:0"], "invalid workload");
+    assert_usage_error(&["--workload"], "--workload requires a value");
+    assert_usage_error(
+        &["--workload", "flash", "--targeted"],
+        "--workload cannot be combined with --targeted",
+    );
+    assert_usage_error(
+        &["--workload", "flash", "--durable"],
+        "--durable requires --method",
+    );
+    assert_usage_error(
+        &["--workload", "flash", "--method", "rh", "--durable"],
+        "--workload/--targeted cannot be combined",
+    );
+    assert_usage_error(
+        &["--targeted", "--strategy", "sql"],
+        "--workload/--targeted cannot be combined",
+    );
+    assert_usage_error(
+        &["--workload", "flash", "fig12"],
+        "cannot be combined with target",
+    );
+}
+
+#[test]
 fn sharded_load_generator_emits_json() {
     let out = reproduce(&[
         "--method", "rh", "--json", "--quick", "--shards", "2", "--load", "10",

@@ -41,7 +41,10 @@
 //! * [`dependence`] analysis implementing Definition 1 (*m*-dependent events),
 //! * the [`two_dependent`] module reproducing the Theorem 3 reduction from
 //!   maximum weighted feedback arc set, together with brute-force solvers used
-//!   to validate it.
+//!   to validate it,
+//! * a [`targeting`] expression language over typed user attributes
+//!   (`geo = 'us' and segment in ('sports', 'autos')`), compiled once per
+//!   campaign to an allocation-free bytecode matcher.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +57,7 @@ pub mod money;
 pub mod outcome;
 pub mod parser;
 pub mod predicate;
+pub mod targeting;
 pub mod two_dependent;
 
 pub use bids::{BidRow, BidsTable};
@@ -64,3 +68,6 @@ pub use money::Money;
 pub use outcome::{AdvertiserView, HeavyPattern, Outcome};
 pub use parser::{parse_formula, ParseError, ParseErrorKind};
 pub use predicate::Predicate;
+pub use targeting::{
+    parse_targeting, AttrValue, CompiledTargeting, TargetExpr, TargetParseError, UserAttrs,
+};

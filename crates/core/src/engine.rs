@@ -25,13 +25,63 @@ use crate::pricing::{gsp_prices_into, vcg_prices, PricingScheme, SlotPrice};
 use crate::prob::{ClickModel, PurchaseModel};
 use crate::revenue::{revenue_matrix_into, revenue_matrix_refresh_row, NoSlotValues};
 use rand::Rng;
+use ssa_bidlang::targeting::{CompiledTargeting, UserAttrs};
 use ssa_bidlang::{AdvertiserView, BidsTable, Money, SlotId};
 use ssa_matching::{
     Assignment, HungarianSolver, ParallelReducedSolver, PrunedSolver, ReducedSolver, RevenueMatrix,
     WdSolver,
 };
 use ssa_simplex::NetworkSimplexSolver;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// A query as the engine sees it: a keyword plus typed user attributes.
+///
+/// The engine's run paths are generic over this trait so legacy call
+/// sites passing bare keyword indices (`run_batch(&[0usize, 0], …)`)
+/// compile unchanged — a `usize` is a query with
+/// [`UserAttrs::empty_ref`] attributes — while the marketplace passes
+/// full `QueryRequest`s (which implement this trait) by reference, with
+/// zero clones on the hot path.
+pub trait EngineQuery {
+    /// The keyword index queried.
+    fn keyword(&self) -> usize;
+    /// The typed user attributes targeting expressions evaluate against.
+    fn attrs(&self) -> &UserAttrs;
+}
+
+impl EngineQuery for usize {
+    fn keyword(&self) -> usize {
+        *self
+    }
+
+    fn attrs(&self) -> &UserAttrs {
+        UserAttrs::empty_ref()
+    }
+}
+
+impl<T: EngineQuery + ?Sized> EngineQuery for &T {
+    fn keyword(&self) -> usize {
+        (**self).keyword()
+    }
+
+    fn attrs(&self) -> &UserAttrs {
+        (**self).attrs()
+    }
+}
+
+/// A keyword paired with borrowed attributes — the zero-copy query shape
+/// service facades use when keyword and attributes live in different
+/// places.
+impl EngineQuery for (usize, &UserAttrs) {
+    fn keyword(&self) -> usize {
+        self.0
+    }
+
+    fn attrs(&self) -> &UserAttrs {
+        self.1
+    }
+}
 
 /// Which winner-determination algorithm the engine runs (the four methods
 /// of Section V, minus the program-evaluation reductions which live in the
@@ -366,6 +416,12 @@ pub struct AuctionEngine<B: Bidder> {
     solver: Box<dyn WdSolver>,
     solver_method: WdMethod,
     solver_pruned: bool,
+    /// Per-bidder targeting matchers, parallel to `bidders` (`None` =
+    /// untargeted; an empty vector = no campaign targets). A bidder whose
+    /// matcher rejects the query's attributes is EXCLUDED before the
+    /// matrix fill: its program is not evaluated and it contributes an
+    /// empty bid table, exactly like a paused campaign.
+    targeting: Vec<Option<Arc<CompiledTargeting>>>,
     scratch: BatchScratch,
 }
 
@@ -401,8 +457,22 @@ impl<B: Bidder> AuctionEngine<B> {
             solver: build_solver(config),
             solver_method: config.method,
             solver_pruned: config.pruned,
+            targeting: Vec::new(),
             scratch,
         }
+    }
+
+    /// Installs per-bidder targeting matchers, parallel to `bidders`
+    /// (compiled once at campaign registration — the engine never parses
+    /// targeting text). Pass an empty vector (the default) or all-`None`
+    /// for an untargeted market; both leave the hot path bit-identical to
+    /// an engine that never heard of targeting.
+    pub fn set_targeting(&mut self, targeting: Vec<Option<Arc<CompiledTargeting>>>) {
+        assert!(
+            targeting.is_empty() || targeting.len() == self.bidders.len(),
+            "targeting must be empty or parallel to bidders"
+        );
+        self.targeting = targeting;
     }
 
     /// The auction clock (number of auctions run).
@@ -443,15 +513,16 @@ impl<B: Bidder> AuctionEngine<B> {
         }
     }
 
-    /// Runs one complete auction for a query on `keyword`.
+    /// Runs one complete auction for a query (a bare keyword index or
+    /// anything else implementing [`EngineQuery`]).
     ///
     /// Runs the same persistent in-place pipeline as
     /// [`AuctionEngine::run_batch`] (no per-auction matrix or solver
     /// scratch allocation), then materialises an owned [`AuctionReport`]
     /// from the scratch buffers — the only allocation this path adds.
-    pub fn run_auction<R: Rng>(&mut self, keyword: usize, rng: &mut R) -> AuctionReport {
+    pub fn run_auction<Q: EngineQuery, R: Rng>(&mut self, query: Q, rng: &mut R) -> AuctionReport {
         self.ensure_solver();
-        let expected_revenue = self.hot_step(keyword, rng);
+        let expected_revenue = self.hot_step(query.keyword(), query.attrs(), rng);
         let scratch = &self.scratch;
         AuctionReport {
             assignment: scratch.assignment.clone(),
@@ -466,7 +537,7 @@ impl<B: Bidder> AuctionEngine<B> {
     /// Runs one auction entirely inside the persistent scratch buffers.
     /// Returns the auction's expected revenue; all other outcomes are left
     /// in `self.scratch` for the caller to aggregate or materialise.
-    fn hot_step<R: Rng>(&mut self, keyword: usize, rng: &mut R) -> f64 {
+    fn hot_step<R: Rng>(&mut self, keyword: usize, attrs: &UserAttrs, rng: &mut R) -> f64 {
         self.time += 1;
         let ctx = QueryContext {
             time: self.time,
@@ -476,12 +547,26 @@ impl<B: Bidder> AuctionEngine<B> {
 
         // Step 3: program evaluation into the reused bids buffer; the
         // previous auction's tables rotate into `prev_bids` for the
-        // warm-start diff.
+        // warm-start diff. A bidder whose targeting rejects the query's
+        // attributes is excluded here — its program never runs and its
+        // empty table makes it an EXCLUDED row for winner determination,
+        // the same mechanism paused campaigns use. The warm-start row
+        // diff then handles match/unmatch transitions like any other bid
+        // change.
         let t_eval = Instant::now();
         std::mem::swap(&mut self.scratch.bids, &mut self.scratch.prev_bids);
         self.scratch.bids.clear();
-        for b in self.bidders.iter_mut() {
-            self.scratch.bids.push(b.on_query(&ctx));
+        for (i, b) in self.bidders.iter_mut().enumerate() {
+            let excluded = self
+                .targeting
+                .get(i)
+                .and_then(|t| t.as_ref())
+                .is_some_and(|t| !t.matches(attrs));
+            self.scratch.bids.push(if excluded {
+                BidsTable::empty()
+            } else {
+                b.on_query(&ctx)
+            });
         }
         let t_fill = Instant::now();
         self.scratch.phases.program_eval_ns += (t_fill - t_eval).as_nanos() as u64;
@@ -604,15 +689,17 @@ impl<B: Bidder> AuctionEngine<B> {
         expected_revenue
     }
 
-    /// Runs one auction per keyword in `queries` through the persistent
+    /// Runs one auction per query in `queries` through the persistent
     /// pipeline, aggregating outcomes. Performs no per-auction
-    /// revenue-matrix (or solver-scratch) allocation after warm-up.
-    pub fn run_batch<R: Rng>(&mut self, queries: &[usize], rng: &mut R) -> BatchReport {
+    /// revenue-matrix (or solver-scratch) allocation after warm-up, and
+    /// never clones a query: attributes are read through
+    /// [`EngineQuery::attrs`] by reference.
+    pub fn run_batch<Q: EngineQuery, R: Rng>(&mut self, queries: &[Q], rng: &mut R) -> BatchReport {
         self.ensure_solver();
         self.scratch.phases = PhaseStats::default();
         let mut report = BatchReport::default();
-        for &keyword in queries {
-            let expected = self.hot_step(keyword, rng);
+        for query in queries {
+            let expected = self.hot_step(query.keyword(), query.attrs(), rng);
             report.auctions += 1;
             report.expected_revenue += expected;
             report.filled_slots += self.scratch.assignment.num_assigned() as u64;
@@ -624,7 +711,7 @@ impl<B: Bidder> AuctionEngine<B> {
         report
     }
 
-    /// Lazily runs one auction per keyword yielded by `queries` through the
+    /// Lazily runs one auction per query yielded by `queries` through the
     /// persistent pipeline, materialising an [`AuctionReport`] per auction.
     /// The pipeline state (matrix, solver scratch) is still reused; only
     /// the yielded reports allocate.
@@ -634,7 +721,8 @@ impl<B: Bidder> AuctionEngine<B> {
         rng: &'a mut R,
     ) -> AuctionStream<'a, B, R, I::IntoIter>
     where
-        I: IntoIterator<Item = usize>,
+        I: IntoIterator,
+        I::Item: EngineQuery,
     {
         self.ensure_solver();
         AuctionStream {
@@ -646,18 +734,23 @@ impl<B: Bidder> AuctionEngine<B> {
 }
 
 /// Iterator over batched auctions; see [`AuctionEngine::stream`].
-pub struct AuctionStream<'a, B: Bidder, R: Rng, I: Iterator<Item = usize>> {
+pub struct AuctionStream<'a, B: Bidder, R: Rng, I: Iterator> {
     engine: &'a mut AuctionEngine<B>,
     rng: &'a mut R,
     queries: I,
 }
 
-impl<B: Bidder, R: Rng, I: Iterator<Item = usize>> Iterator for AuctionStream<'_, B, R, I> {
+impl<B: Bidder, R: Rng, I: Iterator> Iterator for AuctionStream<'_, B, R, I>
+where
+    I::Item: EngineQuery,
+{
     type Item = AuctionReport;
 
     fn next(&mut self) -> Option<AuctionReport> {
-        let keyword = self.queries.next()?;
-        let expected_revenue = self.engine.hot_step(keyword, self.rng);
+        let query = self.queries.next()?;
+        let expected_revenue = self
+            .engine
+            .hot_step(query.keyword(), query.attrs(), self.rng);
         let scratch = &self.engine.scratch;
         Some(AuctionReport {
             assignment: scratch.assignment.clone(),

@@ -12,7 +12,8 @@
 //!   consistent prefix of the acknowledged history.
 //! * **Determinism**: auction outcomes are a pure function of the campaign
 //!   book, the clock, and the per-keyword RNG streams, so journaling just
-//!   the *keywords served* (not the outcomes) is enough — replaying the
+//!   the *queries served* (keyword plus user attributes, not the
+//!   outcomes) is enough — replaying the
 //!   serves re-draws the identical clicks, purchases, and charges, and
 //!   leaves the RNG streams at the identical positions.
 //!
@@ -21,6 +22,7 @@
 
 use crate::marketplace::{AdvertiserHandle, CampaignId, CampaignSpec, MarketError, QueryRequest};
 use crate::sharded::ShardedMarketplace;
+use ssa_bidlang::targeting::UserAttrs;
 use ssa_bidlang::Money;
 
 /// One journalled marketplace operation.
@@ -54,6 +56,9 @@ pub enum MutationRecord {
         click_probs: Option<Vec<f64>>,
         /// Per-slot purchase probabilities, if supplied.
         purchase_probs: Option<Vec<(f64, f64)>>,
+        /// Targeting expression source, if supplied (re-parsed at replay
+        /// through the same validation path as the original registration).
+        targeting: Option<String>,
     },
     /// [`ShardedMarketplace::update_bid`].
     UpdateBid {
@@ -92,11 +97,14 @@ pub enum MutationRecord {
     Serve {
         /// The keyword queried.
         keyword: usize,
+        /// The query's typed user attributes (empty for legacy queries).
+        /// Journaled because targeting makes outcomes depend on them.
+        attrs: UserAttrs,
     },
     /// One [`ShardedMarketplace::serve_batch`] call, in stream order.
     ServeBatch {
-        /// The keywords queried, in order.
-        keywords: Vec<usize>,
+        /// The queries served, in order: keyword plus user attributes.
+        queries: Vec<(usize, UserAttrs)>,
     },
 }
 
@@ -129,6 +137,7 @@ pub fn apply(market: &mut ShardedMarketplace, record: &MutationRecord) -> Result
             roi_target,
             click_probs,
             purchase_probs,
+            targeting,
         } => {
             let mut spec = CampaignSpec::per_click(Money::from_cents(*bid_cents))
                 .click_value(Money::from_cents(*click_value_cents));
@@ -140,6 +149,9 @@ pub fn apply(market: &mut ShardedMarketplace, record: &MutationRecord) -> Result
             }
             if let Some(probs) = purchase_probs {
                 spec = spec.purchase_probs(probs.clone());
+            }
+            if let Some(source) = targeting {
+                spec = spec.targeting(source.clone());
             }
             market
                 .add_campaign(AdvertiserHandle::from_index(*advertiser), *keyword, spec)
@@ -164,10 +176,14 @@ pub fn apply(market: &mut ShardedMarketplace, record: &MutationRecord) -> Result
             index,
             target,
         } => market.set_roi_target(CampaignId::from_parts(*keyword, *index), *target),
-        MutationRecord::Serve { keyword } => market.serve(QueryRequest::new(*keyword)).map(|_| ()),
-        MutationRecord::ServeBatch { keywords } => {
-            let requests: Vec<QueryRequest> =
-                keywords.iter().map(|&kw| QueryRequest::new(kw)).collect();
+        MutationRecord::Serve { keyword, attrs } => market
+            .serve(QueryRequest::with_attrs(*keyword, attrs.clone()))
+            .map(|_| ()),
+        MutationRecord::ServeBatch { queries } => {
+            let requests: Vec<QueryRequest> = queries
+                .iter()
+                .map(|(kw, attrs)| QueryRequest::with_attrs(*kw, attrs.clone()))
+                .collect();
             market.serve_batch(&requests).map(|_| ())
         }
     }

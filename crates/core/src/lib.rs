@@ -63,8 +63,8 @@ pub mod state;
 
 pub use bidder::{Bidder, BidderOutcome, QueryContext, TableBidder};
 pub use engine::{
-    AuctionEngine, AuctionReport, AuctionStream, BatchReport, EngineConfig, ParseMethodError,
-    PhaseStats, WdMethod,
+    AuctionEngine, AuctionReport, AuctionStream, BatchReport, EngineConfig, EngineQuery,
+    ParseMethodError, PhaseStats, WdMethod,
 };
 pub use heavyweight::{solve_heavyweight, HeavyweightInstance, HeavyweightSolution};
 pub use journal::{MutationJournal, MutationRecord};
@@ -77,4 +77,5 @@ pub use prob::{ClickModel, PurchaseModel, SeparableClickModel};
 pub use revenue::{expected_revenue, revenue_matrix, revenue_matrix_into, NoSlotValues};
 pub use sharded::{parse_shards, shard_of_keyword, ParseShardsError, ShardedMarketplace};
 pub use sqlprog::{SqlProgramBidder, SqlProgramError};
+pub use ssa_bidlang::targeting::{AttrValue, CompiledTargeting, TargetParseError, UserAttrs};
 pub use state::{CampaignState, MarketConfigState, MarketState};

@@ -58,7 +58,9 @@ use crate::prob::{ClickModel, PurchaseModel};
 use crate::sqlprog::{SqlProgramBidder, SqlProgramError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ssa_bidlang::targeting::{CompiledTargeting, TargetParseError, UserAttrs};
 use ssa_bidlang::{BidsTable, Money, SlotId};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Handles and identifiers.
@@ -159,6 +161,10 @@ pub enum MarketError {
     NegativeBid(Money),
     /// ROI targets must be finite and strictly positive.
     InvalidRoiTarget(f64),
+    /// The campaign's targeting expression does not parse (syntax error or
+    /// hostile nesting past the depth limit). Registration is rejected as a
+    /// whole; nothing about the market changes.
+    InvalidTargeting(TargetParseError),
     /// The campaign runs a custom bidding program or fixed table, which
     /// cannot be serialized by the durability layer; the operation was
     /// rejected because a mutation journal is attached (or a state capture
@@ -216,6 +222,9 @@ impl std::fmt::Display for MarketError {
             MarketError::InvalidRoiTarget(t) => {
                 write!(f, "ROI target {t} must be finite and positive")
             }
+            MarketError::InvalidTargeting(err) => {
+                write!(f, "invalid targeting expression: {err}")
+            }
             MarketError::NoSlots => f.write_str("a marketplace needs at least one slot"),
             MarketError::NoKeywords => f.write_str("a marketplace needs at least one keyword"),
             MarketError::NoShards => f.write_str("a sharded marketplace needs at least one shard"),
@@ -256,6 +265,7 @@ pub struct CampaignSpec {
     purchase_probs: Option<Vec<(f64, f64)>>,
     click_value: Money,
     roi_target: Option<f64>,
+    targeting: Option<String>,
 }
 
 impl CampaignSpec {
@@ -266,6 +276,7 @@ impl CampaignSpec {
             purchase_probs: None,
             click_value: Money::ZERO,
             roi_target: None,
+            targeting: None,
         }
     }
 
@@ -348,6 +359,22 @@ impl CampaignSpec {
         self
     }
 
+    /// Restricts the campaign to queries whose [`UserAttrs`] satisfy the
+    /// given targeting expression (see [`ssa_bidlang::targeting`]), e.g.
+    /// `"geo = 'us' and device in ('mobile', 'tablet')"`.
+    ///
+    /// The source is parsed and compiled once, inside
+    /// [`Marketplace::add_campaign`]; a malformed or hostile (too deeply
+    /// nested) expression rejects the registration with
+    /// [`MarketError::InvalidTargeting`] and changes nothing. On queries
+    /// the compiled matcher rejects, the campaign is excluded from winner
+    /// determination before the matrix fill — its program does not run and
+    /// it can never be displayed, exactly like a paused campaign.
+    pub fn targeting(mut self, source: impl Into<String>) -> Self {
+        self.targeting = Some(source.into());
+        self
+    }
+
     /// The journalable pieces of a per-click spec, exactly as supplied
     /// (`None` for table/program specs, which cannot be serialized). Used
     /// by the sharded facade to journal `add_campaign` for durability.
@@ -359,6 +386,7 @@ impl CampaignSpec {
                 roi_target: self.roi_target,
                 click_probs: self.click_probs.clone(),
                 purchase_probs: self.purchase_probs.clone(),
+                targeting: self.targeting.clone(),
             }),
             _ => None,
         }
@@ -373,6 +401,7 @@ pub(crate) struct PerClickParts {
     pub(crate) roi_target: Option<f64>,
     pub(crate) click_probs: Option<Vec<f64>>,
     pub(crate) purchase_probs: Option<Vec<(f64, f64)>>,
+    pub(crate) targeting: Option<String>,
 }
 
 impl std::fmt::Debug for CampaignSpec {
@@ -386,6 +415,7 @@ impl std::fmt::Debug for CampaignSpec {
             .field("program", &kind)
             .field("click_value", &self.click_value)
             .field("roi_target", &self.roi_target)
+            .field("targeting", &self.targeting)
             .finish_non_exhaustive()
     }
 }
@@ -414,6 +444,11 @@ struct Campaign {
     paused: bool,
     click_probs: Vec<f64>,
     purchase_probs: Vec<(f64, f64)>,
+    /// Compiled targeting matcher (`None` = the campaign bids on every
+    /// query). Shared with the keyword's engine via `Arc`: engine rebuilds
+    /// never re-parse, and the retained [`CompiledTargeting::source`] is
+    /// what state capture and the mutation journal serialize.
+    targeting: Option<Arc<CompiledTargeting>>,
 }
 
 /// The engine-side representation of a campaign: a [`Bidder`] whose table
@@ -523,25 +558,62 @@ pub(crate) fn keyword_stream_seed(seed: u64, keyword: usize) -> u64 {
 // Query-serving API types.
 // ---------------------------------------------------------------------------
 
-/// One keyword query to serve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One keyword query to serve: the keyword plus the typed user attributes
+/// campaign targeting expressions evaluate against.
+///
+/// Deliberately **not** `Copy`: the attribute bag is heap-backed, and the
+/// serve paths are written to move or borrow requests rather than clone
+/// them, so growing the type never introduces silent per-query clones on
+/// the hot loop. `QueryRequest::new(kw)` / `kw.into()` build the legacy
+/// attribute-less query bit-compatibly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct QueryRequest {
     /// Index of the queried keyword.
     pub keyword: usize,
+    /// Typed user attributes (empty for legacy keyword-only queries).
+    pub attrs: UserAttrs,
 }
 
 impl QueryRequest {
-    /// A query on `keyword`.
+    /// A query on `keyword` with no user attributes.
     pub fn new(keyword: usize) -> Self {
-        QueryRequest { keyword }
+        QueryRequest {
+            keyword,
+            attrs: UserAttrs::new(),
+        }
+    }
+
+    /// A query on `keyword` carrying user attributes.
+    pub fn with_attrs(keyword: usize, attrs: UserAttrs) -> Self {
+        QueryRequest { keyword, attrs }
     }
 }
 
 impl From<usize> for QueryRequest {
     fn from(keyword: usize) -> Self {
-        QueryRequest { keyword }
+        QueryRequest::new(keyword)
     }
 }
+
+impl crate::engine::EngineQuery for QueryRequest {
+    fn keyword(&self) -> usize {
+        self.keyword
+    }
+
+    fn attrs(&self) -> &UserAttrs {
+        &self.attrs
+    }
+}
+
+// Compile-time audit: the attribute bag (and with it `QueryRequest`) must
+// stay shareable across shard worker threads and cheaply duplicable —
+// `Send + Sync + Clone` — or the sharded fan-out and the wire front-end
+// stop building.
+const _: () = {
+    const fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+    assert_send_sync_clone::<UserAttrs>();
+    assert_send_sync_clone::<QueryRequest>();
+};
 
 /// One ad shown in response to a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -754,7 +826,6 @@ impl MarketplaceBuilder {
             seed: self.seed,
             keyword_local_rng: self.keyword_local_rng,
             clock: 0,
-            query_buf: Vec::new(),
         })
     }
 }
@@ -837,8 +908,6 @@ pub struct Marketplace {
     /// See [`MarketplaceBuilder::keyword_local_rng`].
     keyword_local_rng: bool,
     clock: u64,
-    /// Reused chunk buffer for [`Marketplace::serve_batch`].
-    query_buf: Vec<usize>,
 }
 
 impl Marketplace {
@@ -975,6 +1044,7 @@ impl Marketplace {
                 click_probs: campaign.click_probs.clone(),
                 purchase_probs: campaign.purchase_probs.clone(),
                 paused: campaign.paused,
+                targeting: campaign.targeting.as_ref().map(|t| t.source().to_string()),
             });
         }
         Ok(())
@@ -1071,6 +1141,12 @@ impl Marketplace {
                 return Err(MarketError::NegativeBid(*bid));
             }
         }
+        let targeting = match &spec.targeting {
+            Some(source) => Some(Arc::new(
+                CompiledTargeting::parse(source).map_err(MarketError::InvalidTargeting)?,
+            )),
+            None => None,
+        };
 
         let book = &mut self.books[keyword];
         // Tear the engine down to `pending` so the bidder vector can grow;
@@ -1120,6 +1196,7 @@ impl Marketplace {
             paused: false,
             click_probs,
             purchase_probs,
+            targeting,
         });
         if matches!(kind, CampaignKind::PerClick { .. }) {
             self.refresh_per_click(id);
@@ -1273,7 +1350,7 @@ impl Marketplace {
     pub fn serve(&mut self, request: QueryRequest) -> Result<AuctionResponse, MarketError> {
         let keyword = self.check_keyword(request.keyword)?;
         self.clock += 1;
-        Ok(self.serve_at(keyword, self.clock))
+        Ok(self.serve_at(keyword, &request.attrs, self.clock))
     }
 
     /// Serves one query on an already-checked `keyword` as the auction
@@ -1282,7 +1359,12 @@ impl Marketplace {
     /// Shard support: [`crate::sharded::ShardedMarketplace`] owns the
     /// global clock itself and aligns each shard-resident marketplace to
     /// it per query, so bidders observe market-wide time.
-    pub(crate) fn serve_at(&mut self, keyword: usize, time: u64) -> AuctionResponse {
+    pub(crate) fn serve_at(
+        &mut self,
+        keyword: usize,
+        attrs: &UserAttrs,
+        time: u64,
+    ) -> AuctionResponse {
         if self.books[keyword].campaigns.is_empty() {
             return AuctionResponse {
                 keyword,
@@ -1302,10 +1384,7 @@ impl Marketplace {
         } else {
             &mut self.rng
         };
-        let report = engine
-            .stream(std::iter::once(keyword), rng)
-            .next()
-            .expect("one query yields one auction");
+        let report = engine.run_auction((keyword, attrs), rng);
         respond(&book.campaigns, keyword, time, report)
     }
 
@@ -1336,7 +1415,7 @@ impl Marketplace {
             while j < requests.len() && requests[j].keyword == keyword {
                 j += 1;
             }
-            let chunk = self.serve_run_at(keyword, j - i, self.clock);
+            let chunk = self.serve_run_at(&requests[i..j], self.clock);
             self.clock += (j - i) as u64;
             out.per_keyword[keyword].absorb(&chunk);
             out.total.absorb(&chunk);
@@ -1346,29 +1425,32 @@ impl Marketplace {
         Ok(out)
     }
 
-    /// Serves `count` consecutive queries on an already-checked `keyword`
+    /// Serves a run of consecutive same-keyword queries (already checked)
     /// as one [`AuctionEngine::run_batch`] call starting at global time
     /// `start_time` (the clock value *before* the first of the queries),
     /// leaving the market clock alone. A campaign-less keyword serves
-    /// `count` empty pages without touching any engine.
+    /// `requests.len()` empty pages without touching any engine.
     ///
     /// This is the chunk primitive both [`Marketplace::serve_batch`] and
-    /// the sharded fan-out build on.
+    /// the sharded fan-out build on. The requests are borrowed straight
+    /// from the caller's slice — attributes are never cloned on this path.
     pub(crate) fn serve_run_at(
         &mut self,
-        keyword: usize,
-        count: usize,
+        requests: &[QueryRequest],
         start_time: u64,
     ) -> BatchReport {
+        let keyword = requests[0].keyword;
+        debug_assert!(
+            requests.iter().all(|r| r.keyword == keyword),
+            "serve_run_at takes one same-keyword run"
+        );
         if self.books[keyword].campaigns.is_empty() {
             return BatchReport {
-                auctions: count as u64,
+                auctions: requests.len() as u64,
                 ..BatchReport::default()
             };
         }
         self.ensure_engine(keyword);
-        self.query_buf.clear();
-        self.query_buf.resize(count, keyword);
         let book = &mut self.books[keyword];
         let engine = book.engine.as_mut().expect("engine built above");
         engine.set_time(start_time);
@@ -1377,7 +1459,7 @@ impl Marketplace {
         } else {
             &mut self.rng
         };
-        engine.run_batch(&self.query_buf, rng)
+        engine.run_batch(requests, rng)
     }
 
     /// Builds (or reuses) the keyword's persistent engine. Only structural
@@ -1395,14 +1477,12 @@ impl Marketplace {
         let campaigns = &book.campaigns;
         let clicks = ClickModel::from_fn(n, num_slots, |i, j| campaigns[i].click_probs[j]);
         let purchases = PurchaseModel::from_fn(n, num_slots, |i, j| campaigns[i].purchase_probs[j]);
+        let targeting: Vec<Option<Arc<CompiledTargeting>>> =
+            campaigns.iter().map(|c| c.targeting.clone()).collect();
         let bidders = std::mem::take(&mut book.pending);
-        book.engine = Some(AuctionEngine::new(
-            bidders,
-            clicks,
-            purchases,
-            num_keywords,
-            config,
-        ));
+        let mut engine = AuctionEngine::new(bidders, clicks, purchases, num_keywords, config);
+        engine.set_targeting(targeting);
+        book.engine = Some(engine);
     }
 }
 
@@ -1615,8 +1695,8 @@ mod tests {
         let requests: Vec<QueryRequest> = (0..40).map(|i| QueryRequest::new(i % 2)).collect();
         let mut looped = build();
         let mut expected = BatchReport::default();
-        for &request in &requests {
-            let r = looped.serve(request).expect("valid keyword");
+        for request in &requests {
+            let r = looped.serve(request.clone()).expect("valid keyword");
             expected.auctions += 1;
             expected.expected_revenue += r.expected_revenue;
             expected.filled_slots += r.placements.len() as u64;

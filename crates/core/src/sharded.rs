@@ -120,12 +120,16 @@ pub fn shard_of_keyword(keyword: usize, num_shards: usize) -> usize {
 }
 
 /// One maximal same-keyword run of a request stream, tagged with its
-/// position so per-shard results can be merged back in stream order.
+/// position so per-shard results can be merged back in stream order. The
+/// run is identified by its range in the request slice so workers can
+/// borrow the typed requests (keyword *and* user attributes) zero-copy.
 #[derive(Debug, Clone, Copy)]
 struct Chunk {
     /// Index of the chunk in the full stream (merge key).
     idx: usize,
     keyword: usize,
+    /// Offset of the run's first request in the full stream.
+    start: usize,
     len: usize,
     /// Global clock value before the chunk's first query.
     start_time: u64,
@@ -280,6 +284,9 @@ impl ShardedMarketplace {
                 .purchase_probs(campaign.purchase_probs.clone());
             if let Some(target) = campaign.roi_target {
                 spec = spec.roi_target(target);
+            }
+            if let Some(source) = &campaign.targeting {
+                spec = spec.targeting(source.clone());
             }
             let id = market.add_campaign(
                 AdvertiserHandle::from_index(campaign.advertiser),
@@ -472,6 +479,7 @@ impl ShardedMarketplace {
                 roi_target: parts.roi_target,
                 click_probs: parts.click_probs,
                 purchase_probs: parts.purchase_probs,
+                targeting: parts.targeting,
             });
         }
         Ok(id)
@@ -582,8 +590,15 @@ impl ShardedMarketplace {
         let keyword = self.check_keyword(request.keyword)?;
         self.clock += 1;
         let time = self.clock;
-        let response = self.owner_mut(keyword).serve_at(keyword, time);
-        self.record(&MutationRecord::Serve { keyword });
+        let response = self
+            .owner_mut(keyword)
+            .serve_at(keyword, &request.attrs, time);
+        if self.journal.is_some() {
+            self.record(&MutationRecord::Serve {
+                keyword,
+                attrs: request.attrs,
+            });
+        }
         Ok(response)
     }
 
@@ -619,6 +634,7 @@ impl ShardedMarketplace {
             work[self.shard_of(keyword)].push(Chunk {
                 idx,
                 keyword,
+                start: i,
                 len: j - i,
                 start_time: time,
             });
@@ -639,7 +655,7 @@ impl ShardedMarketplace {
                     out.push((
                         c.idx,
                         c.keyword,
-                        shard.serve_run_at(c.keyword, c.len, c.start_time),
+                        shard.serve_run_at(&requests[c.start..c.start + c.len], c.start_time),
                     ));
                 }
             }
@@ -658,7 +674,10 @@ impl ShardedMarketplace {
                                 (
                                     c.idx,
                                     c.keyword,
-                                    shard.serve_run_at(c.keyword, c.len, c.start_time),
+                                    shard.serve_run_at(
+                                        &requests[c.start..c.start + c.len],
+                                        c.start_time,
+                                    ),
                                 )
                             })
                             .collect::<Vec<_>>()
@@ -684,8 +703,11 @@ impl ShardedMarketplace {
             out.chunks += 1;
         }
         if self.journal.is_some() {
-            let keywords = requests.iter().map(|r| r.keyword).collect();
-            self.record(&MutationRecord::ServeBatch { keywords });
+            let queries = requests
+                .iter()
+                .map(|r| (r.keyword, r.attrs.clone()))
+                .collect();
+            self.record(&MutationRecord::ServeBatch { queries });
         }
         Ok(out)
     }
@@ -794,7 +816,7 @@ mod tests {
             let (mut sharded, _) = populated_sharded(9, shards);
             let (mut plain, _) = populated_unsharded(9);
             for (t, request) in mixed_stream(9, 60).into_iter().enumerate() {
-                let got = sharded.serve(request).expect("keyword in range");
+                let got = sharded.serve(request.clone()).expect("keyword in range");
                 let want = plain.serve(request).expect("keyword in range");
                 assert_eq!(got, want, "shards={shards} t={t}");
             }
@@ -842,7 +864,7 @@ mod tests {
         // Post-update serving still matches, auction for auction.
         for request in mixed_stream(6, 40) {
             assert_eq!(
-                sharded.serve(request).unwrap(),
+                sharded.serve(request.clone()).unwrap(),
                 plain.serve(request).unwrap()
             );
         }
@@ -922,7 +944,7 @@ mod tests {
             // Future auctions are bit-identical: same winners, clicks,
             // purchases, and charges.
             for (t, request) in mixed_stream(9, 80).into_iter().enumerate() {
-                let want = live.serve(request).expect("in range");
+                let want = live.serve(request.clone()).expect("in range");
                 let got = restored.serve(request).expect("in range");
                 assert_eq!(got, want, "shards={shards} t={t}");
             }
@@ -971,7 +993,7 @@ mod tests {
         // the next auctions agree bit for bit.
         for request in mixed_stream(6, 25) {
             assert_eq!(
-                replayed.serve(request).unwrap(),
+                replayed.serve(request.clone()).unwrap(),
                 live.serve(request).unwrap()
             );
         }

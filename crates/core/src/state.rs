@@ -71,6 +71,9 @@ pub struct CampaignState {
     pub purchase_probs: Vec<(f64, f64)>,
     /// Whether the campaign is currently paused.
     pub paused: bool,
+    /// Targeting expression source, if the campaign targets (re-parsed and
+    /// re-compiled on restore through the same path as registration).
+    pub targeting: Option<String>,
 }
 
 /// A complete, bit-identical checkpoint of a

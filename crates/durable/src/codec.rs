@@ -7,7 +7,7 @@
 //! `ssa_net::proto` where the same types appear (method, pricing), so a
 //! captured WAL stays readable across both layers' test fixtures.
 
-use ssa_core::{MarketConfigState, MutationRecord, PricingScheme, WdMethod};
+use ssa_core::{AttrValue, MarketConfigState, MutationRecord, PricingScheme, UserAttrs, WdMethod};
 
 /// Why a byte buffer failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +132,23 @@ fn put_opt<T>(buf: &mut Vec<u8>, v: &Option<T>, put: impl FnOnce(&mut Vec<u8>, &
     }
 }
 
+fn put_attrs(buf: &mut Vec<u8>, attrs: &UserAttrs) {
+    put_u32(buf, attrs.len() as u32);
+    for (key, value) in attrs.iter() {
+        put_string(buf, key);
+        match value {
+            AttrValue::Int(v) => {
+                buf.push(0);
+                put_i64(buf, *v);
+            }
+            AttrValue::Str(s) => {
+                buf.push(1);
+                put_string(buf, s);
+            }
+        }
+    }
+}
+
 /// A cursor over an immutable byte buffer; every read names the field it
 /// is reading so corruption reports say *what* was truncated.
 pub(crate) struct Reader<'a> {
@@ -224,6 +241,24 @@ impl<'a> Reader<'a> {
             1 => Ok(Some(read(self)?)),
             tag => Err(CodecError::UnknownTag { what, tag }),
         }
+    }
+
+    /// Reads a typed attribute bag: a count, then sorted `key → value`
+    /// entries (tag 0 = integer, tag 1 = string). Minimum entry size is the
+    /// key length prefix (4) + value tag (1) + string length prefix (4).
+    fn attrs(&mut self, what: &'static str) -> Result<UserAttrs, CodecError> {
+        let n = self.count(9, what)?;
+        (0..n)
+            .map(|_| {
+                let key = self.string(what)?;
+                let value = match self.u8(what)? {
+                    0 => AttrValue::Int(self.i64(what)?),
+                    1 => AttrValue::Str(self.string(what)?),
+                    tag => return Err(CodecError::UnknownTag { what, tag }),
+                };
+                Ok((key, value))
+            })
+            .collect()
     }
 
     pub(crate) fn finish(self) -> Result<(), CodecError> {
@@ -371,6 +406,7 @@ impl WalOp {
                     roi_target,
                     click_probs,
                     purchase_probs,
+                    targeting,
                 } => {
                     buf.push(TAG_ADD_CAMPAIGN);
                     put_u64(buf, *advertiser as u64);
@@ -380,6 +416,7 @@ impl WalOp {
                     put_opt(buf, roi_target, |b, v| put_f64(b, *v));
                     put_opt(buf, click_probs, |b, v| put_f64_vec(b, v));
                     put_opt(buf, purchase_probs, |b, v| put_pair_vec(b, v));
+                    put_opt(buf, targeting, |b, v| put_string(b, v));
                 }
                 MutationRecord::UpdateBid {
                     keyword,
@@ -411,15 +448,17 @@ impl WalOp {
                     put_u64(buf, *index as u64);
                     put_opt(buf, target, |b, v| put_f64(b, *v));
                 }
-                MutationRecord::Serve { keyword } => {
+                MutationRecord::Serve { keyword, attrs } => {
                     buf.push(TAG_SERVE);
                     put_u64(buf, *keyword as u64);
+                    put_attrs(buf, attrs);
                 }
-                MutationRecord::ServeBatch { keywords } => {
+                MutationRecord::ServeBatch { queries } => {
                     buf.push(TAG_SERVE_BATCH);
-                    put_u32(buf, keywords.len() as u32);
-                    for &kw in keywords {
-                        put_u64(buf, kw as u64);
+                    put_u32(buf, queries.len() as u32);
+                    for (kw, attrs) in queries {
+                        put_u64(buf, *kw as u64);
+                        put_attrs(buf, attrs);
                     }
                 }
             },
@@ -453,6 +492,7 @@ impl WalOp {
                 purchase_probs: r.opt("campaign purchase probs", |r| {
                     r.pair_vec("campaign purchase probs")
                 })?,
+                targeting: r.opt("campaign targeting", |r| r.string("campaign targeting"))?,
             }),
             TAG_UPDATE_BID => WalOp::Mutation(MutationRecord::UpdateBid {
                 keyword: r.u64("update keyword")? as usize,
@@ -474,13 +514,15 @@ impl WalOp {
             }),
             TAG_SERVE => WalOp::Mutation(MutationRecord::Serve {
                 keyword: r.u64("serve keyword")? as usize,
+                attrs: r.attrs("serve attrs")?,
             }),
             TAG_SERVE_BATCH => {
-                let n = r.count(8, "batch keywords")?;
-                let keywords = (0..n)
-                    .map(|_| Ok(r.u64("batch keyword")? as usize))
+                // Minimum element: keyword (8) + empty attr bag count (4).
+                let n = r.count(12, "batch queries")?;
+                let queries = (0..n)
+                    .map(|_| Ok((r.u64("batch keyword")? as usize, r.attrs("batch attrs")?)))
                     .collect::<Result<Vec<_>, CodecError>>()?;
-                WalOp::Mutation(MutationRecord::ServeBatch { keywords })
+                WalOp::Mutation(MutationRecord::ServeBatch { queries })
             }
             tag => return Err(CodecError::UnknownTag { what: "op", tag }),
         };
@@ -510,6 +552,7 @@ pub(crate) fn encode_state(state: &ssa_core::MarketState) -> Vec<u8> {
         put_f64_vec(&mut buf, &c.click_probs);
         put_pair_vec(&mut buf, &c.purchase_probs);
         put_bool(&mut buf, c.paused);
+        put_opt(&mut buf, &c.targeting, |b, v| put_string(b, v));
     }
     put_u64(&mut buf, state.clock);
     put_u32(&mut buf, state.rng_states.len() as u32);
@@ -529,7 +572,7 @@ pub(crate) fn decode_state(bytes: &[u8]) -> Result<ssa_core::MarketState, CodecE
     let advertisers = (0..n)
         .map(|_| r.string("advertiser name"))
         .collect::<Result<Vec<_>, _>>()?;
-    let n = r.count(42, "campaigns")?;
+    let n = r.count(43, "campaigns")?;
     let campaigns = (0..n)
         .map(|_| {
             Ok(ssa_core::CampaignState {
@@ -541,6 +584,7 @@ pub(crate) fn decode_state(bytes: &[u8]) -> Result<ssa_core::MarketState, CodecE
                 click_probs: r.f64_vec("campaign click probs")?,
                 purchase_probs: r.pair_vec("campaign purchase probs")?,
                 paused: r.bool("campaign paused")?,
+                targeting: r.opt("campaign targeting", |r| r.string("campaign targeting"))?,
             })
         })
         .collect::<Result<Vec<_>, CodecError>>()?;
@@ -608,6 +652,7 @@ mod tests {
                 roi_target: Some(1.25),
                 click_probs: Some(vec![0.5, 0.25]),
                 purchase_probs: Some(vec![(0.1, 0.01), (0.05, 0.002)]),
+                targeting: Some("geo = 'us' and age >= 21".into()),
             }),
             WalOp::Mutation(MutationRecord::AddCampaign {
                 advertiser: 0,
@@ -617,6 +662,7 @@ mod tests {
                 roi_target: None,
                 click_probs: None,
                 purchase_probs: None,
+                targeting: None,
             }),
             WalOp::Mutation(MutationRecord::UpdateBid {
                 keyword: 3,
@@ -636,9 +682,25 @@ mod tests {
                 index: 1,
                 target: None,
             }),
-            WalOp::Mutation(MutationRecord::Serve { keyword: 9 }),
+            WalOp::Mutation(MutationRecord::Serve {
+                keyword: 9,
+                attrs: UserAttrs::new(),
+            }),
+            WalOp::Mutation(MutationRecord::Serve {
+                keyword: 2,
+                attrs: UserAttrs::new()
+                    .geo("us")
+                    .device("mobile")
+                    .set_int("age", -3),
+            }),
             WalOp::Mutation(MutationRecord::ServeBatch {
-                keywords: vec![0, 9, 4, 4, 1],
+                queries: vec![
+                    (0, UserAttrs::new()),
+                    (9, UserAttrs::new().segment("gamer")),
+                    (4, UserAttrs::new().set_int("score", i64::MAX)),
+                    (4, UserAttrs::new()),
+                    (1, UserAttrs::new()),
+                ],
             }),
         ];
         for op in ops {
@@ -662,6 +724,7 @@ mod tests {
                 click_probs: vec![0.1 + 0.2],
                 purchase_probs: vec![(1.0 / 3.0, 2.0 / 7.0)],
                 paused: true,
+                targeting: Some("device != 'bot'".into()),
             }],
             clock: 987,
             rng_states: vec![[1, 2, 3, 4], [u64::MAX, 0, 7, 9]],

@@ -28,6 +28,17 @@
 //!       [body_len u32][crc32 u32][MarketState body]
 //! ```
 //!
+//! The header version is [`WAL_VERSION`]. Version 2, the current
+//! format, extended version 1 for typed query targeting: `Serve` /
+//! `ServeBatch` records journal the query's attribute bag and
+//! `AddCampaign` carries the campaign's optional targeting source.
+//! Recovery refuses any other version with [`DurableError::Version`]
+//! rather than misreading it; a deliberate format change bumps
+//! [`WAL_VERSION`] and regenerates the committed golden fixture with
+//! `SSA_REGEN_GOLDEN=1 cargo test --test durable_golden` (the fixture
+//! and its byte-for-byte check live in the umbrella crate's
+//! `tests/durable_golden.rs`).
+//!
 //! Records carry contiguous sequence numbers from 1. A snapshot at
 //! sequence `S` captures the complete marketplace state after record `S`;
 //! taking one rotates the WAL to a fresh segment starting at `S + 1` and
@@ -103,7 +114,7 @@ use std::str::FromStr;
 /// from a different version rather than misreading them. The golden
 /// fixture test (`tests/durable_golden.rs` in the umbrella crate) pins
 /// the format at this version — a deliberate bump regenerates it.
-pub const WAL_VERSION: u32 = 1;
+pub const WAL_VERSION: u32 = 2;
 
 /// When WAL appends reach stable storage; see the
 /// [crate docs](self#fsync-trade-offs).

@@ -308,7 +308,10 @@ mod tests {
     }
 
     fn serve(kw: usize) -> WalOp {
-        WalOp::Mutation(MutationRecord::Serve { keyword: kw })
+        WalOp::Mutation(MutationRecord::Serve {
+            keyword: kw,
+            attrs: ssa_core::UserAttrs::new(),
+        })
     }
 
     #[test]

@@ -32,7 +32,7 @@ use ssa_net::client::{Client, NetError};
 use ssa_net::load::{
     available_cores, local_twin, market_config_for, populate_remote, LatencyRecorder, LoadReport,
 };
-use ssa_workload::{SectionVConfig, SectionVWorkload};
+use ssa_workload::{SectionVConfig, SectionVWorkload, WorkloadShape};
 
 const USAGE: &str = "\
 Usage: ssa-load --addr <host:port> [options]
@@ -47,6 +47,12 @@ Options:
   --method <m>         Winner determination: lp | h | rh | rhp:<threads> (default rh)
   --pricing <p>        Pricing: pay-your-bid | gsp | vcg (default gsp)
   --shards <n>         Shard count the server should run (default 4)
+  --workload <w>       Query stream shape: uniform | zipf:<s> | flash | churn
+                       (default: the workload's own pre-drawn uniform stream).
+                       zipf:<s> skews queries by keyword rank, flash pins the
+                       middle half of the stream to one hot keyword — one
+                       shard — and churn draws uniformly (the adversarial
+                       generator behind reproduce --workload)
   --pruned             Enable top-k pruned winner determination
   --verify             Replay in order and compare against an in-process twin
   --skip <n>           Verify mode: assume the server already holds the market
@@ -78,6 +84,7 @@ struct Options {
     method: WdMethod,
     pricing: PricingScheme,
     shards: usize,
+    workload: Option<WorkloadShape>,
     pruned: bool,
     verify: bool,
     skip: usize,
@@ -97,6 +104,7 @@ fn parse_options() -> Options {
     let mut method = WdMethod::Reduced;
     let mut pricing = PricingScheme::Gsp;
     let mut shards = 4usize;
+    let mut workload: Option<WorkloadShape> = None;
     let mut pruned = false;
     let mut verify = false;
     let mut skip = 0usize;
@@ -165,6 +173,10 @@ fn parse_options() -> Options {
                 Ok(n) => shards = n,
                 Err(e) => usage_error(&e.to_string()),
             },
+            "--workload" => match value("--workload").parse::<WorkloadShape>() {
+                Ok(w) => workload = Some(w),
+                Err(e) => usage_error(&e.to_string()),
+            },
             "--pruned" => pruned = true,
             "--verify" => verify = true,
             "--skip" => match value("--skip").parse() {
@@ -202,6 +214,7 @@ fn parse_options() -> Options {
         method,
         pricing,
         shards,
+        workload,
         pruned,
         verify,
         skip,
@@ -211,12 +224,18 @@ fn parse_options() -> Options {
     }
 }
 
-/// The measured query stream: the workload's pre-drawn stream, cycled out
-/// to `len` queries.
-fn stream_of(workload: &SectionVWorkload, len: usize) -> Vec<usize> {
-    (0..len)
-        .map(|i| workload.query_stream[i % workload.query_stream.len()])
-        .collect()
+/// The measured query stream: the workload's pre-drawn stream cycled out
+/// to `len` queries — or, with `--workload`, the hostile shape's seeded
+/// stream over the same keyword space (both sides of a `--verify` run
+/// derive it from the same options, so twin and wire replay stay in
+/// lockstep).
+fn stream_of(opts: &Options, workload: &SectionVWorkload, len: usize) -> Vec<usize> {
+    match opts.workload {
+        Some(shape) => shape.query_stream(workload.config.num_keywords, len, opts.seed),
+        None => (0..len)
+            .map(|i| workload.query_stream[i % workload.query_stream.len()])
+            .collect(),
+    }
 }
 
 fn connect(addr: std::net::SocketAddr) -> Client {
@@ -246,7 +265,7 @@ fn run_verify(opts: &Options, workload: &SectionVWorkload) -> LoadReport {
     }
     let mut twin = local_twin(workload, &config);
 
-    let full = stream_of(workload, opts.skip + opts.queries);
+    let full = stream_of(opts, workload, opts.skip + opts.queries);
     // Fast-forward the twin past the queries the server already served
     // (before it crashed / was restarted); the wire never sees them.
     for &keyword in &full[..opts.skip] {
@@ -315,6 +334,7 @@ fn run_verify(opts: &Options, workload: &SectionVWorkload) -> LoadReport {
         overloaded: 0,
         cores: available_cores(),
         verified: Some(verified),
+        workload: opts.workload,
     }
 }
 
@@ -337,14 +357,14 @@ fn run_throughput(opts: &Options, workload: &SectionVWorkload) -> LoadReport {
 
     // Warm-up: unmeasured, single connection, so engines and solver
     // scratch exist before the clock starts.
-    for &keyword in &stream_of(workload, opts.warmup) {
+    for &keyword in &stream_of(opts, workload, opts.warmup) {
         match control.serve(keyword) {
             Ok(_) | Err(NetError::Overloaded { .. }) => {}
             Err(e) => fatal(&format!("warm-up serve failed: {e}")),
         }
     }
 
-    let stream = stream_of(workload, opts.queries);
+    let stream = stream_of(opts, workload, opts.queries);
     let shares: Vec<Vec<usize>> = (0..opts.connections)
         .map(|w| {
             stream
@@ -416,6 +436,7 @@ fn run_throughput(opts: &Options, workload: &SectionVWorkload) -> LoadReport {
         overloaded,
         cores: available_cores(),
         verified: None,
+        workload: opts.workload,
     }
 }
 

@@ -12,6 +12,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use ssa_bidlang::Money;
 use ssa_core::marketplace::{AdvertiserHandle, AuctionResponse, CampaignId};
+use ssa_core::UserAttrs;
 
 use crate::frame::{read_frame, write_frame, FrameError, FrameKind, PROTO_VERSION};
 use crate::proto::{
@@ -187,20 +188,50 @@ impl Client {
         }
     }
 
-    /// Runs one auction, returning the full in-process outcome type.
+    /// Runs one auction with no user attributes, returning the full
+    /// in-process outcome type.
     pub fn serve(&mut self, keyword: usize) -> Result<AuctionResponse, NetError> {
+        self.serve_with_attrs(keyword, UserAttrs::new())
+    }
+
+    /// Runs one auction for a query carrying typed user attributes
+    /// (targeted campaigns only participate when their expression matches).
+    pub fn serve_with_attrs(
+        &mut self,
+        keyword: usize,
+        attrs: UserAttrs,
+    ) -> Result<AuctionResponse, NetError> {
         match self.request(&Request::Serve {
             keyword: keyword as u64,
+            attrs,
         })? {
             Response::Served(auction) => Ok(auction.to_response()),
             other => Err(NetError::UnexpectedResponse(other)),
         }
     }
 
-    /// Runs a query stream in one server-side `serve_batch`.
+    /// Runs an attribute-free query stream in one server-side
+    /// `serve_batch`.
     pub fn serve_batch(&mut self, keywords: &[usize]) -> Result<BatchSummary, NetError> {
+        self.serve_batch_queries(
+            keywords
+                .iter()
+                .map(|&kw| (kw, UserAttrs::new()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Runs a typed `(keyword, attributes)` query stream in one
+    /// server-side `serve_batch`.
+    pub fn serve_batch_queries(
+        &mut self,
+        queries: Vec<(usize, UserAttrs)>,
+    ) -> Result<BatchSummary, NetError> {
         match self.request(&Request::ServeBatch {
-            keywords: keywords.iter().map(|&kw| kw as u64).collect(),
+            queries: queries
+                .into_iter()
+                .map(|(kw, attrs)| (kw as u64, attrs))
+                .collect(),
         })? {
             Response::BatchServed(summary) => Ok(summary),
             other => Err(NetError::UnexpectedResponse(other)),
@@ -219,7 +250,7 @@ impl Client {
         }
     }
 
-    /// Opens a per-click campaign.
+    /// Opens an untargeted per-click campaign.
     #[allow(clippy::too_many_arguments)]
     pub fn add_campaign(
         &mut self,
@@ -230,6 +261,31 @@ impl Client {
         roi_target: Option<f64>,
         click_probs: Option<Vec<f64>>,
     ) -> Result<CampaignId, NetError> {
+        self.add_targeted_campaign(
+            advertiser,
+            keyword,
+            bid,
+            click_value,
+            roi_target,
+            click_probs,
+            None,
+        )
+    }
+
+    /// Opens a per-click campaign, optionally with a targeting expression
+    /// source. A malformed or hostile source is rejected server-side with
+    /// [`ErrorCode::InvalidTargeting`] and the campaign is not registered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_targeted_campaign(
+        &mut self,
+        advertiser: AdvertiserHandle,
+        keyword: usize,
+        bid: Money,
+        click_value: Money,
+        roi_target: Option<f64>,
+        click_probs: Option<Vec<f64>>,
+        targeting: Option<String>,
+    ) -> Result<CampaignId, NetError> {
         match self.request(&Request::AddCampaign {
             advertiser: advertiser.index() as u64,
             keyword: keyword as u64,
@@ -237,6 +293,7 @@ impl Client {
             click_value_cents: click_value.cents(),
             roi_target,
             click_probs,
+            targeting,
         })? {
             Response::CampaignAdded { keyword, index } => {
                 Ok(CampaignId::from_parts(keyword as usize, index as usize))

@@ -29,7 +29,10 @@
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this build; peers reject anything else.
-pub const PROTO_VERSION: u8 = 1;
+/// Version 2 added typed user attributes on `Serve`/`ServeBatch` and the
+/// targeting-source field on `AddCampaign` — version-1 frames decode to
+/// [`FrameError::Version`], never a panic or a misread.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Hard ceiling on `len` (header tail + payload), in bytes. Large enough
 /// for a `ServeBatch` of several hundred thousand queries; small enough
@@ -284,6 +287,13 @@ mod tests {
         assert_eq!(
             read_frame(&mut buf.as_slice()),
             Err(FrameError::Version { got: 99 })
+        );
+        // A well-formed frame from the pre-targeting protocol (version 1)
+        // is a typed rejection too, not a misread of the new layout.
+        buf[4] = 1;
+        assert_eq!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::Version { got: 1 })
         );
     }
 

@@ -194,6 +194,9 @@ pub struct LoadReport {
     /// Outcome of the bit-exactness check against the local twin:
     /// `Some(true)` verified, `Some(false)` mismatch, `None` not checked.
     pub verified: Option<bool>,
+    /// Hostile stream shape the run drew its queries from (`--workload`),
+    /// or `None` for the workload's own pre-drawn uniform stream.
+    pub workload: Option<ssa_workload::WorkloadShape>,
 }
 
 impl LoadReport {
@@ -209,6 +212,10 @@ impl LoadReport {
             Some(v) => v.to_string(),
             None => "null".to_string(),
         };
+        let workload = match self.workload {
+            Some(shape) => format!("\"{shape}\""),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"metric\":\"net_load\",\"method\":\"{}\",\"advertisers\":{},",
@@ -216,7 +223,8 @@ impl LoadReport {
                 "\"connections\":{},\"queries\":{},\"warmup\":{},",
                 "\"elapsed_ms\":{:.3},\"qps\":{:.1},\"p50_ms\":{:.3},",
                 "\"p99_ms\":{:.3},\"max_ms\":{:.3},\"mean_ms\":{:.3},",
-                "\"overloaded\":{},\"cores\":{},\"verified\":{}}}"
+                "\"overloaded\":{},\"cores\":{},\"verified\":{},",
+                "\"workload\":{}}}"
             ),
             self.method,
             self.advertisers,
@@ -236,6 +244,7 @@ impl LoadReport {
             self.overloaded,
             self.cores,
             verified,
+            workload,
         )
     }
 }
@@ -283,6 +292,7 @@ mod tests {
             overloaded: 0,
             cores: available_cores(),
             verified: Some(true),
+            workload: Some(ssa_workload::WorkloadShape::Zipf { s: 1.1 }),
         };
         let json = report.to_json();
         for key in [
@@ -294,6 +304,7 @@ mod tests {
             "\"cores\":",
             "\"verified\":true",
             "\"method\":\"rh\"",
+            "\"workload\":\"zipf:1.1\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

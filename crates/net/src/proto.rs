@@ -21,7 +21,7 @@ use ssa_bidlang::{Money, SlotId};
 use ssa_core::marketplace::{
     AdvertiserHandle, AuctionResponse, CampaignId, MarketBatchReport, MarketError, Placement,
 };
-use ssa_core::{PricingScheme, WdMethod};
+use ssa_core::{AttrValue, PricingScheme, UserAttrs, WdMethod};
 
 /// Typed payload decode failure. Like [`FrameError`], carrying only
 /// `Clone + PartialEq` data.
@@ -196,6 +196,24 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// A typed attribute bag: a count, then `key → value` entries (value
+    /// tag 0 = integer, 1 = string). Minimum entry size is the key length
+    /// prefix (4) + value tag (1) + string length prefix (4).
+    fn attrs(&mut self, what: &'static str) -> Result<UserAttrs, ProtoError> {
+        let n = self.count(what, 9)?;
+        (0..n)
+            .map(|_| {
+                let key = self.string(what)?;
+                let value = match self.u8(what)? {
+                    0 => AttrValue::Int(self.i64(what)?),
+                    1 => AttrValue::Str(self.string(what)?),
+                    tag => return Err(ProtoError::UnknownTag { what, tag }),
+                };
+                Ok((key, value))
+            })
+            .collect()
+    }
+
     fn finish(self) -> Result<(), ProtoError> {
         if self.buf.is_empty() {
             Ok(())
@@ -250,6 +268,23 @@ fn put_f64_vec(buf: &mut Vec<u8>, v: &[f64]) {
     put_u32(buf, v.len() as u32);
     for x in v {
         put_f64(buf, *x);
+    }
+}
+
+fn put_attrs(buf: &mut Vec<u8>, attrs: &UserAttrs) {
+    put_u32(buf, attrs.len() as u32);
+    for (key, value) in attrs.iter() {
+        put_string(buf, key);
+        match value {
+            AttrValue::Int(v) => {
+                buf.push(0);
+                put_i64(buf, *v);
+            }
+            AttrValue::Str(s) => {
+                buf.push(1);
+                put_string(buf, s);
+            }
+        }
     }
 }
 
@@ -335,12 +370,17 @@ pub enum Request {
     Serve {
         /// Keyword index.
         keyword: u64,
+        /// Typed user attributes the query carries (empty when the client
+        /// has none — the common case; targeting then sees no match for
+        /// any comparison).
+        attrs: UserAttrs,
     },
     /// Data plane: run a mixed-keyword query stream through
     /// [`ssa_core::ShardedMarketplace::serve_batch`].
     ServeBatch {
-        /// Keyword index per query, in stream order.
-        keywords: Vec<u64>,
+        /// One `(keyword, user attributes)` pair per query, in stream
+        /// order.
+        queries: Vec<(u64, UserAttrs)>,
     },
     /// Control plane: register an advertiser.
     RegisterAdvertiser {
@@ -362,6 +402,10 @@ pub enum Request {
         roi_target: Option<f64>,
         /// Optional per-slot click probabilities.
         click_probs: Option<Vec<f64>>,
+        /// Optional targeting expression source; the server parses and
+        /// compiles it at registration and answers
+        /// [`ErrorCode::InvalidTargeting`] if it is malformed or too deep.
+        targeting: Option<String>,
     },
     /// Control plane: set a per-click campaign's bid.
     UpdateBid {
@@ -422,15 +466,17 @@ impl Request {
         let mut buf = Vec::new();
         match self {
             Request::Ping => buf.push(0),
-            Request::Serve { keyword } => {
+            Request::Serve { keyword, attrs } => {
                 buf.push(1);
                 put_u64(&mut buf, *keyword);
+                put_attrs(&mut buf, attrs);
             }
-            Request::ServeBatch { keywords } => {
+            Request::ServeBatch { queries } => {
                 buf.push(2);
-                put_u32(&mut buf, keywords.len() as u32);
-                for kw in keywords {
+                put_u32(&mut buf, queries.len() as u32);
+                for (kw, attrs) in queries {
                     put_u64(&mut buf, *kw);
+                    put_attrs(&mut buf, attrs);
                 }
             }
             Request::RegisterAdvertiser { name } => {
@@ -444,6 +490,7 @@ impl Request {
                 click_value_cents,
                 roi_target,
                 click_probs,
+                targeting,
             } => {
                 buf.push(4);
                 put_u64(&mut buf, *advertiser);
@@ -452,6 +499,7 @@ impl Request {
                 put_i64(&mut buf, *click_value_cents);
                 put_option(&mut buf, roi_target, |b, t| put_f64(b, *t));
                 put_option(&mut buf, click_probs, |b, p| put_f64_vec(b, p));
+                put_option(&mut buf, targeting, |b, t| put_string(b, t));
             }
             Request::UpdateBid {
                 keyword,
@@ -513,14 +561,18 @@ impl Request {
             0 => Request::Ping,
             1 => Request::Serve {
                 keyword: r.u64("keyword")?,
+                attrs: r.attrs("serve attrs")?,
             },
             2 => {
-                let n = r.count("serve-batch keywords", 8)?;
-                let mut keywords = Vec::with_capacity(n);
+                // Minimum element: keyword (8) + empty attr bag count (4).
+                let n = r.count("serve-batch queries", 12)?;
+                let mut queries = Vec::with_capacity(n);
                 for _ in 0..n {
-                    keywords.push(r.u64("keyword")?);
+                    let kw = r.u64("keyword")?;
+                    let attrs = r.attrs("batch attrs")?;
+                    queries.push((kw, attrs));
                 }
-                Request::ServeBatch { keywords }
+                Request::ServeBatch { queries }
             }
             3 => Request::RegisterAdvertiser {
                 name: r.string("advertiser name")?,
@@ -532,6 +584,7 @@ impl Request {
                 click_value_cents: r.i64("click value")?,
                 roi_target: r.option("roi target", |r| r.f64("roi target"))?,
                 click_probs: r.option("click probs", |r| r.f64_vec("click probs"))?,
+                targeting: r.option("targeting", |r| r.string("targeting"))?,
             },
             5 => Request::UpdateBid {
                 keyword: r.u64("keyword")?,
@@ -797,6 +850,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The request is valid but this server does not support it.
     Unsupported,
+    /// A campaign's targeting expression failed to parse or exceeded the
+    /// nesting-depth limit.
+    InvalidTargeting,
 }
 
 impl ErrorCode {
@@ -814,6 +870,7 @@ impl ErrorCode {
             ErrorCode::InvalidConfig => 9,
             ErrorCode::ShuttingDown => 10,
             ErrorCode::Unsupported => 11,
+            ErrorCode::InvalidTargeting => 12,
         }
     }
 
@@ -831,6 +888,7 @@ impl ErrorCode {
             9 => ErrorCode::InvalidConfig,
             10 => ErrorCode::ShuttingDown,
             11 => ErrorCode::Unsupported,
+            12 => ErrorCode::InvalidTargeting,
             tag => {
                 return Err(ProtoError::UnknownTag {
                     what: "error code",
@@ -853,6 +911,7 @@ impl From<&MarketError> for ErrorCode {
             MarketError::NotIncremental(_) => ErrorCode::NotIncremental,
             MarketError::NegativeBid(_) => ErrorCode::NegativeBid,
             MarketError::InvalidRoiTarget(_) => ErrorCode::InvalidRoiTarget,
+            MarketError::InvalidTargeting(_) => ErrorCode::InvalidTargeting,
             // A non-per-click campaign on a journalled marketplace: the
             // wire protocol cannot submit one, but the mapping must be
             // total.
@@ -1129,9 +1188,25 @@ mod tests {
     fn requests_round_trip() {
         let reqs = vec![
             Request::Ping,
-            Request::Serve { keyword: 3 },
+            Request::Serve {
+                keyword: 3,
+                attrs: UserAttrs::new(),
+            },
+            Request::Serve {
+                keyword: 8,
+                attrs: UserAttrs::new()
+                    .geo("us")
+                    .device("mobile")
+                    .set_int("age", 33),
+            },
             Request::ServeBatch {
-                keywords: vec![0, 1, 1, 2, 9],
+                queries: vec![
+                    (0, UserAttrs::new()),
+                    (1, UserAttrs::new().segment("gamer")),
+                    (1, UserAttrs::new().set_int("score", i64::MIN)),
+                    (2, UserAttrs::new()),
+                    (9, UserAttrs::new()),
+                ],
             },
             Request::RegisterAdvertiser {
                 name: "books.example".into(),
@@ -1143,6 +1218,7 @@ mod tests {
                 click_value_cents: 400,
                 roi_target: Some(1.25),
                 click_probs: Some(vec![0.6, 0.3, 0.15]),
+                targeting: Some("geo = 'us' and not device = 'bot'".into()),
             },
             Request::UpdateBid {
                 keyword: 1,
@@ -1251,14 +1327,25 @@ mod tests {
 
     #[test]
     fn hostile_count_rejected_before_allocation() {
-        // A ServeBatch claiming u32::MAX keywords inside a 9-byte payload.
+        // A ServeBatch claiming u32::MAX queries inside a 9-byte payload.
         let mut buf = vec![2u8];
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         buf.extend_from_slice(&[0u8; 4]);
         assert_eq!(
             Request::decode(&buf),
             Err(ProtoError::Oversized {
-                what: "serve-batch keywords",
+                what: "serve-batch queries",
+                len: u32::MAX as u64,
+            })
+        );
+        // An attribute bag claiming u32::MAX entries inside a Serve.
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Request::decode(&buf),
+            Err(ProtoError::Oversized {
+                what: "serve attrs",
                 len: u32::MAX as u64,
             })
         );

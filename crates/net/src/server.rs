@@ -112,13 +112,13 @@ impl Shared {
     fn shards_of_request(&self, request: &Request) -> Option<Vec<usize>> {
         let num_shards = self.num_shards.load(Ordering::Relaxed);
         match request {
-            Request::Serve { keyword } => {
+            Request::Serve { keyword, .. } => {
                 Some(vec![shard_of_keyword(keyword_of(*keyword), num_shards)])
             }
-            Request::ServeBatch { keywords } => Some(
-                keywords
+            Request::ServeBatch { queries } => Some(
+                queries
                     .iter()
-                    .map(|kw| shard_of_keyword(keyword_of(*kw), num_shards))
+                    .map(|(kw, _)| shard_of_keyword(keyword_of(*kw), num_shards))
                     .collect(),
             ),
             _ => None,
@@ -408,14 +408,19 @@ fn execute(market: &mut ShardedMarketplace, job: &Job, shared: &Shared) -> Respo
             session: job.session.id,
             proto_version: PROTO_VERSION,
         },
-        Request::Serve { keyword } => match market.serve(QueryRequest::new(keyword_of(*keyword))) {
-            Ok(auction) => Response::Served(WireAuction::from(&auction)),
-            Err(e) => failed(&e),
-        },
-        Request::ServeBatch { keywords } => {
-            let requests: Vec<QueryRequest> = keywords
+        Request::Serve { keyword, attrs } => {
+            match market.serve(QueryRequest::with_attrs(
+                keyword_of(*keyword),
+                attrs.clone(),
+            )) {
+                Ok(auction) => Response::Served(WireAuction::from(&auction)),
+                Err(e) => failed(&e),
+            }
+        }
+        Request::ServeBatch { queries } => {
+            let requests: Vec<QueryRequest> = queries
                 .iter()
-                .map(|kw| QueryRequest::new(keyword_of(*kw)))
+                .map(|(kw, attrs)| QueryRequest::with_attrs(keyword_of(*kw), attrs.clone()))
                 .collect();
             match market.serve_batch(&requests) {
                 Ok(report) => Response::BatchServed(BatchSummary::from_report(&report)),
@@ -432,6 +437,7 @@ fn execute(market: &mut ShardedMarketplace, job: &Job, shared: &Shared) -> Respo
             click_value_cents,
             roi_target,
             click_probs,
+            targeting,
         } => {
             let mut spec = CampaignSpec::per_click(Money::from_cents(*bid_cents))
                 .click_value(Money::from_cents(*click_value_cents));
@@ -440,6 +446,9 @@ fn execute(market: &mut ShardedMarketplace, job: &Job, shared: &Shared) -> Respo
             }
             if let Some(probs) = click_probs {
                 spec = spec.click_probs(probs.clone());
+            }
+            if let Some(source) = targeting {
+                spec = spec.targeting(source.clone());
             }
             match market.add_campaign(
                 AdvertiserHandle::from_index(*advertiser as usize),

@@ -7,7 +7,7 @@ use proptest::collection::vec;
 use proptest::option;
 use proptest::prelude::*;
 
-use ssa_core::{PricingScheme, WdMethod};
+use ssa_core::{AttrValue, PricingScheme, UserAttrs, WdMethod};
 use ssa_net::frame::{
     encode_frame, read_frame, FrameError, FrameKind, HEADER_TAIL, MAX_FRAME, PROTO_VERSION,
 };
@@ -57,23 +57,38 @@ fn arb_config() -> BoxedStrategy<MarketConfig> {
         .boxed()
 }
 
+fn arb_attr_value() -> BoxedStrategy<AttrValue> {
+    prop_oneof![
+        any::<i64>().prop_map(AttrValue::Int),
+        ".{0,12}".prop_map(AttrValue::Str),
+    ]
+    .boxed()
+}
+
+fn arb_attrs() -> BoxedStrategy<UserAttrs> {
+    vec(("[a-z_]{1,10}", arb_attr_value()), 0..5)
+        .prop_map(|kv| kv.into_iter().collect::<UserAttrs>())
+        .boxed()
+}
+
 fn arb_request() -> BoxedStrategy<Request> {
     prop_oneof![
         Just(Request::Ping),
-        any::<u64>().prop_map(|keyword| Request::Serve { keyword }),
-        vec(any::<u64>(), 0..50).prop_map(|keywords| Request::ServeBatch { keywords }),
+        (any::<u64>(), arb_attrs()).prop_map(|(keyword, attrs)| Request::Serve { keyword, attrs }),
+        vec((any::<u64>(), arb_attrs()), 0..50).prop_map(|queries| Request::ServeBatch { queries }),
         ".{0,40}".prop_map(|name| Request::RegisterAdvertiser { name }),
         (
             (any::<u64>(), any::<u64>(), any::<i64>(), any::<i64>()),
             (
                 option::of(any::<f64>()),
-                option::of(vec(any::<f64>(), 0..16))
+                option::of(vec(any::<f64>(), 0..16)),
+                option::of(".{0,40}"),
             ),
         )
             .prop_map(
                 |(
                     (advertiser, keyword, bid_cents, click_value_cents),
-                    (roi_target, click_probs),
+                    (roi_target, click_probs, targeting),
                 )| {
                     Request::AddCampaign {
                         advertiser,
@@ -82,6 +97,7 @@ fn arb_request() -> BoxedStrategy<Request> {
                         click_value_cents,
                         roi_target,
                         click_probs,
+                        targeting,
                     }
                 }
             ),
@@ -170,6 +186,7 @@ fn arb_error_code() -> BoxedStrategy<ErrorCode> {
         Just(ErrorCode::InvalidConfig),
         Just(ErrorCode::ShuttingDown),
         Just(ErrorCode::Unsupported),
+        Just(ErrorCode::InvalidTargeting),
     ]
     .boxed()
 }
@@ -365,10 +382,8 @@ proptest! {
 /// typed error, not a huge allocation.
 #[test]
 fn count_guard_boundary() {
-    let keywords: Vec<u64> = (0..16).collect();
-    let request = Request::ServeBatch {
-        keywords: keywords.clone(),
-    };
+    let queries: Vec<(u64, UserAttrs)> = (0..16).map(|kw| (kw, UserAttrs::new())).collect();
+    let request = Request::ServeBatch { queries };
     let mut payload = request.encode();
     assert_eq!(Request::decode(&payload), Ok(request));
     // Bump the count field (bytes 1..5) by one: it now claims more
@@ -390,7 +405,7 @@ fn hostile_count_rejected_before_allocation() {
     assert_eq!(
         Request::decode(&payload),
         Err(ProtoError::Oversized {
-            what: "serve-batch keywords",
+            what: "serve-batch queries",
             len: u32::MAX as u64,
         })
     );

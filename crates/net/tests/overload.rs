@@ -65,7 +65,10 @@ fn saturation_yields_typed_overloaded_and_admitted_work_completes() {
     for _ in 0..total {
         pending.push(
             client
-                .send_request(&Request::Serve { keyword: 0 })
+                .send_request(&Request::Serve {
+                    keyword: 0,
+                    attrs: Default::default(),
+                })
                 .expect("send"),
         );
     }
@@ -121,7 +124,10 @@ fn shutdown_completes_in_flight_requests() {
     for _ in 0..backlog {
         pending.push(
             client
-                .send_request(&Request::Serve { keyword: 0 })
+                .send_request(&Request::Serve {
+                    keyword: 0,
+                    attrs: Default::default(),
+                })
                 .expect("send"),
         );
     }

@@ -23,17 +23,27 @@
 //! methods. [`ShardedMarketSimulation`] serves the (static-bid) Section V
 //! population through the multi-threaded `ShardedMarketplace` and proves
 //! the results shard-count-invariant.
+//!
+//! The [`hostile`] module is the evaluation's adversarial counterpart:
+//! Zipf-skewed and flash-crowd query streams, advertiser churn under
+//! load, and defective targeting programs — the [`WorkloadShape`]s behind
+//! `reproduce --workload <shape>` and `ssa-load --workload <shape>`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod hostile;
 pub mod market;
 pub mod sharded;
 pub mod sim;
 pub mod sql;
 
 pub use config::{SectionVConfig, SectionVWorkload};
+pub use hostile::{
+    defective_targeting_sources, ChurnAction, ChurnEvent, ChurnPlan, ParseWorkloadError, ShardSkew,
+    WorkloadShape,
+};
 pub use market::{MarketSimulation, SharedRoiProgram};
 pub use sharded::ShardedMarketSimulation;
 pub use sim::{Method, Simulation, SimulationStats};

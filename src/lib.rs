@@ -5,7 +5,9 @@
 //! arXiv:0809.0116). This umbrella crate re-exports the workspace members:
 //!
 //! * [`bidlang`] — the multi-feature bidding language (formulas over
-//!   `Slotj` / `Click` / `Purchase`, OR-bid tables, 2-dependent events);
+//!   `Slotj` / `Click` / `Purchase`, OR-bid tables, 2-dependent events)
+//!   and the typed attribute-targeting expression language
+//!   ([`bidlang::targeting`]);
 //! * [`minidb`] — the SQL engine that executes bidding programs
 //!   (Section II-B);
 //! * [`matching`] — Hungarian matching, the reduced-graph method, the
@@ -17,9 +19,10 @@
 //! * [`core`] — the auction engine: probability models, expected revenue,
 //!   pricing, the heavyweight model (Sections III-A/E/F) — plus the
 //!   [`marketplace`] service facade;
-//! * [`workload`] — the Section V experimental workload and the
-//!   four-method simulation (legacy harness and facade-native
-//!   `MarketSimulation`);
+//! * [`workload`] — the Section V experimental workload, the four-method
+//!   simulation (legacy harness and facade-native `MarketSimulation`),
+//!   and the hostile-world generator (Zipf / flash-crowd / churn query
+//!   shapes, defective targeting sources);
 //! * [`net`] — the TCP serving front-end: a framed wire protocol over
 //!   `std::net`, the `ssa-server` binary wrapping
 //!   [`sharded::ShardedMarketplace`], and the `ssa-load` latency-reporting
@@ -332,8 +335,8 @@
 //! `reproduce --server <addr>`).
 //!
 //! ```text
-//! cargo run --release --bin ssa-server -- --listen 127.0.0.1:7878
-//! cargo run --release --bin ssa-load -- --server 127.0.0.1:7878 --quick \
+//! cargo run --release --bin ssa-server -- --addr 127.0.0.1:7878
+//! cargo run --release --bin ssa-load -- --addr 127.0.0.1:7878 --quick \
 //!     --report bench-report.json       # QPS + p50/p99/max latency
 //! ```
 //!
@@ -389,6 +392,92 @@
 //! --verify --skip <n>` replays a workload's tail against the recovered
 //! server to prove the restart lost nothing. See
 //! `examples/durable_restart.rs` for the library-level loop.
+//!
+//! ## Targeting and workload shapes
+//!
+//! Queries carry an optional bag of typed user attributes
+//! ([`core::UserAttrs`]: the conventional `geo`/`device`/`segment` keys
+//! plus arbitrary string/integer customs), and a campaign may attach a
+//! *targeting expression* over them
+//! ([`marketplace::CampaignSpec::targeting`]):
+//!
+//! ```text
+//! geo = 'us' and (device = 'mobile' or segment in ('sports', 'autos'))
+//!     and not age < 21
+//! ```
+//!
+//! The source parses once at registration into a
+//! [`bidlang::targeting::TargetExpr`] AST and compiles to a postfix
+//! bytecode program ([`bidlang::targeting::CompiledTargeting`]); the
+//! serve hot path runs a fixed-stack bytecode loop — no allocation, no
+//! recursion, no re-parsing per auction. A campaign whose expression
+//! rejects the query's attributes is excluded from the matching (a
+//! zero-revenue row the reduced method then drops, visible as a smaller
+//! `avg_candidates`). Three guarantees hold:
+//!
+//! * **Untargeted markets ignore attributes bit-for-bit** — serving any
+//!   attribute bag to a market with no targeting anywhere is
+//!   bit-identical to serving the bare keyword, at every shard count,
+//!   over the wire, and after WAL recovery (property-tested in
+//!   `tests/targeting.rs`).
+//! * **Hostile sources fail typed** — defective expressions (unbalanced
+//!   parens, depth bombs, type confusion) are rejected at registration
+//!   with [`marketplace::MarketError::InvalidTargeting`] in process and
+//!   [`net::ErrorCode::InvalidTargeting`] over the wire, leaving the
+//!   market untouched.
+//! * **Missing means no** — an absent attribute fails every comparison
+//!   on its key, `!=` included; ordered comparisons hold only between
+//!   two integers.
+//!
+//! ```
+//! use sponsored_search::marketplace::{CampaignSpec, Marketplace, QueryRequest};
+//! use sponsored_search::core::UserAttrs;
+//! use sponsored_search::bidlang::Money;
+//!
+//! let mut market = Marketplace::builder()
+//!     .slots(1)
+//!     .default_click_probs(vec![0.5])
+//!     .build()
+//!     .expect("valid configuration");
+//! let adv = market.register_advertiser("mobile-first.example");
+//! market
+//!     .add_campaign(
+//!         adv,
+//!         0,
+//!         CampaignSpec::per_click(Money::from_cents(20)).targeting("device = 'mobile'"),
+//!     )
+//!     .expect("well-formed targeting");
+//! let mobile = market
+//!     .serve(QueryRequest::with_attrs(0, UserAttrs::new().device("mobile")))
+//!     .expect("keyword 0 exists");
+//! assert_eq!(mobile.placements.len(), 1);
+//! let desktop = market
+//!     .serve(QueryRequest::with_attrs(0, UserAttrs::new().device("desktop")))
+//!     .expect("keyword 0 exists");
+//! assert!(desktop.placements.is_empty()); // targeting excluded the only campaign
+//! ```
+//!
+//! The data-plane counterpart is the hostile-world workload generator
+//! ([`workload::WorkloadShape`]): seeded, reproducible query streams
+//! that are deliberately unkind to a sharded serving layer — `zipf:<s>`
+//! (Zipf-skewed keyword popularity), `flash` (a flash crowd pinning the
+//! middle half of the stream to one keyword, hence one shard), `churn`
+//! (pauses, resumes, and re-bids interleaved with serving), with
+//! `uniform` as the paper's baseline under the same flag.
+//! [`workload::ShardSkew`] summarises how unevenly a stream routes
+//! across a shard count (per-shard queue depths, p50/p99,
+//! max-over-mean), and [`workload::defective_targeting_sources`]
+//! generates the targeting attack corpus above. The harnesses expose
+//! all of it:
+//!
+//! ```text
+//! reproduce --workload zipf:1.1 --shards 4 --json   # per-shard skew in the JSON row
+//! reproduce --targeted --shards 2 --json            # candidate drop under targeting
+//! ssa-load --addr <host:port> --workload zipf:1.1   # the same shapes over the wire
+//! ```
+//!
+//! CI's perf-smoke job tracks both rows on every push. See
+//! `examples/targeted_campaign.rs` for a runnable tour.
 
 #![forbid(unsafe_code)]
 

@@ -222,7 +222,7 @@ fn incremental_matches_fresh(
 
     for round in 0..10 {
         let request = QueryRequest::new(round % KEYWORDS);
-        let a = incremental.serve(request).expect("valid keyword");
+        let a = incremental.serve(request.clone()).expect("valid keyword");
         let b = fresh.serve(request).expect("valid keyword");
         assert_eq!(a, b, "divergence at round {round}");
     }
